@@ -1,0 +1,227 @@
+//! `Atomic<T>`: a typed multiword atomic cell with LL/SC and
+//! read-modify-write operations.
+//!
+//! This is the "any read-modify-write in three instructions" usage pattern
+//! from the paper's introduction, lifted to whole Rust values: `LL`,
+//! modify in a register (here: a closure), `SC`, retry on interference.
+
+use std::sync::Arc;
+
+use mwllsc::MwLlSc;
+
+use crate::codec::WordCodec;
+
+/// A shared value of type `T` with atomic multiword LL/SC/VL semantics.
+///
+/// Construction fixes the number of processes; each process interacts
+/// through its own [`AtomicHandle`].
+///
+/// # Examples
+///
+/// ```
+/// use mwllsc_apps::Atomic;
+///
+/// let cell = Atomic::<u128>::new(2, 1u128 << 80);
+/// let mut handles = cell.handles();
+/// let v = handles[0].load();
+/// assert_eq!(v, 1u128 << 80);
+/// handles[0].fetch_update(|x| x + 1);
+/// assert_eq!(handles[1].load(), (1u128 << 80) + 1);
+/// ```
+pub struct Atomic<T: WordCodec> {
+    obj: Arc<MwLlSc>,
+    _marker: std::marker::PhantomData<fn() -> T>,
+}
+
+impl<T: WordCodec> std::fmt::Debug for Atomic<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Atomic")
+            .field("words", &T::WORDS)
+            .field("processes", &self.obj.processes())
+            .finish()
+    }
+}
+
+impl<T: WordCodec> Atomic<T> {
+    /// Creates the cell for `n` processes, holding `initial`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0` or `T::WORDS == 0`.
+    #[must_use]
+    pub fn new(n: usize, initial: T) -> Arc<Self> {
+        let mut words = vec![0u64; T::WORDS];
+        initial.encode(&mut words);
+        Arc::new(Self { obj: MwLlSc::new(n, T::WORDS, &words), _marker: std::marker::PhantomData })
+    }
+
+    /// Claims the handle for process `p` (once per id).
+    ///
+    /// # Panics
+    ///
+    /// Panics on out-of-range or doubly-claimed ids.
+    #[must_use]
+    pub fn claim(self: &Arc<Self>, p: usize) -> AtomicHandle<T> {
+        let inner = self.obj.claim(p).unwrap_or_else(|e| panic!("Atomic::claim: {e}"));
+        AtomicHandle { inner, scratch: vec![0u64; T::WORDS], _marker: std::marker::PhantomData }
+    }
+
+    /// All `N` handles, in process order.
+    #[must_use]
+    pub fn handles(self: &Arc<Self>) -> Vec<AtomicHandle<T>> {
+        (0..self.obj.processes()).map(|p| self.claim(p)).collect()
+    }
+
+    /// The underlying untyped object (for space accounting etc.).
+    #[must_use]
+    pub fn raw(&self) -> &Arc<MwLlSc> {
+        &self.obj
+    }
+}
+
+/// Process-local handle to an [`Atomic<T>`].
+pub struct AtomicHandle<T: WordCodec> {
+    inner: mwllsc::Handle,
+    scratch: Vec<u64>,
+    _marker: std::marker::PhantomData<fn() -> T>,
+}
+
+impl<T: WordCodec> std::fmt::Debug for AtomicHandle<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("AtomicHandle").field("inner", &self.inner).finish()
+    }
+}
+
+impl<T: WordCodec> AtomicHandle<T> {
+    /// Load-linked: returns the current value and links for [`sc`](Self::sc)
+    /// / [`vl`](Self::vl). Wait-free.
+    pub fn ll(&mut self) -> T {
+        self.inner.ll(&mut self.scratch);
+        T::decode(&self.scratch)
+    }
+
+    /// Store-conditional. Wait-free.
+    pub fn sc(&mut self, value: &T) -> bool {
+        value.encode(&mut self.scratch);
+        self.inner.sc(&self.scratch)
+    }
+
+    /// Validate. Wait-free, `O(1)`.
+    pub fn vl(&mut self) -> bool {
+        self.inner.vl()
+    }
+
+    /// Reads the current value without linking. Wait-free.
+    pub fn load(&mut self) -> T {
+        self.inner.read(&mut self.scratch);
+        T::decode(&self.scratch)
+    }
+
+    /// Atomically replaces the value with `f(current)`, retrying on
+    /// interference, and returns the value `f` was finally applied to.
+    ///
+    /// Lock-free (each retry means another process's SC succeeded — i.e.
+    /// system-wide progress), not wait-free: an individual caller can be
+    /// overtaken indefinitely. This matches the progress of hardware-CAS
+    /// `fetch_update`; per-operation wait-freedom for arbitrary RMW
+    /// requires operation-level helping — see the
+    /// [`universal`](crate::universal) module.
+    pub fn fetch_update(&mut self, mut f: impl FnMut(T) -> T) -> T {
+        loop {
+            let cur = self.ll();
+            let next = f(cur);
+            if self.sc(&next) {
+                return next;
+            }
+        }
+    }
+
+    /// Atomically stores `value` regardless of interference (a retry loop
+    /// of LL/SC; lock-free).
+    pub fn store(&mut self, value: &T) {
+        loop {
+            let _ = self.ll();
+            if self.sc(value) {
+                return;
+            }
+        }
+    }
+
+    /// Atomically swaps in `value`, returning the previous value
+    /// (lock-free).
+    pub fn swap(&mut self, value: &T) -> T {
+        loop {
+            let prev = self.ll();
+            if self.sc(value) {
+                return prev;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn load_store_swap() {
+        let cell = Atomic::<(u64, u64)>::new(1, (1, 2));
+        let mut h = cell.claim(0);
+        assert_eq!(h.load(), (1, 2));
+        h.store(&(3, 4));
+        assert_eq!(h.load(), (3, 4));
+        assert_eq!(h.swap(&(5, 6)), (3, 4));
+        assert_eq!(h.load(), (5, 6));
+    }
+
+    #[test]
+    fn ll_sc_vl_typed() {
+        let cell = Atomic::<u128>::new(2, 10);
+        let mut hs = cell.handles();
+        let v = hs[0].ll();
+        assert_eq!(v, 10);
+        assert!(hs[0].vl());
+        assert!(hs[0].sc(&(v + 1)));
+        let v1 = hs[1].ll();
+        assert_eq!(v1, 11);
+        let _ = hs[0].ll();
+        assert!(hs[0].sc(&100));
+        assert!(!hs[1].vl());
+        assert!(!hs[1].sc(&999));
+        assert_eq!(hs[1].load(), 100);
+    }
+
+    #[test]
+    fn fetch_update_returns_installed_value() {
+        let cell = Atomic::<u64>::new(1, 7);
+        let mut h = cell.claim(0);
+        let installed = h.fetch_update(|x| x * 3);
+        assert_eq!(installed, 21);
+        assert_eq!(h.load(), 21);
+    }
+
+    #[test]
+    fn concurrent_u128_counter_exact() {
+        const THREADS: usize = 4;
+        const PER: u64 = 10_000;
+        let cell = Atomic::<u128>::new(THREADS, 0);
+        let mut handles = cell.handles();
+        let mut h0 = handles.remove(0);
+        let mut joins = Vec::new();
+        for mut h in handles {
+            joins.push(std::thread::spawn(move || {
+                for _ in 0..PER {
+                    // Add a quantity that spans both words.
+                    h.fetch_update(|x| x + (1u128 << 63));
+                }
+            }));
+        }
+        for _ in 0..PER {
+            h0.fetch_update(|x| x + (1u128 << 63));
+        }
+        for j in joins {
+            j.join().unwrap();
+        }
+        assert_eq!(h0.load(), u128::from(THREADS as u64 * PER) << 63);
+    }
+}

@@ -1,0 +1,155 @@
+//! Encoding Rust values into fixed-width word vectors.
+//!
+//! The multiword object stores `W` raw 64-bit words; [`WordCodec`] maps a
+//! typed value onto such a block so applications can use `Atomic<T>`
+//! instead of juggling slices.
+
+/// A value with a fixed-width word representation.
+///
+/// Implementations must be *bijective on the encoded width*: `decode`
+/// after `encode` returns an equal value, and `encode` fills every word
+/// (stale words must not leak through).
+pub trait WordCodec: Sized {
+    /// Number of 64-bit words the encoding occupies.
+    const WORDS: usize;
+
+    /// Writes the encoding into `out` (`out.len() == Self::WORDS`).
+    fn encode(&self, out: &mut [u64]);
+
+    /// Reconstructs a value from `words` (`words.len() == Self::WORDS`).
+    fn decode(words: &[u64]) -> Self;
+}
+
+impl WordCodec for u64 {
+    const WORDS: usize = 1;
+
+    fn encode(&self, out: &mut [u64]) {
+        out[0] = *self;
+    }
+
+    fn decode(words: &[u64]) -> Self {
+        words[0]
+    }
+}
+
+impl WordCodec for u128 {
+    const WORDS: usize = 2;
+
+    fn encode(&self, out: &mut [u64]) {
+        out[0] = *self as u64;
+        out[1] = (*self >> 64) as u64;
+    }
+
+    fn decode(words: &[u64]) -> Self {
+        u128::from(words[0]) | (u128::from(words[1]) << 64)
+    }
+}
+
+impl WordCodec for (u64, u64) {
+    const WORDS: usize = 2;
+
+    fn encode(&self, out: &mut [u64]) {
+        out[0] = self.0;
+        out[1] = self.1;
+    }
+
+    fn decode(words: &[u64]) -> Self {
+        (words[0], words[1])
+    }
+}
+
+impl<const K: usize> WordCodec for [u64; K] {
+    const WORDS: usize = K;
+
+    fn encode(&self, out: &mut [u64]) {
+        out.copy_from_slice(self);
+    }
+
+    fn decode(words: &[u64]) -> Self {
+        let mut a = [0u64; K];
+        a.copy_from_slice(words);
+        a
+    }
+}
+
+impl WordCodec for i64 {
+    const WORDS: usize = 1;
+
+    fn encode(&self, out: &mut [u64]) {
+        out[0] = *self as u64;
+    }
+
+    fn decode(words: &[u64]) -> Self {
+        words[0] as i64
+    }
+}
+
+impl WordCodec for f64 {
+    const WORDS: usize = 1;
+
+    fn encode(&self, out: &mut [u64]) {
+        out[0] = self.to_bits();
+    }
+
+    fn decode(words: &[u64]) -> Self {
+        f64::from_bits(words[0])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip<T: WordCodec + PartialEq + std::fmt::Debug>(v: T) {
+        let mut words = vec![0u64; T::WORDS];
+        v.encode(&mut words);
+        assert_eq!(T::decode(&words), v);
+    }
+
+    #[test]
+    fn u64_roundtrip() {
+        roundtrip(0u64);
+        roundtrip(u64::MAX);
+        roundtrip(0xDEADBEEFu64);
+    }
+
+    #[test]
+    fn u128_roundtrip() {
+        roundtrip(0u128);
+        roundtrip(u128::MAX);
+        roundtrip(1u128 << 64);
+        roundtrip((1u128 << 127) | 12345);
+    }
+
+    #[test]
+    fn pair_roundtrip() {
+        roundtrip((0u64, u64::MAX));
+        roundtrip((42u64, 43u64));
+    }
+
+    #[test]
+    fn array_roundtrip() {
+        roundtrip([1u64, 2, 3, 4, 5]);
+        roundtrip([u64::MAX; 8]);
+        roundtrip([7u64]);
+    }
+
+    #[test]
+    fn signed_and_float_roundtrip() {
+        roundtrip(-1i64);
+        roundtrip(i64::MIN);
+        roundtrip(1.25e-7f64);
+        roundtrip(f64::NEG_INFINITY);
+        // NaN compares unequal; check bits instead.
+        let mut w = [0u64];
+        f64::NAN.encode(&mut w);
+        assert!(f64::decode(&w).is_nan());
+    }
+
+    #[test]
+    fn encode_overwrites_stale_words() {
+        let mut words = vec![u64::MAX; 2];
+        5u128.encode(&mut words);
+        assert_eq!(words, vec![5, 0], "high word must be cleared");
+    }
+}

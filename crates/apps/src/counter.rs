@@ -1,0 +1,243 @@
+//! Wide counters: the paper's fetch&increment example generalized to
+//! counters wider than one machine word.
+//!
+//! A 64-bit counter can overflow in hours at modern increment rates; wide
+//! counters (128-bit and beyond, or a counter plus metadata words updated
+//! atomically together) are a standard motivating use of multiword RMW.
+
+use std::sync::Arc;
+
+use crate::cell::{Atomic, AtomicHandle};
+
+/// A `2`-word (128-bit) shared counter built on the multiword object.
+pub struct WideCounter {
+    cell: Arc<Atomic<u128>>,
+}
+
+impl std::fmt::Debug for WideCounter {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("WideCounter").finish()
+    }
+}
+
+impl WideCounter {
+    /// Creates a counter for `n` processes starting at `initial`.
+    #[must_use]
+    pub fn new(n: usize, initial: u128) -> Self {
+        Self { cell: Atomic::new(n, initial) }
+    }
+
+    /// Claims process `p`'s handle.
+    ///
+    /// # Panics
+    ///
+    /// Panics on out-of-range or doubly-claimed ids.
+    #[must_use]
+    pub fn claim(&self, p: usize) -> WideCounterHandle {
+        WideCounterHandle { h: self.cell.claim(p) }
+    }
+
+    /// All handles in process order.
+    #[must_use]
+    pub fn handles(&self) -> Vec<WideCounterHandle> {
+        (0..self.cell.raw().processes()).map(|p| self.claim(p)).collect()
+    }
+}
+
+/// Per-process handle to a [`WideCounter`].
+pub struct WideCounterHandle {
+    h: AtomicHandle<u128>,
+}
+
+impl std::fmt::Debug for WideCounterHandle {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("WideCounterHandle").finish()
+    }
+}
+
+impl WideCounterHandle {
+    /// Atomically adds `delta`, returning the new value (lock-free RMW).
+    pub fn add(&mut self, delta: u128) -> u128 {
+        self.h.fetch_update(|x| x.wrapping_add(delta))
+    }
+
+    /// Atomically increments, returning the new value.
+    pub fn increment(&mut self) -> u128 {
+        self.add(1)
+    }
+
+    /// Reads the current value (wait-free).
+    pub fn get(&mut self) -> u128 {
+        self.h.load()
+    }
+}
+
+/// A statistics cell updated atomically as one unit: count, sum, min, max.
+///
+/// The canonical "multiword or bust" example: these four words must move
+/// together or aggregates drift (e.g. `sum` from one update with `count`
+/// from another).
+pub struct StatsCell {
+    cell: Arc<Atomic<[u64; 4]>>,
+}
+
+impl std::fmt::Debug for StatsCell {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("StatsCell").finish()
+    }
+}
+
+/// A consistent snapshot of a [`StatsCell`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct StatsSnapshot {
+    /// Number of recorded samples.
+    pub count: u64,
+    /// Sum of samples.
+    pub sum: u64,
+    /// Minimum sample (`u64::MAX` when empty).
+    pub min: u64,
+    /// Maximum sample (0 when empty).
+    pub max: u64,
+}
+
+impl StatsCell {
+    /// Creates an empty stats cell for `n` processes.
+    #[must_use]
+    pub fn new(n: usize) -> Self {
+        Self { cell: Atomic::new(n, [0, 0, u64::MAX, 0]) }
+    }
+
+    /// Claims process `p`'s handle.
+    ///
+    /// # Panics
+    ///
+    /// Panics on out-of-range or doubly-claimed ids.
+    #[must_use]
+    pub fn claim(&self, p: usize) -> StatsHandle {
+        StatsHandle { h: self.cell.claim(p) }
+    }
+
+    /// All handles in process order.
+    #[must_use]
+    pub fn handles(&self) -> Vec<StatsHandle> {
+        (0..self.cell.raw().processes()).map(|p| self.claim(p)).collect()
+    }
+}
+
+/// Per-process handle to a [`StatsCell`].
+pub struct StatsHandle {
+    h: AtomicHandle<[u64; 4]>,
+}
+
+impl std::fmt::Debug for StatsHandle {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("StatsHandle").finish()
+    }
+}
+
+impl StatsHandle {
+    /// Atomically records one sample (lock-free RMW).
+    pub fn record(&mut self, sample: u64) {
+        self.h.fetch_update(|[count, sum, min, max]| {
+            [
+                count + 1,
+                sum.wrapping_add(sample),
+                min.min(sample),
+                max.max(sample),
+            ]
+        });
+    }
+
+    /// Reads a *consistent* snapshot (wait-free): all four aggregates stem
+    /// from the same set of updates.
+    pub fn snapshot(&mut self) -> StatsSnapshot {
+        let [count, sum, min, max] = self.h.load();
+        StatsSnapshot { count, sum, min, max }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn wide_counter_crosses_word_boundary() {
+        let c = WideCounter::new(1, u128::from(u64::MAX) - 1);
+        let mut h = c.claim(0);
+        h.increment();
+        h.increment();
+        h.increment();
+        assert_eq!(h.get(), u128::from(u64::MAX) + 2, "carry must propagate to word 1");
+    }
+
+    #[test]
+    fn wide_counter_concurrent_exact() {
+        const THREADS: usize = 4;
+        const PER: usize = 8_000;
+        let c = WideCounter::new(THREADS, 0);
+        let mut handles = c.handles();
+        let mut h0 = handles.remove(0);
+        let mut joins = Vec::new();
+        for mut h in handles {
+            joins.push(std::thread::spawn(move || {
+                for _ in 0..PER {
+                    h.increment();
+                }
+            }));
+        }
+        for _ in 0..PER {
+            h0.increment();
+        }
+        for j in joins {
+            j.join().unwrap();
+        }
+        assert_eq!(h0.get(), (THREADS * PER) as u128);
+    }
+
+    #[test]
+    fn stats_cell_sequential() {
+        let s = StatsCell::new(1);
+        let mut h = s.claim(0);
+        for x in [5u64, 1, 9, 3] {
+            h.record(x);
+        }
+        let snap = h.snapshot();
+        assert_eq!(snap.count, 4);
+        assert_eq!(snap.sum, 18);
+        assert_eq!(snap.min, 1);
+        assert_eq!(snap.max, 9);
+    }
+
+    #[test]
+    fn stats_cell_concurrent_consistency() {
+        // Writers record only the value 7; every concurrent snapshot must
+        // satisfy sum == 7 * count and min == max == 7 (or be empty) —
+        // any torn multiword view breaks one of these equalities.
+        const THREADS: usize = 3;
+        let s = StatsCell::new(THREADS + 1);
+        let mut handles = s.handles();
+        let mut reader = handles.remove(0);
+        let stop = Arc::new(std::sync::atomic::AtomicBool::new(false));
+        let mut joins = Vec::new();
+        for mut h in handles {
+            let stop = Arc::clone(&stop);
+            joins.push(std::thread::spawn(move || {
+                while !stop.load(std::sync::atomic::Ordering::Relaxed) {
+                    h.record(7);
+                }
+            }));
+        }
+        for _ in 0..30_000 {
+            let snap = reader.snapshot();
+            assert_eq!(snap.sum, 7 * snap.count, "inconsistent snapshot: {snap:?}");
+            if snap.count > 0 {
+                assert_eq!(snap.min, 7);
+                assert_eq!(snap.max, 7);
+            }
+        }
+        stop.store(true, std::sync::atomic::Ordering::Relaxed);
+        for j in joins {
+            j.join().unwrap();
+        }
+    }
+}

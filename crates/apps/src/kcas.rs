@@ -1,0 +1,302 @@
+//! Multi-location compare-and-swap (k-CAS) over a register array.
+//!
+//! k-CAS — atomically compare `k` locations against expected values and,
+//! if all match, install `k` new values — is a staple primitive of
+//! lock-free data-structure design (cf. the k-compare-single-swap work
+//! \[16\] the paper cites). On multiword LL/SC it is embarrassingly simple:
+//! store the whole register array in one `W`-word variable and express
+//! k-CAS as an LL, a local check-and-edit, and an SC.
+//!
+//! Semantics of [`KcasHandle::kcas`]: returns `Ok(())` if the update was
+//! installed atomically; `Err(Mismatch)` if some location's current value
+//! differed from its expected value (the k-CAS legitimately fails); the
+//! LL/SC interference retry is internal (lock-free).
+
+use std::sync::Arc;
+
+use mwllsc::MwLlSc;
+
+/// Why a [`KcasHandle::kcas`] did not install its updates.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Mismatch {
+    /// The first offending location.
+    pub index: usize,
+    /// The value actually present there.
+    pub actual: u64,
+    /// The value the caller expected.
+    pub expected: u64,
+}
+
+impl std::fmt::Display for Mismatch {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "k-CAS mismatch at location {}: found {}, expected {}",
+            self.index, self.actual, self.expected
+        )
+    }
+}
+
+impl std::error::Error for Mismatch {}
+
+/// An array of `R` 64-bit registers supporting atomic k-CAS, built on one
+/// `R`-word LL/SC variable.
+pub struct KcasArray {
+    obj: Arc<MwLlSc>,
+    r: usize,
+}
+
+impl std::fmt::Debug for KcasArray {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("KcasArray").field("registers", &self.r).finish()
+    }
+}
+
+impl KcasArray {
+    /// Creates an array of `registers.len()` registers for `n` processes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0` or `registers` is empty.
+    #[must_use]
+    pub fn new(n: usize, registers: &[u64]) -> Self {
+        assert!(!registers.is_empty(), "need at least one register");
+        Self { obj: MwLlSc::new(n, registers.len(), registers), r: registers.len() }
+    }
+
+    /// Number of registers `R`.
+    #[must_use]
+    pub fn registers(&self) -> usize {
+        self.r
+    }
+
+    /// Claims process `p`'s handle.
+    ///
+    /// # Panics
+    ///
+    /// Panics on out-of-range or doubly-claimed ids.
+    #[must_use]
+    pub fn claim(&self, p: usize) -> KcasHandle {
+        let inner = self.obj.claim(p).unwrap_or_else(|e| panic!("KcasArray::claim: {e}"));
+        KcasHandle { inner, scratch: vec![0u64; self.r] }
+    }
+
+    /// All handles in process order.
+    #[must_use]
+    pub fn handles(&self) -> Vec<KcasHandle> {
+        (0..self.obj.processes()).map(|p| self.claim(p)).collect()
+    }
+}
+
+/// Per-process handle to a [`KcasArray`].
+pub struct KcasHandle {
+    inner: mwllsc::Handle,
+    scratch: Vec<u64>,
+}
+
+impl std::fmt::Debug for KcasHandle {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("KcasHandle").field("registers", &self.scratch.len()).finish()
+    }
+}
+
+impl KcasHandle {
+    /// Wait-free read of register `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    pub fn read(&mut self, i: usize) -> u64 {
+        assert!(i < self.scratch.len(), "register {i} out of range");
+        self.inner.read(&mut self.scratch);
+        self.scratch[i]
+    }
+
+    /// Wait-free atomic snapshot of all registers.
+    pub fn snapshot(&mut self) -> Vec<u64> {
+        self.inner.read(&mut self.scratch);
+        self.scratch.clone()
+    }
+
+    /// Atomic k-CAS: if every `(index, expected, _)` matches, install all
+    /// `(index, _, new)` values as one atomic step.
+    ///
+    /// Interference from other processes is retried internally
+    /// (lock-free); `Err` is returned only for a genuine value mismatch.
+    ///
+    /// # Panics
+    ///
+    /// Panics if an index is out of range or listed twice.
+    pub fn kcas(&mut self, updates: &[(usize, u64, u64)]) -> Result<(), Mismatch> {
+        for (pos, (i, _, _)) in updates.iter().enumerate() {
+            assert!(*i < self.scratch.len(), "register {i} out of range");
+            assert!(
+                updates[..pos].iter().all(|(j, _, _)| j != i),
+                "register {i} listed twice in one k-CAS"
+            );
+        }
+        loop {
+            self.inner.ll(&mut self.scratch);
+            for &(i, expected, _) in updates {
+                if self.scratch[i] != expected {
+                    return Err(Mismatch { index: i, actual: self.scratch[i], expected });
+                }
+            }
+            for &(i, _, new) in updates {
+                self.scratch[i] = new;
+            }
+            let proposal = self.scratch.clone();
+            if self.inner.sc(&proposal) {
+                return Ok(());
+            }
+            // Interference: someone else's SC landed; retry from fresh state.
+        }
+    }
+
+    /// Unconditional atomic write of register `i` (lock-free).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    pub fn write(&mut self, i: usize, v: u64) {
+        assert!(i < self.scratch.len(), "register {i} out of range");
+        loop {
+            self.inner.ll(&mut self.scratch);
+            self.scratch[i] = v;
+            let proposal = self.scratch.clone();
+            if self.inner.sc(&proposal) {
+                return;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kcas_applies_atomically() {
+        let arr = KcasArray::new(1, &[1, 2, 3]);
+        let mut h = arr.claim(0);
+        h.kcas(&[(0, 1, 10), (2, 3, 30)]).unwrap();
+        assert_eq!(h.snapshot(), vec![10, 2, 30]);
+    }
+
+    #[test]
+    fn kcas_mismatch_reports_first_offender() {
+        let arr = KcasArray::new(1, &[1, 2, 3]);
+        let mut h = arr.claim(0);
+        let err = h.kcas(&[(0, 1, 10), (1, 99, 20)]).unwrap_err();
+        assert_eq!(err, Mismatch { index: 1, actual: 2, expected: 99 });
+        assert_eq!(h.snapshot(), vec![1, 2, 3], "failed k-CAS must not write anything");
+    }
+
+    #[test]
+    #[should_panic(expected = "listed twice")]
+    fn duplicate_index_rejected() {
+        let arr = KcasArray::new(1, &[0, 0]);
+        let mut h = arr.claim(0);
+        let _ = h.kcas(&[(0, 0, 1), (0, 0, 2)]);
+    }
+
+    #[test]
+    fn single_location_cas_degenerates_correctly() {
+        let arr = KcasArray::new(1, &[5]);
+        let mut h = arr.claim(0);
+        h.kcas(&[(0, 5, 6)]).unwrap();
+        assert!(h.kcas(&[(0, 5, 7)]).is_err());
+        assert_eq!(h.read(0), 6);
+    }
+
+    #[test]
+    fn concurrent_transfers_conserve_total() {
+        // The k-CAS version of the bank-transfer test: each thread moves
+        // one unit between two registers with a 2-CAS. Total is invariant.
+        const THREADS: usize = 4;
+        const PER: usize = 5_000;
+        const REGS: usize = 6;
+        let arr = KcasArray::new(THREADS + 1, &[1_000u64; REGS]);
+        let mut handles = arr.handles();
+        let mut auditor = handles.remove(0);
+        let joins: Vec<_> = handles
+            .into_iter()
+            .enumerate()
+            .map(|(t, mut h)| {
+                std::thread::spawn(move || {
+                    let mut rng = (t as u64 + 1).wrapping_mul(0x9E3779B97F4A7C15);
+                    for _ in 0..PER {
+                        rng ^= rng << 13;
+                        rng ^= rng >> 7;
+                        rng ^= rng << 17;
+                        let from = (rng % REGS as u64) as usize;
+                        let to = ((rng >> 8) % REGS as u64) as usize;
+                        if from == to {
+                            continue;
+                        }
+                        // Optimistic 2-CAS: read, then attempt the transfer;
+                        // on mismatch (someone moved money), re-read.
+                        loop {
+                            let snap = h.snapshot();
+                            if snap[from] == 0 {
+                                break; // broke: nothing to move
+                            }
+                            let upd = [
+                                (from, snap[from], snap[from] - 1),
+                                (to, snap[to], snap[to] + 1),
+                            ];
+                            if h.kcas(&upd).is_ok() {
+                                break;
+                            }
+                        }
+                    }
+                })
+            })
+            .collect();
+        for _ in 0..20_000 {
+            let snap = auditor.snapshot();
+            assert_eq!(
+                snap.iter().sum::<u64>(),
+                (REGS as u64) * 1_000,
+                "2-CAS tore a transfer: {snap:?}"
+            );
+        }
+        for j in joins {
+            j.join().unwrap();
+        }
+        assert_eq!(auditor.snapshot().iter().sum::<u64>(), (REGS as u64) * 1_000);
+    }
+
+    #[test]
+    fn disjoint_kcas_increments_are_exact() {
+        // Each thread increments its own register via 1-CAS in a retry
+        // loop; final values must be exact.
+        const THREADS: usize = 4;
+        const PER: u64 = 10_000;
+        let arr = KcasArray::new(THREADS, &[0u64; THREADS]);
+        let handles = arr.handles();
+        let joins: Vec<_> = handles
+            .into_iter()
+            .enumerate()
+            .map(|(t, mut h)| {
+                std::thread::spawn(move || {
+                    for _ in 0..PER {
+                        loop {
+                            let cur = h.read(t);
+                            if h.kcas(&[(t, cur, cur + 1)]).is_ok() {
+                                break;
+                            }
+                        }
+                    }
+                    h
+                })
+            })
+            .collect();
+        let mut last = None;
+        for j in joins {
+            last = Some(j.join().unwrap());
+        }
+        let snap = last.unwrap().snapshot();
+        assert_eq!(snap, vec![PER; THREADS]);
+    }
+}

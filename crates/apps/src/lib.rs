@@ -1,0 +1,48 @@
+//! Applications layered on the multiword LL/SC variable.
+//!
+//! The paper motivates multiword LL/SC as *the* primitive that simplifies
+//! lock-free data-structure design: universal constructions, closed
+//! objects, and snapshot/f-array algorithms all consume it directly. This
+//! crate reproduces that application layer on top of [`mwllsc`]:
+//!
+//! * [`codec::WordCodec`] + [`cell::Atomic`] — typed multiword atomic
+//!   cells with `ll`/`sc`/`vl`/`load`/`store`/`swap`/`fetch_update`;
+//! * [`counter`] — 128-bit counters and atomically-consistent multi-field
+//!   statistics cells;
+//! * [`snapshot`] — an `M`-component snapshot object with wait-free scans
+//!   and an f-array-style in-variable aggregate;
+//! * [`kcas`] — multi-location compare-and-swap over a register array
+//!   (the k-compare-single-swap problem \[16\] of the paper's bibliography,
+//!   trivialized by multiword LL/SC);
+//! * [`universal`] — a wait-free universal construction (announce + help,
+//!   ≤ 3 LL/SC rounds per operation);
+//! * [`queue`] / [`stack`] — bounded wait-free MPMC FIFO/LIFO structures
+//!   obtained from *sequential* code dropped into the universal
+//!   construction.
+//!
+//! Everything here inherits the core guarantee chain: operations are
+//! linearizable; `scan`/`load`-class operations are wait-free `O(W)`;
+//! RMW-class operations are wait-free where helping is in place
+//! ([`universal`]) and lock-free where a bare retry loop is the honest
+//! primitive ([`cell::AtomicHandle::fetch_update`]).
+
+#![warn(missing_docs, missing_debug_implementations)]
+#![forbid(unsafe_code)]
+
+pub mod cell;
+pub mod codec;
+pub mod counter;
+pub mod kcas;
+pub mod queue;
+pub mod snapshot;
+pub mod stack;
+pub mod universal;
+
+pub use cell::{Atomic, AtomicHandle};
+pub use codec::WordCodec;
+pub use counter::{StatsCell, StatsSnapshot, WideCounter};
+pub use kcas::{KcasArray, KcasHandle};
+pub use queue::WaitFreeQueue;
+pub use snapshot::Snapshot;
+pub use stack::WaitFreeStack;
+pub use universal::{Sequential, Universal, UniversalHandle};

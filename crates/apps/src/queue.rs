@@ -1,0 +1,287 @@
+//! A wait-free bounded FIFO queue via the universal construction.
+//!
+//! Demonstrates the paper's "abstractions that simplify design" thesis:
+//! given the multiword LL/SC variable, a correct wait-free queue is a
+//! *sequential* ring buffer plus [`Sequential`] glue — no bespoke
+//! concurrent reasoning at all.
+
+use std::sync::Arc;
+
+use crate::universal::{Sequential, Universal, UniversalHandle};
+
+/// The sequential ring buffer stored inside the shared variable.
+///
+/// Layout: `[head, tail, slots[0..capacity]]` — `head`/`tail` are monotone
+/// counters; the occupied region is `head..tail`, values are 32-bit.
+#[derive(Clone, Debug)]
+pub struct RingState {
+    head: u64,
+    tail: u64,
+    slots: Vec<u64>,
+}
+
+/// Queue operations.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum QueueOp {
+    /// Enqueue a 31-bit value; response 1 on success, 0 if full.
+    Enqueue(u32),
+    /// Dequeue; response `(1 << 32) | value` on success, 0 if empty.
+    Dequeue,
+}
+
+/// Response value of a successful dequeue: `(1 << 32) | value`.
+const DEQ_OK: u64 = 1 << 32;
+
+impl RingState {
+    fn new(capacity: usize) -> Self {
+        Self { head: 0, tail: 0, slots: vec![0; capacity] }
+    }
+
+    fn len(&self) -> u64 {
+        self.tail - self.head
+    }
+}
+
+impl Sequential for RingState {
+    type Op = QueueOp;
+
+    fn state_words(&self) -> usize {
+        2 + self.slots.len()
+    }
+
+    fn encode(&self, out: &mut [u64]) {
+        out[0] = self.head;
+        out[1] = self.tail;
+        out[2..].copy_from_slice(&self.slots);
+    }
+
+    fn decode(&self, words: &[u64]) -> Self {
+        Self { head: words[0], tail: words[1], slots: words[2..].to_vec() }
+    }
+
+    fn encode_op(op: QueueOp) -> u32 {
+        match op {
+            QueueOp::Enqueue(v) => {
+                assert!(v < (1 << 31), "queue values are 31-bit");
+                (1 << 31) | v
+            }
+            QueueOp::Dequeue => 0,
+        }
+    }
+
+    fn decode_op(bits: u32) -> QueueOp {
+        if bits >> 31 == 1 {
+            QueueOp::Enqueue(bits & 0x7FFF_FFFF)
+        } else {
+            QueueOp::Dequeue
+        }
+    }
+
+    fn apply(&mut self, op: QueueOp) -> u64 {
+        match op {
+            QueueOp::Enqueue(v) => {
+                if self.len() as usize == self.slots.len() {
+                    0 // full
+                } else {
+                    let idx = (self.tail % self.slots.len() as u64) as usize;
+                    self.slots[idx] = u64::from(v);
+                    self.tail += 1;
+                    1
+                }
+            }
+            QueueOp::Dequeue => {
+                if self.head == self.tail {
+                    0 // empty
+                } else {
+                    let idx = (self.head % self.slots.len() as u64) as usize;
+                    let v = self.slots[idx];
+                    self.head += 1;
+                    DEQ_OK | v
+                }
+            }
+        }
+    }
+}
+
+/// A wait-free bounded multi-producer multi-consumer FIFO queue.
+pub struct WaitFreeQueue {
+    uni: Arc<Universal<RingState>>,
+}
+
+impl std::fmt::Debug for WaitFreeQueue {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("WaitFreeQueue").finish()
+    }
+}
+
+impl WaitFreeQueue {
+    /// Creates a queue of the given `capacity` for `n` processes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0` or `capacity == 0`.
+    #[must_use]
+    pub fn new(n: usize, capacity: usize) -> Self {
+        assert!(capacity > 0, "capacity must be positive");
+        Self { uni: Universal::new(n, &RingState::new(capacity)) }
+    }
+
+    /// Claims process `p`'s handle.
+    ///
+    /// # Panics
+    ///
+    /// Panics on out-of-range or doubly-claimed ids.
+    #[must_use]
+    pub fn claim(&self, p: usize) -> QueueHandle {
+        QueueHandle { h: self.uni.claim(p) }
+    }
+
+    /// All handles in process order.
+    #[must_use]
+    pub fn handles(&self) -> Vec<QueueHandle> {
+        (0..self.uni.raw().processes()).map(|p| self.claim(p)).collect()
+    }
+}
+
+/// Per-process handle to a [`WaitFreeQueue`].
+pub struct QueueHandle {
+    h: UniversalHandle<RingState>,
+}
+
+impl std::fmt::Debug for QueueHandle {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("QueueHandle").finish()
+    }
+}
+
+impl QueueHandle {
+    /// Enqueues `v` (31-bit). Returns `false` if the queue was full.
+    /// Wait-free.
+    pub fn enqueue(&mut self, v: u32) -> bool {
+        self.h.apply(QueueOp::Enqueue(v)) == 1
+    }
+
+    /// Dequeues the oldest element, or `None` if empty. Wait-free.
+    pub fn dequeue(&mut self) -> Option<u32> {
+        let r = self.h.apply(QueueOp::Dequeue);
+        (r & DEQ_OK != 0).then_some(r as u32)
+    }
+
+    /// Current length (wait-free consistent read).
+    pub fn len(&mut self) -> usize {
+        self.h.read_state().len() as usize
+    }
+
+    /// Whether the queue is empty (wait-free consistent read).
+    pub fn is_empty(&mut self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fifo_order() {
+        let q = WaitFreeQueue::new(1, 4);
+        let mut h = q.claim(0);
+        assert!(h.enqueue(1));
+        assert!(h.enqueue(2));
+        assert!(h.enqueue(3));
+        assert_eq!(h.dequeue(), Some(1));
+        assert_eq!(h.dequeue(), Some(2));
+        assert!(h.enqueue(4));
+        assert_eq!(h.dequeue(), Some(3));
+        assert_eq!(h.dequeue(), Some(4));
+        assert_eq!(h.dequeue(), None);
+    }
+
+    #[test]
+    fn capacity_enforced() {
+        let q = WaitFreeQueue::new(1, 2);
+        let mut h = q.claim(0);
+        assert!(h.enqueue(1));
+        assert!(h.enqueue(2));
+        assert!(!h.enqueue(3), "queue is full");
+        assert_eq!(h.len(), 2);
+        assert_eq!(h.dequeue(), Some(1));
+        assert!(h.enqueue(3), "slot freed");
+    }
+
+    #[test]
+    fn wraparound_many_times() {
+        let q = WaitFreeQueue::new(1, 3);
+        let mut h = q.claim(0);
+        for i in 0..1000u32 {
+            assert!(h.enqueue(i));
+            assert_eq!(h.dequeue(), Some(i));
+        }
+        assert!(h.is_empty());
+    }
+
+    #[test]
+    fn zero_value_roundtrips() {
+        // Value 0 must be distinguishable from "empty".
+        let q = WaitFreeQueue::new(1, 2);
+        let mut h = q.claim(0);
+        assert!(h.enqueue(0));
+        assert_eq!(h.dequeue(), Some(0));
+        assert_eq!(h.dequeue(), None);
+    }
+
+    #[test]
+    fn mpmc_conservation() {
+        // Producers enqueue distinct values; consumers drain. Every value
+        // is dequeued exactly once (no loss, no duplication).
+        const PRODUCERS: usize = 2;
+        const CONSUMERS: usize = 2;
+        const PER: u32 = 2_000;
+        let q = WaitFreeQueue::new(PRODUCERS + CONSUMERS, 64);
+        let mut handles = q.handles();
+        let mut joins = Vec::new();
+        for p in 0..PRODUCERS {
+            let mut h = handles.remove(0);
+            joins.push(std::thread::spawn(move || {
+                for i in 0..PER {
+                    let v = (p as u32) * PER + i;
+                    while !h.enqueue(v) {
+                        std::hint::spin_loop();
+                    }
+                }
+                Vec::new()
+            }));
+        }
+        let consumed = std::sync::Arc::new(std::sync::atomic::AtomicU32::new(0));
+        for _ in 0..CONSUMERS {
+            let mut h = handles.remove(0);
+            let consumed = std::sync::Arc::clone(&consumed);
+            joins.push(std::thread::spawn(move || {
+                let total = PER * PRODUCERS as u32;
+                let mut got = Vec::new();
+                loop {
+                    match h.dequeue() {
+                        Some(v) => {
+                            got.push(v);
+                            consumed.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                        }
+                        None => {
+                            if consumed.load(std::sync::atomic::Ordering::Relaxed) >= total {
+                                break; // everything produced has been consumed
+                            }
+                            std::hint::spin_loop();
+                        }
+                    }
+                }
+                got
+            }));
+        }
+        let mut all: Vec<u32> = Vec::new();
+        for j in joins {
+            all.extend(j.join().unwrap());
+        }
+        all.sort_unstable();
+        let expected: Vec<u32> = (0..(PRODUCERS as u32) * PER).collect();
+        assert_eq!(all, expected, "every value dequeued exactly once");
+    }
+}

@@ -1,0 +1,251 @@
+//! A wait-free bounded LIFO stack via the universal construction.
+//!
+//! Same pattern as [`crate::queue`]: a sequential array stack dropped into
+//! [`Universal`] — included both as a second end-to-end application and as
+//! the workload for the E8 object-comparison bench.
+
+use std::sync::Arc;
+
+use crate::universal::{Sequential, Universal, UniversalHandle};
+
+/// The sequential stack state: `[depth, slots[0..capacity]]`.
+#[derive(Clone, Debug)]
+pub struct StackState {
+    depth: u64,
+    slots: Vec<u64>,
+}
+
+/// Stack operations.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum StackOp {
+    /// Push a 31-bit value; response 1 on success, 0 if full.
+    Push(u32),
+    /// Pop; response `(1 << 32) | value` on success, 0 if empty.
+    Pop,
+}
+
+const POP_OK: u64 = 1 << 32;
+
+impl StackState {
+    fn new(capacity: usize) -> Self {
+        Self { depth: 0, slots: vec![0; capacity] }
+    }
+}
+
+impl Sequential for StackState {
+    type Op = StackOp;
+
+    fn state_words(&self) -> usize {
+        1 + self.slots.len()
+    }
+
+    fn encode(&self, out: &mut [u64]) {
+        out[0] = self.depth;
+        out[1..].copy_from_slice(&self.slots);
+    }
+
+    fn decode(&self, words: &[u64]) -> Self {
+        Self { depth: words[0], slots: words[1..].to_vec() }
+    }
+
+    fn encode_op(op: StackOp) -> u32 {
+        match op {
+            StackOp::Push(v) => {
+                assert!(v < (1 << 31), "stack values are 31-bit");
+                (1 << 31) | v
+            }
+            StackOp::Pop => 0,
+        }
+    }
+
+    fn decode_op(bits: u32) -> StackOp {
+        if bits >> 31 == 1 {
+            StackOp::Push(bits & 0x7FFF_FFFF)
+        } else {
+            StackOp::Pop
+        }
+    }
+
+    fn apply(&mut self, op: StackOp) -> u64 {
+        match op {
+            StackOp::Push(v) => {
+                if self.depth as usize == self.slots.len() {
+                    0
+                } else {
+                    self.slots[self.depth as usize] = u64::from(v);
+                    self.depth += 1;
+                    1
+                }
+            }
+            StackOp::Pop => {
+                if self.depth == 0 {
+                    0
+                } else {
+                    self.depth -= 1;
+                    POP_OK | self.slots[self.depth as usize]
+                }
+            }
+        }
+    }
+}
+
+/// A wait-free bounded multi-producer multi-consumer LIFO stack.
+pub struct WaitFreeStack {
+    uni: Arc<Universal<StackState>>,
+}
+
+impl std::fmt::Debug for WaitFreeStack {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("WaitFreeStack").finish()
+    }
+}
+
+impl WaitFreeStack {
+    /// Creates a stack of the given `capacity` for `n` processes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0` or `capacity == 0`.
+    #[must_use]
+    pub fn new(n: usize, capacity: usize) -> Self {
+        assert!(capacity > 0, "capacity must be positive");
+        Self { uni: Universal::new(n, &StackState::new(capacity)) }
+    }
+
+    /// Claims process `p`'s handle.
+    ///
+    /// # Panics
+    ///
+    /// Panics on out-of-range or doubly-claimed ids.
+    #[must_use]
+    pub fn claim(&self, p: usize) -> StackHandle {
+        StackHandle { h: self.uni.claim(p) }
+    }
+
+    /// All handles in process order.
+    #[must_use]
+    pub fn handles(&self) -> Vec<StackHandle> {
+        (0..self.uni.raw().processes()).map(|p| self.claim(p)).collect()
+    }
+}
+
+/// Per-process handle to a [`WaitFreeStack`].
+pub struct StackHandle {
+    h: UniversalHandle<StackState>,
+}
+
+impl std::fmt::Debug for StackHandle {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("StackHandle").finish()
+    }
+}
+
+impl StackHandle {
+    /// Pushes `v` (31-bit). Returns `false` if the stack was full.
+    /// Wait-free.
+    pub fn push(&mut self, v: u32) -> bool {
+        self.h.apply(StackOp::Push(v)) == 1
+    }
+
+    /// Pops the most recent element, or `None` if empty. Wait-free.
+    pub fn pop(&mut self) -> Option<u32> {
+        let r = self.h.apply(StackOp::Pop);
+        (r & POP_OK != 0).then_some(r as u32)
+    }
+
+    /// Current depth (wait-free consistent read).
+    pub fn len(&mut self) -> usize {
+        self.h.read_state().depth as usize
+    }
+
+    /// Whether the stack is empty.
+    pub fn is_empty(&mut self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lifo_order() {
+        let s = WaitFreeStack::new(1, 4);
+        let mut h = s.claim(0);
+        assert!(h.push(1));
+        assert!(h.push(2));
+        assert!(h.push(3));
+        assert_eq!(h.pop(), Some(3));
+        assert_eq!(h.pop(), Some(2));
+        assert!(h.push(4));
+        assert_eq!(h.pop(), Some(4));
+        assert_eq!(h.pop(), Some(1));
+        assert_eq!(h.pop(), None);
+    }
+
+    #[test]
+    fn capacity_enforced() {
+        let s = WaitFreeStack::new(1, 2);
+        let mut h = s.claim(0);
+        assert!(h.push(1));
+        assert!(h.push(2));
+        assert!(!h.push(3));
+        assert_eq!(h.len(), 2);
+    }
+
+    #[test]
+    fn zero_value_roundtrips() {
+        let s = WaitFreeStack::new(1, 2);
+        let mut h = s.claim(0);
+        assert!(h.push(0));
+        assert_eq!(h.pop(), Some(0));
+        assert_eq!(h.pop(), None);
+    }
+
+    #[test]
+    fn concurrent_push_pop_conserves() {
+        // Each thread pushes `PER` distinct values and interleaves pops.
+        // Afterwards: popped ∪ remaining == pushed, each exactly once.
+        const THREADS: usize = 3;
+        const PER: u32 = 1_500;
+        let s = WaitFreeStack::new(THREADS, (THREADS as u32 * PER) as usize);
+        let mut handles = s.handles();
+        let mut h0 = handles.remove(0);
+        let mut joins = Vec::new();
+        for (t, mut h) in handles.into_iter().enumerate() {
+            let t = t + 1; // ids 1..THREADS
+            joins.push(std::thread::spawn(move || {
+                let mut popped = Vec::new();
+                for i in 0..PER {
+                    let v = (t as u32) * PER + i;
+                    assert!(h.push(v), "capacity is sufficient by construction");
+                    if i % 2 == 0 {
+                        if let Some(x) = h.pop() {
+                            popped.push(x);
+                        }
+                    }
+                }
+                popped
+            }));
+        }
+        let mut popped: Vec<u32> = Vec::new();
+        for i in 0..PER {
+            assert!(h0.push(i));
+            if i % 2 == 0 {
+                if let Some(x) = h0.pop() {
+                    popped.push(x);
+                }
+            }
+        }
+        for j in joins {
+            popped.extend(j.join().unwrap());
+        }
+        // Drain the remainder through the retained handle.
+        while let Some(x) = h0.pop() {
+            popped.push(x);
+        }
+        popped.sort_unstable();
+        let expected: Vec<u32> = (0..THREADS as u32 * PER).collect();
+        assert_eq!(popped, expected, "every pushed value observed exactly once");
+    }
+}

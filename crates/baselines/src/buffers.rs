@@ -1,0 +1,53 @@
+//! Safe `W`-word buffers (per-word atomic, `Relaxed`), shared by the
+//! baselines. Semantics identical to the core crate's buffers: torn
+//! multi-word reads are permitted exactly where the algorithms tolerate
+//! them; publication ordering comes from the `SeqCst` control words.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// A `W`-word safe buffer.
+pub(crate) struct WordBuffer {
+    words: Box<[AtomicU64]>,
+}
+
+impl WordBuffer {
+    pub(crate) fn new(w: usize) -> Self {
+        Self { words: (0..w).map(|_| AtomicU64::new(0)).collect() }
+    }
+
+    #[inline]
+    pub(crate) fn copy_to(&self, dst: &mut [u64]) {
+        debug_assert_eq!(dst.len(), self.words.len());
+        for (d, s) in dst.iter_mut().zip(self.words.iter()) {
+            *d = s.load(Ordering::Relaxed);
+        }
+    }
+
+    #[inline]
+    pub(crate) fn copy_from(&self, src: &[u64]) {
+        debug_assert_eq!(src.len(), self.words.len());
+        for (s, d) in src.iter().zip(self.words.iter()) {
+            d.store(*s, Ordering::Relaxed);
+        }
+    }
+}
+
+impl std::fmt::Debug for WordBuffer {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "WordBuffer[{} words]", self.words.len())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip() {
+        let b = WordBuffer::new(3);
+        b.copy_from(&[4, 5, 6]);
+        let mut out = [0u64; 3];
+        b.copy_to(&mut out);
+        assert_eq!(out, [4, 5, 6]);
+    }
+}

@@ -1,0 +1,210 @@
+//! The garbage-collected baseline: atomic pointer swap with epoch
+//! reclamation.
+//!
+//! In a GC'd language (or with a safe-memory-reclamation scheme like
+//! epochs), multiword LL/SC is trivial: keep the value in an immutable
+//! heap node behind an atomic pointer; SC allocates a fresh node and CASes
+//! the pointer. The paper's problem statement is precisely that hardware
+//! and classical shared-memory models give you *bounded* memory and no
+//! GC — the entire `O(N²W) → O(NW)` contribution is about achieving this
+//! simplicity's semantics with statically bounded buffers.
+//!
+//! Included so E8 can quantify what the bounded-space discipline costs
+//! relative to an allocation-per-SC design, and because it is the fairest
+//! "modern Rust" comparator (it is how one would naively build this with
+//! `crossbeam_epoch`).
+//!
+//! Progress: LL/VL/read are wait-free; SC is wait-free per attempt.
+//! Space: `W + O(1)` live words, but unbounded transient garbage under
+//! storms (epoch reclamation lags), which is exactly the caveat the
+//! bounded algorithms avoid.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+use crossbeam::epoch::{self, Atomic, Owned};
+
+use crate::traits::{MwHandle, Progress, SpaceEstimate};
+
+struct Node {
+    value: Vec<u64>,
+    seq: u64,
+}
+
+/// A `W`-word LL/SC/VL object as an epoch-managed immutable node.
+pub struct PtrSwapLlSc {
+    ptr: Atomic<Node>,
+    n: usize,
+    w: usize,
+    claimed: Box<[AtomicBool]>,
+}
+
+impl std::fmt::Debug for PtrSwapLlSc {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("PtrSwapLlSc").field("n", &self.n).field("w", &self.w).finish()
+    }
+}
+
+impl PtrSwapLlSc {
+    /// Creates the object.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0`, `w == 0`, or `initial.len() != w`.
+    #[must_use]
+    pub fn new(n: usize, w: usize, initial: &[u64]) -> Arc<Self> {
+        assert!(n > 0 && w > 0, "need at least one process and one word");
+        assert_eq!(initial.len(), w, "initial value must have W words");
+        Arc::new(Self {
+            ptr: Atomic::new(Node { value: initial.to_vec(), seq: 0 }),
+            n,
+            w,
+            claimed: (0..n).map(|_| AtomicBool::new(false)).collect(),
+        })
+    }
+
+    /// Claims the handle for process `p` (once per id).
+    ///
+    /// # Panics
+    ///
+    /// Panics on an out-of-range or already-claimed id.
+    #[must_use]
+    pub fn claim(self: &Arc<Self>, p: usize) -> PtrSwapHandle {
+        assert!(p < self.n, "process id {p} out of range");
+        assert!(!self.claimed[p].swap(true, Ordering::AcqRel), "process id {p} already claimed");
+        PtrSwapHandle { obj: Arc::clone(self), linked_seq: None }
+    }
+
+    /// All `N` handles, in process order.
+    #[must_use]
+    pub fn handles(self: &Arc<Self>) -> Vec<PtrSwapHandle> {
+        (0..self.n).map(|p| self.claim(p)).collect()
+    }
+
+    /// Progress: wait-free operations, unbounded transient memory.
+    #[must_use]
+    pub fn progress() -> Progress {
+        Progress::WaitFree
+    }
+
+    /// Steady-state space (live node only; garbage is unbounded).
+    #[must_use]
+    pub fn space(&self) -> SpaceEstimate {
+        SpaceEstimate { shared_words: self.w + 2, asymptotic: "O(W) live + unbounded garbage" }
+    }
+}
+
+impl Drop for PtrSwapLlSc {
+    fn drop(&mut self) {
+        let guard = &epoch::pin();
+        let cur = self.ptr.load(Ordering::Relaxed, guard);
+        if !cur.is_null() {
+            // SAFETY: `&mut self` gives exclusive access; no other thread
+            // can observe the pointer anymore.
+            unsafe {
+                let _ = cur.into_owned();
+            }
+        }
+    }
+}
+
+/// Per-process handle to a [`PtrSwapLlSc`].
+pub struct PtrSwapHandle {
+    obj: Arc<PtrSwapLlSc>,
+    linked_seq: Option<u64>,
+}
+
+impl std::fmt::Debug for PtrSwapHandle {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("PtrSwapHandle").field("linked", &self.linked_seq.is_some()).finish()
+    }
+}
+
+impl MwHandle for PtrSwapHandle {
+    fn ll(&mut self, out: &mut [u64]) {
+        assert_eq!(out.len(), self.obj.w, "ll: output slice length must equal W");
+        let guard = &epoch::pin();
+        let cur = self.obj.ptr.load(Ordering::SeqCst, guard);
+        // SAFETY: loaded under `guard`; never null after construction.
+        let node = unsafe { cur.deref() };
+        out.copy_from_slice(&node.value);
+        self.linked_seq = Some(node.seq);
+    }
+
+    fn sc(&mut self, v: &[u64]) -> bool {
+        assert_eq!(v.len(), self.obj.w, "sc: value slice length must equal W");
+        let linked = self.linked_seq.expect("sc: no preceding ll on this handle");
+        let guard = &epoch::pin();
+        let cur = self.obj.ptr.load(Ordering::SeqCst, guard);
+        // SAFETY: loaded under `guard`; never null.
+        let node = unsafe { cur.deref() };
+        if node.seq != linked {
+            return false;
+        }
+        let next = Owned::new(Node { value: v.to_vec(), seq: linked + 1 });
+        match self.obj.ptr.compare_exchange(cur, next, Ordering::SeqCst, Ordering::SeqCst, guard)
+        {
+            Ok(_) => {
+                // SAFETY: `cur` was unlinked by this CAS.
+                unsafe { guard.defer_destroy(cur) };
+                true
+            }
+            Err(_) => false,
+        }
+    }
+
+    fn vl(&mut self) -> bool {
+        let linked = self.linked_seq.expect("vl: no preceding ll on this handle");
+        let guard = &epoch::pin();
+        let cur = self.obj.ptr.load(Ordering::SeqCst, guard);
+        // SAFETY: loaded under `guard`; never null.
+        unsafe { cur.deref() }.seq == linked
+    }
+
+    fn width(&self) -> usize {
+        self.obj.w
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn semantics() {
+        let obj = PtrSwapLlSc::new(2, 3, &[1, 2, 3]);
+        let mut hs = obj.handles();
+        let mut v = [0u64; 3];
+        hs[0].ll(&mut v);
+        assert_eq!(v, [1, 2, 3]);
+        hs[1].ll(&mut v);
+        assert!(hs[0].sc(&[4, 5, 6]));
+        assert!(!hs[1].sc(&[7, 8, 9]));
+        assert!(!hs[1].vl());
+        hs[1].ll(&mut v);
+        assert_eq!(v, [4, 5, 6]);
+    }
+
+    #[test]
+    fn concurrent_counter_exact() {
+        let obj = PtrSwapLlSc::new(4, 2, &[0, 0]);
+        let handles = obj.handles();
+        let mut joins = Vec::new();
+        for mut h in handles {
+            joins.push(std::thread::spawn(move || {
+                let mut v = [0u64; 2];
+                let mut wins = 0;
+                while wins < 2_000 {
+                    h.ll(&mut v);
+                    assert_eq!(v[0], v[1], "values are installed atomically");
+                    if h.sc(&[v[0] + 1, v[0] + 1]) {
+                        wins += 1;
+                    }
+                }
+            }));
+        }
+        for j in joins {
+            j.join().unwrap();
+        }
+    }
+}

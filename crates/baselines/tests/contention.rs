@@ -1,0 +1,162 @@
+//! Uniform concurrent correctness tests: every implementation behind the
+//! `MwHandle` trait must pass the same battery under real threads.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+use llsc_baselines::{build, Algo};
+
+fn checksum(words: &[u64]) -> u64 {
+    words.iter().fold(0xCBF29CE484222325, |acc, &x| (acc ^ x).wrapping_mul(0x100000001B3))
+}
+
+/// Fetch-increment storm with checksummed payloads: exact totals and no
+/// torn value ever returned — for every algorithm.
+fn storm(algo: Algo, n: usize, w: usize, per_thread: u64) {
+    assert!(w >= 2);
+    let init = {
+        let mut v = vec![0u64; w - 1];
+        let c = checksum(&v);
+        v.push(c);
+        v
+    };
+    let (mut handles, _) = build(algo, n, w, &init);
+    let mut h0 = handles.remove(0);
+    let mut joins = Vec::new();
+    for mut h in handles {
+        joins.push(std::thread::spawn(move || {
+            let mut v = vec![0u64; w];
+            let mut wins = 0u64;
+            while wins < per_thread {
+                h.ll(&mut v);
+                let (body, tail) = v.split_at(w - 1);
+                assert_eq!(tail[0], checksum(body), "{algo}: torn value: {v:?}");
+                v[0] += 1;
+                for i in 1..w - 1 {
+                    v[i] = v[0].wrapping_mul(i as u64 + 2);
+                }
+                v[w - 1] = checksum(&v[..w - 1]);
+                if h.sc(&v) {
+                    wins += 1;
+                }
+            }
+        }));
+    }
+    let mut v = vec![0u64; w];
+    let mut wins = 0u64;
+    while wins < per_thread {
+        h0.ll(&mut v);
+        let (body, tail) = v.split_at(w - 1);
+        assert_eq!(tail[0], checksum(body), "{algo}: torn value: {v:?}");
+        v[0] += 1;
+        for i in 1..w - 1 {
+            v[i] = v[0].wrapping_mul(i as u64 + 2);
+        }
+        v[w - 1] = checksum(&v[..w - 1]);
+        if h0.sc(&v) {
+            wins += 1;
+        }
+    }
+    for j in joins {
+        j.join().unwrap();
+    }
+    h0.ll(&mut v);
+    assert_eq!(v[0], n as u64 * per_thread, "{algo}: lost or duplicated an SC");
+}
+
+#[test]
+fn storm_jp() {
+    storm(Algo::Jp, 4, 4, 8_000);
+}
+
+#[test]
+fn storm_jp_retry() {
+    storm(Algo::JpRetry, 4, 4, 8_000);
+}
+
+#[test]
+fn storm_am_style() {
+    storm(Algo::AmStyle, 4, 4, 8_000);
+}
+
+#[test]
+fn storm_lock() {
+    storm(Algo::Lock, 4, 4, 8_000);
+}
+
+#[test]
+fn storm_seqlock() {
+    storm(Algo::SeqLock, 4, 4, 8_000);
+}
+
+#[test]
+fn storm_ptr_swap() {
+    storm(Algo::PtrSwap, 4, 4, 8_000);
+}
+
+#[test]
+fn storm_wide_values_wait_free_algos() {
+    // The wait-free implementations with wide values (long copy windows).
+    for algo in [Algo::Jp, Algo::AmStyle, Algo::PtrSwap] {
+        storm(algo, 3, 32, 2_000);
+    }
+}
+
+/// A reader that only ever reads must see monotonically non-decreasing
+/// counters from every implementation (a linearizability consequence).
+fn monotonic_reader(algo: Algo) {
+    let n = 3;
+    let w = 2;
+    let (mut handles, _) = build(algo, n, w, &[0, 0]);
+    let mut reader = handles.remove(0);
+    let stop = Arc::new(AtomicBool::new(false));
+    let mut joins = Vec::new();
+    for mut h in handles {
+        let stop = Arc::clone(&stop);
+        joins.push(std::thread::spawn(move || {
+            let mut v = vec![0u64; w];
+            while !stop.load(Ordering::Relaxed) {
+                h.ll(&mut v);
+                let next = [v[0] + 1, v[0] + 1];
+                let _ = h.sc(&next);
+            }
+        }));
+    }
+    let mut last = 0u64;
+    let mut v = vec![0u64; w];
+    for _ in 0..30_000 {
+        reader.ll(&mut v);
+        assert_eq!(v[0], v[1], "{algo}: torn read");
+        assert!(v[0] >= last, "{algo}: counter went backwards {} < {last}", v[0]);
+        last = v[0];
+    }
+    stop.store(true, Ordering::Relaxed);
+    for j in joins {
+        j.join().unwrap();
+    }
+}
+
+#[test]
+fn monotonic_jp() {
+    monotonic_reader(Algo::Jp);
+}
+
+#[test]
+fn monotonic_am_style() {
+    monotonic_reader(Algo::AmStyle);
+}
+
+#[test]
+fn monotonic_seqlock() {
+    monotonic_reader(Algo::SeqLock);
+}
+
+#[test]
+fn monotonic_ptr_swap() {
+    monotonic_reader(Algo::PtrSwap);
+}
+
+#[test]
+fn monotonic_lock() {
+    monotonic_reader(Algo::Lock);
+}

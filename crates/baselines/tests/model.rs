@@ -1,0 +1,130 @@
+//! Model-based testing of every implementation against the Figure 1
+//! sequential specification, mirroring the core crate's test but run
+//! uniformly over the whole `Algo` family — pool rotation in the AM-style
+//! baseline, version arithmetic in the seqlock, epoch node swaps, etc. all
+//! must be observationally identical to the spec.
+
+use llsc_baselines::{build, Algo};
+use proptest::prelude::*;
+
+#[derive(Clone, Debug)]
+struct SpecMw {
+    value: Vec<u64>,
+    valid: Vec<bool>,
+}
+
+impl SpecMw {
+    fn new(n: usize, init: &[u64]) -> Self {
+        Self { value: init.to_vec(), valid: vec![false; n] }
+    }
+
+    fn ll(&mut self, p: usize) -> Vec<u64> {
+        self.valid[p] = true;
+        self.value.clone()
+    }
+
+    fn sc(&mut self, p: usize, v: &[u64]) -> bool {
+        if self.valid[p] {
+            self.value = v.to_vec();
+            self.valid.iter_mut().for_each(|b| *b = false);
+            true
+        } else {
+            false
+        }
+    }
+
+    fn vl(&self, p: usize) -> bool {
+        self.valid[p]
+    }
+}
+
+#[derive(Clone, Debug)]
+enum Op {
+    Ll(usize),
+    Sc(usize, u64),
+    Vl(usize),
+}
+
+fn op_strategy(n: usize) -> impl Strategy<Value = Op> {
+    prop_oneof![
+        (0..n).prop_map(Op::Ll),
+        ((0..n), any::<u64>()).prop_map(|(p, s)| Op::Sc(p, s)),
+        (0..n).prop_map(Op::Vl),
+    ]
+}
+
+fn run_algo_against_model(algo: Algo, n: usize, w: usize, ops: &[Op]) {
+    let init: Vec<u64> = (0..w as u64).map(|i| i + 100).collect();
+    let (mut handles, _) = build(algo, n, w, &init);
+    let mut model = SpecMw::new(n, &init);
+    let mut linked = vec![false; n];
+    for (i, op) in ops.iter().enumerate() {
+        match *op {
+            Op::Ll(p) => {
+                let mut got = vec![0u64; w];
+                handles[p].ll(&mut got);
+                let want = model.ll(p);
+                linked[p] = true;
+                assert_eq!(got, want, "{algo} op {i}: LL({p})");
+            }
+            Op::Sc(p, seed) => {
+                if !linked[p] {
+                    continue;
+                }
+                let v: Vec<u64> = (0..w as u64).map(|j| seed.wrapping_add(j * 17)).collect();
+                let got = handles[p].sc(&v);
+                let want = model.sc(p, &v);
+                assert_eq!(got, want, "{algo} op {i}: SC({p})");
+            }
+            Op::Vl(p) => {
+                if !linked[p] {
+                    continue;
+                }
+                assert_eq!(handles[p].vl(), model.vl(p), "{algo} op {i}: VL({p})");
+            }
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn am_style_matches_spec(ops in prop::collection::vec(op_strategy(3), 1..200)) {
+        run_algo_against_model(Algo::AmStyle, 3, 2, &ops);
+    }
+
+    #[test]
+    fn lock_matches_spec(ops in prop::collection::vec(op_strategy(3), 1..200)) {
+        run_algo_against_model(Algo::Lock, 3, 2, &ops);
+    }
+
+    #[test]
+    fn seqlock_matches_spec(ops in prop::collection::vec(op_strategy(3), 1..200)) {
+        run_algo_against_model(Algo::SeqLock, 3, 2, &ops);
+    }
+
+    #[test]
+    fn ptr_swap_matches_spec(ops in prop::collection::vec(op_strategy(3), 1..200)) {
+        run_algo_against_model(Algo::PtrSwap, 3, 2, &ops);
+    }
+
+    #[test]
+    fn jp_retry_matches_spec(ops in prop::collection::vec(op_strategy(3), 1..200)) {
+        run_algo_against_model(Algo::JpRetry, 3, 2, &ops);
+    }
+
+    #[test]
+    fn am_style_n1_pool_rotation(ops in prop::collection::vec(op_strategy(1), 1..300)) {
+        // N=1: the pool has 3 slots; long sequential runs rotate it many
+        // times over.
+        run_algo_against_model(Algo::AmStyle, 1, 3, &ops);
+    }
+
+    #[test]
+    fn all_algos_agree_on_one_tape(ops in prop::collection::vec(op_strategy(4), 1..120)) {
+        for algo in Algo::ALL {
+            run_algo_against_model(algo, 4, 2, &ops);
+        }
+    }
+}

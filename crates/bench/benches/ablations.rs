@@ -1,0 +1,101 @@
+//! Ablation benches for the design choices called out in `DESIGN.md` §8:
+//!
+//! * **Substrate**: tagged-CAS vs epoch-pointer single-word LL/SC, both
+//!   raw and as the multiword algorithm's backing cells;
+//! * **LL strategy**: the paper's announce+help LL vs the lock-free
+//!   retry-loop LL (what does the wait-freedom machinery cost when no one
+//!   needs it?);
+//! * **Helping overhead on SC**: the SC path always examines one `Help`
+//!   mailbox; compare against the retry-LL configuration where `Help` is
+//!   never announced.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use llsc_word::{EpochLlSc, LlScCell, NewCell, TaggedLlSc};
+use mwllsc::{LlStrategy, MwLlSc};
+use std::hint::black_box;
+
+const W: usize = 8;
+const N: usize = 4;
+
+fn bench_substrate_raw(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_substrate_raw_word");
+    group.bench_function("tagged_ll_sc", |b| {
+        let cell = TaggedLlSc::new(32, 0);
+        b.iter(|| {
+            let (v, link) = cell.ll();
+            black_box(cell.sc(link, black_box(v + 1)));
+        });
+    });
+    group.bench_function("epoch_ll_sc", |b| {
+        let cell = EpochLlSc::new(0);
+        b.iter(|| {
+            let (v, link) = cell.ll();
+            black_box(cell.sc(link, black_box(v + 1)));
+        });
+    });
+    group.finish();
+}
+
+fn multiword_pair<C: NewCell>(b: &mut criterion::Bencher<'_>) {
+    let init = vec![0u64; W];
+    let obj = MwLlSc::<C>::try_new_in(N, W, &init).expect("valid config");
+    let mut h = obj.claim(0).expect("fresh object");
+    let mut buf = vec![0u64; W];
+    let val = vec![9u64; W];
+    b.iter(|| {
+        h.ll(black_box(&mut buf));
+        black_box(h.sc(black_box(&val)));
+    });
+}
+
+fn bench_substrate_multiword(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_substrate_multiword");
+    group.bench_function("tagged_backing", multiword_pair::<TaggedLlSc>);
+    group.bench_function("epoch_backing", multiword_pair::<EpochLlSc>);
+    group.finish();
+}
+
+fn bench_ll_strategy(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_ll_strategy");
+    for (label, strategy) in
+        [("waitfree_ll", LlStrategy::WaitFree), ("retry_ll", LlStrategy::RetryLoop)]
+    {
+        group.bench_with_input(BenchmarkId::from_parameter(label), &strategy, |b, &strategy| {
+            let init = vec![0u64; W];
+            let obj = MwLlSc::try_with_strategy(N, W, &init, strategy).expect("valid config");
+            let mut h = obj.claim(0).expect("fresh object");
+            let mut buf = vec![0u64; W];
+            b.iter(|| {
+                h.ll(black_box(&mut buf));
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_sc_help_overhead(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_sc_with_strategy");
+    for (label, strategy) in
+        [("waitfree_ll", LlStrategy::WaitFree), ("retry_ll", LlStrategy::RetryLoop)]
+    {
+        group.bench_with_input(BenchmarkId::from_parameter(label), &strategy, |b, &strategy| {
+            let init = vec![0u64; W];
+            let obj = MwLlSc::try_with_strategy(N, W, &init, strategy).expect("valid config");
+            let mut h = obj.claim(0).expect("fresh object");
+            let mut buf = vec![0u64; W];
+            let val = vec![2u64; W];
+            b.iter(|| {
+                h.ll(black_box(&mut buf));
+                black_box(h.sc(black_box(&val)));
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    name = benches;
+    config = Criterion::default().sample_size(20).measurement_time(std::time::Duration::from_millis(800)).warm_up_time(std::time::Duration::from_millis(200));
+    targets = bench_substrate_raw, bench_substrate_multiword, bench_ll_strategy, bench_sc_help_overhead
+);
+criterion_main!(benches);

@@ -1,0 +1,62 @@
+//! E2 (bench form): LL and SC latency as a function of `W`, fixed `N=16`.
+//!
+//! Theorem 1 predicts `O(W)`: throughput in `Elements` units should be
+//! roughly constant (criterion reports elements/second = words/second).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use mwllsc_bench::{solo_handle, W_SWEEP};
+use std::hint::black_box;
+
+fn bench_ll_vs_w(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e2_ll_vs_w");
+    for w in W_SWEEP {
+        group.throughput(Throughput::Elements(w as u64));
+        group.bench_with_input(BenchmarkId::from_parameter(w), &w, |b, &w| {
+            let mut h = solo_handle(16, w);
+            let mut buf = vec![0u64; w];
+            b.iter(|| {
+                h.ll(black_box(&mut buf));
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_sc_vs_w(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e2_ll_sc_pair_vs_w");
+    for w in W_SWEEP {
+        group.throughput(Throughput::Elements(w as u64));
+        group.bench_with_input(BenchmarkId::from_parameter(w), &w, |b, &w| {
+            let mut h = solo_handle(16, w);
+            let mut buf = vec![0u64; w];
+            let val = vec![7u64; w];
+            b.iter(|| {
+                h.ll(black_box(&mut buf));
+                black_box(h.sc(black_box(&val)));
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_read_vs_w(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e2_read_vs_w");
+    for w in W_SWEEP {
+        group.throughput(Throughput::Elements(w as u64));
+        group.bench_with_input(BenchmarkId::from_parameter(w), &w, |b, &w| {
+            let mut h = solo_handle(16, w);
+            let mut buf = vec![0u64; w];
+            b.iter(|| {
+                h.read(black_box(&mut buf));
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    name = benches;
+    config = Criterion::default().sample_size(20).measurement_time(std::time::Duration::from_millis(800)).warm_up_time(std::time::Duration::from_millis(200));
+    targets = bench_ll_vs_w, bench_sc_vs_w, bench_read_vs_w
+);
+criterion_main!(benches);

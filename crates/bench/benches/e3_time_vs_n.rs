@@ -1,0 +1,46 @@
+//! E3 (bench form): LL and SC latency as a function of `N`, fixed `W=8`.
+//!
+//! Theorem 1's `O(W)` bound has no `N` term: the curves should be flat.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mwllsc_bench::{solo_handle, N_SWEEP};
+use std::hint::black_box;
+
+const W: usize = 8;
+
+fn bench_ll_vs_n(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e3_ll_vs_n");
+    for n in N_SWEEP {
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
+            let mut h = solo_handle(n, W);
+            let mut buf = vec![0u64; W];
+            b.iter(|| {
+                h.ll(black_box(&mut buf));
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_sc_vs_n(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e3_ll_sc_pair_vs_n");
+    for n in N_SWEEP {
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
+            let mut h = solo_handle(n, W);
+            let mut buf = vec![0u64; W];
+            let val = vec![3u64; W];
+            b.iter(|| {
+                h.ll(black_box(&mut buf));
+                black_box(h.sc(black_box(&val)));
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    name = benches;
+    config = Criterion::default().sample_size(20).measurement_time(std::time::Duration::from_millis(800)).warm_up_time(std::time::Duration::from_millis(200));
+    targets = bench_ll_vs_n, bench_sc_vs_n
+);
+criterion_main!(benches);

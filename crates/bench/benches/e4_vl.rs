@@ -1,0 +1,31 @@
+//! E4 (bench form): VL latency across the `(N, W)` grid.
+//!
+//! Theorem 1: VL is `O(1)` — one `VL` on the word-sized `X` — so every
+//! cell of the grid should measure the same few nanoseconds.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mwllsc_bench::solo_handle;
+use std::hint::black_box;
+
+fn bench_vl_grid(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e4_vl");
+    for n in [2usize, 16, 128] {
+        for w in [1usize, 64, 1024] {
+            let id = format!("n{n}_w{w}");
+            group.bench_with_input(BenchmarkId::from_parameter(id), &(n, w), |b, &(n, w)| {
+                let mut h = solo_handle(n, w);
+                let mut buf = vec![0u64; w];
+                h.ll(&mut buf);
+                b.iter(|| black_box(h.vl()));
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(
+    name = benches;
+    config = Criterion::default().sample_size(20).measurement_time(std::time::Duration::from_millis(600)).warm_up_time(std::time::Duration::from_millis(200));
+    targets = bench_vl_grid
+);
+criterion_main!(benches);

@@ -1,0 +1,87 @@
+//! E8 (bench form): per-operation cost of every implementation, plus a
+//! contended storm measured with `iter_custom`.
+//!
+//! The harness (`mwllsc-harness e8-compare`) produces the headline
+//! throughput/space table; this bench gives criterion-grade per-op
+//! latencies for the same implementations.
+
+use std::time::{Duration, Instant};
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use llsc_baselines::{build, Algo};
+use std::hint::black_box;
+
+const W: usize = 8;
+const N: usize = 4;
+
+fn bench_uncontended_pair(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e8_uncontended_ll_sc");
+    for algo in Algo::ALL {
+        group.bench_with_input(BenchmarkId::from_parameter(algo.name()), &algo, |b, &algo| {
+            let init = vec![0u64; W];
+            let (mut handles, _) = build(algo, N, W, &init);
+            let mut h = handles.remove(0);
+            let mut buf = vec![0u64; W];
+            let val = vec![5u64; W];
+            b.iter(|| {
+                h.ll(black_box(&mut buf));
+                black_box(h.sc(black_box(&val)));
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_contended_storm(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e8_contended_storm_4threads");
+    group.sample_size(10);
+    for algo in Algo::ALL {
+        group.bench_with_input(BenchmarkId::from_parameter(algo.name()), &algo, |b, &algo| {
+            b.iter_custom(|iters| {
+                // `iters` successful updates split across N threads.
+                let per = iters / N as u64 + 1;
+                let init = vec![0u64; W];
+                let (mut handles, _) = build(algo, N, W, &init);
+                let mut h0 = handles.remove(0);
+                let start = Instant::now();
+                let joins: Vec<_> = handles
+                    .into_iter()
+                    .map(|mut h| {
+                        std::thread::spawn(move || {
+                            let mut v = vec![0u64; W];
+                            let mut wins = 0;
+                            while wins < per {
+                                h.ll(&mut v);
+                                v[0] += 1;
+                                if h.sc(&v) {
+                                    wins += 1;
+                                }
+                            }
+                        })
+                    })
+                    .collect();
+                let mut v = vec![0u64; W];
+                let mut wins = 0;
+                while wins < per {
+                    h0.ll(&mut v);
+                    v[0] += 1;
+                    if h0.sc(&v) {
+                        wins += 1;
+                    }
+                }
+                for j in joins {
+                    j.join().unwrap();
+                }
+                start.elapsed()
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    name = benches;
+    config = Criterion::default().sample_size(15).measurement_time(Duration::from_millis(900)).warm_up_time(Duration::from_millis(200));
+    targets = bench_uncontended_pair, bench_contended_storm
+);
+criterion_main!(benches);

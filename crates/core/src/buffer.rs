@@ -1,0 +1,151 @@
+//! `W`-word *safe* buffers.
+//!
+//! The paper stores object values in `3N` buffers of `W` words each and
+//! requires only *safe-register* semantics from them: a read that overlaps
+//! a write may return an arbitrary (torn) value, but reads that do not
+//! overlap any write return the most recently written value. The
+//! algorithm's buffer-management discipline guarantees that whenever a
+//! returned value matters, no overlapping write occurred.
+//!
+//! In Rust, a plain `&mut`/`&` data race is undefined behaviour regardless
+//! of whether the value is used, so each word is an `AtomicU64` accessed
+//! with `Relaxed` ordering: per-word atomicity with no ordering — torn
+//! *multi-word* values arise from interleaving exactly as the safe-register
+//! model allows, with no UB. Cross-thread publication of buffer contents is
+//! ordered by the `SeqCst` LL/SC operations on `X`/`Help` that precede and
+//! follow buffer accesses (see the crate docs).
+
+use core::sync::atomic::{AtomicU64, Ordering};
+
+/// A `W`-word safe buffer.
+pub(crate) struct Buffer {
+    words: Box<[AtomicU64]>,
+}
+
+impl Buffer {
+    /// Creates a zeroed buffer of `w` words.
+    pub(crate) fn new(w: usize) -> Self {
+        let words = (0..w).map(|_| AtomicU64::new(0)).collect();
+        Self { words }
+    }
+
+    /// Word count `W`.
+    pub(crate) fn len(&self) -> usize {
+        self.words.len()
+    }
+
+    /// Reads the buffer into `dst` word by word (`Relaxed`).
+    ///
+    /// This is the paper's `copy BUF[i] into *retval` (lines 3, 6, 7): `W`
+    /// individually-atomic loads, which may observe a torn multi-word value
+    /// if a write overlaps.
+    #[inline]
+    pub(crate) fn copy_to(&self, dst: &mut [u64]) {
+        debug_assert_eq!(dst.len(), self.words.len());
+        for (d, s) in dst.iter_mut().zip(self.words.iter()) {
+            *d = s.load(Ordering::Relaxed);
+        }
+    }
+
+    /// Writes `src` into the buffer word by word (`Relaxed`).
+    ///
+    /// This is the paper's `copy *v into BUF[i]` (lines 11, 17).
+    #[inline]
+    pub(crate) fn copy_from(&self, src: &[u64]) {
+        debug_assert_eq!(src.len(), self.words.len());
+        for (s, d) in src.iter().zip(self.words.iter()) {
+            d.store(*s, Ordering::Relaxed);
+        }
+    }
+}
+
+impl core::fmt::Debug for Buffer {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(f, "Buffer[{} words]", self.words.len())
+    }
+}
+
+/// The array `BUF[0..3N-1]`.
+pub(crate) struct BufferPool {
+    bufs: Box<[Buffer]>,
+}
+
+impl BufferPool {
+    /// Allocates `count` buffers of `w` words each, all zeroed.
+    pub(crate) fn new(count: usize, w: usize) -> Self {
+        Self { bufs: (0..count).map(|_| Buffer::new(w)).collect() }
+    }
+
+    #[inline]
+    pub(crate) fn get(&self, i: usize) -> &Buffer {
+        &self.bufs[i]
+    }
+
+    /// Number of buffers (`3N`).
+    pub(crate) fn count(&self) -> usize {
+        self.bufs.len()
+    }
+
+    /// Total number of 64-bit words held in buffers (`3N · W`): the
+    /// dominant term of the paper's `O(NW)` space bound.
+    pub(crate) fn words(&self) -> usize {
+        self.bufs.iter().map(Buffer::len).sum()
+    }
+}
+
+impl core::fmt::Debug for BufferPool {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(f, "BufferPool[{} x {} words]", self.count(), self.bufs.first().map_or(0, Buffer::len))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn copy_roundtrip() {
+        let b = Buffer::new(4);
+        b.copy_from(&[1, 2, 3, 4]);
+        let mut out = [0u64; 4];
+        b.copy_to(&mut out);
+        assert_eq!(out, [1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn zero_initialized() {
+        let b = Buffer::new(3);
+        let mut out = [9u64; 3];
+        b.copy_to(&mut out);
+        assert_eq!(out, [0, 0, 0]);
+    }
+
+    #[test]
+    fn pool_word_accounting() {
+        let p = BufferPool::new(6, 8);
+        assert_eq!(p.count(), 6);
+        assert_eq!(p.words(), 48);
+        assert_eq!(p.get(5).len(), 8);
+    }
+
+    #[test]
+    fn buffers_are_independent() {
+        let p = BufferPool::new(3, 2);
+        p.get(0).copy_from(&[1, 1]);
+        p.get(1).copy_from(&[2, 2]);
+        let mut out = [0u64; 2];
+        p.get(0).copy_to(&mut out);
+        assert_eq!(out, [1, 1]);
+        p.get(2).copy_to(&mut out);
+        assert_eq!(out, [0, 0]);
+    }
+
+    #[test]
+    fn single_word_buffer() {
+        let b = Buffer::new(1);
+        b.copy_from(&[u64::MAX]);
+        let mut out = [0u64];
+        b.copy_to(&mut out);
+        assert_eq!(out[0], u64::MAX);
+    }
+}

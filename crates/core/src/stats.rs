@@ -1,0 +1,165 @@
+//! Instrumentation counters.
+//!
+//! The counters quantify how often each path of the algorithm runs — in
+//! particular the helping machinery of §2.2–§2.3, which only activates
+//! under heavy interference. They feed experiment E7 (helping mechanism
+//! frequency) and are cheap enough (`Relaxed` fetch-adds) to leave on
+//! unconditionally.
+
+use core::sync::atomic::{AtomicU64, Ordering};
+
+/// Live counters attached to a [`MwLlSc`](crate::MwLlSc) instance.
+#[derive(Debug, Default)]
+pub(crate) struct Counters {
+    pub ll_ops: AtomicU64,
+    pub sc_attempts: AtomicU64,
+    pub sc_successes: AtomicU64,
+    pub vl_ops: AtomicU64,
+    /// LLs that found `(0, b)` at line 4 — a helper intervened.
+    pub lls_helped: AtomicU64,
+    /// Helped LLs whose line-7 VL failed, i.e. the value actually returned
+    /// came from the helper's donated buffer (a rescued torn read).
+    pub lls_rescued: AtomicU64,
+    /// Line-9 SCs that failed: help arrived between lines 8 and 9.
+    pub withdraw_races: AtomicU64,
+    /// Successful line-15 SCs: this process handed its buffer to a helpee.
+    pub helps_given: AtomicU64,
+    /// Successful line-13 SCs: lazy `Bank` fix-ups performed.
+    pub bank_fixups: AtomicU64,
+}
+
+impl Counters {
+    #[inline]
+    pub(crate) fn bump(c: &AtomicU64) {
+        c.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn snapshot(&self) -> Stats {
+        Stats {
+            ll_ops: self.ll_ops.load(Ordering::Relaxed),
+            sc_attempts: self.sc_attempts.load(Ordering::Relaxed),
+            sc_successes: self.sc_successes.load(Ordering::Relaxed),
+            vl_ops: self.vl_ops.load(Ordering::Relaxed),
+            lls_helped: self.lls_helped.load(Ordering::Relaxed),
+            lls_rescued: self.lls_rescued.load(Ordering::Relaxed),
+            withdraw_races: self.withdraw_races.load(Ordering::Relaxed),
+            helps_given: self.helps_given.load(Ordering::Relaxed),
+            bank_fixups: self.bank_fixups.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// A point-in-time snapshot of the instrumentation counters.
+///
+/// Obtained from [`MwLlSc::stats`](crate::MwLlSc::stats). Counter values
+/// are monotonically non-decreasing over the object's lifetime; when read
+/// while operations are in flight, individual counters are exact but the
+/// snapshot as a whole is not atomic.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+#[non_exhaustive]
+pub struct Stats {
+    /// Completed LL operations.
+    pub ll_ops: u64,
+    /// SC operations invoked (successful or not).
+    pub sc_attempts: u64,
+    /// SC operations that succeeded (line 19 succeeded).
+    pub sc_successes: u64,
+    /// Completed VL operations.
+    pub vl_ops: u64,
+    /// LL operations that were helped (line 4 saw `(0, b)`).
+    pub lls_helped: u64,
+    /// Helped LLs that returned the helper's donated value (line 7 VL
+    /// failed). Always ≤ `lls_helped`.
+    pub lls_rescued: u64,
+    /// Help-withdrawal SCs (line 9) that failed because help arrived
+    /// concurrently.
+    pub withdraw_races: u64,
+    /// Buffers handed to helpees via successful line-15 SCs.
+    pub helps_given: u64,
+    /// Lazy `Bank` fix-ups performed (successful line-13 SCs).
+    pub bank_fixups: u64,
+}
+
+impl Stats {
+    /// Fraction of SC attempts that succeeded, in `[0, 1]`; `None` if no
+    /// SCs were attempted.
+    #[must_use]
+    pub fn sc_success_rate(&self) -> Option<f64> {
+        (self.sc_attempts > 0).then(|| self.sc_successes as f64 / self.sc_attempts as f64)
+    }
+
+    /// Fraction of LLs that needed help, in `[0, 1]`; `None` if no LLs ran.
+    #[must_use]
+    pub fn help_rate(&self) -> Option<f64> {
+        (self.ll_ops > 0).then(|| self.lls_helped as f64 / self.ll_ops as f64)
+    }
+
+    /// Per-field difference `self - earlier`; counters are monotone so this
+    /// is the activity between two snapshots.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `earlier` has any counter greater than `self` (i.e. the
+    /// snapshots are swapped or from different objects).
+    #[must_use]
+    pub fn since(&self, earlier: &Stats) -> Stats {
+        let sub = |a: u64, b: u64| {
+            a.checked_sub(b).expect("`earlier` snapshot is newer than `self`")
+        };
+        Stats {
+            ll_ops: sub(self.ll_ops, earlier.ll_ops),
+            sc_attempts: sub(self.sc_attempts, earlier.sc_attempts),
+            sc_successes: sub(self.sc_successes, earlier.sc_successes),
+            vl_ops: sub(self.vl_ops, earlier.vl_ops),
+            lls_helped: sub(self.lls_helped, earlier.lls_helped),
+            lls_rescued: sub(self.lls_rescued, earlier.lls_rescued),
+            withdraw_races: sub(self.withdraw_races, earlier.withdraw_races),
+            helps_given: sub(self.helps_given, earlier.helps_given),
+            bank_fixups: sub(self.bank_fixups, earlier.bank_fixups),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn snapshot_reflects_bumps() {
+        let c = Counters::default();
+        Counters::bump(&c.ll_ops);
+        Counters::bump(&c.ll_ops);
+        Counters::bump(&c.helps_given);
+        let s = c.snapshot();
+        assert_eq!(s.ll_ops, 2);
+        assert_eq!(s.helps_given, 1);
+        assert_eq!(s.sc_attempts, 0);
+    }
+
+    #[test]
+    fn rates() {
+        let s = Stats { sc_attempts: 10, sc_successes: 4, ll_ops: 8, lls_helped: 2, ..Stats::default() };
+        assert_eq!(s.sc_success_rate(), Some(0.4));
+        assert_eq!(s.help_rate(), Some(0.25));
+        assert_eq!(Stats::default().sc_success_rate(), None);
+        assert_eq!(Stats::default().help_rate(), None);
+    }
+
+    #[test]
+    fn since_subtracts() {
+        let a = Stats { ll_ops: 5, sc_attempts: 3, ..Stats::default() };
+        let b = Stats { ll_ops: 9, sc_attempts: 7, sc_successes: 2, ..Stats::default() };
+        let d = b.since(&a);
+        assert_eq!(d.ll_ops, 4);
+        assert_eq!(d.sc_attempts, 4);
+        assert_eq!(d.sc_successes, 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "newer")]
+    fn since_rejects_swapped_order() {
+        let a = Stats { ll_ops: 5, ..Stats::default() };
+        let b = Stats { ll_ops: 9, ..Stats::default() };
+        let _ = a.since(&b);
+    }
+}

@@ -1,0 +1,430 @@
+//! The shared `W`-word LL/SC/VL object (Figure 2 of the paper): shared
+//! state, construction, and space accounting.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+use llsc_word::{NewCell, TaggedLlSc};
+
+use crate::buffer::BufferPool;
+use crate::handle::Handle;
+use crate::layout::{HelpRecord, Layout, XRecord};
+use crate::stats::{Counters, Stats};
+
+/// How [`Handle::ll`](crate::Handle::ll) obtains a consistent value.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum LlStrategy {
+    /// The paper's wait-free LL (lines 1–11): announce, read, consume help
+    /// if overtaken. Every LL completes in `O(W)` of its own steps.
+    #[default]
+    WaitFree,
+    /// Ablation: a plain read–validate retry loop with no announcement and
+    /// no helping. Lock-free but **not** wait-free — a reader can starve
+    /// under a writer storm. Exists to measure what the helping machinery
+    /// costs and what it buys (experiments E7/E8 and the ablation benches).
+    RetryLoop,
+}
+
+/// Errors from [`MwLlSc::try_new`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum ConfigError {
+    /// `n` was zero.
+    ZeroProcesses,
+    /// `w` was zero.
+    ZeroWords,
+    /// The initial value slice length differs from `w`.
+    WrongInitLen {
+        /// Configured word count `W`.
+        expected: usize,
+        /// Length of the supplied initial value.
+        got: usize,
+    },
+    /// `n` is so large the packed `xtype` would leave fewer than 16 tag
+    /// bits in the 64-bit substrate word (`n > ~2^22`).
+    TooManyProcesses,
+}
+
+impl std::fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::ZeroProcesses => write!(f, "process count must be at least 1"),
+            Self::ZeroWords => write!(f, "word count W must be at least 1"),
+            Self::WrongInitLen { expected, got } => {
+                write!(f, "initial value has {got} words, expected W = {expected}")
+            }
+            Self::TooManyProcesses => {
+                write!(f, "process count too large for a 64-bit tagged substrate word")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ConfigError {}
+
+/// Errors from [`MwLlSc::claim`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum ClaimError {
+    /// The requested process id is `>= N`.
+    OutOfRange {
+        /// The invalid id.
+        p: usize,
+        /// The configured process count.
+        n: usize,
+    },
+    /// The process id was already claimed by an earlier call.
+    AlreadyClaimed {
+        /// The contested id.
+        p: usize,
+    },
+}
+
+impl std::fmt::Display for ClaimError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::OutOfRange { p, n } => write!(f, "process id {p} out of range 0..{n}"),
+            Self::AlreadyClaimed { p } => write!(f, "process id {p} already claimed"),
+        }
+    }
+}
+
+impl std::error::Error for ClaimError {}
+
+/// Exact space usage of one [`MwLlSc`] instance, in 64-bit words.
+///
+/// This is what experiment E1 tabulates: the paper's headline is that the
+/// total is `Θ(NW)` (buffers dominate) versus Anderson–Moir's `Θ(N²W)`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[non_exhaustive]
+pub struct SpaceReport {
+    /// Process count `N`.
+    pub n: usize,
+    /// Words per value, `W`.
+    pub w: usize,
+    /// Words held in value buffers: `3N · W`.
+    pub buffer_words: usize,
+    /// Word-sized LL/SC cells: `X` + `Bank[2N]` + `Help[N]` = `3N + 1`.
+    pub llsc_cells: usize,
+    /// Per-process persistent local words (`mybuf`, the saved `xtype`
+    /// link): `O(1)` each, counted for completeness.
+    pub per_process_words: usize,
+}
+
+impl SpaceReport {
+    /// Total shared words: buffers + one word per LL/SC cell.
+    #[must_use]
+    pub fn shared_words(&self) -> usize {
+        self.buffer_words + self.llsc_cells
+    }
+
+    /// Grand total including per-process local state.
+    #[must_use]
+    pub fn total_words(&self) -> usize {
+        self.shared_words() + self.n * self.per_process_words
+    }
+}
+
+/// A wait-free `N`-process, `W`-word LL/SC/VL shared variable.
+///
+/// This is the algorithm of Jayanti & Petrovic (Figure 2 of TR2004-523 /
+/// ICDCS 2005), implemented line-for-line on top of single-word LL/SC
+/// objects ([`llsc_word`]). `LL` and `SC` complete in `O(W)` steps, `VL`
+/// in `O(1)`, regardless of what other processes do (wait-freedom); space
+/// is `O(NW)` words (see [`SpaceReport`]).
+///
+/// The type parameter `C` selects the single-word substrate; the default
+/// [`TaggedLlSc`] packs value + tag into one `AtomicU64`.
+///
+/// Each of the `N` processes interacts through its own [`Handle`], claimed
+/// with [`claim`](Self::claim) or [`handles`](Self::handles); a handle is
+/// `Send` but deliberately not `Clone` — the algorithm (like the paper's
+/// model) requires one outstanding operation per process.
+///
+/// # Examples
+///
+/// ```
+/// use mwllsc::MwLlSc;
+///
+/// // A 4-word object shared by 3 processes, initially [1, 2, 3, 4].
+/// let obj = MwLlSc::new(3, 4, &[1, 2, 3, 4]);
+/// let mut handles = obj.handles();
+/// let mut h0 = handles.remove(0);
+///
+/// let mut val = [0u64; 4];
+/// h0.ll(&mut val);
+/// assert_eq!(val, [1, 2, 3, 4]);
+/// val[0] += 10;
+/// assert!(h0.sc(&val)); // no interference: the SC succeeds
+/// ```
+pub struct MwLlSc<C: NewCell = TaggedLlSc> {
+    pub(crate) layout: Layout,
+    pub(crate) w: usize,
+    /// `X`: the tag of `O`'s current value — `(buf, seq)` packed.
+    pub(crate) x: C,
+    /// `Bank[0..2N-1]`: buffer index per sequence number.
+    pub(crate) bank: Box<[C]>,
+    /// `Help[0..N-1]`: helping mailboxes — `(helpme, buf)` packed.
+    pub(crate) help: Box<[C]>,
+    /// `BUF[0..3N-1]`: the value buffers.
+    pub(crate) bufs: BufferPool,
+    pub(crate) counters: Counters,
+    pub(crate) strategy: LlStrategy,
+    claimed: Box<[AtomicBool]>,
+}
+
+impl<C: NewCell> std::fmt::Debug for MwLlSc<C> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("MwLlSc")
+            .field("n", &self.layout.n())
+            .field("w", &self.w)
+            .field("strategy", &self.strategy)
+            .finish_non_exhaustive()
+    }
+}
+
+impl MwLlSc<TaggedLlSc> {
+    /// Creates an object for `n` processes and `w`-word values with the
+    /// default tagged-CAS substrate and the paper's wait-free LL.
+    ///
+    /// # Panics
+    ///
+    /// Panics on the conditions [`try_new`](Self::try_new) reports as
+    /// errors.
+    #[must_use]
+    pub fn new(n: usize, w: usize, initial: &[u64]) -> Arc<Self> {
+        Self::try_new(n, w, initial).unwrap_or_else(|e| panic!("MwLlSc::new: {e}"))
+    }
+
+    /// Creates an object with the default substrate, reporting
+    /// configuration problems as errors.
+    pub fn try_new(n: usize, w: usize, initial: &[u64]) -> Result<Arc<Self>, ConfigError> {
+        Self::try_new_in(n, w, initial)
+    }
+
+    /// Creates an object with the default substrate and an explicit
+    /// [`LlStrategy`] (ablation knob).
+    pub fn try_with_strategy(
+        n: usize,
+        w: usize,
+        initial: &[u64],
+        strategy: LlStrategy,
+    ) -> Result<Arc<Self>, ConfigError> {
+        Self::try_with_strategy_in(n, w, initial, strategy)
+    }
+}
+
+impl<C: NewCell> MwLlSc<C> {
+    /// Creates an object over the substrate `C`, reporting configuration
+    /// problems as errors.
+    pub fn try_new_in(n: usize, w: usize, initial: &[u64]) -> Result<Arc<Self>, ConfigError> {
+        Self::try_with_strategy_in(n, w, initial, LlStrategy::WaitFree)
+    }
+
+    /// Creates an object over the substrate `C` with an explicit
+    /// [`LlStrategy`].
+    pub fn try_with_strategy_in(
+        n: usize,
+        w: usize,
+        initial: &[u64],
+        strategy: LlStrategy,
+    ) -> Result<Arc<Self>, ConfigError> {
+        if n == 0 {
+            return Err(ConfigError::ZeroProcesses);
+        }
+        if w == 0 {
+            return Err(ConfigError::ZeroWords);
+        }
+        if initial.len() != w {
+            return Err(ConfigError::WrongInitLen { expected: w, got: initial.len() });
+        }
+        if n > (1 << 22) {
+            return Err(ConfigError::TooManyProcesses);
+        }
+        let layout = Layout::new(n);
+
+        // Initialization block of Figure 2:
+        //   X = (0, 0); BUF[0] = initial value of O;
+        //   Bank[k] = k for k in 0..2N; mybuf_p = 2N + p; Help[p] = (0, _).
+        let x = C::new_cell(layout.x_max(), layout.pack_x(XRecord { buf: 0, seq: 0 }));
+        let bank: Box<[C]> = (0..layout.num_seqs())
+            .map(|k| C::new_cell(layout.buf_max(), k as u64))
+            .collect();
+        let help: Box<[C]> = (0..n)
+            .map(|_| {
+                C::new_cell(
+                    layout.help_max(),
+                    layout.pack_help(HelpRecord { helpme: false, buf: 0 }),
+                )
+            })
+            .collect();
+        let bufs = BufferPool::new(layout.num_buffers(), w);
+        bufs.get(0).copy_from(initial);
+
+        Ok(Arc::new(Self {
+            layout,
+            w,
+            x,
+            bank,
+            help,
+            bufs,
+            counters: Counters::default(),
+            strategy,
+            claimed: (0..n).map(|_| AtomicBool::new(false)).collect(),
+        }))
+    }
+
+    /// Number of processes `N`.
+    #[must_use]
+    pub fn processes(&self) -> usize {
+        self.layout.n()
+    }
+
+    /// Words per value, `W`.
+    #[must_use]
+    pub fn width(&self) -> usize {
+        self.w
+    }
+
+    /// The configured LL strategy.
+    #[must_use]
+    pub fn strategy(&self) -> LlStrategy {
+        self.strategy
+    }
+
+    /// Claims the [`Handle`] for process `p`. Each id can be claimed once.
+    pub fn claim(self: &Arc<Self>, p: usize) -> Result<Handle<C>, ClaimError> {
+        let n = self.layout.n();
+        if p >= n {
+            return Err(ClaimError::OutOfRange { p, n });
+        }
+        if self.claimed[p].swap(true, Ordering::AcqRel) {
+            return Err(ClaimError::AlreadyClaimed { p });
+        }
+        Ok(Handle::new(Arc::clone(self), p))
+    }
+
+    /// Claims all `N` handles at once, in process-id order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any handle was already claimed.
+    #[must_use]
+    pub fn handles(self: &Arc<Self>) -> Vec<Handle<C>> {
+        (0..self.layout.n())
+            .map(|p| self.claim(p).unwrap_or_else(|e| panic!("handles(): {e}")))
+            .collect()
+    }
+
+    /// A snapshot of the instrumentation counters.
+    #[must_use]
+    pub fn stats(&self) -> Stats {
+        self.counters.snapshot()
+    }
+
+    /// Exact space usage in 64-bit words.
+    #[must_use]
+    pub fn space(&self) -> SpaceReport {
+        SpaceReport {
+            n: self.layout.n(),
+            w: self.w,
+            buffer_words: self.bufs.words(),
+            llsc_cells: 1 + self.bank.len() + self.help.len(),
+            // mybuf + packed xtype snapshot + link + flag, rounded up.
+            per_process_words: 4,
+        }
+    }
+
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_validates() {
+        assert_eq!(MwLlSc::try_new(0, 1, &[0]).unwrap_err(), ConfigError::ZeroProcesses);
+        assert_eq!(MwLlSc::try_new(1, 0, &[]).unwrap_err(), ConfigError::ZeroWords);
+        assert_eq!(
+            MwLlSc::try_new(1, 2, &[0]).unwrap_err(),
+            ConfigError::WrongInitLen { expected: 2, got: 1 }
+        );
+        assert!(MwLlSc::try_new(2, 2, &[5, 6]).is_ok());
+    }
+
+    #[test]
+    fn claim_is_exclusive() {
+        let obj = MwLlSc::new(2, 1, &[0]);
+        let _h0 = obj.claim(0).unwrap();
+        assert_eq!(obj.claim(0).unwrap_err(), ClaimError::AlreadyClaimed { p: 0 });
+        let _h1 = obj.claim(1).unwrap();
+        assert_eq!(obj.claim(2).unwrap_err(), ClaimError::OutOfRange { p: 2, n: 2 });
+    }
+
+    #[test]
+    fn concurrent_claims_grant_each_id_exactly_once() {
+        // Many threads race to claim the same small id space; every id
+        // must be granted to exactly one winner.
+        let n = 4;
+        let obj = MwLlSc::new(n, 1, &[0]);
+        let mut joins = Vec::new();
+        for _ in 0..16 {
+            let obj = Arc::clone(&obj);
+            joins.push(std::thread::spawn(move || {
+                let mut won = Vec::new();
+                for p in 0..n {
+                    if obj.claim(p).is_ok() {
+                        won.push(p);
+                    }
+                }
+                won
+            }));
+        }
+        let mut winners: Vec<usize> = Vec::new();
+        for j in joins {
+            winners.extend(j.join().unwrap());
+        }
+        winners.sort_unstable();
+        assert_eq!(winners, (0..n).collect::<Vec<_>>(), "each id claimed exactly once");
+    }
+
+    #[test]
+    fn handles_returns_all_in_order() {
+        let obj = MwLlSc::new(3, 1, &[0]);
+        let hs = obj.handles();
+        assert_eq!(hs.len(), 3);
+        for (i, h) in hs.iter().enumerate() {
+            assert_eq!(h.process_id(), i);
+        }
+    }
+
+    #[test]
+    fn space_formula_matches_paper() {
+        // Shared space must be exactly 3NW (buffers) + 3N + 1 (cells).
+        for (n, w) in [(1usize, 1usize), (2, 4), (8, 16), (32, 64)] {
+            let obj = MwLlSc::new(n, w, &vec![0; w]);
+            let s = obj.space();
+            assert_eq!(s.buffer_words, 3 * n * w);
+            assert_eq!(s.llsc_cells, 3 * n + 1);
+            assert_eq!(s.shared_words(), 3 * n * w + 3 * n + 1);
+        }
+    }
+
+    #[test]
+    fn space_is_linear_in_n() {
+        // Doubling N must (at most) double shared space + O(1): the O(NW)
+        // claim, checked mechanically.
+        let w = 16;
+        let s1 = MwLlSc::new(8, w, &vec![0; w]).space().shared_words();
+        let s2 = MwLlSc::new(16, w, &vec![0; w]).space().shared_words();
+        assert!(s2 <= 2 * s1 + 2, "s1={s1} s2={s2}");
+    }
+
+    #[test]
+    fn error_messages_render() {
+        let e = ConfigError::WrongInitLen { expected: 4, got: 2 };
+        assert!(e.to_string().contains("expected W = 4"));
+        let e = ClaimError::OutOfRange { p: 7, n: 3 };
+        assert!(e.to_string().contains("0..3"));
+    }
+}

@@ -1,0 +1,175 @@
+//! Sequential model-based testing of the multiword object.
+//!
+//! Random sequences of LL/SC/VL/Read by several processes are executed
+//! *serially* (one operation at a time, processes interleaved arbitrarily)
+//! against both the real object and the Figure 1 sequential specification.
+//! Serial execution makes the expected outcome deterministic while still
+//! driving the object through its full internal machinery: sequence-number
+//! wrap-around, Bank fix-ups, buffer rotation, and ownership bookkeeping.
+
+use mwllsc::{Handle, LlStrategy, MwLlSc};
+use proptest::prelude::*;
+
+/// Figure 1 reference model of an N-process W-word LL/SC/VL object.
+#[derive(Clone, Debug)]
+struct SpecMw {
+    value: Vec<u64>,
+    valid: Vec<bool>,
+}
+
+impl SpecMw {
+    fn new(n: usize, init: &[u64]) -> Self {
+        Self { value: init.to_vec(), valid: vec![false; n] }
+    }
+
+    fn ll(&mut self, p: usize) -> Vec<u64> {
+        self.valid[p] = true;
+        self.value.clone()
+    }
+
+    fn sc(&mut self, p: usize, v: &[u64]) -> bool {
+        if self.valid[p] {
+            self.value = v.to_vec();
+            self.valid.iter_mut().for_each(|b| *b = false);
+            true
+        } else {
+            false
+        }
+    }
+
+    fn vl(&self, p: usize) -> bool {
+        self.valid[p]
+    }
+}
+
+#[derive(Clone, Debug)]
+enum Op {
+    Ll(usize),
+    /// SC writing a value derived from the op index (deterministic).
+    Sc(usize, u64),
+    Vl(usize),
+    Read(usize),
+}
+
+fn op_strategy(n: usize) -> impl Strategy<Value = Op> {
+    prop_oneof![
+        (0..n).prop_map(Op::Ll),
+        ((0..n), any::<u64>()).prop_map(|(p, seed)| Op::Sc(p, seed)),
+        (0..n).prop_map(Op::Vl),
+        (0..n).prop_map(Op::Read),
+    ]
+}
+
+fn run_model_sequence(n: usize, w: usize, strategy: LlStrategy, ops: &[Op]) {
+    let init: Vec<u64> = (0..w as u64).map(|i| i * 7 + 1).collect();
+    let obj = MwLlSc::try_with_strategy(n, w, &init, strategy).unwrap();
+    let mut handles: Vec<Handle> = obj.handles();
+    let mut model = SpecMw::new(n, &init);
+    // Track whether each process has LL'd at least once (API precondition).
+    let mut linked = vec![false; n];
+
+    for (i, op) in ops.iter().enumerate() {
+        match *op {
+            Op::Ll(p) => {
+                let got = handles[p].ll_vec();
+                let want = model.ll(p);
+                linked[p] = true;
+                assert_eq!(got, want, "op {i}: LL({p})");
+            }
+            Op::Sc(p, seed) => {
+                if !linked[p] {
+                    continue;
+                }
+                let v: Vec<u64> = (0..w as u64).map(|j| seed.wrapping_add(j * 13)).collect();
+                let got = handles[p].sc(&v);
+                let want = model.sc(p, &v);
+                assert_eq!(got, want, "op {i}: SC({p})");
+            }
+            Op::Vl(p) => {
+                if !linked[p] {
+                    continue;
+                }
+                assert_eq!(handles[p].vl(), model.vl(p), "op {i}: VL({p})");
+            }
+            Op::Read(p) => {
+                let mut out = vec![0u64; w];
+                handles[p].read(&mut out);
+                assert_eq!(out, model.value, "op {i}: Read({p})");
+                // Read must not affect the link; the next Vl/Sc op in the
+                // sequence will detect any disturbance against the model.
+                if linked[p] {
+                    assert_eq!(handles[p].vl(), model.vl(p), "op {i}: Read({p}) broke link");
+                }
+            }
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(192))]
+
+    #[test]
+    fn waitfree_matches_spec_n3_w2(ops in prop::collection::vec(op_strategy(3), 1..250)) {
+        run_model_sequence(3, 2, LlStrategy::WaitFree, &ops);
+    }
+
+    #[test]
+    fn waitfree_matches_spec_n1_w4(ops in prop::collection::vec(op_strategy(1), 1..250)) {
+        run_model_sequence(1, 4, LlStrategy::WaitFree, &ops);
+    }
+
+    #[test]
+    fn waitfree_matches_spec_n8_w1(ops in prop::collection::vec(op_strategy(8), 1..250)) {
+        run_model_sequence(8, 1, LlStrategy::WaitFree, &ops);
+    }
+
+    #[test]
+    fn retry_loop_matches_spec_n3_w2(ops in prop::collection::vec(op_strategy(3), 1..250)) {
+        run_model_sequence(3, 2, LlStrategy::RetryLoop, &ops);
+    }
+}
+
+#[test]
+fn seq_wraparound_many_times_n2() {
+    // 2N = 4: thousands of successful SCs cycle the sequence space and the
+    // Bank repeatedly; values must stay exact throughout.
+    let obj = MwLlSc::new(2, 2, &[0, 0]);
+    let mut hs = obj.handles();
+    let (left, right) = hs.split_at_mut(1);
+    let h0 = &mut left[0];
+    let h1 = &mut right[0];
+    let mut v = [0u64; 2];
+    for i in 0..10_000u64 {
+        let h = if i % 3 == 0 { &mut *h0 } else { &mut *h1 };
+        h.ll(&mut v);
+        assert_eq!(v[0], i, "iteration {i}");
+        assert_eq!(v[1], i.wrapping_mul(31), "iteration {i}");
+        assert!(h.sc(&[i + 1, (i + 1).wrapping_mul(31)]));
+    }
+}
+
+#[test]
+fn interleaved_links_across_processes() {
+    // All processes LL the same value, then SC in turn: exactly the first
+    // SC wins each round; the spec model confirms.
+    let n = 5;
+    let obj = MwLlSc::new(n, 3, &[9, 9, 9]);
+    let mut handles = obj.handles();
+    let mut cur = vec![9u64, 9, 9];
+    for round in 0..200u64 {
+        for h in handles.iter_mut() {
+            assert_eq!(h.ll_vec(), cur, "round {round}");
+        }
+        let mut winner_seen = false;
+        for (p, h) in handles.iter_mut().enumerate() {
+            let proposal = vec![round, p as u64, round * 1000 + p as u64];
+            let ok = h.sc(&proposal);
+            if ok {
+                assert!(!winner_seen, "two SCs succeeded in one round {round}");
+                winner_seen = true;
+                cur = proposal;
+            }
+        }
+        assert!(winner_seen, "someone must win round {round}");
+    }
+}

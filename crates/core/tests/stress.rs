@@ -1,0 +1,275 @@
+//! Real-thread stress tests.
+//!
+//! These run the object under genuine hardware concurrency. Assertions are
+//! schedule-independent properties:
+//!
+//! * every value returned by LL/Read carries a valid checksum (no torn
+//!   value is ever *returned* — torn reads may happen internally, but the
+//!   algorithm must mask them);
+//! * fetch-increment totals are exact (each successful SC is counted once);
+//! * counter words are monotone across LLs (a consequence of
+//!   linearizability for an increment-only workload).
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+use llsc_word::EpochLlSc;
+use mwllsc::MwLlSc;
+
+/// Fills `v[..W-1]` from `seed` and sets the last word to a checksum.
+fn make_value(w: usize, seed: u64) -> Vec<u64> {
+    let mut v: Vec<u64> = (0..w as u64 - 1).map(|i| seed.wrapping_mul(0x9E37).wrapping_add(i)).collect();
+    v.push(checksum(&v));
+    v
+}
+
+fn checksum(words: &[u64]) -> u64 {
+    words.iter().fold(0xCBF29CE484222325, |acc, &x| {
+        (acc ^ x).wrapping_mul(0x100000001B3)
+    })
+}
+
+fn assert_checksummed(v: &[u64], ctx: &str) {
+    let (body, tail) = v.split_at(v.len() - 1);
+    assert_eq!(tail[0], checksum(body), "{ctx}: torn value escaped: {v:?}");
+}
+
+/// N threads hammer fetch-increment on word 0 (checksum maintained); the
+/// final counter must equal the number of successful SCs. Handle 0 stays on
+/// the main thread so the final value can be verified directly.
+fn fetch_increment_storm_verified(n: usize, w: usize, per_thread: u64) {
+    assert!(n >= 2 && w >= 2);
+    let init = {
+        let mut v = vec![0u64; w - 1];
+        let c = checksum(&v);
+        v.push(c);
+        v
+    };
+    let obj = MwLlSc::new(n, w, &init);
+    let mut handles = obj.handles();
+    let mut h0 = handles.remove(0);
+    let mut joins = Vec::new();
+    for mut h in handles {
+        joins.push(std::thread::spawn(move || {
+            let mut v = vec![0u64; w];
+            let mut successes = 0u64;
+            while successes < per_thread {
+                h.ll(&mut v);
+                assert_checksummed(&v, "LL in storm");
+                v[0] += 1;
+                for i in 1..w - 1 {
+                    v[i] = v[0].wrapping_mul(i as u64 + 2);
+                }
+                v[w - 1] = checksum(&v[..w - 1]);
+                if h.sc(&v) {
+                    successes += 1;
+                }
+            }
+        }));
+    }
+    // Main thread: increments too, and checks monotonicity of word 0.
+    let mut v = vec![0u64; w];
+    let mut last_seen = 0u64;
+    let mut successes = 0u64;
+    while successes < per_thread {
+        h0.ll(&mut v);
+        assert_checksummed(&v, "main LL");
+        assert!(v[0] >= last_seen, "counter went backwards: {} < {last_seen}", v[0]);
+        last_seen = v[0];
+        v[0] += 1;
+        for i in 1..w - 1 {
+            v[i] = v[0].wrapping_mul(i as u64 + 2);
+        }
+        v[w - 1] = checksum(&v[..w - 1]);
+        if h0.sc(&v) {
+            successes += 1;
+        }
+    }
+    for j in joins {
+        j.join().unwrap();
+    }
+    h0.ll(&mut v);
+    assert_checksummed(&v, "final LL");
+    assert_eq!(v[0], n as u64 * per_thread, "every successful SC counted exactly once");
+    let s = obj.stats();
+    assert_eq!(s.sc_successes, n as u64 * per_thread);
+    assert!(s.lls_rescued <= s.lls_helped);
+}
+
+#[test]
+fn storm_n2_w2() {
+    fetch_increment_storm_verified(2, 2, 30_000);
+}
+
+#[test]
+fn storm_n4_w8() {
+    fetch_increment_storm_verified(4, 8, 10_000);
+}
+
+#[test]
+fn storm_n8_w4() {
+    fetch_increment_storm_verified(8, 4, 5_000);
+}
+
+#[test]
+fn storm_n3_w64_wide_values() {
+    fetch_increment_storm_verified(3, 64, 3_000);
+}
+
+#[test]
+fn storm_epoch_substrate() {
+    // Same storm on the epoch-pointer substrate: cross-checks the tagged
+    // realization against an independently built one.
+    let n = 4;
+    let w = 4;
+    let per_thread = 5_000u64;
+    let init = {
+        let mut v = vec![0u64; w - 1];
+        let c = checksum(&v);
+        v.push(c);
+        v
+    };
+    let obj = MwLlSc::<EpochLlSc>::try_new_in(n, w, &init).unwrap();
+    let mut handles = obj.handles();
+    let mut h0 = handles.remove(0);
+    let mut joins = Vec::new();
+    for mut h in handles {
+        joins.push(std::thread::spawn(move || {
+            let mut v = vec![0u64; w];
+            let mut successes = 0u64;
+            while successes < per_thread {
+                h.ll(&mut v);
+                assert_checksummed(&v, "epoch LL");
+                v[0] += 1;
+                for i in 1..w - 1 {
+                    v[i] = v[0].wrapping_mul(i as u64 + 2);
+                }
+                v[w - 1] = checksum(&v[..w - 1]);
+                if h.sc(&v) {
+                    successes += 1;
+                }
+            }
+        }));
+    }
+    let mut v = vec![0u64; w];
+    let mut successes = 0u64;
+    while successes < per_thread {
+        h0.ll(&mut v);
+        assert_checksummed(&v, "epoch main LL");
+        v[0] += 1;
+        for i in 1..w - 1 {
+            v[i] = v[0].wrapping_mul(i as u64 + 2);
+        }
+        v[w - 1] = checksum(&v[..w - 1]);
+        if h0.sc(&v) {
+            successes += 1;
+        }
+    }
+    for j in joins {
+        j.join().unwrap();
+    }
+    h0.ll(&mut v);
+    assert_eq!(v[0], n as u64 * per_thread);
+}
+
+#[test]
+fn slow_reader_under_writer_storm_never_sees_torn_value() {
+    // One dedicated reader LLs wide values while writers cycle the object
+    // as fast as possible; with W large and 2N small, internal torn reads
+    // become likely, and every one must be masked by the helping machinery.
+    let n = 3;
+    let w = 256;
+    let init = make_value(w, 0);
+    let obj = MwLlSc::new(n, w, &init);
+    let mut handles = obj.handles();
+    let mut reader = handles.remove(0);
+    let stop = Arc::new(AtomicBool::new(false));
+    let mut joins = Vec::new();
+    for mut h in handles {
+        let stop = Arc::clone(&stop);
+        joins.push(std::thread::spawn(move || {
+            let mut v = vec![0u64; w];
+            let mut seed = 1u64;
+            h.ll(&mut v);
+            while !stop.load(Ordering::Relaxed) {
+                let next = make_value(w, seed);
+                if h.sc(&next) {
+                    seed += 1;
+                }
+                h.ll(&mut v);
+                assert_checksummed(&v, "writer LL");
+            }
+        }));
+    }
+    let mut v = vec![0u64; w];
+    for _ in 0..20_000 {
+        reader.ll(&mut v);
+        assert_checksummed(&v, "reader LL");
+        reader.read(&mut v);
+        assert_checksummed(&v, "reader Read");
+    }
+    stop.store(true, Ordering::Relaxed);
+    for j in joins {
+        j.join().unwrap();
+    }
+    let s = obj.stats();
+    // Informative: rescues can legitimately be zero on a fast machine, but
+    // helped LLs at least must never exceed total LLs.
+    assert!(s.lls_helped <= s.ll_ops);
+    assert!(s.lls_rescued <= s.lls_helped);
+}
+
+#[test]
+fn vl_only_observer_is_consistent() {
+    // An observer repeatedly LLs then VLs; whenever VL returns true, a
+    // subsequent SC by the observer with no interference must succeed.
+    let obj = MwLlSc::new(2, 2, &[0, 0]);
+    let mut hs = obj.handles();
+    let mut writer = hs.pop().unwrap();
+    let mut observer = hs.pop().unwrap();
+    let stop = Arc::new(AtomicBool::new(false));
+    let w_stop = Arc::clone(&stop);
+    let wj = std::thread::spawn(move || {
+        let mut v = [0u64; 2];
+        let mut i = 0u64;
+        while !w_stop.load(Ordering::Relaxed) {
+            writer.ll(&mut v);
+            i += 1;
+            let _ = writer.sc(&[i, i]);
+        }
+    });
+    let mut v = [0u64; 2];
+    let mut vl_true = 0u64;
+    for _ in 0..100_000 {
+        observer.ll(&mut v);
+        if observer.vl() {
+            vl_true += 1;
+        }
+        assert_eq!(v[0], v[1], "writer always installs equal words");
+    }
+    stop.store(true, Ordering::Relaxed);
+    wj.join().unwrap();
+    // With a periodically-pausing writer the observer must often validate.
+    assert!(vl_true > 0, "VL never returned true in 100k attempts");
+}
+
+#[test]
+fn handles_move_across_threads() {
+    // A handle is Send: pass it through a channel mid-session.
+    let obj = MwLlSc::new(2, 2, &[1, 1]);
+    let mut hs = obj.handles();
+    let mut h0 = hs.remove(0);
+    let mut v = [0u64; 2];
+    h0.ll(&mut v);
+    assert!(h0.sc(&[2, 2]));
+    let (tx, rx) = std::sync::mpsc::channel();
+    tx.send(h0).unwrap();
+    let j = std::thread::spawn(move || {
+        let mut h0 = rx.recv().unwrap();
+        let mut v = [0u64; 2];
+        h0.ll(&mut v);
+        assert_eq!(v, [2, 2]);
+        assert!(h0.sc(&[3, 3]));
+    });
+    j.join().unwrap();
+}

@@ -1,0 +1,58 @@
+//! `mwllsc-harness` — regenerates every table of `EXPERIMENTS.md`.
+//!
+//! ```text
+//! mwllsc-harness <experiment> [--quick]
+//!
+//! experiments:
+//!   e1-space             exact space usage vs N, W (ours vs baselines)
+//!   e2-time-w            LL/SC latency vs W (linear, Theorem 1)
+//!   e3-time-n            LL/SC latency vs N (flat, Theorem 1)
+//!   e4-vl                VL latency grid (O(1), Theorem 1)
+//!   e5-waitfree          simulator step bounds under adversarial schedules
+//!   e6-linearizability   exhaustive + sampled linearizability checking
+//!   e7-helping           helping-path statistics under real-thread storms
+//!   e8-compare           throughput + space, all implementations
+//!   all                  everything above, in order
+//! ```
+//!
+//! `--quick` shrinks iteration counts ~10x for smoke runs (used by CI and
+//! the integration tests).
+
+mod experiments;
+mod table;
+mod timing;
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: mwllsc-harness <e1-space|e2-time-w|e3-time-n|e4-vl|e5-waitfree|\
+         e6-linearizability|e7-helping|e8-compare|all> [--quick]"
+    );
+    std::process::exit(2);
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let cmd = args.iter().find(|a| !a.starts_with("--")).cloned().unwrap_or_else(|| usage());
+
+    println!("# mwllsc experiment harness — {cmd}{}\n", if quick { " (quick)" } else { "" });
+    println!(
+        "host: {} {} · {} logical cores · built in {} mode\n",
+        std::env::consts::OS,
+        std::env::consts::ARCH,
+        std::thread::available_parallelism().map_or(0, std::num::NonZeroUsize::get),
+        if cfg!(debug_assertions) { "debug" } else { "release" }
+    );
+    match cmd.as_str() {
+        "e1-space" => experiments::e1_space(quick),
+        "e2-time-w" => experiments::e2_time_w(quick),
+        "e3-time-n" => experiments::e3_time_n(quick),
+        "e4-vl" => experiments::e4_vl(quick),
+        "e5-waitfree" => experiments::e5_waitfree(quick),
+        "e6-linearizability" => experiments::e6_linearizability(quick),
+        "e7-helping" => experiments::e7_helping(quick),
+        "e8-compare" => experiments::e8_compare(quick),
+        "all" => experiments::all(quick),
+        _ => usage(),
+    }
+}

@@ -1,0 +1,262 @@
+//! Epoch-reclamation (pointer-indirection) realization of single-word LL/SC.
+
+use core::fmt;
+use core::sync::atomic::Ordering;
+
+use crossbeam::epoch::{self, Atomic, Owned};
+
+use crate::{Link, LlScCell};
+
+/// A node published through the atomic pointer.
+///
+/// `seq` is a 64-bit sequence number unique over the object's lifetime
+/// (incremented on every successful SC/write); it is what [`Link`] snapshots
+/// and what `sc`/`vl` compare, so correctness never depends on a heap
+/// address not being reused.
+struct Node {
+    value: u64,
+    seq: u64,
+}
+
+/// A single-word LL/SC/VL object holding full 64-bit values.
+///
+/// Each successful SC (and each `write`) allocates a fresh node carrying
+/// `(value, seq+1)` and swings an atomic pointer; retired nodes are freed by
+/// epoch-based reclamation (`crossbeam_epoch`). Because the link compares
+/// the node's 64-bit `seq` (not the pointer), address reuse cannot cause an
+/// ABA false-success, and the wrap-around bound is a full `2^64`.
+///
+/// Compared to [`TaggedLlSc`](crate::TaggedLlSc) this trades an allocation
+/// per successful SC for full-width values and an unbounded tag. The
+/// multiword algorithm only needs narrow values, so `TaggedLlSc` is its
+/// default substrate; `EpochLlSc` exists (a) to cross-check the tagged
+/// realization against an independently derived one and (b) as the
+/// substrate ablation measured in the benches.
+///
+/// # Examples
+///
+/// ```
+/// use llsc_word::{EpochLlSc, LlScCell};
+///
+/// let x = EpochLlSc::new(u64::MAX - 1);
+/// let (v, link) = x.ll();
+/// assert_eq!(v, u64::MAX - 1);
+/// assert!(x.sc(link, 42));
+/// assert!(!x.sc(link, 43));
+/// assert_eq!(x.read(), 42);
+/// ```
+pub struct EpochLlSc {
+    ptr: Atomic<Node>,
+}
+
+impl fmt::Debug for EpochLlSc {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("EpochLlSc").field("value", &self.read()).finish()
+    }
+}
+
+impl EpochLlSc {
+    /// Creates an object with initial value `init`.
+    #[must_use]
+    pub fn new(init: u64) -> Self {
+        Self { ptr: Atomic::new(Node { value: init, seq: 0 }) }
+    }
+
+    #[cfg(debug_assertions)]
+    fn id(&self) -> usize {
+        self as *const Self as usize
+    }
+
+    fn make_link(&self, seq: u64) -> Link {
+        Link {
+            snapshot: seq,
+            #[cfg(debug_assertions)]
+            owner: self.id(),
+        }
+    }
+
+    #[cfg(debug_assertions)]
+    fn check_link(&self, link: &Link) {
+        debug_assert_eq!(
+            link.owner,
+            self.id(),
+            "Link used with an object other than the one that issued it"
+        );
+    }
+
+    #[cfg(not(debug_assertions))]
+    fn check_link(&self, _link: &Link) {}
+
+    /// Installs `v` iff the current node's `seq` equals `expect_seq`.
+    fn cas_from_seq(&self, expect_seq: u64, v: u64) -> bool {
+        let guard = &epoch::pin();
+        let cur = self.ptr.load(Ordering::SeqCst, guard);
+        // SAFETY: `cur` was loaded under `guard`, so the node cannot be
+        // freed while we hold the guard; the pointer is never null after
+        // construction.
+        let cur_node = unsafe { cur.deref() };
+        if cur_node.seq != expect_seq {
+            return false;
+        }
+        let next = Owned::new(Node { value: v, seq: expect_seq + 1 });
+        match self.ptr.compare_exchange(cur, next, Ordering::SeqCst, Ordering::SeqCst, guard) {
+            Ok(_) => {
+                // SAFETY: `cur` has been unlinked by this CAS and can no
+                // longer be reached by new readers; defer destruction until
+                // all current pins are released.
+                unsafe { guard.defer_destroy(cur) };
+                true
+            }
+            Err(_) => false,
+        }
+    }
+}
+
+impl LlScCell for EpochLlSc {
+    fn ll(&self) -> (u64, Link) {
+        let guard = &epoch::pin();
+        let cur = self.ptr.load(Ordering::SeqCst, guard);
+        // SAFETY: loaded under `guard`; never null.
+        let node = unsafe { cur.deref() };
+        (node.value, self.make_link(node.seq))
+    }
+
+    fn sc(&self, link: Link, v: u64) -> bool {
+        self.check_link(&link);
+        self.cas_from_seq(link.snapshot, v)
+    }
+
+    fn vl(&self, link: Link) -> bool {
+        self.check_link(&link);
+        let guard = &epoch::pin();
+        let cur = self.ptr.load(Ordering::SeqCst, guard);
+        // SAFETY: loaded under `guard`; never null.
+        unsafe { cur.deref() }.seq == link.snapshot
+    }
+
+    fn read(&self) -> u64 {
+        let guard = &epoch::pin();
+        let cur = self.ptr.load(Ordering::SeqCst, guard);
+        // SAFETY: loaded under `guard`; never null.
+        unsafe { cur.deref() }.value
+    }
+
+    fn write(&self, v: u64) {
+        // Retry loop: lock-free. Same usage argument as TaggedLlSc::write —
+        // within the multiword algorithm every `write` is effectively
+        // uncontended, so the loop exits after O(1) attempts.
+        loop {
+            let seq = {
+                let guard = epoch::pin();
+                let cur = self.ptr.load(Ordering::SeqCst, &guard);
+                // SAFETY: loaded under `guard`; never null.
+                unsafe { cur.deref() }.seq
+            };
+            if self.cas_from_seq(seq, v) {
+                return;
+            }
+        }
+    }
+
+    fn max_value(&self) -> u64 {
+        u64::MAX
+    }
+}
+
+impl Drop for EpochLlSc {
+    fn drop(&mut self) {
+        // We have exclusive access; reclaim the final node immediately.
+        let guard = &epoch::pin();
+        let cur = self.ptr.load(Ordering::Relaxed, guard);
+        if !cur.is_null() {
+            // SAFETY: exclusive access (`&mut self`), no other thread can
+            // observe the pointer; convert back to Owned to drop it.
+            unsafe {
+                let _ = cur.into_owned();
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn full_width_values() {
+        let x = EpochLlSc::new(u64::MAX);
+        assert_eq!(x.read(), u64::MAX);
+        let (v, link) = x.ll();
+        assert_eq!(v, u64::MAX);
+        assert!(x.sc(link, 0));
+        assert_eq!(x.read(), 0);
+    }
+
+    #[test]
+    fn sc_semantics_match_spec() {
+        let x = EpochLlSc::new(1);
+        let (_, l1) = x.ll();
+        let (_, l2) = x.ll();
+        assert!(x.sc(l2, 2));
+        assert!(!x.sc(l1, 3));
+        assert!(!x.vl(l1));
+        assert_eq!(x.read(), 2);
+    }
+
+    #[test]
+    fn write_invalidates() {
+        let x = EpochLlSc::new(5);
+        let (_, link) = x.ll();
+        x.write(5);
+        assert!(!x.vl(link));
+        assert!(!x.sc(link, 6));
+    }
+
+    #[test]
+    fn aba_immune_across_value_cycles() {
+        let x = EpochLlSc::new(7);
+        let (_, stale) = x.ll();
+        for _ in 0..100 {
+            let (_, l) = x.ll();
+            assert!(x.sc(l, 9));
+            let (_, l) = x.ll();
+            assert!(x.sc(l, 7));
+        }
+        assert!(!x.sc(stale, 8));
+        assert_eq!(x.read(), 7);
+    }
+
+    #[test]
+    fn concurrent_fetch_increment_is_exact() {
+        const THREADS: usize = 8;
+        const PER: u64 = 5_000;
+        let x = Arc::new(EpochLlSc::new(0));
+        let mut handles = Vec::new();
+        for _ in 0..THREADS {
+            let x = Arc::clone(&x);
+            handles.push(std::thread::spawn(move || {
+                let mut done = 0;
+                while done < PER {
+                    let (v, link) = x.ll();
+                    if x.sc(link, v + 1) {
+                        done += 1;
+                    }
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(x.read(), THREADS as u64 * PER);
+    }
+
+    #[test]
+    fn drop_reclaims_without_leak_or_crash() {
+        for _ in 0..1000 {
+            let x = EpochLlSc::new(3);
+            let (_, l) = x.ll();
+            assert!(x.sc(l, 4));
+        }
+    }
+}

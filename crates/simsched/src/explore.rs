@@ -1,0 +1,192 @@
+//! Exhaustive schedule exploration for small configurations.
+//!
+//! Explores *every* interleaving of the interpreter's atomic steps via DFS
+//! with memoization on the full machine state (shared memory, process
+//! states, program positions, monitor state). Invariants I1/I2, Lemma 3
+//! and the wait-freedom step bounds are checked on every transition, so a
+//! completed exploration is a proof — at this configuration size — that no
+//! schedule whatsoever violates them.
+//!
+//! Memoization is sound for these *state-predicate and monitor-carried*
+//! properties because the future behaviour of the system depends only on
+//! the memoized tuple: histories are not needed (linearizability over full
+//! histories is instead checked on sampled schedules; see `runner` and
+//! experiment E6).
+
+use std::collections::HashSet;
+
+use crate::history::History;
+use crate::invariants::{Monitors, Violation};
+use crate::lp::LpMonitor;
+use crate::runner::{turn, RunConfig, Sim};
+
+/// Limits for an exploration.
+#[derive(Clone, Copy, Debug)]
+pub struct ExploreConfig {
+    /// Stop after visiting this many distinct states (reported as
+    /// incomplete, not as failure).
+    pub max_states: u64,
+    /// Check invariant I1 on every transition.
+    pub check_i1: bool,
+    /// Run the I2 / Lemma 3 monitors.
+    pub monitors: bool,
+    /// Enforce wait-freedom step bounds.
+    pub check_step_bounds: bool,
+    /// Run the linearization-point monitor (paper §3) on every transition.
+    /// With this on, a completed exploration proves linearizability — via
+    /// the paper's own argument — over *every* schedule of the
+    /// configuration.
+    pub check_lp: bool,
+}
+
+impl Default for ExploreConfig {
+    fn default() -> Self {
+        Self {
+            max_states: 5_000_000,
+            check_i1: true,
+            monitors: true,
+            check_step_bounds: true,
+            check_lp: true,
+        }
+    }
+}
+
+/// Result of a (possibly truncated) exploration.
+#[derive(Clone, Debug)]
+pub struct ExploreReport {
+    /// Distinct states visited.
+    pub states: u64,
+    /// Transitions executed.
+    pub transitions: u64,
+    /// Whether the whole reachable space was covered within `max_states`.
+    pub complete: bool,
+    /// Number of terminal states (all programs finished) reached.
+    pub terminals: u64,
+}
+
+/// A violation found during exploration, with the step depth at which the
+/// offending transition occurred.
+#[derive(Clone, Debug)]
+pub struct ExploreFailure {
+    /// The violated property.
+    pub violation: Violation,
+    /// DFS depth (number of steps from the initial state).
+    pub depth: u64,
+}
+
+impl std::fmt::Display for ExploreFailure {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "at depth {}: {}", self.depth, self.violation)
+    }
+}
+
+impl std::error::Error for ExploreFailure {}
+
+#[derive(Clone, PartialEq, Eq, Hash)]
+struct Node {
+    sim: Sim,
+    monitors: Monitors,
+    lp: LpMonitor,
+}
+
+/// Exhaustively explores all schedules of `sim`, checking the configured
+/// properties on every transition.
+pub fn explore(sim: Sim, cfg: &ExploreConfig) -> Result<ExploreReport, ExploreFailure> {
+    let run_cfg = RunConfig {
+        check_i1: cfg.check_i1,
+        monitors: cfg.monitors,
+        check_step_bounds: cfg.check_step_bounds,
+        check_lp: cfg.check_lp,
+        record_history: false,
+        record_schedule: false,
+        max_steps: u64::MAX,
+    };
+    let monitors = Monitors::new(sim.state.n);
+    let lp = LpMonitor::new(sim.state.n, sim.state.abstract_value());
+    let root = Node { sim, monitors, lp };
+
+    let mut visited: HashSet<Node> = HashSet::new();
+    let mut stack: Vec<(Node, u64)> = vec![(root, 0)];
+    let mut transitions = 0u64;
+    let mut terminals = 0u64;
+    let mut complete = true;
+    let mut scratch_history = History::default();
+
+    while let Some((node, depth)) = stack.pop() {
+        if visited.contains(&node) {
+            continue;
+        }
+        if visited.len() as u64 >= cfg.max_states {
+            complete = false;
+            break;
+        }
+        let runnable = node.sim.runnable();
+        if runnable.is_empty() {
+            terminals += 1;
+            visited.insert(node);
+            continue;
+        }
+        for pid in &runnable {
+            let mut next = node.clone();
+            transitions += 1;
+            match turn(
+                &mut next.sim,
+                *pid,
+                &mut next.monitors,
+                &mut next.lp,
+                &run_cfg,
+                &mut scratch_history,
+                depth,
+            ) {
+                Ok(_) => {
+                    if !visited.contains(&next) {
+                        stack.push((next, depth + 1));
+                    }
+                }
+                Err(violation) => {
+                    return Err(ExploreFailure { violation, depth: depth + 1 });
+                }
+            }
+        }
+        visited.insert(node);
+    }
+
+    Ok(ExploreReport { states: visited.len() as u64, transitions, complete, terminals })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::interp::SimOp;
+
+    #[test]
+    fn solo_process_explores_completely() {
+        let sim = Sim::new(1, &[0], vec![vec![SimOp::Ll, SimOp::Sc(vec![1]), SimOp::Vl]]);
+        let report = explore(sim, &ExploreConfig::default()).unwrap();
+        assert!(report.complete);
+        assert_eq!(report.terminals, 1, "deterministic solo run has one terminal");
+        assert!(report.states > 10);
+    }
+
+    #[test]
+    fn two_process_ll_sc_explores_clean() {
+        // N=2, W=1: each process LLs then SCs. Every interleaving of the
+        // interpreter's atomic steps is covered.
+        let p0 = vec![SimOp::Ll, SimOp::Sc(vec![10])];
+        let p1 = vec![SimOp::Ll, SimOp::Sc(vec![20])];
+        let sim = Sim::new(1, &[0], vec![p0, p1]);
+        let report = explore(sim, &ExploreConfig::default()).unwrap();
+        assert!(report.complete, "state space exceeded the budget");
+        assert!(report.states > 100);
+        assert!(report.terminals >= 1);
+    }
+
+    #[test]
+    fn truncation_reports_incomplete() {
+        let p = vec![SimOp::Ll, SimOp::ScBump(1), SimOp::Ll, SimOp::ScBump(1)];
+        let sim = Sim::new(1, &[0], vec![p.clone(), p]);
+        let cfg = ExploreConfig { max_states: 50, ..ExploreConfig::default() };
+        let report = explore(sim, &cfg).unwrap();
+        assert!(!report.complete);
+    }
+}

@@ -1,0 +1,187 @@
+//! Execution histories: invocation/response event sequences.
+//!
+//! A history is the observable behaviour of a run — the input to the
+//! linearizability checker ([`crate::wg`]). Events are recorded in global
+//! (simulated real-time) order.
+
+/// The operation named in an invocation event.
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+pub enum OpDesc {
+    /// A Load-Linked on `O`.
+    Ll,
+    /// A Store-Conditional writing this `W`-word value.
+    Sc(Vec<u64>),
+    /// A Validate.
+    Vl,
+}
+
+/// The value carried by a response event.
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+pub enum RespDesc {
+    /// LL returned this value.
+    Ll(Vec<u64>),
+    /// SC succeeded (`true`) or failed.
+    Sc(bool),
+    /// VL verdict.
+    Vl(bool),
+}
+
+/// One event of a history.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Event {
+    /// Simulated process id.
+    pub pid: usize,
+    /// Invocation or response payload.
+    pub kind: EventKind,
+    /// Global step counter at which the event occurred.
+    pub step: u64,
+}
+
+/// Invocation or response.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum EventKind {
+    /// The process invoked this operation.
+    Invoke(OpDesc),
+    /// The process's current operation returned this result.
+    Respond(RespDesc),
+}
+
+/// A recorded history.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct History {
+    /// Events in global time order.
+    pub events: Vec<Event>,
+}
+
+/// One operation extracted from a history: its interval and outcome.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct HistOp {
+    /// Process id.
+    pub pid: usize,
+    /// What was invoked.
+    pub op: OpDesc,
+    /// Index of the invocation event.
+    pub inv: usize,
+    /// Index of the response event; `None` for a pending operation.
+    pub resp: Option<usize>,
+    /// Recorded response; `None` for a pending operation.
+    pub result: Option<RespDesc>,
+}
+
+impl History {
+    /// Records an invocation.
+    pub fn invoke(&mut self, pid: usize, op: OpDesc, step: u64) {
+        self.events.push(Event { pid, kind: EventKind::Invoke(op), step });
+    }
+
+    /// Records a response.
+    pub fn respond(&mut self, pid: usize, resp: RespDesc, step: u64) {
+        self.events.push(Event { pid, kind: EventKind::Respond(resp), step });
+    }
+
+    /// Number of events.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// Whether the history is empty.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Renders the history human-readably, one operation per line, for
+    /// failure forensics.
+    pub fn render(&self) -> String {
+        use std::fmt::Write as _;
+        let mut s = String::new();
+        for (i, op) in self.ops().iter().enumerate() {
+            let _ = writeln!(
+                s,
+                "  [{i:3}] p{} {:?} inv@{} resp@{:?} -> {:?}",
+                op.pid, op.op, op.inv, op.resp, op.result
+            );
+        }
+        s
+    }
+
+    /// Pairs invocations with their responses, preserving intervals.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the history is not well-formed (a response without a
+    /// matching invocation, or two concurrent operations by one process) —
+    /// both indicate a simulator bug, not a checkable property.
+    pub fn ops(&self) -> Vec<HistOp> {
+        let mut ops: Vec<HistOp> = Vec::new();
+        // Index into `ops` of each process's open operation.
+        let mut open: Vec<Option<usize>> = Vec::new();
+        for (i, ev) in self.events.iter().enumerate() {
+            if ev.pid >= open.len() {
+                open.resize(ev.pid + 1, None);
+            }
+            match &ev.kind {
+                EventKind::Invoke(op) => {
+                    assert!(
+                        open[ev.pid].is_none(),
+                        "process {} invoked while an operation is open",
+                        ev.pid
+                    );
+                    open[ev.pid] = Some(ops.len());
+                    ops.push(HistOp {
+                        pid: ev.pid,
+                        op: op.clone(),
+                        inv: i,
+                        resp: None,
+                        result: None,
+                    });
+                }
+                EventKind::Respond(r) => {
+                    let idx = open[ev.pid]
+                        .take()
+                        .unwrap_or_else(|| panic!("response without invocation by {}", ev.pid));
+                    ops[idx].resp = Some(i);
+                    ops[idx].result = Some(r.clone());
+                }
+            }
+        }
+        ops
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ops_pairing() {
+        let mut h = History::default();
+        h.invoke(0, OpDesc::Ll, 0);
+        h.invoke(1, OpDesc::Sc(vec![1]), 1);
+        h.respond(0, RespDesc::Ll(vec![0]), 2);
+        h.respond(1, RespDesc::Sc(true), 3);
+        h.invoke(0, OpDesc::Vl, 4);
+        let ops = h.ops();
+        assert_eq!(ops.len(), 3);
+        assert_eq!(ops[0].pid, 0);
+        assert_eq!(ops[0].resp, Some(2));
+        assert_eq!(ops[1].result, Some(RespDesc::Sc(true)));
+        assert!(ops[2].resp.is_none(), "pending op stays pending");
+    }
+
+    #[test]
+    #[should_panic(expected = "invoked while an operation is open")]
+    fn double_invoke_rejected() {
+        let mut h = History::default();
+        h.invoke(0, OpDesc::Ll, 0);
+        h.invoke(0, OpDesc::Vl, 1);
+        let _ = h.ops();
+    }
+
+    #[test]
+    #[should_panic(expected = "response without invocation")]
+    fn orphan_response_rejected() {
+        let mut h = History::default();
+        h.respond(0, RespDesc::Vl(true), 0);
+        let _ = h.ops();
+    }
+}

@@ -1,0 +1,547 @@
+//! PC-level interpreter of the Figure 2 pseudocode.
+//!
+//! Each simulated process is a small state machine whose states are the
+//! paper's line numbers (buffer copies expanded to one word per step, and
+//! lines containing two shared-memory accesses — e.g. line 12's
+//! `LL(Bank[s]) … ∧ VL(X)` — split into one state per access). Every call
+//! to [`step`] executes exactly one atomic
+//! action, so a scheduler controls the interleaving at the same
+//! granularity the paper's proof reasons about.
+
+use crate::history::{OpDesc, RespDesc};
+use crate::state::SimState;
+use crate::word::{HelpVal, XVal};
+
+/// One operation of a simulated process's program.
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+pub enum SimOp {
+    /// Perform an LL; the returned value is retained for `ScBump`.
+    Ll,
+    /// Ablation: perform an LL via the bare read–validate retry loop (no
+    /// announcement, no helping). **Not wait-free** — under sustained
+    /// interference this operation can retry forever, which is exactly
+    /// what the ablation exists to demonstrate (the wait-freedom step
+    /// bound is not enforced for it).
+    LlRetry,
+    /// Perform an SC writing exactly this value.
+    Sc(Vec<u64>),
+    /// Perform an SC writing the value returned by this process's latest
+    /// LL with `delta` added to word 0 (a fetch-and-add step). The program
+    /// must have an `Ll` earlier.
+    ScBump(u64),
+    /// Perform a VL.
+    Vl,
+}
+
+/// Program counter of a simulated process. Variants are named after the
+/// paper's line numbers; the `usize` in copy states is the next word index.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+#[allow(missing_docs)] // the variants *are* the documentation: Figure 2 lines
+pub enum Pc {
+    Idle,
+    // —— LL, lines 1–11 ——
+    L1,
+    L2,
+    L3(usize),
+    L4,
+    L5,
+    L6(usize),
+    L7,
+    L7Copy(usize),
+    L8,
+    L9,
+    L10,
+    L11(usize),
+    // —— SC, lines 12–22 ——
+    L12,
+    L12Vl,
+    L13,
+    L14,
+    L14Vl,
+    L15,
+    L16,
+    L17(usize),
+    L18,
+    L19,
+    L20,
+    // —— VL, line 23 ——
+    L23,
+    // —— ablation LL: read–validate retry loop (no announce, no help) ——
+    R2,
+    R3(usize),
+    R7,
+}
+
+impl Pc {
+    /// Is this PC within the paper's interval "(2 .. 10)" used by invariant
+    /// I1 — i.e. about to execute one of lines 2–10 of an LL?
+    pub fn in_ll_2_to_10(self) -> bool {
+        matches!(
+            self,
+            Pc::L2
+                | Pc::L3(_)
+                | Pc::L4
+                | Pc::L5
+                | Pc::L6(_)
+                | Pc::L7
+                | Pc::L7Copy(_)
+                | Pc::L8
+                | Pc::L9
+                | Pc::L10
+        )
+    }
+}
+
+/// The persistent and per-operation local state of one simulated process.
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+pub struct ProcState {
+    /// Process id.
+    pub pid: usize,
+    /// `mybuf_p` — persists across operations.
+    pub mybuf: u32,
+    /// `x_p` — the record from this process's latest LL of `X`.
+    pub x: XVal,
+    /// Whether an LL has ever been performed (SC/VL require it).
+    pub x_linked: bool,
+    /// The LL return buffer (`*retval`); also the source for `ScBump`.
+    pub retval: Vec<u64>,
+    /// The value being written by the SC in progress.
+    pub sc_val: Vec<u64>,
+    /// Line 4's `b` (the helper's donated buffer index).
+    pub b4: u32,
+    /// Line 8's `(helpme, c)`.
+    pub h8: HelpVal,
+    /// Line 14's `d` (the helpee's offered buffer index).
+    pub d: u32,
+    /// Line 18's `e` (the buffer index to adopt after a successful SC).
+    pub e: u32,
+    /// Program counter.
+    pub pc: Pc,
+    /// Steps taken in the current operation (for wait-freedom bounds).
+    pub steps_this_op: u32,
+    /// Whether the operation in progress is the non-wait-free
+    /// [`SimOp::LlRetry`] ablation (exempt from the LL step bound).
+    pub in_retry_ll: bool,
+}
+
+impl ProcState {
+    /// A fresh process with `mybuf_p = 2N + p` (the Figure 2 init).
+    pub fn new(pid: usize, n: usize, w: usize) -> Self {
+        Self {
+            pid,
+            mybuf: (2 * n + pid) as u32,
+            x: XVal { buf: 0, seq: 0 },
+            x_linked: false,
+            retval: vec![0; w],
+            sc_val: vec![0; w],
+            b4: 0,
+            h8: HelpVal { helpme: false, buf: 0 },
+            d: 0,
+            e: 0,
+            pc: Pc::Idle,
+            steps_this_op: 0,
+            in_retry_ll: false,
+        }
+    }
+
+    /// Begins an operation: sets the PC to its first line.
+    ///
+    /// Returns the concrete [`OpDesc`] recorded in the history (`ScBump`
+    /// resolves to the concrete value at invocation time).
+    ///
+    /// # Panics
+    ///
+    /// Panics if an operation is already in progress, or on `Sc`/`Vl`
+    /// before any `Ll` (API precondition, as in the real implementation).
+    pub fn begin(&mut self, op: &SimOp) -> OpDesc {
+        assert_eq!(self.pc, Pc::Idle, "p{}: operation already in progress", self.pid);
+        self.steps_this_op = 0;
+        self.in_retry_ll = matches!(op, SimOp::LlRetry);
+        match op {
+            SimOp::Ll => {
+                self.pc = Pc::L1;
+                OpDesc::Ll
+            }
+            SimOp::LlRetry => {
+                self.pc = Pc::R2;
+                OpDesc::Ll
+            }
+            SimOp::Sc(v) => {
+                assert!(self.x_linked, "p{}: SC before any LL", self.pid);
+                assert_eq!(v.len(), self.retval.len(), "SC value width mismatch");
+                self.sc_val = v.clone();
+                self.pc = Pc::L12;
+                OpDesc::Sc(v.clone())
+            }
+            SimOp::ScBump(delta) => {
+                assert!(self.x_linked, "p{}: ScBump before any LL", self.pid);
+                let mut v = self.retval.clone();
+                v[0] = v[0].wrapping_add(*delta);
+                self.sc_val = v.clone();
+                self.pc = Pc::L12;
+                OpDesc::Sc(v)
+            }
+            SimOp::Vl => {
+                assert!(self.x_linked, "p{}: VL before any LL", self.pid);
+                self.pc = Pc::L23;
+                OpDesc::Vl
+            }
+        }
+    }
+}
+
+/// Side effects of one interpreter step, consumed by the monitors.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct StepEffect {
+    /// The operation responded with this result (the process is now idle).
+    pub response: Option<RespDesc>,
+    /// A word of `BUF[buf]` was written (lines 11 or 17).
+    pub buf_write: Option<(u32, usize)>,
+    /// `Bank[idx]` was successfully SC'd to `val` (line 13).
+    pub bank_write: Option<(u32, u32)>,
+    /// `X` was successfully SC'd to this record (line 19).
+    pub x_write: Option<XVal>,
+    /// Line 4 observed `(0, b)`: this LL was helped.
+    pub ll_helped: bool,
+    /// Line 7's VL failed: this LL will return the donated value.
+    pub ll_rescued: bool,
+    /// Line 15's SC succeeded: this SC donated its buffer to a helpee.
+    pub help_given: bool,
+    /// Line 9's SC succeeded: this LL withdrew its own help request.
+    pub help_withdraw: bool,
+}
+
+/// Executes one atomic step of process `proc` against `state`.
+///
+/// # Panics
+///
+/// Panics if the process is idle (the runner must `begin` an operation
+/// first) — calling this is then a driver bug.
+pub fn step(state: &mut SimState, proc: &mut ProcState) -> StepEffect {
+    let p = proc.pid;
+    let n = state.n;
+    let w = state.w;
+    let mut fx = StepEffect::default();
+    proc.steps_this_op += 1;
+
+    match proc.pc {
+        Pc::Idle => panic!("p{p}: step while idle"),
+
+        // ———————————————————————— LL ————————————————————————
+        // Line 1: Help[p] = (1, mybuf_p)
+        Pc::L1 => {
+            state.help[p].write(HelpVal { helpme: true, buf: proc.mybuf });
+            proc.pc = Pc::L2;
+        }
+        // Line 2: x_p = LL(X)
+        Pc::L2 => {
+            proc.x = state.x.ll(p);
+            proc.x_linked = true;
+            proc.pc = Pc::L3(0);
+        }
+        // Line 3: copy BUF[x_p.buf] into *retval (word at a time)
+        Pc::L3(i) => {
+            proc.retval[i] = state.bufs[proc.x.buf as usize][i];
+            proc.pc = if i + 1 < w { Pc::L3(i + 1) } else { Pc::L4 };
+        }
+        // Line 4: if LL(Help[p]) ≡ (0, b)
+        Pc::L4 => {
+            let h = state.help[p].ll(p);
+            if !h.helpme {
+                fx.ll_helped = true;
+                proc.b4 = h.buf;
+                proc.pc = Pc::L5;
+            } else {
+                proc.pc = Pc::L8;
+            }
+        }
+        // Line 5: x_p = LL(X)
+        Pc::L5 => {
+            proc.x = state.x.ll(p);
+            proc.pc = Pc::L6(0);
+        }
+        // Line 6: copy BUF[x_p.buf] into *retval
+        Pc::L6(i) => {
+            proc.retval[i] = state.bufs[proc.x.buf as usize][i];
+            proc.pc = if i + 1 < w { Pc::L6(i + 1) } else { Pc::L7 };
+        }
+        // Line 7: if ¬VL(X) copy BUF[b] into *retval
+        Pc::L7 => {
+            if !state.x.vl(p) {
+                fx.ll_rescued = true;
+                proc.pc = Pc::L7Copy(0);
+            } else {
+                proc.pc = Pc::L8;
+            }
+        }
+        Pc::L7Copy(i) => {
+            proc.retval[i] = state.bufs[proc.b4 as usize][i];
+            proc.pc = if i + 1 < w { Pc::L7Copy(i + 1) } else { Pc::L8 };
+        }
+        // Line 8: if LL(Help[p]) ≡ (1, c)
+        Pc::L8 => {
+            proc.h8 = state.help[p].ll(p);
+            proc.pc = if proc.h8.helpme { Pc::L9 } else { Pc::L10 };
+        }
+        // Line 9: SC(Help[p], (0, c))
+        Pc::L9 => {
+            if state.help[p].sc(p, HelpVal { helpme: false, buf: proc.h8.buf }) {
+                fx.help_withdraw = true;
+            }
+            proc.pc = Pc::L10;
+        }
+        // Line 10: mybuf_p = Help[p].buf
+        Pc::L10 => {
+            proc.mybuf = state.help[p].read().buf;
+            proc.pc = Pc::L11(0);
+        }
+        // Line 11: copy *retval into BUF[mybuf_p]
+        Pc::L11(i) => {
+            state.bufs[proc.mybuf as usize][i] = proc.retval[i];
+            fx.buf_write = Some((proc.mybuf, i));
+            if i + 1 < w {
+                proc.pc = Pc::L11(i + 1);
+            } else {
+                proc.pc = Pc::Idle;
+                fx.response = Some(RespDesc::Ll(proc.retval.clone()));
+            }
+        }
+
+        // ———————————————————————— SC ————————————————————————
+        // Line 12 (first access): LL(Bank[x_p.seq])
+        Pc::L12 => {
+            let bv = state.bank[proc.x.seq as usize].ll(p);
+            proc.pc = if bv != proc.x.buf { Pc::L12Vl } else { Pc::L14 };
+        }
+        // Line 12 (second access): ∧ VL(X)
+        Pc::L12Vl => {
+            proc.pc = if state.x.vl(p) { Pc::L13 } else { Pc::L14 };
+        }
+        // Line 13: SC(Bank[x_p.seq], x_p.buf)
+        Pc::L13 => {
+            if state.bank[proc.x.seq as usize].sc(p, proc.x.buf) {
+                fx.bank_write = Some((proc.x.seq, proc.x.buf));
+            }
+            proc.pc = Pc::L14;
+        }
+        // Line 14 (first access): LL(Help[x_p.seq mod N])
+        Pc::L14 => {
+            let q = (proc.x.seq as usize) % n;
+            let h = state.help[q].ll(p);
+            if h.helpme {
+                proc.d = h.buf;
+                proc.pc = Pc::L14Vl;
+            } else {
+                proc.pc = Pc::L17(0);
+            }
+        }
+        // Line 14 (second access): ∧ VL(X)
+        Pc::L14Vl => {
+            proc.pc = if state.x.vl(p) { Pc::L15 } else { Pc::L17(0) };
+        }
+        // Line 15: if SC(Help[q], (0, mybuf_p))
+        Pc::L15 => {
+            let q = (proc.x.seq as usize) % n;
+            if state.help[q].sc(p, HelpVal { helpme: false, buf: proc.mybuf }) {
+                fx.help_given = true;
+                proc.pc = Pc::L16;
+            } else {
+                proc.pc = Pc::L17(0);
+            }
+        }
+        // Line 16: mybuf_p = d
+        Pc::L16 => {
+            proc.mybuf = proc.d;
+            proc.pc = Pc::L17(0);
+        }
+        // Line 17: copy *v into BUF[mybuf_p]
+        Pc::L17(i) => {
+            state.bufs[proc.mybuf as usize][i] = proc.sc_val[i];
+            fx.buf_write = Some((proc.mybuf, i));
+            proc.pc = if i + 1 < w { Pc::L17(i + 1) } else { Pc::L18 };
+        }
+        // Line 18: e = Bank[(x_p.seq + 1) mod 2N]
+        Pc::L18 => {
+            let next = (proc.x.seq + 1) % (2 * n as u32);
+            proc.e = state.bank[next as usize].read();
+            proc.pc = Pc::L19;
+        }
+        // Line 19: if SC(X, (mybuf_p, (x_p.seq + 1) mod 2N))
+        Pc::L19 => {
+            let next = (proc.x.seq + 1) % (2 * n as u32);
+            let new_x = XVal { buf: proc.mybuf, seq: next };
+            if state.x.sc(p, new_x) {
+                fx.x_write = Some(new_x);
+                proc.pc = Pc::L20;
+            } else {
+                proc.pc = Pc::Idle;
+                fx.response = Some(RespDesc::Sc(false)); // line 22
+            }
+        }
+        // Line 20: mybuf_p = e; line 21: return true
+        Pc::L20 => {
+            proc.mybuf = proc.e;
+            proc.pc = Pc::Idle;
+            fx.response = Some(RespDesc::Sc(true));
+        }
+
+        // ———————————————————————— VL ————————————————————————
+        // Line 23: return VL(X)
+        Pc::L23 => {
+            let ok = state.x.vl(p);
+            proc.pc = Pc::Idle;
+            fx.response = Some(RespDesc::Vl(ok));
+        }
+
+        // ———————————— ablation LL: retry loop (lock-free only) ————————————
+        // R2: x_p = LL(X)
+        Pc::R2 => {
+            proc.x = state.x.ll(p);
+            proc.x_linked = true;
+            proc.pc = Pc::R3(0);
+        }
+        // R3: copy BUF[x_p.buf] into *retval
+        Pc::R3(i) => {
+            proc.retval[i] = state.bufs[proc.x.buf as usize][i];
+            proc.pc = if i + 1 < w { Pc::R3(i + 1) } else { Pc::R7 };
+        }
+        // R7: if VL(X), the copy was stable — return it; else start over.
+        Pc::R7 => {
+            if state.x.vl(p) {
+                proc.pc = Pc::Idle;
+                fx.response = Some(RespDesc::Ll(proc.retval.clone()));
+            } else {
+                proc.pc = Pc::R2;
+            }
+        }
+    }
+    fx
+}
+
+/// Upper bound on the steps one LL takes at this granularity:
+/// lines 1,2,4,5,7,8,9,10 (8 single steps) + up to 4 word-copies of `W`
+/// (lines 3, 6, 7-copy, 11). Wait-freedom (experiment E5) asserts no LL
+/// ever exceeds this in *any* schedule.
+pub fn ll_step_bound(w: usize) -> u32 {
+    8 + 4 * w as u32
+}
+
+/// Upper bound on the steps one SC takes: lines 12, 12-VL, 13, 14, 14-VL,
+/// 15, 16, 18, 19, 20 (10 single steps) + one `W`-word copy (line 17).
+pub fn sc_step_bound(w: usize) -> u32 {
+    10 + w as u32
+}
+
+/// Steps one VL takes: exactly 1.
+pub fn vl_step_bound() -> u32 {
+    1
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn drive_solo(state: &mut SimState, proc: &mut ProcState, op: &SimOp) -> RespDesc {
+        let _ = proc.begin(op);
+        loop {
+            let fx = step(state, proc);
+            if let Some(r) = fx.response {
+                return r;
+            }
+        }
+    }
+
+    #[test]
+    fn solo_ll_returns_initial() {
+        let mut s = SimState::new(2, 2, &[5, 6]);
+        let mut p = ProcState::new(0, 2, 2);
+        let r = drive_solo(&mut s, &mut p, &SimOp::Ll);
+        assert_eq!(r, RespDesc::Ll(vec![5, 6]));
+    }
+
+    #[test]
+    fn solo_ll_sc_succeeds() {
+        let mut s = SimState::new(2, 2, &[5, 6]);
+        let mut p = ProcState::new(0, 2, 2);
+        drive_solo(&mut s, &mut p, &SimOp::Ll);
+        let r = drive_solo(&mut s, &mut p, &SimOp::Sc(vec![7, 8]));
+        assert_eq!(r, RespDesc::Sc(true));
+        assert_eq!(s.abstract_value(), &[7, 8]);
+        let r = drive_solo(&mut s, &mut p, &SimOp::Ll);
+        assert_eq!(r, RespDesc::Ll(vec![7, 8]));
+    }
+
+    #[test]
+    fn sc_bump_adds_to_word0() {
+        let mut s = SimState::new(1, 2, &[10, 0]);
+        let mut p = ProcState::new(0, 1, 2);
+        drive_solo(&mut s, &mut p, &SimOp::Ll);
+        let r = drive_solo(&mut s, &mut p, &SimOp::ScBump(5));
+        assert_eq!(r, RespDesc::Sc(true));
+        assert_eq!(s.abstract_value(), &[15, 0]);
+    }
+
+    #[test]
+    fn vl_true_without_interference() {
+        let mut s = SimState::new(2, 1, &[0]);
+        let mut p = ProcState::new(0, 2, 1);
+        drive_solo(&mut s, &mut p, &SimOp::Ll);
+        assert_eq!(drive_solo(&mut s, &mut p, &SimOp::Vl), RespDesc::Vl(true));
+    }
+
+    #[test]
+    fn interfering_sc_breaks_link() {
+        let mut s = SimState::new(2, 1, &[0]);
+        let mut p0 = ProcState::new(0, 2, 1);
+        let mut p1 = ProcState::new(1, 2, 1);
+        drive_solo(&mut s, &mut p0, &SimOp::Ll);
+        drive_solo(&mut s, &mut p1, &SimOp::Ll);
+        assert_eq!(drive_solo(&mut s, &mut p1, &SimOp::Sc(vec![9])), RespDesc::Sc(true));
+        assert_eq!(drive_solo(&mut s, &mut p0, &SimOp::Vl), RespDesc::Vl(false));
+        assert_eq!(drive_solo(&mut s, &mut p0, &SimOp::Sc(vec![3])), RespDesc::Sc(false));
+        assert_eq!(s.abstract_value(), &[9]);
+    }
+
+    #[test]
+    fn solo_steps_within_bounds() {
+        for w in [1usize, 2, 7] {
+            let init: Vec<u64> = (0..w as u64).collect();
+            let mut s = SimState::new(2, w, &init);
+            let mut p = ProcState::new(0, 2, w);
+            drive_solo(&mut s, &mut p, &SimOp::Ll);
+            assert!(p.steps_this_op <= ll_step_bound(w), "LL w={w}: {}", p.steps_this_op);
+            drive_solo(&mut s, &mut p, &SimOp::Sc(init.clone()));
+            assert!(p.steps_this_op <= sc_step_bound(w), "SC w={w}: {}", p.steps_this_op);
+            drive_solo(&mut s, &mut p, &SimOp::Ll);
+            drive_solo(&mut s, &mut p, &SimOp::Vl);
+            assert_eq!(p.steps_this_op, vl_step_bound());
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "SC before any LL")]
+    fn sc_before_ll_panics() {
+        let mut p = ProcState::new(0, 2, 1);
+        let _ = p.begin(&SimOp::Sc(vec![0]));
+    }
+
+    #[test]
+    #[should_panic(expected = "already in progress")]
+    fn double_begin_panics() {
+        let mut p = ProcState::new(0, 2, 1);
+        let _ = p.begin(&SimOp::Ll);
+        let _ = p.begin(&SimOp::Ll);
+    }
+
+    #[test]
+    fn sequence_numbers_cycle_mod_2n() {
+        let mut s = SimState::new(1, 1, &[0]);
+        let mut p = ProcState::new(0, 1, 1);
+        for i in 0..10u64 {
+            drive_solo(&mut s, &mut p, &SimOp::Ll);
+            assert_eq!(drive_solo(&mut s, &mut p, &SimOp::Sc(vec![i + 1])), RespDesc::Sc(true));
+            assert_eq!(s.x.read().seq, ((i as u32) + 1) % 2);
+        }
+        assert_eq!(s.abstract_value(), &[10]);
+    }
+}

@@ -1,0 +1,346 @@
+//! Machine-checked versions of the paper's proof obligations.
+//!
+//! * **Invariant I1** — ownership distinctness: at every instant, the `N`
+//!   effective process-owned buffers `m_p(t)` and the `2N` history buffers
+//!   `b_i(t)` are pairwise distinct (they partition the `3N` buffers).
+//!   This is the heart of why buffer exchange is race-free.
+//! * **Invariant I2** — between consecutive changes of `X`, exactly one
+//!   `Bank` write occurs: the lazy fix-up `Bank[s] := b` for the current
+//!   `X = (b, s)` (no writes at all before the first change, because
+//!   initialization pre-loads `Bank`).
+//! * **Lemma 3** — buffer stability: once a successful SC publishes buffer
+//!   `b` as current, no process writes into `BUF[b]` until `X` has changed
+//!   at least `2N` further times.
+//! * **Wait-freedom step bounds** — every LL completes within
+//!   `8 + 4W` interpreter steps, every SC within `10 + W`, every VL in 1,
+//!   in *every* schedule (checked by the runner on each response).
+//!
+//! All checks are *online*: the runner feeds every step's
+//! [`crate::interp::StepEffect`] to [`Monitors::on_effect`] and
+//! optionally calls [`check_i1`] on the post-step state.
+
+use crate::interp::{Pc, ProcState, StepEffect};
+use crate::state::SimState;
+use crate::word::XVal;
+
+/// A detected violation of one of the paper's properties — any occurrence
+/// is a bug in the algorithm (or the checker) and fails the run.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Violation {
+    /// Invariant I1 failed: two of the `3N` ownership values coincide.
+    I1 {
+        /// Human-readable description of the collision.
+        detail: String,
+    },
+    /// Invariant I2 failed: wrong set of `Bank` writes in an `X` interval.
+    I2 {
+        /// Human-readable description.
+        detail: String,
+    },
+    /// Lemma 3 failed: a protected buffer was overwritten too early.
+    Lemma3 {
+        /// The buffer that was written.
+        buf: u32,
+        /// `X` changes when it was published as current.
+        published_at: u64,
+        /// `X` changes at the offending write.
+        now: u64,
+        /// Required separation (`2N`).
+        required: u64,
+    },
+    /// An operation exceeded its wait-freedom step bound.
+    StepBound {
+        /// Process id.
+        pid: usize,
+        /// Operation label (`"LL"`, `"SC"`, `"VL"`).
+        op: &'static str,
+        /// Steps actually taken.
+        steps: u32,
+        /// The bound that was exceeded.
+        bound: u32,
+    },
+    /// The linearization-point monitor (paper §3, executed online by
+    /// [`crate::lp::LpMonitor`]) found a step contradicting the paper's
+    /// LP assignment or one of Lemmas 2, 4, 5, 6, 8, 10, 11.
+    Lp {
+        /// Human-readable description citing the violated lemma.
+        detail: String,
+    },
+}
+
+impl std::fmt::Display for Violation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::I1 { detail } => write!(f, "invariant I1 violated: {detail}"),
+            Self::I2 { detail } => write!(f, "invariant I2 violated: {detail}"),
+            Self::Lemma3 { buf, published_at, now, required } => write!(
+                f,
+                "Lemma 3 violated: BUF[{buf}] written after only {} X-changes (need {required})",
+                now - published_at
+            ),
+            Self::StepBound { pid, op, steps, bound } => {
+                write!(f, "wait-freedom violated: p{pid} {op} took {steps} steps (bound {bound})")
+            }
+            Self::Lp { detail } => write!(f, "linearization-point argument violated: {detail}"),
+        }
+    }
+}
+
+impl std::error::Error for Violation {}
+
+/// The effective buffer ownership `m_p(t)` of invariant I1, transcribed
+/// from the paper's definition.
+pub fn m_value(state: &SimState, proc: &ProcState) -> u32 {
+    // "if PC(p) ∈ (2..10) ∧ Help[p] ≡ (0, b) then m_p = b"
+    if proc.pc.in_ll_2_to_10() {
+        let h = state.help[proc.pid].read();
+        if !h.helpme {
+            return h.buf;
+        }
+    }
+    match proc.pc {
+        // "if PC(p) = 16 then m_p = d"
+        Pc::L16 => proc.d,
+        // "if PC(p) = 20 then m_p = e"
+        Pc::L20 => proc.e,
+        // "otherwise m_p = mybuf_p"
+        _ => proc.mybuf,
+    }
+}
+
+/// The history buffers `b_i(t)` of invariant I1: `b_k = a` where
+/// `X = (a, k)`, and `b_i = Bank[i]` for `i ≠ k`.
+pub fn b_values(state: &SimState) -> Vec<u32> {
+    let XVal { buf: a, seq: k } = state.x.read();
+    (0..state.num_seqs() as u32)
+        .map(|i| if i == k { a } else { state.bank[i as usize].read() })
+        .collect()
+}
+
+/// Checks invariant I1 on the given state: the `N` values `m_p` and the
+/// `2N` values `b_i` are pairwise distinct.
+pub fn check_i1(state: &SimState, procs: &[ProcState]) -> Result<(), Violation> {
+    let total = state.num_buffers();
+    let mut owner: Vec<Option<String>> = vec![None; total];
+    let mut claim = |idx: u32, label: String| -> Result<(), Violation> {
+        let slot = &mut owner[idx as usize];
+        if let Some(prev) = slot {
+            return Err(Violation::I1 {
+                detail: format!("buffer {idx} claimed by both {prev} and {label}"),
+            });
+        }
+        *slot = Some(label);
+        Ok(())
+    };
+    for proc in procs {
+        claim(m_value(state, proc), format!("m_{}", proc.pid))?;
+    }
+    for (i, b) in b_values(state).into_iter().enumerate() {
+        claim(b, format!("b_{i}"))?;
+    }
+    Ok(())
+}
+
+/// Online monitors for I2 and Lemma 3, plus `X`-change bookkeeping.
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+pub struct Monitors {
+    /// Number of successful SCs on `X` so far.
+    pub x_changes: u64,
+    /// `X`'s current value (tracked; equals `state.x.read()`).
+    cur_x: XVal,
+    /// `Bank` writes observed since the last `X` change: `(index, value)`.
+    bank_writes: Vec<(u32, u32)>,
+    /// For each buffer: the `x_changes` count at which it most recently
+    /// became the current buffer, if ever.
+    published_at: Vec<Option<u64>>,
+    /// `2N` (the required stability separation).
+    num_seqs: u64,
+}
+
+impl Monitors {
+    /// Monitors for a freshly initialized object.
+    pub fn new(n: usize) -> Self {
+        Self {
+            x_changes: 0,
+            cur_x: XVal { buf: 0, seq: 0 },
+            bank_writes: Vec::new(),
+            // Buffer 0 is current from initialization on: treat it as
+            // published at time 0 so early writes to it are caught too.
+            published_at: {
+                let mut v = vec![None; 3 * n];
+                v[0] = Some(0);
+                v
+            },
+            num_seqs: 2 * n as u64,
+        }
+    }
+
+    /// Feeds one step's effects; returns the first violation, if any.
+    pub fn on_effect(&mut self, fx: &StepEffect) -> Result<(), Violation> {
+        if let Some((buf, _word)) = fx.buf_write {
+            // Lemma 3: writes into a published buffer are forbidden until
+            // 2N X-changes have passed since publication.
+            if let Some(t) = self.published_at[buf as usize] {
+                if self.x_changes < t + self.num_seqs {
+                    return Err(Violation::Lemma3 {
+                        buf,
+                        published_at: t,
+                        now: self.x_changes,
+                        required: self.num_seqs,
+                    });
+                }
+            }
+        }
+        if let Some((idx, val)) = fx.bank_write {
+            self.bank_writes.push((idx, val));
+        }
+        if let Some(new_x) = fx.x_write {
+            // I2: the interval that just closed must contain exactly the
+            // one fix-up write `Bank[s] = b` for the closing X = (b, s) —
+            // except the initial interval, which needs none (Claim 1).
+            let expected: &[(u32, u32)] = if self.x_changes == 0 {
+                &[]
+            } else {
+                &[(self.cur_x.seq, self.cur_x.buf)]
+            };
+            if self.bank_writes != expected {
+                return Err(Violation::I2 {
+                    detail: format!(
+                        "interval ending at X-change {} (X was {:?}): saw Bank writes {:?}, expected {:?}",
+                        self.x_changes + 1,
+                        self.cur_x,
+                        self.bank_writes,
+                        expected
+                    ),
+                });
+            }
+            self.bank_writes.clear();
+            self.x_changes += 1;
+            self.cur_x = new_x;
+            self.published_at[new_x.buf as usize] = Some(self.x_changes);
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::interp::{step, SimOp};
+
+    #[test]
+    fn i1_holds_initially() {
+        let state = SimState::new(3, 1, &[0]);
+        let procs: Vec<ProcState> = (0..3).map(|p| ProcState::new(p, 3, 1)).collect();
+        check_i1(&state, &procs).unwrap();
+    }
+
+    #[test]
+    fn i1_detects_planted_collision() {
+        let state = SimState::new(2, 1, &[0]);
+        let mut procs: Vec<ProcState> = (0..2).map(|p| ProcState::new(p, 2, 1)).collect();
+        procs[1].mybuf = procs[0].mybuf; // corrupt ownership
+        let err = check_i1(&state, &procs).unwrap_err();
+        assert!(matches!(err, Violation::I1 { .. }));
+    }
+
+    #[test]
+    fn i1_holds_across_a_solo_run() {
+        let mut state = SimState::new(2, 2, &[1, 2]);
+        let mut procs: Vec<ProcState> = (0..2).map(|p| ProcState::new(p, 2, 2)).collect();
+        let ops =
+            [SimOp::Ll, SimOp::Sc(vec![3, 4]), SimOp::Ll, SimOp::Vl, SimOp::Sc(vec![5, 6])];
+        for op in &ops {
+            let _ = procs[0].begin(op);
+            loop {
+                let fx = step(&mut state, &mut procs[0]);
+                check_i1(&state, &procs).unwrap();
+                if fx.response.is_some() {
+                    break;
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn monitors_accept_solo_run() {
+        let mut state = SimState::new(2, 1, &[0]);
+        let mut proc = ProcState::new(0, 2, 1);
+        let mut mon = Monitors::new(2);
+        for i in 0..12u64 {
+            for op in [SimOp::Ll, SimOp::Sc(vec![i])] {
+                let _ = proc.begin(&op);
+                loop {
+                    let fx = step(&mut state, &mut proc);
+                    mon.on_effect(&fx).unwrap();
+                    if fx.response.is_some() {
+                        break;
+                    }
+                }
+            }
+        }
+        assert_eq!(mon.x_changes, 12);
+    }
+
+    #[test]
+    fn lemma3_monitor_detects_early_write() {
+        let mut mon = Monitors::new(2); // 2N = 4
+        // Publish buffer 5 at change 1.
+        mon.on_effect(&StepEffect {
+            x_write: Some(XVal { buf: 5, seq: 1 }),
+            ..Default::default()
+        })
+        .unwrap();
+        // Immediately writing buffer 5 must trip Lemma 3.
+        let err = mon
+            .on_effect(&StepEffect { buf_write: Some((5, 0)), ..Default::default() })
+            .unwrap_err();
+        assert!(matches!(err, Violation::Lemma3 { buf: 5, .. }));
+    }
+
+    #[test]
+    fn i2_monitor_requires_exact_fixup() {
+        let mut mon = Monitors::new(1); // 2N = 2
+        // First change: no bank writes expected.
+        mon.on_effect(&StepEffect {
+            x_write: Some(XVal { buf: 2, seq: 1 }),
+            ..Default::default()
+        })
+        .unwrap();
+        // Second change without the fix-up write: violation.
+        let err = mon
+            .on_effect(&StepEffect {
+                x_write: Some(XVal { buf: 1, seq: 0 }),
+                ..Default::default()
+            })
+            .unwrap_err();
+        assert!(matches!(err, Violation::I2 { .. }));
+    }
+
+    #[test]
+    fn i2_monitor_accepts_correct_fixup() {
+        let mut mon = Monitors::new(1);
+        mon.on_effect(&StepEffect {
+            x_write: Some(XVal { buf: 2, seq: 1 }),
+            ..Default::default()
+        })
+        .unwrap();
+        // The fix-up for X = (2, 1), then the next change.
+        mon.on_effect(&StepEffect { bank_write: Some((1, 2)), ..Default::default() })
+            .unwrap();
+        mon.on_effect(&StepEffect {
+            x_write: Some(XVal { buf: 0, seq: 0 }),
+            ..Default::default()
+        })
+        .unwrap();
+        assert_eq!(mon.x_changes, 2);
+    }
+
+    #[test]
+    fn violation_messages_render() {
+        let v = Violation::Lemma3 { buf: 3, published_at: 1, now: 2, required: 4 };
+        assert!(v.to_string().contains("BUF[3]"));
+        let v = Violation::StepBound { pid: 1, op: "LL", steps: 99, bound: 12 };
+        assert!(v.to_string().contains("p1 LL"));
+    }
+}

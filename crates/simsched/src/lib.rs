@@ -1,0 +1,75 @@
+//! Deterministic simulation, schedule exploration, and verification
+//! tooling for the Jayanti–Petrovic multiword LL/SC algorithm.
+//!
+//! The real implementation (`mwllsc`) runs on hardware atomics, where
+//! schedules cannot be controlled or reproduced. This crate re-implements
+//! the *same* Figure 2 pseudocode as an interpreter whose every atomic
+//! action (one shared-memory access, one buffer-word copy) is a separate
+//! step driven by a pluggable [`Scheduler`]. On top of that it provides:
+//!
+//! * [`word`] — abstract single-word LL/SC/VL objects with the exact
+//!   Figure 1 semantics (explicit per-process link bits, no tags);
+//! * [`interp`] — the PC-level interpreter (states = the paper's line
+//!   numbers) with per-operation step counting;
+//! * [`sched`] — round-robin, seeded-random, weighted, and
+//!   victim-starvation schedulers;
+//! * [`invariants`] — online monitors for the paper's invariant I1
+//!   (buffer-ownership distinctness), invariant I2 (exactly one lazy
+//!   `Bank` fix-up per `X` interval), Lemma 3 (2N-change buffer
+//!   stability), and the wait-freedom step bounds of Theorem 1;
+//! * [`wg`] — a Wing–Gong linearizability checker for LL/SC/VL histories
+//!   (handles pending operations);
+//! * [`runner`] — checked runs: schedule + workload in, history +
+//!   verdict out;
+//! * [`explore`] — exhaustive DFS over *all* schedules for small
+//!   configurations, with memoization on the full machine state.
+//!
+//! Together these regenerate the paper's correctness claims (experiments
+//! E5 and E6 in `EXPERIMENTS.md`): linearizability on hundreds of
+//! thousands of adversarial and random schedules, invariants on every
+//! single step, and the `O(W)` wait-freedom bound as a hard assertion.
+//!
+//! # Example: a checked adversarial run
+//!
+//! ```
+//! use simsched::interp::SimOp;
+//! use simsched::runner::{run, RunConfig, Sim};
+//! use simsched::sched::StarveVictim;
+//! use simsched::wg::{check_linearizable, CheckConfig};
+//!
+//! // Process 0 performs one LL while three writers storm the object.
+//! let mut programs = vec![vec![SimOp::Ll]];
+//! for _ in 0..3 {
+//!     programs.push(vec![
+//!         SimOp::Ll, SimOp::ScBump(1),
+//!         SimOp::Ll, SimOp::ScBump(1),
+//!     ]);
+//! }
+//! let sim = Sim::new(2, &[0, 0], programs);
+//! let mut sched = StarveVictim::new(0, 40);
+//! let report = run(sim, &mut sched, &RunConfig::default()).unwrap();
+//! assert!(report.completed);
+//! check_linearizable(&report.history, &[0, 0], CheckConfig::default()).unwrap();
+//! ```
+
+#![warn(missing_docs, missing_debug_implementations)]
+#![forbid(unsafe_code)]
+
+pub mod explore;
+pub mod history;
+pub mod interp;
+pub mod invariants;
+pub mod lp;
+pub mod runner;
+pub mod sched;
+pub mod state;
+pub mod wg;
+pub mod word;
+
+pub use history::History;
+pub use invariants::Violation;
+pub use lp::LpMonitor;
+pub use runner::{run, run_with_crashes, RunConfig, RunReport, Sim};
+pub use sched::Scheduler;
+pub use state::SimState;
+pub use wg::{check_linearizable, CheckConfig, LinzError};

@@ -1,0 +1,407 @@
+//! The paper's linearization-point argument (§3), executed as an online
+//! monitor.
+//!
+//! The Wing–Gong checker ([`crate::wg`]) verifies linearizability with no
+//! knowledge of the algorithm, but its search is exponential, limiting
+//! history length. This monitor takes the opposite trade: it encodes the
+//! paper's §3 proof — the linearization-point (LP) assignment and the
+//! lemmas around it — and checks each piece *as the execution unfolds*,
+//! in `O(1)` per operation. Millions-of-operations histories become
+//! checkable, and a passing run certifies not just linearizability but
+//! that the paper's own argument is the reason it holds:
+//!
+//! * **LP assignment** (§3): an LL linearizes at its line 2 (not helped),
+//!   at its line 5 (helped, line-7 VL succeeded), or at the line-14 VL of
+//!   the unique SC that wrote into `Help[p]` (helped, line-7 VL failed);
+//!   an SC at its line 19; a VL at its line 23.
+//! * **Lemmas 5, 6, 8**: the value an LL returns equals the abstract value
+//!   of `O` at its LP — checked by comparing against the monitor's shadow
+//!   copy of the current value captured at the LP step.
+//! * **Lemma 10 / 11**: an SC (VL) succeeds iff no successful SC
+//!   linearized since the LP of the process's latest LL — checked by
+//!   comparing `X`-change counts.
+//! * **Lemma 2** (S1–S3): during an LL's announce window exactly one write
+//!   lands in `Help[p]` (the withdrawal or one donation), and none
+//!   afterwards until the next announce.
+//! * **Lemma 4**: an LL that was *not* helped observed at most `2N − 1`
+//!   `X` changes between its line 2 and line 4.
+//!
+//! Any failed assertion is reported as a [`Violation::Lp`].
+
+use crate::interp::{Pc, ProcState, StepEffect};
+use crate::invariants::Violation;
+use crate::state::SimState;
+
+/// Snapshot of the abstract object at a candidate linearization point.
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+struct LpSnapshot {
+    /// The abstract value of `O` at the snapshot step.
+    value: Vec<u64>,
+    /// Number of successful SCs on `X` before the snapshot step.
+    count: u64,
+}
+
+/// Per-process LL bookkeeping.
+#[derive(Clone, Debug, Default, PartialEq, Eq, Hash)]
+struct ProcLp {
+    /// Snapshot at this LL's line 2.
+    l2: Option<LpSnapshot>,
+    /// Snapshot at this LL's line 5 (helped path).
+    l5: Option<LpSnapshot>,
+    /// Whether line 4 saw `(0, b)`.
+    helped: bool,
+    /// Whether line 7's VL failed (the donated value will be returned).
+    rescued: bool,
+    /// The donation attached to this process's pending LL: the helper's
+    /// line-14-VL snapshot (Lemma 8's time `t''`).
+    donation: Option<LpSnapshot>,
+    /// Writes into `Help[p]` observed since this process's line 1
+    /// (Lemma 2's window); `None` when no LL is active.
+    help_writes_in_window: Option<u32>,
+    /// The LP of this process's latest *completed* LL, as an `X`-change
+    /// count (for Lemma 10/11 checks on the subsequent SC/VL).
+    lp_count: Option<u64>,
+    /// Pending helper state: snapshot taken at line 14's VL, consumed by
+    /// line 15's successful SC.
+    helper_snapshot: Option<LpSnapshot>,
+}
+
+/// Online monitor executing the paper's §3 argument.
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+pub struct LpMonitor {
+    /// Shadow of `O`'s abstract current value.
+    current: Vec<u64>,
+    /// Successful SCs on `X` so far.
+    count: u64,
+    per_proc: Vec<ProcLp>,
+    /// `2N`, for Lemma 4's bound.
+    num_seqs: u64,
+}
+
+impl LpMonitor {
+    /// A monitor for a fresh object with the given initial value.
+    pub fn new(n: usize, initial: &[u64]) -> Self {
+        Self {
+            current: initial.to_vec(),
+            count: 0,
+            per_proc: vec![ProcLp::default(); n],
+            num_seqs: 2 * n as u64,
+        }
+    }
+
+    /// Successful SCs observed (equals the I2 monitor's `x_changes`).
+    pub fn x_changes(&self) -> u64 {
+        self.count
+    }
+
+    fn snap(&self) -> LpSnapshot {
+        LpSnapshot { value: self.current.clone(), count: self.count }
+    }
+
+    fn fail(detail: String) -> Violation {
+        Violation::Lp { detail }
+    }
+
+    /// Feeds one interpreter step. `pc_before` is the PC that was just
+    /// executed; `proc` and `state` are post-step.
+    pub fn on_step(
+        &mut self,
+        pc_before: Pc,
+        proc: &ProcState,
+        state: &SimState,
+        fx: &StepEffect,
+    ) -> Result<(), Violation> {
+        let p = proc.pid;
+        let n = self.per_proc.len();
+
+        match pc_before {
+            // Line 1: announce — opens the Lemma 2 window, resets LL state.
+            Pc::L1 => {
+                let entry = &mut self.per_proc[p];
+                entry.l2 = None;
+                entry.l5 = None;
+                entry.helped = false;
+                entry.rescued = false;
+                entry.donation = None;
+                entry.help_writes_in_window = Some(0);
+            }
+            // Line 2: candidate LP for the un-helped case.
+            Pc::L2 => {
+                self.per_proc[p].l2 = Some(self.snap());
+            }
+            // Ablation retry-loop LL: each R2 (re-)establishes the LP
+            // candidate; R7's successful VL certifies it (no announce, so
+            // no Lemma 2 window and no donations to track).
+            Pc::R2 => {
+                let snap = self.snap();
+                let entry = &mut self.per_proc[p];
+                entry.l2 = Some(snap);
+                entry.helped = false;
+                entry.rescued = false;
+                entry.donation = None;
+            }
+            Pc::R7 => {
+                if fx.response.is_some() {
+                    self.check_ll_response(p, proc)?;
+                }
+            }
+            // Line 4: helped detection + Lemma 4 check when not helped.
+            Pc::L4 => {
+                if fx.ll_helped {
+                    self.per_proc[p].helped = true;
+                } else {
+                    let l2 = self.per_proc[p]
+                        .l2
+                        .as_ref()
+                        .expect("line 4 implies line 2 executed");
+                    let changes = self.count - l2.count;
+                    if changes > self.num_seqs - 1 {
+                        return Err(Self::fail(format!(
+                            "Lemma 4: p{p} not helped, but X changed {changes} times \
+                             (> 2N-1 = {}) between its lines 2 and 4",
+                            self.num_seqs - 1
+                        )));
+                    }
+                }
+            }
+            // Line 5: candidate LP for the helped, VL-ok case.
+            Pc::L5 => {
+                self.per_proc[p].l5 = Some(self.snap());
+            }
+            // Line 7: rescue detection.
+            Pc::L7
+                if fx.ll_rescued => {
+                    self.per_proc[p].rescued = true;
+                }
+            // Line 9: a successful withdrawal is a Help[p] write (Lemma 2).
+            Pc::L9
+                if fx.help_withdraw => {
+                    self.note_help_write(p, "own line-9 withdrawal")?;
+                }
+            // Line 10: the Lemma 2 window (t, t') closes here: exactly one
+            // write must have landed.
+            Pc::L10 => {
+                let writes = self.per_proc[p]
+                    .help_writes_in_window
+                    .expect("line 10 implies an open announce window");
+                if writes != 1 {
+                    return Err(Self::fail(format!(
+                        "Lemma 2 (S1): {writes} writes into Help[{p}] during its \
+                         announce window, expected exactly 1"
+                    )));
+                }
+            }
+            // Line 11 (last word): the LL responds — Lemmas 5/6/8.
+            Pc::L11(i) if i + 1 == state.w => {
+                self.check_ll_response(p, proc)?;
+            }
+            // Line 14's VL (paper time t''): snapshot for a possible donation.
+            Pc::L14Vl => {
+                if proc.pc == Pc::L15 {
+                    // VL succeeded: the helper's retval is O's current value
+                    // (its link is intact), i.e. the value at this very step.
+                    self.per_proc[p].helper_snapshot = Some(self.snap());
+                } else {
+                    self.per_proc[p].helper_snapshot = None;
+                }
+            }
+            // Line 15: successful donation — attach the snapshot to the
+            // helpee's pending LL (and count the Help write, Lemma 2).
+            Pc::L15
+                if fx.help_given => {
+                    let q = (proc.x.seq as usize) % n;
+                    let snap = self.per_proc[p]
+                        .helper_snapshot
+                        .take()
+                        .expect("line 15 success implies a line-14 VL snapshot");
+                    self.note_help_write(q, "a line-15 donation")?;
+                    if self.per_proc[q].donation.is_some() {
+                        return Err(Self::fail(format!(
+                            "Lemma 2: second donation to p{q} within one LL window"
+                        )));
+                    }
+                    self.per_proc[q].donation = Some(snap);
+                }
+            // Line 19: the SC's LP — Lemma 10; maintain the shadow value on
+            // success. (The success response is emitted at line 20, but the
+            // outcome is decided — and checked — here.)
+            Pc::L19 => {
+                if let Some(crate::history::RespDesc::Sc(false)) = fx.response {
+                    self.check_sc_outcome(p, false)?;
+                }
+                if let Some(new_x) = fx.x_write {
+                    // Success: check BEFORE bumping the count, so the rule
+                    // "succeeds iff count == lp_count" reads naturally.
+                    self.check_sc_outcome(p, true)?;
+                    self.count += 1;
+                    self.current = state.bufs[new_x.buf as usize].clone();
+                }
+            }
+            // Line 23: VL responds — Lemma 11.
+            Pc::L23 => {
+                if let Some(crate::history::RespDesc::Vl(ok)) = fx.response {
+                    let lp = self.per_proc[p]
+                        .lp_count
+                        .expect("VL requires a completed LL");
+                    let expect = self.count == lp;
+                    if ok != expect {
+                        return Err(Self::fail(format!(
+                            "Lemma 11: p{p} VL returned {ok}, but {} successful SCs \
+                             occurred since its LL's LP",
+                            self.count - lp
+                        )));
+                    }
+                }
+            }
+            _ => {}
+        }
+        Ok(())
+    }
+
+    /// Records a write into `Help[q]` and enforces Lemma 2's S1/S3.
+    fn note_help_write(&mut self, q: usize, what: &str) -> Result<(), Violation> {
+        match &mut self.per_proc[q].help_writes_in_window {
+            Some(w) => {
+                *w += 1;
+                if *w > 1 {
+                    return Err(Self::fail(format!(
+                        "Lemma 2 (S1): second write into Help[{q}] ({what}) within \
+                         one announce window"
+                    )));
+                }
+                Ok(())
+            }
+            // S3: a write while no announce window is open.
+            None => Err(Self::fail(format!(
+                "Lemma 2 (S3): write into Help[{q}] ({what}) outside any announce window"
+            ))),
+        }
+    }
+
+    /// Lemmas 5/6/8: the LL's return value equals `O`'s abstract value at
+    /// its LP; records the LP count for the subsequent SC/VL check.
+    fn check_ll_response(&mut self, p: usize, proc: &ProcState) -> Result<(), Violation> {
+        let entry = &mut self.per_proc[p];
+        let (lp, which): (LpSnapshot, &str) = if !entry.helped {
+            (entry.l2.clone().expect("LL executed line 2"), "line 2 (Lemma 5)")
+        } else if !entry.rescued {
+            (entry.l5.clone().expect("helped LL executed line 5"), "line 5 (Lemma 6)")
+        } else {
+            let donation = entry.donation.clone().ok_or_else(|| {
+                Self::fail(format!(
+                    "Lemma 7: p{p} took the rescue path but no donation was recorded"
+                ))
+            })?;
+            (donation, "the helper's line-14 VL (Lemma 8)")
+        };
+        if proc.retval != lp.value {
+            return Err(Self::fail(format!(
+                "p{p}'s LL returned {:?}, but O's value at its LP ({which}) was {:?}",
+                proc.retval, lp.value
+            )));
+        }
+        entry.lp_count = Some(lp.count);
+        entry.help_writes_in_window = None; // close the Lemma 2 window
+        entry.donation = None;
+        Ok(())
+    }
+
+    /// Lemma 10: the SC succeeds iff no successful SC since the LL's LP.
+    fn check_sc_outcome(&mut self, p: usize, succeeded: bool) -> Result<(), Violation> {
+        let lp = self.per_proc[p].lp_count.expect("SC requires a completed LL");
+        let expect = self.count == lp;
+        if succeeded != expect {
+            return Err(Self::fail(format!(
+                "Lemma 10: p{p}'s SC {} although {} successful SCs occurred since \
+                 its LL's LP",
+                if succeeded { "succeeded" } else { "failed" },
+                self.count - lp
+            )));
+        }
+        if succeeded {
+            // The success consumes the link: any further SC/VL against this
+            // LL must see count > lp. (count is bumped by the caller.)
+            debug_assert_eq!(self.count, lp);
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::interp::{step, ProcState, SimOp};
+
+    /// Drives a full solo operation through the monitor.
+    fn drive(
+        state: &mut SimState,
+        proc: &mut ProcState,
+        mon: &mut LpMonitor,
+        op: &SimOp,
+    ) -> Result<(), Violation> {
+        let _ = proc.begin(op);
+        loop {
+            let pc_before = proc.pc;
+            let fx = step(state, proc);
+            mon.on_step(pc_before, proc, state, &fx)?;
+            if fx.response.is_some() {
+                return Ok(());
+            }
+        }
+    }
+
+    #[test]
+    fn solo_run_satisfies_lp_argument() {
+        let mut state = SimState::new(2, 2, &[3, 4]);
+        let mut proc = ProcState::new(0, 2, 2);
+        let mut mon = LpMonitor::new(2, &[3, 4]);
+        for i in 0..50u64 {
+            drive(&mut state, &mut proc, &mut mon, &SimOp::Ll).unwrap();
+            drive(&mut state, &mut proc, &mut mon, &SimOp::Vl).unwrap();
+            drive(&mut state, &mut proc, &mut mon, &SimOp::Sc(vec![i, i + 1])).unwrap();
+        }
+        assert_eq!(mon.x_changes(), 50);
+    }
+
+    #[test]
+    fn two_procs_interleaved_coarse() {
+        // Operation-level interleaving (each op runs to completion): the
+        // loser's SC failure must match Lemma 10.
+        let mut state = SimState::new(2, 1, &[0]);
+        let mut p0 = ProcState::new(0, 2, 1);
+        let mut p1 = ProcState::new(1, 2, 1);
+        let mut mon = LpMonitor::new(2, &[0]);
+        drive(&mut state, &mut p0, &mut mon, &SimOp::Ll).unwrap();
+        drive(&mut state, &mut p1, &mut mon, &SimOp::Ll).unwrap();
+        drive(&mut state, &mut p1, &mut mon, &SimOp::Sc(vec![7])).unwrap();
+        drive(&mut state, &mut p0, &mut mon, &SimOp::Sc(vec![9])).unwrap(); // must fail, and does
+        drive(&mut state, &mut p0, &mut mon, &SimOp::Ll).unwrap();
+        assert_eq!(p0.retval, vec![7]);
+    }
+
+    #[test]
+    fn detects_planted_wrong_return_value() {
+        let mut state = SimState::new(1, 1, &[5]);
+        let mut proc = ProcState::new(0, 1, 1);
+        let mut mon = LpMonitor::new(1, &[5]);
+        let _ = proc.begin(&SimOp::Ll);
+        let mut err = None;
+        loop {
+            let pc_before = proc.pc;
+            // Corrupt the retval just before the final line-11 store.
+            if matches!(pc_before, crate::interp::Pc::L11(0)) {
+                proc.retval[0] = 999;
+            }
+            let fx = step(&mut state, &mut proc);
+            if let Err(e) = mon.on_step(pc_before, &proc, &state, &fx) {
+                err = Some(e);
+                break;
+            }
+            if fx.response.is_some() {
+                break;
+            }
+        }
+        let err = err.expect("monitor must flag the corrupted return value");
+        assert!(matches!(err, Violation::Lp { .. }), "{err}");
+    }
+}

@@ -1,0 +1,389 @@
+//! The simulation driver: programs, transitions, and checked runs.
+
+use crate::history::{History, OpDesc, RespDesc};
+use crate::interp::{ll_step_bound, sc_step_bound, step, vl_step_bound, ProcState, SimOp};
+use crate::invariants::{check_i1, Monitors, Violation};
+use crate::lp::LpMonitor;
+use crate::sched::Scheduler;
+use crate::state::SimState;
+
+/// A complete simulation instance: shared state, processes, and their
+/// programs. `Clone + Eq + Hash` so the explorer can memoize on it.
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+pub struct Sim {
+    /// The shared memory.
+    pub state: SimState,
+    /// Per-process interpreter state.
+    pub procs: Vec<ProcState>,
+    /// Per-process operation sequences.
+    pub programs: Vec<Vec<SimOp>>,
+    /// Per-process next-operation index.
+    pub pos: Vec<usize>,
+}
+
+impl Sim {
+    /// Builds a simulation of `programs.len()` processes on a `w`-word
+    /// object initialized to `initial`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `programs` is empty or violates [`SimState::new`] limits.
+    pub fn new(w: usize, initial: &[u64], programs: Vec<Vec<SimOp>>) -> Self {
+        let n = programs.len();
+        let state = SimState::new(n, w, initial);
+        let procs = (0..n).map(|p| ProcState::new(p, n, w)).collect();
+        Self { state, procs, programs, pos: vec![0; n] }
+    }
+
+    /// Process ids that can take a step: mid-operation, or idle with
+    /// program remaining.
+    pub fn runnable(&self) -> Vec<usize> {
+        (0..self.procs.len())
+            .filter(|&p| {
+                self.procs[p].pc != crate::interp::Pc::Idle
+                    || self.pos[p] < self.programs[p].len()
+            })
+            .collect()
+    }
+
+    /// Whether every process has completed its program.
+    pub fn is_done(&self) -> bool {
+        self.runnable().is_empty()
+    }
+}
+
+/// What to check during a run.
+#[derive(Clone, Copy, Debug)]
+pub struct RunConfig {
+    /// Check invariant I1 after every step (state predicate).
+    pub check_i1: bool,
+    /// Run the I2 / Lemma 3 monitors.
+    pub monitors: bool,
+    /// Enforce the wait-freedom step bounds on every response.
+    pub check_step_bounds: bool,
+    /// Run the linearization-point monitor (paper §3 as online checks:
+    /// Lemmas 2, 4, 5, 6, 8, 10, 11). `O(1)` per step; validates
+    /// arbitrarily long histories without the Wing–Gong search.
+    pub check_lp: bool,
+    /// Record the history (for linearizability checking afterwards).
+    pub record_history: bool,
+    /// Record the schedule (sequence of stepped process ids) so a failing
+    /// run can be replayed exactly with [`crate::sched::ReplaySched`].
+    pub record_schedule: bool,
+    /// Abort (as incomplete, not as failure) after this many steps.
+    pub max_steps: u64,
+}
+
+impl Default for RunConfig {
+    fn default() -> Self {
+        Self {
+            check_i1: true,
+            monitors: true,
+            check_step_bounds: true,
+            check_lp: true,
+            record_history: true,
+            record_schedule: false,
+            max_steps: 10_000_000,
+        }
+    }
+}
+
+/// The outcome of a checked run.
+#[derive(Clone, Debug)]
+pub struct RunReport {
+    /// The recorded history (empty if recording was off).
+    pub history: History,
+    /// Total steps executed.
+    pub steps: u64,
+    /// Whether every program ran to completion within `max_steps`.
+    pub completed: bool,
+    /// Maximum steps observed for any single LL / SC / VL operation.
+    pub max_op_steps: MaxOpSteps,
+    /// Successful SCs on `X` (i.e. on `O`) during the run.
+    pub x_changes: u64,
+    /// LLs that were helped (line 4 saw `(0, b)`).
+    pub helped_lls: u64,
+    /// Helped LLs that returned the donated value (line 7 VL failed).
+    pub rescued_lls: u64,
+    /// Buffer donations performed by SCs (line 15 succeeded).
+    pub helps_given: u64,
+    /// The recorded schedule (empty unless `record_schedule` was set).
+    pub schedule: Vec<usize>,
+    /// Processes with an operation still in flight when the run stopped
+    /// (starved past `max_steps`, or crashed mid-operation).
+    pub pending: Vec<usize>,
+    /// The final abstract value of `O`.
+    pub final_value: Vec<u64>,
+}
+
+/// Per-operation-kind maxima of steps-per-operation (wait-freedom data).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct MaxOpSteps {
+    /// Worst LL observed.
+    pub ll: u32,
+    /// Worst SC observed.
+    pub sc: u32,
+    /// Worst VL observed.
+    pub vl: u32,
+    /// Worst retry-loop-LL ablation observed (unbounded by design; tracked
+    /// separately so it never pollutes the wait-free `ll` figure).
+    pub retry_ll: u32,
+}
+
+/// A failed run: the violation plus forensic context.
+#[derive(Clone, Debug)]
+pub struct RunFailure {
+    /// What went wrong.
+    pub violation: Violation,
+    /// Step index at which it was detected.
+    pub at_step: u64,
+    /// History up to the failure (if recording was on).
+    pub history: History,
+    /// Schedule up to and including the failing step (if recording was
+    /// on) — feed to [`crate::sched::ReplaySched`] to reproduce exactly.
+    pub schedule: Vec<usize>,
+}
+
+impl std::fmt::Display for RunFailure {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "at step {}: {}", self.at_step, self.violation)
+    }
+}
+
+impl std::error::Error for RunFailure {}
+
+/// Executes one scheduling turn for `pid`: begins the next program
+/// operation if the process is idle, then performs exactly one interpreter
+/// step, feeding monitors and recording events.
+///
+/// Returns the step's effects (including the response, if the step
+/// completed an operation).
+pub(crate) fn turn(
+    sim: &mut Sim,
+    pid: usize,
+    monitors: &mut Monitors,
+    lp: &mut LpMonitor,
+    cfg: &RunConfig,
+    history: &mut History,
+    step_no: u64,
+) -> Result<crate::interp::StepEffect, Violation> {
+    if sim.procs[pid].pc == crate::interp::Pc::Idle {
+        let op = sim.programs[pid][sim.pos[pid]].clone();
+        sim.pos[pid] += 1;
+        let desc: OpDesc = sim.procs[pid].begin(&op);
+        if cfg.record_history {
+            history.invoke(pid, desc, step_no);
+        }
+    }
+    let pc_before = sim.procs[pid].pc;
+    let fx = step(&mut sim.state, &mut sim.procs[pid]);
+    if cfg.monitors {
+        monitors.on_effect(&fx)?;
+    }
+    if cfg.check_lp {
+        lp.on_step(pc_before, &sim.procs[pid], &sim.state, &fx)?;
+    }
+    if cfg.check_i1 {
+        check_i1(&sim.state, &sim.procs)?;
+    }
+    if let Some(resp) = &fx.response {
+        // The retry-loop LL ablation is deliberately not wait-free: it is
+        // exempt from the step bound (that exemption *is* the finding).
+        if cfg.check_step_bounds && !sim.procs[pid].in_retry_ll {
+            let (label, bound) = match resp {
+                RespDesc::Ll(_) => ("LL", ll_step_bound(sim.state.w)),
+                RespDesc::Sc(_) => ("SC", sc_step_bound(sim.state.w)),
+                RespDesc::Vl(_) => ("VL", vl_step_bound()),
+            };
+            let steps = sim.procs[pid].steps_this_op;
+            if steps > bound {
+                return Err(Violation::StepBound { pid, op: label, steps, bound });
+            }
+        }
+        if cfg.record_history {
+            history.respond(pid, resp.clone(), step_no);
+        }
+    }
+    Ok(fx)
+}
+
+/// Runs `sim` to completion (or `max_steps`) under `sched`, checking
+/// everything `cfg` enables.
+pub fn run<S: Scheduler>(
+    sim: Sim,
+    sched: &mut S,
+    cfg: &RunConfig,
+) -> Result<RunReport, RunFailure> {
+    run_with_crashes(sim, sched, cfg, &[])
+}
+
+/// Like [`run`], but each `(pid, step)` pair in `crashes` permanently
+/// stops that process once the global step counter reaches `step` —
+/// modelling a crash, possibly mid-operation.
+///
+/// Crashed processes simply never take another step: the paper's fault
+/// model. Wait-freedom demands that the survivors are unaffected, and a
+/// crashed process's pending operation is handled by the history checker
+/// as a standard pending (maybe-linearized) operation.
+pub fn run_with_crashes<S: Scheduler>(
+    mut sim: Sim,
+    sched: &mut S,
+    cfg: &RunConfig,
+    crashes: &[(usize, u64)],
+) -> Result<RunReport, RunFailure> {
+    let mut history = History::default();
+    let mut monitors = Monitors::new(sim.state.n);
+    let mut lp = LpMonitor::new(sim.state.n, sim.state.abstract_value());
+    let mut max_op = MaxOpSteps::default();
+    let mut steps = 0u64;
+    let (mut helped, mut rescued, mut given) = (0u64, 0u64, 0u64);
+    let mut schedule = Vec::new();
+
+    loop {
+        let crashed: Vec<usize> = crashes
+            .iter()
+            .filter(|(_, at)| steps >= *at)
+            .map(|(pid, _)| *pid)
+            .collect();
+        let runnable: Vec<usize> =
+            sim.runnable().into_iter().filter(|p| !crashed.contains(p)).collect();
+        if runnable.is_empty() || steps >= cfg.max_steps {
+            break;
+        }
+        let pid = sched.pick(&runnable, steps);
+        debug_assert!(runnable.contains(&pid), "scheduler picked a blocked process");
+        if cfg.record_schedule {
+            schedule.push(pid);
+        }
+        match turn(&mut sim, pid, &mut monitors, &mut lp, cfg, &mut history, steps) {
+            Ok(fx) => {
+                helped += u64::from(fx.ll_helped);
+                rescued += u64::from(fx.ll_rescued);
+                given += u64::from(fx.help_given);
+                if let Some(resp) = fx.response {
+                    let s = sim.procs[pid].steps_this_op;
+                    match resp {
+                        RespDesc::Ll(_) if sim.procs[pid].in_retry_ll => {
+                            max_op.retry_ll = max_op.retry_ll.max(s);
+                        }
+                        RespDesc::Ll(_) => max_op.ll = max_op.ll.max(s),
+                        RespDesc::Sc(_) => max_op.sc = max_op.sc.max(s),
+                        RespDesc::Vl(_) => max_op.vl = max_op.vl.max(s),
+                    }
+                }
+            }
+            Err(violation) => {
+                return Err(RunFailure { violation, at_step: steps, history, schedule });
+            }
+        }
+        steps += 1;
+    }
+
+    // `completed` means: every non-crashed process ran its program dry.
+    let crashed: Vec<usize> =
+        crashes.iter().filter(|(_, at)| steps >= *at).map(|(pid, _)| *pid).collect();
+    let completed = sim.runnable().into_iter().all(|p| crashed.contains(&p));
+    let pending: Vec<usize> = (0..sim.procs.len())
+        .filter(|&p| sim.procs[p].pc != crate::interp::Pc::Idle)
+        .collect();
+    let final_value = sim.state.abstract_value().to_vec();
+    Ok(RunReport {
+        history,
+        steps,
+        completed,
+        max_op_steps: max_op,
+        x_changes: monitors.x_changes,
+        helped_lls: helped,
+        rescued_lls: rescued,
+        helps_given: given,
+        schedule,
+        pending,
+        final_value,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sched::{RandomSched, RoundRobin, StarveVictim};
+    use crate::wg::{check_linearizable, CheckConfig};
+
+    fn inc_program(rounds: usize) -> Vec<SimOp> {
+        let mut ops = Vec::new();
+        for _ in 0..rounds {
+            ops.push(SimOp::Ll);
+            ops.push(SimOp::ScBump(1));
+        }
+        ops
+    }
+
+    #[test]
+    fn round_robin_counter_is_exact_and_linearizable() {
+        let programs = vec![inc_program(4); 3];
+        let sim = Sim::new(2, &[0, 0], programs);
+        let report = run(sim, &mut RoundRobin::default(), &RunConfig::default()).unwrap();
+        assert!(report.completed);
+        check_linearizable(&report.history, &[0, 0], CheckConfig::default()).unwrap();
+        // Not every SC succeeds, but the final value must equal the number
+        // of successful SCs.
+        assert_eq!(u64::from(report.final_value[0] > 0), 1);
+        assert_eq!(report.final_value[0], report.x_changes);
+    }
+
+    #[test]
+    fn random_schedules_linearizable() {
+        for seed in 0..30 {
+            let programs = vec![inc_program(3); 3];
+            let sim = Sim::new(1, &[0], programs);
+            let mut sched = RandomSched::new(seed);
+            let report = run(sim, &mut sched, &RunConfig::default())
+                .unwrap_or_else(|f| panic!("seed {seed}: {f}"));
+            assert!(report.completed);
+            check_linearizable(&report.history, &[0], CheckConfig::default())
+                .unwrap_or_else(|e| panic!("seed {seed}: {e}"));
+            assert_eq!(report.final_value[0], report.x_changes, "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn starved_reader_completes_with_bounded_steps() {
+        // Victim 0 does a single LL; 3 writers hammer SCs. The victim gets
+        // one step per 50 decisions, so writers perform many successful SCs
+        // during its copy loop — yet it must finish within its bound.
+        let mut programs = vec![vec![SimOp::Ll]];
+        for _ in 0..3 {
+            programs.push(inc_program(20));
+        }
+        let sim = Sim::new(4, &[0, 0, 0, 0], programs);
+        let mut sched = StarveVictim::new(0, 50);
+        let report = run(sim, &mut sched, &RunConfig::default()).unwrap();
+        assert!(report.completed);
+        assert!(
+            report.max_op_steps.ll <= ll_step_bound(4),
+            "LL exceeded its wait-freedom bound: {}",
+            report.max_op_steps.ll
+        );
+        check_linearizable(&report.history, &[0, 0, 0, 0], CheckConfig::default()).unwrap();
+    }
+
+    #[test]
+    fn max_steps_terminates_incomplete() {
+        let programs = vec![inc_program(1000); 2];
+        let sim = Sim::new(1, &[0], programs);
+        let cfg = RunConfig { max_steps: 100, ..RunConfig::default() };
+        let report = run(sim, &mut RoundRobin::default(), &cfg).unwrap();
+        assert!(!report.completed);
+        assert_eq!(report.steps, 100);
+    }
+
+    #[test]
+    fn pending_ops_histories_check() {
+        // Truncated run leaves pending operations; the checker must accept.
+        let programs = vec![inc_program(50); 3];
+        let sim = Sim::new(1, &[0], programs);
+        let cfg = RunConfig { max_steps: 137, ..RunConfig::default() };
+        let report = run(sim, &mut RandomSched::new(5), &cfg).unwrap();
+        assert!(!report.completed);
+        check_linearizable(&report.history, &[0], CheckConfig::default()).unwrap();
+    }
+}

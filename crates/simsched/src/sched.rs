@@ -1,0 +1,266 @@
+//! Schedulers: policies for choosing which simulated process steps next.
+//!
+//! The algorithm must be correct under *every* schedule; these policies
+//! probe different corners of the schedule space: fair rotation
+//! ([`RoundRobin`]), uniform chaos ([`RandomSched`]), skewed interference
+//! ([`WeightedRandom`]), and targeted starvation ([`StarveVictim`]) — the
+//! adversary the helping mechanism exists to defeat.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A policy choosing the next process to step.
+pub trait Scheduler {
+    /// Picks one element of `runnable` (non-empty) to execute next.
+    /// `step` is the global step counter, usable for phase-based policies.
+    fn pick(&mut self, runnable: &[usize], step: u64) -> usize;
+}
+
+/// Fair rotation over runnable processes.
+#[derive(Clone, Debug, Default)]
+pub struct RoundRobin {
+    cursor: usize,
+}
+
+impl Scheduler for RoundRobin {
+    fn pick(&mut self, runnable: &[usize], _step: u64) -> usize {
+        let choice = runnable[self.cursor % runnable.len()];
+        self.cursor = self.cursor.wrapping_add(1);
+        choice
+    }
+}
+
+/// Uniformly random choice, seeded for reproducibility.
+#[derive(Clone, Debug)]
+pub struct RandomSched {
+    rng: StdRng,
+}
+
+impl RandomSched {
+    /// Creates a scheduler from a seed; equal seeds give equal schedules.
+    #[must_use]
+    pub fn new(seed: u64) -> Self {
+        Self { rng: StdRng::seed_from_u64(seed) }
+    }
+}
+
+impl Scheduler for RandomSched {
+    fn pick(&mut self, runnable: &[usize], _step: u64) -> usize {
+        runnable[self.rng.gen_range(0..runnable.len())]
+    }
+}
+
+/// Random choice with per-process weights: processes with higher weight run
+/// more often, creating sustained asymmetric interference (fast writers vs
+/// slow readers).
+#[derive(Clone, Debug)]
+pub struct WeightedRandom {
+    weights: Vec<f64>,
+    rng: StdRng,
+}
+
+impl WeightedRandom {
+    /// Creates a scheduler giving process `p` relative weight `weights[p]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any weight is non-positive or non-finite.
+    #[must_use]
+    pub fn new(weights: Vec<f64>, seed: u64) -> Self {
+        assert!(
+            weights.iter().all(|w| w.is_finite() && *w > 0.0),
+            "weights must be positive and finite"
+        );
+        Self { weights, rng: StdRng::seed_from_u64(seed) }
+    }
+}
+
+impl Scheduler for WeightedRandom {
+    fn pick(&mut self, runnable: &[usize], _step: u64) -> usize {
+        let total: f64 = runnable.iter().map(|&p| self.weights[p]).sum();
+        let mut t = self.rng.gen_range(0.0..total);
+        for &p in runnable {
+            t -= self.weights[p];
+            if t <= 0.0 {
+                return p;
+            }
+        }
+        *runnable.last().expect("runnable is non-empty")
+    }
+}
+
+/// Maximal targeted starvation: the victim is stepped only once every
+/// `grant_every` scheduling decisions (and when nobody else can run); all
+/// other processes rotate fairly in between.
+///
+/// With `grant_every` larger than the others' operation length, the victim
+/// is overtaken by arbitrarily many successful SCs inside a single one of
+/// its buffer-copy loops — exactly the Case (iii) of paper §2.5 that only
+/// the helping mechanism can save.
+#[derive(Clone, Debug)]
+pub struct StarveVictim {
+    victim: usize,
+    grant_every: u64,
+    rr: RoundRobin,
+    decisions: u64,
+}
+
+impl StarveVictim {
+    /// Creates the scheduler starving `victim`, granting it one step per
+    /// `grant_every` decisions.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `grant_every` is zero.
+    #[must_use]
+    pub fn new(victim: usize, grant_every: u64) -> Self {
+        assert!(grant_every > 0, "grant_every must be positive");
+        Self { victim, grant_every, rr: RoundRobin::default(), decisions: 0 }
+    }
+}
+
+impl Scheduler for StarveVictim {
+    fn pick(&mut self, runnable: &[usize], step: u64) -> usize {
+        self.decisions += 1;
+        let others: Vec<usize> =
+            runnable.iter().copied().filter(|&p| p != self.victim).collect();
+        let victim_runnable = runnable.contains(&self.victim);
+        if others.is_empty() {
+            debug_assert!(victim_runnable);
+            return self.victim;
+        }
+        if victim_runnable && self.decisions.is_multiple_of(self.grant_every) {
+            return self.victim;
+        }
+        self.rr.pick(&others, step)
+    }
+}
+
+/// Replays a recorded schedule exactly (see
+/// [`RunConfig::record_schedule`](crate::runner::RunConfig)).
+///
+/// Deterministic debugging workflow: record a failing run's schedule from
+/// [`RunFailure::schedule`](crate::runner::RunFailure), then re-run the
+/// identical `Sim` under `ReplaySched` to reproduce the violation
+/// step-for-step.
+#[derive(Clone, Debug)]
+pub struct ReplaySched {
+    tape: Vec<usize>,
+    pos: usize,
+}
+
+impl ReplaySched {
+    /// Creates a scheduler that replays `tape`.
+    #[must_use]
+    pub fn new(tape: Vec<usize>) -> Self {
+        Self { tape, pos: 0 }
+    }
+
+    /// How much of the tape has been consumed.
+    #[must_use]
+    pub fn position(&self) -> usize {
+        self.pos
+    }
+}
+
+impl Scheduler for ReplaySched {
+    /// # Panics
+    ///
+    /// Panics if the tape is exhausted or names a non-runnable process —
+    /// both mean the replayed `Sim` differs from the recorded one.
+    fn pick(&mut self, runnable: &[usize], _step: u64) -> usize {
+        let pid = *self
+            .tape
+            .get(self.pos)
+            .unwrap_or_else(|| panic!("replay tape exhausted at step {}", self.pos));
+        assert!(
+            runnable.contains(&pid),
+            "replay divergence at step {}: p{pid} not runnable (runnable: {runnable:?})",
+            self.pos
+        );
+        self.pos += 1;
+        pid
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn replay_follows_tape() {
+        let mut s = ReplaySched::new(vec![1, 0, 1]);
+        let r = [0usize, 1];
+        assert_eq!(s.pick(&r, 0), 1);
+        assert_eq!(s.pick(&r, 1), 0);
+        assert_eq!(s.pick(&r, 2), 1);
+        assert_eq!(s.position(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "tape exhausted")]
+    fn replay_panics_past_end() {
+        let mut s = ReplaySched::new(vec![0]);
+        let r = [0usize];
+        let _ = s.pick(&r, 0);
+        let _ = s.pick(&r, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "divergence")]
+    fn replay_panics_on_blocked_pick() {
+        let mut s = ReplaySched::new(vec![5]);
+        let _ = s.pick(&[0, 1], 0);
+    }
+
+    #[test]
+    fn round_robin_rotates() {
+        let mut s = RoundRobin::default();
+        let r = [0usize, 1, 2];
+        let picks: Vec<usize> = (0..6).map(|i| s.pick(&r, i)).collect();
+        assert_eq!(picks, vec![0, 1, 2, 0, 1, 2]);
+    }
+
+    #[test]
+    fn random_is_reproducible_and_in_range() {
+        let r = [3usize, 5, 9];
+        let a: Vec<usize> = {
+            let mut s = RandomSched::new(42);
+            (0..50).map(|i| s.pick(&r, i)).collect()
+        };
+        let b: Vec<usize> = {
+            let mut s = RandomSched::new(42);
+            (0..50).map(|i| s.pick(&r, i)).collect()
+        };
+        assert_eq!(a, b);
+        assert!(a.iter().all(|p| r.contains(p)));
+    }
+
+    #[test]
+    fn weighted_biases_heavily() {
+        let mut s = WeightedRandom::new(vec![1.0, 100.0], 7);
+        let r = [0usize, 1];
+        let ones = (0..1000).filter(|&i| s.pick(&r, i) == 1).count();
+        assert!(ones > 900, "weight-100 process picked only {ones}/1000");
+    }
+
+    #[test]
+    fn starve_victim_rarely_grants() {
+        let mut s = StarveVictim::new(0, 10);
+        let r = [0usize, 1, 2];
+        let victims = (0..100).filter(|&i| s.pick(&r, i) == 0).count();
+        assert_eq!(victims, 10);
+    }
+
+    #[test]
+    fn starve_victim_runs_victim_when_alone() {
+        let mut s = StarveVictim::new(0, 1000);
+        assert_eq!(s.pick(&[0], 0), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn weighted_rejects_zero_weight() {
+        let _ = WeightedRandom::new(vec![0.0, 1.0], 0);
+    }
+}

@@ -1,0 +1,110 @@
+//! The simulated shared memory: `X`, `Bank`, `Help`, `BUF`.
+
+use crate::word::{HelpVal, SimWord, XVal};
+
+/// The complete shared state of one simulated multiword LL/SC object,
+/// initialized exactly as Figure 2 prescribes.
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+pub struct SimState {
+    /// Process count `N` (≤ 64 in the simulator).
+    pub n: usize,
+    /// Words per value, `W`.
+    pub w: usize,
+    /// The tag variable `X`.
+    pub x: SimWord<XVal>,
+    /// `Bank[0..2N-1]`.
+    pub bank: Vec<SimWord<u32>>,
+    /// `Help[0..N-1]`.
+    pub help: Vec<SimWord<HelpVal>>,
+    /// `BUF[0..3N-1]`, each `W` words. Plain data: the simulator serializes
+    /// word accesses itself (one word read/write per step), so torn
+    /// multi-word reads arise from interleaving, exactly like the paper's
+    /// safe registers.
+    pub bufs: Vec<Vec<u64>>,
+}
+
+impl SimState {
+    /// Builds the initial state for `n` processes, `w`-word values, and the
+    /// given initial value of `O`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is 0 or exceeds 64, `w` is 0, or `initial.len() != w`.
+    pub fn new(n: usize, w: usize, initial: &[u64]) -> Self {
+        assert!((1..=64).contains(&n), "simulator supports 1..=64 processes, got {n}");
+        assert!(w >= 1, "W must be at least 1");
+        assert_eq!(initial.len(), w, "initial value must have W words");
+        // Initialization (Figure 2): X = (0,0); BUF[0] = initial;
+        // Bank[k] = k; Help[p] = (0, _).
+        let mut bufs = vec![vec![0u64; w]; 3 * n];
+        bufs[0].copy_from_slice(initial);
+        Self {
+            n,
+            w,
+            x: SimWord::new(XVal { buf: 0, seq: 0 }),
+            bank: (0..2 * n as u32).map(SimWord::new).collect(),
+            help: (0..n).map(|_| SimWord::new(HelpVal { helpme: false, buf: 0 })).collect(),
+            bufs,
+        }
+    }
+
+    /// The abstract current value of `O`: the contents of the buffer named
+    /// by `X`. (Well-defined at every step boundary; used by tests and the
+    /// online monitors as the ground truth the paper's proof establishes.)
+    pub fn abstract_value(&self) -> &[u64] {
+        &self.bufs[self.x.read().buf as usize]
+    }
+
+    /// Number of buffers, `3N`.
+    pub fn num_buffers(&self) -> usize {
+        3 * self.n
+    }
+
+    /// Number of sequence numbers / `Bank` entries, `2N`.
+    pub fn num_seqs(&self) -> usize {
+        2 * self.n
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn initialization_matches_figure_2() {
+        let s = SimState::new(3, 2, &[7, 8]);
+        assert_eq!(s.x.read(), XVal { buf: 0, seq: 0 });
+        assert_eq!(s.bank.len(), 6);
+        for (k, b) in s.bank.iter().enumerate() {
+            assert_eq!(b.read(), k as u32);
+        }
+        assert_eq!(s.help.len(), 3);
+        for h in &s.help {
+            assert!(!h.read().helpme);
+        }
+        assert_eq!(s.bufs.len(), 9);
+        assert_eq!(s.abstract_value(), &[7, 8]);
+        assert_eq!(s.bufs[1], vec![0, 0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "1..=64")]
+    fn too_many_processes_rejected() {
+        let _ = SimState::new(65, 1, &[0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "W words")]
+    fn wrong_initial_len_rejected() {
+        let _ = SimState::new(2, 2, &[0]);
+    }
+
+    #[test]
+    fn state_is_hashable_and_comparable() {
+        let a = SimState::new(2, 1, &[5]);
+        let b = SimState::new(2, 1, &[5]);
+        assert_eq!(a, b);
+        let c = SimState::new(2, 1, &[6]);
+        assert_ne!(a, c);
+    }
+}

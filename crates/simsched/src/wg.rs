@@ -1,0 +1,401 @@
+//! Wing–Gong linearizability checking for LL/SC/VL histories.
+//!
+//! The checker searches for a *linearization*: a total order of the
+//! history's operations that (a) respects real time (if op `A` responded
+//! before op `B` was invoked, `A` comes first), and (b) replays correctly
+//! against the sequential specification of Figure 1. Pending operations
+//! (invoked, never responded) may be assigned an effect at any legal point
+//! or dropped entirely, per the standard definition.
+//!
+//! The search is exponential in the worst case; memoization on
+//! `(linearized-set, specification state)` — the classic Wing–Gong
+//! optimization — makes the histories produced by the simulator (tens of
+//! operations, strong real-time constraints) check in microseconds to
+//! milliseconds.
+
+use std::collections::HashSet;
+
+use crate::history::{HistOp, History, OpDesc, RespDesc};
+
+/// Sequential specification state of an `N`-process `W`-word LL/SC object.
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+struct SpecState {
+    value: Vec<u64>,
+    /// Bit `p` ⇔ `p`'s link valid (no successful SC since its latest LL).
+    valid: u64,
+}
+
+impl SpecState {
+    fn apply(&mut self, pid: usize, op: &OpDesc) -> RespDesc {
+        match op {
+            OpDesc::Ll => {
+                self.valid |= 1 << pid;
+                RespDesc::Ll(self.value.clone())
+            }
+            OpDesc::Sc(v) => {
+                if self.valid & (1 << pid) != 0 {
+                    self.value = v.clone();
+                    self.valid = 0;
+                    RespDesc::Sc(true)
+                } else {
+                    RespDesc::Sc(false)
+                }
+            }
+            OpDesc::Vl => RespDesc::Vl(self.valid & (1 << pid) != 0),
+        }
+    }
+}
+
+/// Why a history failed the linearizability check.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum LinzError {
+    /// No linearization exists. Carries a human-readable rendering of the
+    /// history for diagnosis.
+    NotLinearizable {
+        /// Pretty-printed history.
+        rendered: String,
+    },
+    /// The search exceeded its node budget (result unknown). Increase the
+    /// budget or shrink the history.
+    BudgetExhausted {
+        /// Nodes explored before giving up.
+        explored: u64,
+    },
+}
+
+impl std::fmt::Display for LinzError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::NotLinearizable { rendered } => {
+                write!(f, "history is not linearizable:\n{rendered}")
+            }
+            Self::BudgetExhausted { explored } => {
+                write!(f, "linearizability search exhausted budget after {explored} nodes")
+            }
+        }
+    }
+}
+
+impl std::error::Error for LinzError {}
+
+/// Configuration for [`check_linearizable`].
+#[derive(Clone, Copy, Debug)]
+pub struct CheckConfig {
+    /// Maximum DFS nodes to explore before reporting
+    /// [`LinzError::BudgetExhausted`].
+    pub node_budget: u64,
+}
+
+impl Default for CheckConfig {
+    fn default() -> Self {
+        Self { node_budget: 50_000_000 }
+    }
+}
+
+/// Checks that `history` is linearizable with respect to the `W`-word
+/// LL/SC/VL specification with initial value `init`.
+///
+/// Returns `Ok(())` with a witness found, or an error otherwise.
+///
+/// # Panics
+///
+/// Panics if the history is malformed (see [`History::ops`]) or contains
+/// more than 127 operations (mask width).
+pub fn check_linearizable(
+    history: &History,
+    init: &[u64],
+    config: CheckConfig,
+) -> Result<(), LinzError> {
+    let ops = history.ops();
+    assert!(ops.len() <= 127, "history too large for the checker ({} ops)", ops.len());
+    let completed_mask: u128 = ops
+        .iter()
+        .enumerate()
+        .filter(|(_, op)| op.resp.is_some())
+        .fold(0u128, |m, (i, _)| m | (1 << i));
+
+    let init_state = SpecState { value: init.to_vec(), valid: 0 };
+    let mut memo: HashSet<(u128, SpecState)> = HashSet::new();
+    let mut explored = 0u64;
+    let found = dfs(
+        &ops,
+        completed_mask,
+        0,
+        &init_state,
+        &mut memo,
+        &mut explored,
+        config.node_budget,
+    );
+    match found {
+        Some(true) => Ok(()),
+        Some(false) => Err(LinzError::NotLinearizable { rendered: render(&ops) }),
+        None => Err(LinzError::BudgetExhausted { explored }),
+    }
+}
+
+/// DFS returning `Some(true)` if a linearization completes all completed
+/// ops, `Some(false)` if provably none exists from this node, `None` on
+/// budget exhaustion.
+fn dfs(
+    ops: &[HistOp],
+    completed_mask: u128,
+    done: u128,
+    state: &SpecState,
+    memo: &mut HashSet<(u128, SpecState)>,
+    explored: &mut u64,
+    budget: u64,
+) -> Option<bool> {
+    if done & completed_mask == completed_mask {
+        return Some(true);
+    }
+    *explored += 1;
+    if *explored > budget {
+        return None;
+    }
+    if !memo.insert((done, state.clone())) {
+        return Some(false);
+    }
+
+    for (i, op) in ops.iter().enumerate() {
+        if done & (1 << i) != 0 {
+            continue;
+        }
+        // Real-time constraint: every op that responded before this op's
+        // invocation must already be linearized.
+        let eligible = ops.iter().enumerate().all(|(j, other)| {
+            if done & (1 << j) != 0 {
+                return true;
+            }
+            match other.resp {
+                Some(r) => r > op.inv, // `other` overlaps or follows
+                None => true,          // pending ops precede nothing
+            }
+        });
+        if !eligible {
+            continue;
+        }
+        let mut next = state.clone();
+        let actual = next.apply(op.pid, &op.op);
+        if let Some(recorded) = &op.result {
+            if *recorded != actual {
+                continue; // this op cannot be linearized here
+            }
+        }
+        match dfs(ops, completed_mask, done | (1 << i), &next, memo, explored, budget) {
+            Some(true) => return Some(true),
+            Some(false) => {}
+            None => return None,
+        }
+    }
+    Some(false)
+}
+
+fn render(ops: &[HistOp]) -> String {
+    use std::fmt::Write as _;
+    let mut s = String::new();
+    for (i, op) in ops.iter().enumerate() {
+        let _ = writeln!(
+            s,
+            "  [{i:3}] p{} {:?} inv@{} resp@{:?} -> {:?}",
+            op.pid, op.op, op.inv, op.resp, op.result
+        );
+    }
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::history::History;
+
+    fn cfg() -> CheckConfig {
+        CheckConfig::default()
+    }
+
+    /// Sequential LL;SC;VL by one process: trivially linearizable.
+    #[test]
+    fn sequential_history_ok() {
+        let mut h = History::default();
+        h.invoke(0, OpDesc::Ll, 0);
+        h.respond(0, RespDesc::Ll(vec![0]), 1);
+        h.invoke(0, OpDesc::Sc(vec![5]), 2);
+        h.respond(0, RespDesc::Sc(true), 3);
+        h.invoke(0, OpDesc::Vl, 4);
+        h.respond(0, RespDesc::Vl(false), 5);
+        check_linearizable(&h, &[0], cfg()).unwrap();
+    }
+
+    /// An LL that returns a value never written is not linearizable.
+    #[test]
+    fn wrong_ll_value_rejected() {
+        let mut h = History::default();
+        h.invoke(0, OpDesc::Ll, 0);
+        h.respond(0, RespDesc::Ll(vec![99]), 1);
+        let err = check_linearizable(&h, &[0], cfg()).unwrap_err();
+        assert!(matches!(err, LinzError::NotLinearizable { .. }));
+    }
+
+    /// Two SCs after the same pair of LLs: exactly one may succeed.
+    #[test]
+    fn double_success_rejected() {
+        let mut h = History::default();
+        h.invoke(0, OpDesc::Ll, 0);
+        h.respond(0, RespDesc::Ll(vec![0]), 1);
+        h.invoke(1, OpDesc::Ll, 2);
+        h.respond(1, RespDesc::Ll(vec![0]), 3);
+        h.invoke(0, OpDesc::Sc(vec![1]), 4);
+        h.respond(0, RespDesc::Sc(true), 5);
+        h.invoke(1, OpDesc::Sc(vec![2]), 6);
+        h.respond(1, RespDesc::Sc(true), 7); // impossible: 0's SC broke 1's link
+        let err = check_linearizable(&h, &[0], cfg()).unwrap_err();
+        assert!(matches!(err, LinzError::NotLinearizable { .. }));
+    }
+
+    /// The same history with the second SC failing is fine.
+    #[test]
+    fn loser_sc_fails_ok() {
+        let mut h = History::default();
+        h.invoke(0, OpDesc::Ll, 0);
+        h.respond(0, RespDesc::Ll(vec![0]), 1);
+        h.invoke(1, OpDesc::Ll, 2);
+        h.respond(1, RespDesc::Ll(vec![0]), 3);
+        h.invoke(0, OpDesc::Sc(vec![1]), 4);
+        h.respond(0, RespDesc::Sc(true), 5);
+        h.invoke(1, OpDesc::Sc(vec![2]), 6);
+        h.respond(1, RespDesc::Sc(false), 7);
+        check_linearizable(&h, &[0], cfg()).unwrap();
+    }
+
+    /// Concurrent LL and SC: the LL may legally return the old or the new
+    /// value; both verdicts must be accepted.
+    #[test]
+    fn concurrent_ll_sees_old_or_new() {
+        for seen in [0u64, 7] {
+            let mut h = History::default();
+            // p1 LLs first (so its later SC can succeed).
+            h.invoke(1, OpDesc::Ll, 0);
+            h.respond(1, RespDesc::Ll(vec![0]), 1);
+            // p0's LL overlaps p1's SC.
+            h.invoke(0, OpDesc::Ll, 2);
+            h.invoke(1, OpDesc::Sc(vec![7]), 3);
+            h.respond(1, RespDesc::Sc(true), 4);
+            h.respond(0, RespDesc::Ll(vec![seen]), 5);
+            check_linearizable(&h, &[0], cfg())
+                .unwrap_or_else(|e| panic!("seen={seen}: {e}"));
+        }
+    }
+
+    /// An LL strictly after a successful SC must see the new value.
+    #[test]
+    fn stale_read_after_sc_rejected() {
+        let mut h = History::default();
+        h.invoke(1, OpDesc::Ll, 0);
+        h.respond(1, RespDesc::Ll(vec![0]), 1);
+        h.invoke(1, OpDesc::Sc(vec![7]), 2);
+        h.respond(1, RespDesc::Sc(true), 3);
+        h.invoke(0, OpDesc::Ll, 4);
+        h.respond(0, RespDesc::Ll(vec![0]), 5); // stale!
+        let err = check_linearizable(&h, &[0], cfg()).unwrap_err();
+        assert!(matches!(err, LinzError::NotLinearizable { .. }));
+    }
+
+    /// VL after an interfering successful SC must return false.
+    #[test]
+    fn vl_semantics_enforced() {
+        let mut h = History::default();
+        h.invoke(0, OpDesc::Ll, 0);
+        h.respond(0, RespDesc::Ll(vec![0]), 1);
+        h.invoke(1, OpDesc::Ll, 2);
+        h.respond(1, RespDesc::Ll(vec![0]), 3);
+        h.invoke(1, OpDesc::Sc(vec![4]), 4);
+        h.respond(1, RespDesc::Sc(true), 5);
+        h.invoke(0, OpDesc::Vl, 6);
+        h.respond(0, RespDesc::Vl(true), 7); // must be false
+        let err = check_linearizable(&h, &[0], cfg()).unwrap_err();
+        assert!(matches!(err, LinzError::NotLinearizable { .. }));
+
+        let mut h2 = History::default();
+        h2.invoke(0, OpDesc::Ll, 0);
+        h2.respond(0, RespDesc::Ll(vec![0]), 1);
+        h2.invoke(1, OpDesc::Ll, 2);
+        h2.respond(1, RespDesc::Ll(vec![0]), 3);
+        h2.invoke(1, OpDesc::Sc(vec![4]), 4);
+        h2.respond(1, RespDesc::Sc(true), 5);
+        h2.invoke(0, OpDesc::Vl, 6);
+        h2.respond(0, RespDesc::Vl(false), 7);
+        check_linearizable(&h2, &[0], cfg()).unwrap();
+    }
+
+    /// A pending SC may or may not have taken effect: a later LL may see
+    /// either value.
+    #[test]
+    fn pending_sc_both_outcomes_allowed() {
+        for seen in [0u64, 9] {
+            let mut h = History::default();
+            h.invoke(1, OpDesc::Ll, 0);
+            h.respond(1, RespDesc::Ll(vec![0]), 1);
+            h.invoke(1, OpDesc::Sc(vec![9]), 2); // never responds
+            h.invoke(0, OpDesc::Ll, 3);
+            h.respond(0, RespDesc::Ll(vec![seen]), 4);
+            check_linearizable(&h, &[0], cfg())
+                .unwrap_or_else(|e| panic!("seen={seen}: {e}"));
+        }
+    }
+
+    /// A value out of thin air remains rejected even with a pending SC.
+    #[test]
+    fn pending_sc_does_not_excuse_garbage() {
+        let mut h = History::default();
+        h.invoke(1, OpDesc::Ll, 0);
+        h.respond(1, RespDesc::Ll(vec![0]), 1);
+        h.invoke(1, OpDesc::Sc(vec![9]), 2); // pending
+        h.invoke(0, OpDesc::Ll, 3);
+        h.respond(0, RespDesc::Ll(vec![42]), 4);
+        let err = check_linearizable(&h, &[0], cfg()).unwrap_err();
+        assert!(matches!(err, LinzError::NotLinearizable { .. }));
+    }
+
+    /// Real-time order is respected: non-overlapping ops cannot be
+    /// reordered to make an illegal history legal.
+    #[test]
+    fn real_time_order_enforced() {
+        // p0: LL -> [0]; then p1: LL -> [0], SC(5) ok; then p0: SC(6) ok??
+        // p0's SC must fail because p1's SC came after p0's LL.
+        let mut h = History::default();
+        h.invoke(0, OpDesc::Ll, 0);
+        h.respond(0, RespDesc::Ll(vec![0]), 1);
+        h.invoke(1, OpDesc::Ll, 2);
+        h.respond(1, RespDesc::Ll(vec![0]), 3);
+        h.invoke(1, OpDesc::Sc(vec![5]), 4);
+        h.respond(1, RespDesc::Sc(true), 5);
+        h.invoke(0, OpDesc::Sc(vec![6]), 6);
+        h.respond(0, RespDesc::Sc(true), 7);
+        let err = check_linearizable(&h, &[0], cfg()).unwrap_err();
+        assert!(matches!(err, LinzError::NotLinearizable { .. }));
+    }
+
+    /// Multi-word values are compared whole.
+    #[test]
+    fn multiword_values() {
+        let mut h = History::default();
+        h.invoke(0, OpDesc::Ll, 0);
+        h.respond(0, RespDesc::Ll(vec![1, 2, 3]), 1);
+        h.invoke(0, OpDesc::Sc(vec![4, 5, 6]), 2);
+        h.respond(0, RespDesc::Sc(true), 3);
+        h.invoke(1, OpDesc::Ll, 4);
+        h.respond(1, RespDesc::Ll(vec![4, 5, 6]), 5);
+        check_linearizable(&h, &[1, 2, 3], cfg()).unwrap();
+
+        let mut bad = History::default();
+        bad.invoke(0, OpDesc::Ll, 0);
+        bad.respond(0, RespDesc::Ll(vec![1, 2, 99]), 1); // torn value
+        let err = check_linearizable(&bad, &[1, 2, 3], cfg()).unwrap_err();
+        assert!(matches!(err, LinzError::NotLinearizable { .. }));
+    }
+
+    /// Empty history is linearizable.
+    #[test]
+    fn empty_history_ok() {
+        check_linearizable(&History::default(), &[0], cfg()).unwrap();
+    }
+}

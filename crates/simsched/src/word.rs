@@ -1,0 +1,159 @@
+//! Abstract single-word LL/SC/VL/read/write objects with *exact* paper
+//! semantics.
+//!
+//! Unlike the CAS-based realization in `llsc-word`, these objects maintain
+//! per-process link bits explicitly, so their behaviour is the literal
+//! Figure 1 specification with no tag-width caveat. The simulator runs the
+//! multiword algorithm against these, which separates two concerns: the
+//! algorithm's correctness (checked here, against ideal primitives, as in
+//! the paper's proof) and the substrate's fidelity (checked in `llsc-word`
+//! by model-based tests).
+
+use std::hash::Hash;
+
+/// An abstract word-sized LL/SC/VL/read/write object shared by up to 64
+/// simulated processes.
+///
+/// `V` is the value type (the simulator stores records like `(buf, seq)`
+/// directly instead of bit-packing them — packing fidelity is the real
+/// implementation's concern, tested separately in `mwllsc`).
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+pub struct SimWord<V> {
+    val: V,
+    /// Bit `p` set ⇔ no successful SC/write since process `p`'s latest LL.
+    links: u64,
+}
+
+impl<V: Copy + Eq> SimWord<V> {
+    /// Creates the word holding `init`, with no outstanding links.
+    pub fn new(init: V) -> Self {
+        Self { val: init, links: 0 }
+    }
+
+    /// Load-linked by process `p`: returns the value and establishes `p`'s
+    /// link.
+    pub fn ll(&mut self, p: usize) -> V {
+        debug_assert!(p < 64);
+        self.links |= 1 << p;
+        self.val
+    }
+
+    /// Store-conditional by process `p`: succeeds iff `p`'s link is intact
+    /// (no successful SC/write since `p`'s latest LL); on success installs
+    /// `v` and severs *all* links.
+    pub fn sc(&mut self, p: usize, v: V) -> bool {
+        debug_assert!(p < 64);
+        if self.links & (1 << p) != 0 {
+            self.val = v;
+            self.links = 0;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Validate by process `p`: is `p`'s link intact?
+    pub fn vl(&self, p: usize) -> bool {
+        debug_assert!(p < 64);
+        self.links & (1 << p) != 0
+    }
+
+    /// Plain read.
+    pub fn read(&self) -> V {
+        self.val
+    }
+
+    /// Plain write: installs `v` and severs all links.
+    pub fn write(&mut self, v: V) {
+        self.val = v;
+        self.links = 0;
+    }
+}
+
+/// The `xtype` record `(buf, seq)` held by the simulated `X`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct XVal {
+    /// Index of the buffer holding `O`'s current value, in `0..3N`.
+    pub buf: u32,
+    /// Sequence number of the latest successful SC, in `0..2N`.
+    pub seq: u32,
+}
+
+/// The `helptype` record `(helpme, buf)` held by the simulated `Help[p]`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct HelpVal {
+    /// Whether the owner has an unanswered request for help.
+    pub helpme: bool,
+    /// A buffer index: the owner's offered buffer while asking for help,
+    /// the helper's donated buffer afterwards.
+    pub buf: u32,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ll_sc_basic() {
+        let mut w = SimWord::new(5u64);
+        assert_eq!(w.ll(0), 5);
+        assert!(w.sc(0, 6));
+        assert_eq!(w.read(), 6);
+    }
+
+    #[test]
+    fn sc_without_link_fails() {
+        let mut w = SimWord::new(5u64);
+        assert!(!w.sc(0, 6));
+        assert_eq!(w.read(), 5);
+    }
+
+    #[test]
+    fn successful_sc_severs_all_links() {
+        let mut w = SimWord::new(0u64);
+        w.ll(0);
+        w.ll(1);
+        w.ll(2);
+        assert!(w.sc(1, 7));
+        assert!(!w.vl(0));
+        assert!(!w.vl(1));
+        assert!(!w.vl(2));
+        assert!(!w.sc(0, 8));
+        assert!(!w.sc(2, 9));
+    }
+
+    #[test]
+    fn failed_sc_preserves_links() {
+        let mut w = SimWord::new(0u64);
+        w.ll(0);
+        assert!(!w.sc(1, 3), "process 1 has no link");
+        assert!(w.vl(0), "a failed SC must not sever other links");
+        assert!(w.sc(0, 4));
+    }
+
+    #[test]
+    fn write_severs_links_even_with_same_value() {
+        let mut w = SimWord::new(3u64);
+        w.ll(0);
+        w.write(3);
+        assert!(!w.vl(0));
+    }
+
+    #[test]
+    fn vl_is_idempotent() {
+        let mut w = SimWord::new(1u64);
+        w.ll(5);
+        assert!(w.vl(5));
+        assert!(w.vl(5));
+        assert!(!w.vl(4));
+    }
+
+    #[test]
+    fn record_values() {
+        let mut x = SimWord::new(XVal { buf: 0, seq: 0 });
+        let v = x.ll(0);
+        assert_eq!(v, XVal { buf: 0, seq: 0 });
+        assert!(x.sc(0, XVal { buf: 3, seq: 1 }));
+        assert_eq!(x.read(), XVal { buf: 3, seq: 1 });
+    }
+}

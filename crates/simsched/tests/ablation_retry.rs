@@ -1,0 +1,117 @@
+//! The necessity of the helping mechanism, demonstrated as a negative
+//! result: the bare read–validate retry LL (`SimOp::LlRetry`) is starved
+//! by exactly the adversary the paper's announce+help LL defeats.
+
+use simsched::interp::{ll_step_bound, SimOp};
+use simsched::runner::{run, RunConfig, Sim};
+use simsched::sched::{RandomSched, StarveVictim};
+
+fn writer_program(rounds: usize) -> Vec<SimOp> {
+    let mut ops = Vec::new();
+    for _ in 0..rounds {
+        ops.push(SimOp::Ll);
+        ops.push(SimOp::ScBump(1));
+    }
+    ops
+}
+
+fn victim_sim(w: usize, victim_op: SimOp, writer_rounds: usize) -> Sim {
+    let mut programs = vec![vec![victim_op]];
+    for _ in 0..3 {
+        programs.push(writer_program(writer_rounds));
+    }
+    Sim::new(w, &vec![0u64; w], programs)
+}
+
+#[test]
+fn waitfree_ll_completes_under_starvation_retry_ll_does_not() {
+    let w = 8;
+    let cfg = RunConfig { max_steps: 150_000, record_history: false, ..RunConfig::default() };
+
+    // The paper's LL: completes within its step bound even while starved
+    // and overtaken by hundreds of successful SCs.
+    let report = run(
+        victim_sim(w, SimOp::Ll, 10_000),
+        &mut StarveVictim::new(0, 100),
+        &cfg,
+    )
+    .unwrap();
+    assert!(
+        !report.pending.contains(&0),
+        "the wait-free LL must complete despite starvation"
+    );
+    assert!(report.max_op_steps.ll <= ll_step_bound(w));
+    assert!(report.helped_lls > 0, "it completed *because* it was helped");
+
+    // The ablation: same adversary, same budget — the retry LL is still
+    // spinning when the budget expires, having burned orders of magnitude
+    // more than the wait-free bound.
+    let report = run(
+        victim_sim(w, SimOp::LlRetry, 10_000),
+        &mut StarveVictim::new(0, 100),
+        &cfg,
+    )
+    .unwrap();
+    assert!(
+        report.pending.contains(&0),
+        "the retry LL must still be starving at the step budget"
+    );
+}
+
+#[test]
+fn retry_ll_eventually_completes_when_writers_stop() {
+    // Lock-freedom in action: the retry LL finishes only once the writers
+    // run out of work — with a step count far beyond the wait-free bound,
+    // which is precisely the guarantee gap.
+    let w = 8;
+    let cfg = RunConfig { record_history: false, ..RunConfig::default() };
+    let report = run(
+        victim_sim(w, SimOp::LlRetry, 40),
+        &mut StarveVictim::new(0, 50),
+        &cfg,
+    )
+    .unwrap();
+    assert!(report.completed);
+    assert!(
+        report.max_op_steps.retry_ll > ll_step_bound(w),
+        "retry LL took {} steps, within the wait-free bound {} — the adversary \
+         was not adversarial enough for this test to be meaningful",
+        report.max_op_steps.retry_ll,
+        ll_step_bound(w)
+    );
+}
+
+#[test]
+fn retry_ll_returns_correct_values() {
+    // The ablation is still *correct* (linearizable, checked by the LP
+    // monitor inside RunConfig::default) — what it lacks is progress.
+    for seed in 0..40u64 {
+        let mut programs = vec![vec![
+            SimOp::LlRetry,
+            SimOp::ScBump(1),
+            SimOp::LlRetry,
+            SimOp::Vl,
+        ]];
+        programs.push(writer_program(5));
+        programs.push(writer_program(5));
+        let sim = Sim::new(2, &[0, 0], programs);
+        let report = run(sim, &mut RandomSched::new(seed), &RunConfig::default())
+            .unwrap_or_else(|f| panic!("seed {seed}: {f}"));
+        assert!(report.completed, "seed {seed}");
+        assert_eq!(report.final_value[0], report.x_changes, "seed {seed}");
+    }
+}
+
+#[test]
+fn mixed_ll_styles_coexist() {
+    // Processes may mix the two LL styles freely; all monitors still pass.
+    let programs = vec![
+        vec![SimOp::Ll, SimOp::ScBump(1), SimOp::LlRetry, SimOp::ScBump(1)],
+        vec![SimOp::LlRetry, SimOp::ScBump(1), SimOp::Ll, SimOp::ScBump(1)],
+        writer_program(6),
+    ];
+    let sim = Sim::new(3, &[0, 0, 0], programs);
+    let report = run(sim, &mut RandomSched::new(11), &RunConfig::default()).unwrap();
+    assert!(report.completed);
+    assert_eq!(report.final_value[0], report.x_changes);
+}

@@ -1,0 +1,168 @@
+//! Crash-fault injection, deterministic replay, and long-history
+//! verification via the linearization-point monitor.
+//!
+//! The paper's §1 motivates wait-freedom with fault tolerance: "every
+//! process p completes its operation … regardless of whether other
+//! processes are slow, fast or have crashed." These tests crash processes
+//! at arbitrary points — including inside the helping protocol — and
+//! assert the survivors are completely unaffected.
+
+use simsched::interp::{ll_step_bound, SimOp};
+use simsched::runner::{run, run_with_crashes, RunConfig, Sim};
+use simsched::sched::{RandomSched, ReplaySched, RoundRobin, StarveVictim};
+use simsched::wg::{check_linearizable, CheckConfig};
+
+fn inc_program(rounds: usize) -> Vec<SimOp> {
+    let mut ops = Vec::new();
+    for _ in 0..rounds {
+        ops.push(SimOp::Ll);
+        ops.push(SimOp::ScBump(1));
+    }
+    ops
+}
+
+// ———————————————————— crash-fault injection ————————————————————
+
+#[test]
+fn survivors_unaffected_by_crash_sweep() {
+    // Crash process 0 at every possible early step; the other processes
+    // must always finish, stay linearizable, and respect step bounds.
+    let w = 2;
+    for crash_at in (0..120).step_by(7) {
+        let programs = vec![inc_program(4); 3];
+        let sim = Sim::new(w, &[0, 0], programs);
+        let mut sched = RoundRobin::default();
+        let report =
+            run_with_crashes(sim, &mut sched, &RunConfig::default(), &[(0, crash_at)])
+                .unwrap_or_else(|f| panic!("crash_at={crash_at}: {f}"));
+        assert!(report.completed, "crash_at={crash_at}: survivors did not finish");
+        assert!(report.max_op_steps.ll <= ll_step_bound(w));
+        check_linearizable(&report.history, &[0, 0], CheckConfig::default())
+            .unwrap_or_else(|e| panic!("crash_at={crash_at}: {e}"));
+    }
+}
+
+#[test]
+fn crash_while_announced_leaks_buffer_but_nothing_else() {
+    // The victim announces (line 1) and crashes mid-copy. A helper will
+    // donate a buffer to the dead process — which is lost (the paper's
+    // model has no failure detection), but invariants I1/I2/Lemma 3 and
+    // linearizability must survive, and writers keep making progress
+    // through thousands of further SCs.
+    let w = 4;
+    let mut programs = vec![vec![SimOp::Ll]];
+    programs.push(inc_program(60));
+    programs.push(inc_program(60));
+    let sim = Sim::new(w, &vec![0u64; w], programs);
+    // Starve the victim so it is mid-LL when crashed; crash at step 50.
+    let mut sched = StarveVictim::new(0, 10);
+    let cfg = RunConfig { record_history: false, ..RunConfig::default() };
+    let report = run_with_crashes(sim, &mut sched, &cfg, &[(0, 50)]).unwrap();
+    assert!(report.completed, "writers must finish despite the dead announced reader");
+    assert_eq!(report.final_value[0], report.x_changes, "counter stays exact");
+}
+
+#[test]
+fn multiple_crashes_leave_one_survivor() {
+    let programs = vec![inc_program(10); 4];
+    let sim = Sim::new(1, &[0], programs);
+    let mut sched = RandomSched::new(99);
+    // Three processes die at various points; the last one must still
+    // complete all 10 rounds (every SC eventually succeeds solo).
+    let report = run_with_crashes(
+        sim,
+        &mut sched,
+        &RunConfig::default(),
+        &[(0, 30), (1, 55), (2, 80)],
+    )
+    .unwrap();
+    assert!(report.completed);
+    check_linearizable(&report.history, &[0], CheckConfig::default()).unwrap();
+    // The survivor performed at least its 10 successful SCs.
+    assert!(report.x_changes >= 10, "x_changes = {}", report.x_changes);
+}
+
+#[test]
+fn crash_between_ll_and_sc_holds_link_forever() {
+    // p0 completes an LL, then crashes before its SC. Its link is never
+    // consumed; everyone else proceeds normally.
+    let programs = vec![
+        vec![SimOp::Ll, SimOp::ScBump(1)], // will crash after the LL finishes
+        inc_program(20),
+    ];
+    let w = 1;
+    let sim = Sim::new(w, &[0], programs);
+    let mut sched = RoundRobin::default();
+    // An LL at W=1 takes ≤ 12 steps; p0 steps at parity 0 under round-robin
+    // with 2 procs, so by global step 30 its LL is done. Crash it there.
+    let report =
+        run_with_crashes(sim, &mut sched, &RunConfig::default(), &[(0, 30)]).unwrap();
+    assert!(report.completed);
+    check_linearizable(&report.history, &[0], CheckConfig::default()).unwrap();
+}
+
+// ———————————————————— deterministic replay ————————————————————
+
+#[test]
+fn recorded_schedule_replays_identically() {
+    let make_sim = || Sim::new(2, &[5, 6], vec![inc_program(5); 3]);
+    let cfg = RunConfig { record_schedule: true, ..RunConfig::default() };
+    let original = run(make_sim(), &mut RandomSched::new(0xBEEF), &cfg).unwrap();
+    assert!(original.completed);
+    assert!(!original.schedule.is_empty());
+
+    let mut replay = ReplaySched::new(original.schedule.clone());
+    let replayed = run(make_sim(), &mut replay, &cfg).unwrap();
+    assert_eq!(original.history, replayed.history, "replay must reproduce the history");
+    assert_eq!(original.final_value, replayed.final_value);
+    assert_eq!(original.x_changes, replayed.x_changes);
+    assert_eq!(original.schedule, replayed.schedule);
+}
+
+#[test]
+fn replay_with_crashes_reproduces() {
+    let make_sim = || Sim::new(1, &[0], vec![inc_program(6); 3]);
+    let cfg = RunConfig { record_schedule: true, ..RunConfig::default() };
+    let crashes = [(1usize, 40u64)];
+    let original =
+        run_with_crashes(make_sim(), &mut RandomSched::new(7), &cfg, &crashes).unwrap();
+    let mut replay = ReplaySched::new(original.schedule.clone());
+    let replayed = run_with_crashes(make_sim(), &mut replay, &cfg, &crashes).unwrap();
+    assert_eq!(original.history, replayed.history);
+}
+
+// ———————————————————— long histories via the LP monitor ————————————————————
+
+#[test]
+fn lp_monitor_validates_hundred_thousand_op_histories() {
+    // Far beyond what Wing–Gong search could check: ~100k operations,
+    // every one validated in O(1) against the paper's LP argument
+    // (Lemmas 2/4/5/6/8/10/11), plus I1/I2/Lemma 3 on every step.
+    let n = 4;
+    let w = 3;
+    let programs = vec![inc_program(8_500); n]; // 17k ops per proc
+    let sim = Sim::new(w, &vec![0u64; w], programs);
+    let cfg = RunConfig {
+        record_history: false, // too long for WG; the LP monitor carries it
+        ..RunConfig::default()
+    };
+    let report = run(sim, &mut RandomSched::new(4242), &cfg).unwrap();
+    assert!(report.completed);
+    assert_eq!(report.final_value[0], report.x_changes);
+    // Contention makes many SCs fail, but a substantial fraction must land.
+    assert!(report.x_changes >= 1_000, "x_changes = {}", report.x_changes);
+}
+
+#[test]
+fn lp_monitor_validates_starved_long_runs() {
+    let n = 3;
+    let w = 8;
+    let mut programs = vec![inc_program(4_000); n];
+    programs[0] = vec![SimOp::Ll; 300];
+    let sim = Sim::new(w, &vec![0u64; w], programs);
+    let cfg = RunConfig { record_history: false, ..RunConfig::default() };
+    let report = run(sim, &mut StarveVictim::new(0, 150), &cfg).unwrap();
+    assert!(report.completed);
+    assert!(report.helped_lls > 0, "starved LLs must be helped in a long run");
+    assert!(report.max_op_steps.ll <= ll_step_bound(w));
+}

