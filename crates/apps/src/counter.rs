@@ -139,12 +139,7 @@ impl StatsHandle {
     /// Atomically records one sample (lock-free RMW).
     pub fn record(&mut self, sample: u64) {
         self.h.fetch_update(|[count, sum, min, max]| {
-            [
-                count + 1,
-                sum.wrapping_add(sample),
-                min.min(sample),
-                max.max(sample),
-            ]
+            [count + 1, sum.wrapping_add(sample), min.min(sample), max.max(sample)]
         });
     }
 

@@ -241,10 +241,8 @@ mod tests {
                             if snap[from] == 0 {
                                 break; // broke: nothing to move
                             }
-                            let upd = [
-                                (from, snap[from], snap[from] - 1),
-                                (to, snap[to], snap[to] + 1),
-                            ];
+                            let upd =
+                                [(from, snap[from], snap[from] - 1), (to, snap[to], snap[to] + 1)];
                             if h.kcas(&upd).is_ok() {
                                 break;
                             }

@@ -118,8 +118,7 @@ impl SnapshotHandle {
             let old = self.scratch[i];
             self.scratch[i] = v;
             // Maintain the aggregate atomically with the component.
-            self.scratch[self.m] =
-                self.scratch[self.m].wrapping_sub(old).wrapping_add(v);
+            self.scratch[self.m] = self.scratch[self.m].wrapping_sub(old).wrapping_add(v);
             let proposal = self.scratch.clone();
             if self.inner.sc(&proposal) {
                 return;
@@ -207,7 +206,8 @@ mod tests {
             // internally consistent. Verify internal consistency of scan
             // via a combined read:
             let total: u64 = view.iter().sum();
-            let _ = agg; // agg is from a later view; compare only totals below
+            // agg is from a later view; compare only totals below.
+            let _ = agg;
             // Monotonicity: totals never decrease across scans.
             static LAST: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
             let last = LAST.swap(total, std::sync::atomic::Ordering::Relaxed);

@@ -81,10 +81,7 @@ impl AmLayout {
             slot_bits: bits_for(2 * u64::from(n)), // slots 0..=2N
             seq_bits: bits_for(2 * u64::from(n) - 1),
         };
-        assert!(
-            l.owner_bits + l.slot_bits + l.seq_bits <= 48,
-            "N={n} leaves too few tag bits"
-        );
+        assert!(l.owner_bits + l.slot_bits + l.seq_bits <= 48, "N={n} leaves too few tag bits");
         l
     }
 
@@ -198,10 +195,7 @@ impl AmStyleLlSc {
     #[must_use]
     pub fn claim(self: &Arc<Self>, p: usize) -> AmHandle {
         assert!(p < self.layout.n as usize, "process id {p} out of range");
-        assert!(
-            !self.claimed[p].swap(true, Ordering::AcqRel),
-            "process id {p} already claimed"
-        );
+        assert!(!self.claimed[p].swap(true, Ordering::AcqRel), "process id {p} already claimed");
         AmHandle {
             obj: Arc::clone(self),
             p: p as u32,
@@ -234,7 +228,7 @@ impl AmStyleLlSc {
             shared_words: n * self.layout.pool_size() * self.w  // pools
                 + n * n * self.w                                 // help slots
                 + 1                                              // X
-                + n,                                             // Help
+                + n, // Help
             asymptotic: "O(N^2 W)",
         }
     }

@@ -89,68 +89,44 @@ pub fn build(
         Algo::Jp => {
             let obj = MwLlSc::new(n, w, initial);
             let space = obj.space();
-            let handles = obj
-                .handles()
-                .into_iter()
-                .map(|h| Box::new(h) as Box<dyn MwHandle>)
-                .collect();
-            (
-                handles,
-                SpaceEstimate { shared_words: space.shared_words(), asymptotic: "O(NW)" },
-            )
+            let handles =
+                obj.handles().into_iter().map(|h| Box::new(h) as Box<dyn MwHandle>).collect();
+            (handles, SpaceEstimate { shared_words: space.shared_words(), asymptotic: "O(NW)" })
         }
         Algo::JpRetry => {
             let obj = MwLlSc::try_with_strategy(n, w, initial, LlStrategy::RetryLoop)
                 .expect("valid configuration");
             let space = obj.space();
-            let handles = obj
-                .handles()
-                .into_iter()
-                .map(|h| Box::new(h) as Box<dyn MwHandle>)
-                .collect();
-            (
-                handles,
-                SpaceEstimate { shared_words: space.shared_words(), asymptotic: "O(NW)" },
-            )
+            let handles =
+                obj.handles().into_iter().map(|h| Box::new(h) as Box<dyn MwHandle>).collect();
+            (handles, SpaceEstimate { shared_words: space.shared_words(), asymptotic: "O(NW)" })
         }
         Algo::AmStyle => {
             let obj = AmStyleLlSc::new(n, w, initial);
             let space = obj.space();
-            let handles = obj
-                .handles()
-                .into_iter()
-                .map(|h| Box::new(h) as Box<dyn MwHandle>)
-                .collect();
+            let handles =
+                obj.handles().into_iter().map(|h| Box::new(h) as Box<dyn MwHandle>).collect();
             (handles, space)
         }
         Algo::Lock => {
             let obj = LockLlSc::new(n, w, initial);
             let space = obj.space();
-            let handles = obj
-                .handles()
-                .into_iter()
-                .map(|h| Box::new(h) as Box<dyn MwHandle>)
-                .collect();
+            let handles =
+                obj.handles().into_iter().map(|h| Box::new(h) as Box<dyn MwHandle>).collect();
             (handles, space)
         }
         Algo::SeqLock => {
             let obj = SeqLockLlSc::new(n, w, initial);
             let space = obj.space();
-            let handles = obj
-                .handles()
-                .into_iter()
-                .map(|h| Box::new(h) as Box<dyn MwHandle>)
-                .collect();
+            let handles =
+                obj.handles().into_iter().map(|h| Box::new(h) as Box<dyn MwHandle>).collect();
             (handles, space)
         }
         Algo::PtrSwap => {
             let obj = PtrSwapLlSc::new(n, w, initial);
             let space = obj.space();
-            let handles = obj
-                .handles()
-                .into_iter()
-                .map(|h| Box::new(h) as Box<dyn MwHandle>)
-                .collect();
+            let handles =
+                obj.handles().into_iter().map(|h| Box::new(h) as Box<dyn MwHandle>).collect();
             (handles, space)
         }
     }

@@ -10,9 +10,7 @@
 //! Space: `W + O(1)` words — the lower bound any implementation shares.
 
 use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::Arc;
-
-use parking_lot::Mutex;
+use std::sync::{Arc, Mutex, MutexGuard};
 
 use crate::traits::{MwHandle, Progress, SpaceEstimate};
 
@@ -52,6 +50,13 @@ impl LockLlSc {
             w,
             claimed: (0..n).map(|_| AtomicBool::new(false)).collect(),
         })
+    }
+
+    /// Locks the inner state. The critical sections in this module never
+    /// panic while holding the lock with the state inconsistent, so a
+    /// poisoned mutex (panicking peer) can still be used safely.
+    fn lock(&self) -> MutexGuard<'_, Inner> {
+        self.inner.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
     }
 
     /// Claims the handle for process `p` (once per id).
@@ -103,7 +108,7 @@ impl std::fmt::Debug for LockHandle {
 impl MwHandle for LockHandle {
     fn ll(&mut self, out: &mut [u64]) {
         assert_eq!(out.len(), self.obj.w, "ll: output slice length must equal W");
-        let g = self.obj.inner.lock();
+        let g = self.obj.lock();
         out.copy_from_slice(&g.value);
         self.linked_version = Some(g.version);
     }
@@ -111,7 +116,7 @@ impl MwHandle for LockHandle {
     fn sc(&mut self, v: &[u64]) -> bool {
         assert_eq!(v.len(), self.obj.w, "sc: value slice length must equal W");
         let linked = self.linked_version.expect("sc: no preceding ll on this handle");
-        let mut g = self.obj.inner.lock();
+        let mut g = self.obj.lock();
         if g.version == linked {
             g.value.copy_from_slice(v);
             g.version += 1;
@@ -125,7 +130,7 @@ impl MwHandle for LockHandle {
 
     fn vl(&mut self) -> bool {
         let linked = self.linked_version.expect("vl: no preceding ll on this handle");
-        self.obj.inner.lock().version == linked
+        self.obj.lock().version == linked
     }
 
     fn width(&self) -> usize {
@@ -173,6 +178,6 @@ mod tests {
         for j in joins {
             j.join().unwrap();
         }
-        assert_eq!(obj.inner.lock().value[0], 8_000);
+        assert_eq!(obj.lock().value[0], 8_000);
     }
 }

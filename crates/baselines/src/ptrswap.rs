@@ -1,4 +1,4 @@
-//! The garbage-collected baseline: atomic pointer swap with epoch
+//! The garbage-collected baseline: atomic pointer swap with deferred
 //! reclamation.
 //!
 //! In a GC'd language (or with a safe-memory-reclamation scheme like
@@ -12,28 +12,29 @@
 //! Included so E8 can quantify what the bounded-space discipline costs
 //! relative to an allocation-per-SC design, and because it is the fairest
 //! "modern Rust" comparator (it is how one would naively build this with
-//! `crossbeam_epoch`).
+//! an SMR crate such as `crossbeam_epoch`). With no external crates
+//! available offline, the node management is
+//! [`llsc_word::DeferredSwapCell`]: retired nodes are freed only when the
+//! object is dropped, which makes the "unbounded garbage" failure mode of
+//! this design *visible by construction* — exactly the property E8
+//! contrasts with the paper's bounded buffers.
 //!
 //! Progress: LL/VL/read are wait-free; SC is wait-free per attempt.
 //! Space: `W + O(1)` live words, but unbounded transient garbage under
-//! storms (epoch reclamation lags), which is exactly the caveat the
+//! storms (reclaimed only at drop), which is exactly the caveat the
 //! bounded algorithms avoid.
 
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 
-use crossbeam::epoch::{self, Atomic, Owned};
+use llsc_word::DeferredSwapCell;
 
 use crate::traits::{MwHandle, Progress, SpaceEstimate};
 
-struct Node {
-    value: Vec<u64>,
-    seq: u64,
-}
-
-/// A `W`-word LL/SC/VL object as an epoch-managed immutable node.
+/// A `W`-word LL/SC/VL object as an immutable node behind an atomic
+/// pointer (deferred reclamation; see the module docs).
 pub struct PtrSwapLlSc {
-    ptr: Atomic<Node>,
+    cell: DeferredSwapCell<Vec<u64>>,
     n: usize,
     w: usize,
     claimed: Box<[AtomicBool]>,
@@ -56,7 +57,7 @@ impl PtrSwapLlSc {
         assert!(n > 0 && w > 0, "need at least one process and one word");
         assert_eq!(initial.len(), w, "initial value must have W words");
         Arc::new(Self {
-            ptr: Atomic::new(Node { value: initial.to_vec(), seq: 0 }),
+            cell: DeferredSwapCell::new(initial.to_vec()),
             n,
             w,
             claimed: (0..n).map(|_| AtomicBool::new(false)).collect(),
@@ -94,20 +95,6 @@ impl PtrSwapLlSc {
     }
 }
 
-impl Drop for PtrSwapLlSc {
-    fn drop(&mut self) {
-        let guard = &epoch::pin();
-        let cur = self.ptr.load(Ordering::Relaxed, guard);
-        if !cur.is_null() {
-            // SAFETY: `&mut self` gives exclusive access; no other thread
-            // can observe the pointer anymore.
-            unsafe {
-                let _ = cur.into_owned();
-            }
-        }
-    }
-}
-
 /// Per-process handle to a [`PtrSwapLlSc`].
 pub struct PtrSwapHandle {
     obj: Arc<PtrSwapLlSc>,
@@ -123,42 +110,20 @@ impl std::fmt::Debug for PtrSwapHandle {
 impl MwHandle for PtrSwapHandle {
     fn ll(&mut self, out: &mut [u64]) {
         assert_eq!(out.len(), self.obj.w, "ll: output slice length must equal W");
-        let guard = &epoch::pin();
-        let cur = self.obj.ptr.load(Ordering::SeqCst, guard);
-        // SAFETY: loaded under `guard`; never null after construction.
-        let node = unsafe { cur.deref() };
-        out.copy_from_slice(&node.value);
-        self.linked_seq = Some(node.seq);
+        let (value, seq) = self.obj.cell.load();
+        out.copy_from_slice(value);
+        self.linked_seq = Some(seq);
     }
 
     fn sc(&mut self, v: &[u64]) -> bool {
         assert_eq!(v.len(), self.obj.w, "sc: value slice length must equal W");
         let linked = self.linked_seq.expect("sc: no preceding ll on this handle");
-        let guard = &epoch::pin();
-        let cur = self.obj.ptr.load(Ordering::SeqCst, guard);
-        // SAFETY: loaded under `guard`; never null.
-        let node = unsafe { cur.deref() };
-        if node.seq != linked {
-            return false;
-        }
-        let next = Owned::new(Node { value: v.to_vec(), seq: linked + 1 });
-        match self.obj.ptr.compare_exchange(cur, next, Ordering::SeqCst, Ordering::SeqCst, guard)
-        {
-            Ok(_) => {
-                // SAFETY: `cur` was unlinked by this CAS.
-                unsafe { guard.defer_destroy(cur) };
-                true
-            }
-            Err(_) => false,
-        }
+        self.obj.cell.compare_swap(linked, v.to_vec())
     }
 
     fn vl(&mut self) -> bool {
         let linked = self.linked_seq.expect("vl: no preceding ll on this handle");
-        let guard = &epoch::pin();
-        let cur = self.obj.ptr.load(Ordering::SeqCst, guard);
-        // SAFETY: loaded under `guard`; never null.
-        unsafe { cur.deref() }.seq == linked
+        self.obj.cell.load().1 == linked
     }
 
     fn width(&self) -> usize {
@@ -205,6 +170,17 @@ mod tests {
         }
         for j in joins {
             j.join().unwrap();
+        }
+    }
+
+    #[test]
+    fn drop_reclaims_retired_nodes() {
+        let obj = PtrSwapLlSc::new(1, 2, &[0, 0]);
+        let mut h = obj.claim(0);
+        let mut v = [0u64; 2];
+        for i in 0..5_000u64 {
+            h.ll(&mut v);
+            assert!(h.sc(&[i, i]));
         }
     }
 }

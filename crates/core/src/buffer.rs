@@ -95,7 +95,12 @@ impl BufferPool {
 
 impl core::fmt::Debug for BufferPool {
     fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
-        write!(f, "BufferPool[{} x {} words]", self.count(), self.bufs.first().map_or(0, Buffer::len))
+        write!(
+            f,
+            "BufferPool[{} x {} words]",
+            self.count(),
+            self.bufs.first().map_or(0, Buffer::len)
+        )
     }
 }
 

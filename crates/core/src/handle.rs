@@ -128,8 +128,7 @@ impl<C: NewCell> Handle<C> {
         let h = lay.unpack_help(hv);
         if h.helpme && o.x.vl(x_link) {
             // Line 15: if SC(Help[q], (0, mybuf_p))
-            if help_q.sc(h_link, lay.pack_help(HelpRecord { helpme: false, buf: self.mybuf }))
-            {
+            if help_q.sc(h_link, lay.pack_help(HelpRecord { helpme: false, buf: self.mybuf })) {
                 Counters::bump(&o.counters.helps_given);
                 // Line 16: mybuf_p = d  (ownership exchange with the helpee)
                 self.mybuf = h.buf;
@@ -265,8 +264,7 @@ impl<C: NewCell> Handle<C> {
         if h8.helpme {
             // Line 9: SC(Help[p], (0, c)). Failure means a helper slipped
             // in between lines 8 and 9; line 10 picks up its donation.
-            if !o.help[p].sc(h_link8, lay.pack_help(HelpRecord { helpme: false, buf: h8.buf }))
-            {
+            if !o.help[p].sc(h_link8, lay.pack_help(HelpRecord { helpme: false, buf: h8.buf })) {
                 Counters::bump(&o.counters.withdraw_races);
             }
         }
@@ -468,8 +466,7 @@ mod tests {
 
     #[test]
     fn retry_loop_strategy_matches_semantics() {
-        let obj =
-            MwLlSc::try_with_strategy(2, 2, &[10, 20], LlStrategy::RetryLoop).unwrap();
+        let obj = MwLlSc::try_with_strategy(2, 2, &[10, 20], LlStrategy::RetryLoop).unwrap();
         let mut hs = obj.handles();
         let mut h1 = hs.pop().unwrap();
         let mut h0 = hs.pop().unwrap();

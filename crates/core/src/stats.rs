@@ -103,9 +103,8 @@ impl Stats {
     /// snapshots are swapped or from different objects).
     #[must_use]
     pub fn since(&self, earlier: &Stats) -> Stats {
-        let sub = |a: u64, b: u64| {
-            a.checked_sub(b).expect("`earlier` snapshot is newer than `self`")
-        };
+        let sub =
+            |a: u64, b: u64| a.checked_sub(b).expect("`earlier` snapshot is newer than `self`");
         Stats {
             ll_ops: sub(self.ll_ops, earlier.ll_ops),
             sc_attempts: sub(self.sc_attempts, earlier.sc_attempts),
@@ -138,7 +137,13 @@ mod tests {
 
     #[test]
     fn rates() {
-        let s = Stats { sc_attempts: 10, sc_successes: 4, ll_ops: 8, lls_helped: 2, ..Stats::default() };
+        let s = Stats {
+            sc_attempts: 10,
+            sc_successes: 4,
+            ll_ops: 8,
+            lls_helped: 2,
+            ..Stats::default()
+        };
         assert_eq!(s.sc_success_rate(), Some(0.4));
         assert_eq!(s.help_rate(), Some(0.25));
         assert_eq!(Stats::default().sc_success_rate(), None);

@@ -247,9 +247,8 @@ impl<C: NewCell> MwLlSc<C> {
         //   X = (0, 0); BUF[0] = initial value of O;
         //   Bank[k] = k for k in 0..2N; mybuf_p = 2N + p; Help[p] = (0, _).
         let x = C::new_cell(layout.x_max(), layout.pack_x(XRecord { buf: 0, seq: 0 }));
-        let bank: Box<[C]> = (0..layout.num_seqs())
-            .map(|k| C::new_cell(layout.buf_max(), k as u64))
-            .collect();
+        let bank: Box<[C]> =
+            (0..layout.num_seqs()).map(|k| C::new_cell(layout.buf_max(), k as u64)).collect();
         let help: Box<[C]> = (0..n)
             .map(|_| {
                 C::new_cell(
@@ -334,7 +333,6 @@ impl<C: NewCell> MwLlSc<C> {
             per_process_words: 4,
         }
     }
-
 }
 
 #[cfg(test)]

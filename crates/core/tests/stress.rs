@@ -18,15 +18,14 @@ use mwllsc::MwLlSc;
 
 /// Fills `v[..W-1]` from `seed` and sets the last word to a checksum.
 fn make_value(w: usize, seed: u64) -> Vec<u64> {
-    let mut v: Vec<u64> = (0..w as u64 - 1).map(|i| seed.wrapping_mul(0x9E37).wrapping_add(i)).collect();
+    let mut v: Vec<u64> =
+        (0..w as u64 - 1).map(|i| seed.wrapping_mul(0x9E37).wrapping_add(i)).collect();
     v.push(checksum(&v));
     v
 }
 
 fn checksum(words: &[u64]) -> u64 {
-    words.iter().fold(0xCBF29CE484222325, |acc, &x| {
-        (acc ^ x).wrapping_mul(0x100000001B3)
-    })
+    words.iter().fold(0xCBF29CE484222325, |acc, &x| (acc ^ x).wrapping_mul(0x100000001B3))
 }
 
 fn assert_checksummed(v: &[u64], ctx: &str) {

@@ -92,7 +92,9 @@ pub fn e2_time_w(quick: bool) {
         correlation(&ll_pts),
         correlation(&sc_pts)
     );
-    println!("Shape check: high correlation with a linear model ⇒ O(W) time, as Theorem 1 states.\n");
+    println!(
+        "Shape check: high correlation with a linear model ⇒ O(W) time, as Theorem 1 states.\n"
+    );
 }
 
 /// E3 — LL/SC latency is independent of `N` (no `N` term in Theorem 1).
@@ -168,7 +170,15 @@ pub fn e5_waitfree(quick: bool) {
     println!("LL ≤ 8 + 4W, SC ≤ 10 + W, VL ≤ 1 — in *every* schedule.\n");
     let seeds: u64 = if quick { 50 } else { 500 };
     let mut t = Table::new([
-        "N", "W", "schedules", "max LL", "bound", "max SC", "bound", "max VL", "verdict",
+        "N",
+        "W",
+        "schedules",
+        "max LL",
+        "bound",
+        "max SC",
+        "bound",
+        "max VL",
+        "verdict",
     ]);
     for (n, w) in [(2usize, 1usize), (2, 4), (3, 2), (4, 8), (4, 32)] {
         let mut max_ll = 0;
@@ -220,9 +230,8 @@ pub fn e5_waitfree(quick: bool) {
     println!("slow, fast or have crashed\"): processes are crashed at arbitrary steps —");
     println!("possibly mid-operation, announced, or holding a donated buffer — and the");
     println!("survivors must finish within the same bounds:\n");
-    let mut t = Table::new([
-        "N", "W", "crashes injected", "survivor runs", "max LL (bound)", "violations",
-    ]);
+    let mut t =
+        Table::new(["N", "W", "crashes injected", "survivor runs", "max LL (bound)", "violations"]);
     for (n, w) in [(3usize, 2usize), (4, 8)] {
         let mut runs = 0u64;
         let mut max_ll = 0;
@@ -259,9 +268,8 @@ pub fn e5_waitfree(quick: bool) {
     println!("victim's LL replaced by the bare read–validate retry loop (no announce, no");
     println!("help). The wait-free LL finishes within bound; the retry LL is still");
     println!("spinning when the step budget expires:\n");
-    let mut t = Table::new([
-        "W", "victim LL", "grant every", "completed", "steps used", "bound (8+4W)",
-    ]);
+    let mut t =
+        Table::new(["W", "victim LL", "grant every", "completed", "steps used", "bound (8+4W)"]);
     for w in [4usize, 16] {
         for (label, op) in [("paper (wait-free)", SimOp::Ll), ("retry-loop", SimOp::LlRetry)] {
             let mut programs = vec![vec![op.clone()]];
@@ -308,7 +316,8 @@ pub fn e6_linearizability(quick: bool) {
     println!("## E6 — linearizability and invariants\n");
 
     println!("### Exhaustive exploration (all schedules, invariants checked each step)\n");
-    let mut t = Table::new(["config", "programs", "states", "transitions", "complete", "violations"]);
+    let mut t =
+        Table::new(["config", "programs", "states", "transitions", "complete", "violations"]);
     let configs: Vec<(&str, usize, Vec<Vec<SimOp>>)> = vec![
         (
             "N=2 W=1",
@@ -407,7 +416,12 @@ pub fn e6_linearizability(quick: bool) {
     println!("reach are fully verified:\n");
     let rounds: usize = if quick { 2_000 } else { 20_000 };
     let mut t = Table::new([
-        "config", "scheduler", "ops verified", "successful SCs", "helped LLs", "violations",
+        "config",
+        "scheduler",
+        "ops verified",
+        "successful SCs",
+        "helped LLs",
+        "violations",
     ]);
     for (n, w) in [(4usize, 2usize), (4, 8), (8, 4)] {
         for flavor in ["random", "starve"] {
@@ -449,8 +463,16 @@ pub fn e7_helping(quick: bool) {
     println!("## E7 — helping mechanism frequency and correctness (real threads)\n");
     let reader_ops: u64 = if quick { 20_000 } else { 200_000 };
     let mut t = Table::new([
-        "N", "W", "reader LLs", "helped", "rescued", "helps given", "bank fixups",
-        "withdraw races", "sc success rate", "torn values returned",
+        "N",
+        "W",
+        "reader LLs",
+        "helped",
+        "rescued",
+        "helps given",
+        "bank fixups",
+        "withdraw races",
+        "sc success rate",
+        "torn values returned",
     ]);
     for (n, w) in [(2usize, 64usize), (4, 64), (4, 256), (8, 128)] {
         let init = {
@@ -517,7 +539,14 @@ pub fn e7_helping(quick: bool) {
     println!("starvation scheduler makes helping mandatory:\n");
 
     let mut t = Table::new([
-        "N", "W", "grant every", "victim LLs", "helped", "rescued", "helps given", "verdict",
+        "N",
+        "W",
+        "grant every",
+        "victim LLs",
+        "helped",
+        "rescued",
+        "helps given",
+        "verdict",
     ]);
     for (n, w, grant) in [(2usize, 8usize, 80u64), (3, 8, 120), (4, 16, 200), (4, 32, 400)] {
         let mut programs = vec![inc_program(30); n];
@@ -550,7 +579,13 @@ pub fn e8_compare(quick: bool) {
     let per_thread: u64 = if quick { 10_000 } else { 50_000 };
     for w in [2usize, 8, 64] {
         let mut t = Table::new([
-            "algo", "progress", "N=2", "N=4", "N=8", "space words (N=8)", "space class",
+            "algo",
+            "progress",
+            "N=2",
+            "N=4",
+            "N=8",
+            "space words (N=8)",
+            "space class",
         ]);
         for algo in Algo::ALL {
             let mut cells: Vec<String> = Vec::new();

@@ -1,0 +1,206 @@
+//! A shared helper for pointer-swap cells with drop-deferred reclamation.
+//!
+//! Both [`EpochLlSc`](crate::EpochLlSc) and the `llsc-baselines`
+//! pointer-swap comparator need the same primitive: an atomic pointer to
+//! an immutable heap node tagged with a monotone sequence number, where
+//! a successful swap retires the old node. With no external SMR crate
+//! available offline, reclamation is deferred to the cell's `Drop`:
+//! retired nodes go onto an intrusive lock-free retire list and are all
+//! freed when the cell is dropped, so readers may hold plain references
+//! into the current node for as long as they hold `&self`. Memory
+//! therefore grows with the number of successful swaps over the cell's
+//! lifetime; replacing this with a true epoch scheme is a `ROADMAP.md`
+//! item.
+//!
+//! Keeping the `unsafe` here — in one place — is the point: the two
+//! consumers contain no unsafe code of their own.
+
+use core::sync::atomic::{AtomicPtr, Ordering};
+use std::ptr;
+
+struct Node<T> {
+    payload: T,
+    seq: u64,
+    /// Intrusive link threading this node onto the retire list. Written
+    /// only by the single thread whose swap unlinked the node.
+    next_retired: AtomicPtr<Node<T>>,
+}
+
+impl<T> Node<T> {
+    fn boxed(payload: T, seq: u64) -> *mut Node<T> {
+        Box::into_raw(Box::new(Node {
+            payload,
+            seq,
+            next_retired: AtomicPtr::new(ptr::null_mut()),
+        }))
+    }
+}
+
+/// An atomic pointer to an immutable `(payload, seq)` node, with
+/// compare-and-swap keyed on the sequence number and drop-deferred
+/// reclamation of replaced nodes.
+///
+/// `seq` starts at 0 and increments on every successful
+/// [`compare_swap`](Self::compare_swap), so it is unique over the cell's
+/// lifetime: comparing sequence numbers can never suffer pointer-ABA.
+pub struct DeferredSwapCell<T> {
+    /// The current node. Never null after construction.
+    ptr: AtomicPtr<Node<T>>,
+    /// Treiber stack of retired nodes, freed in `Drop`.
+    retired: AtomicPtr<Node<T>>,
+}
+
+// SAFETY: published nodes are immutable; `next_retired` is written only
+// by the exclusive unlinker; nothing is freed before `Drop`. Payloads
+// cross threads, hence the `T: Send + Sync` bounds.
+unsafe impl<T: Send + Sync> Send for DeferredSwapCell<T> {}
+unsafe impl<T: Send + Sync> Sync for DeferredSwapCell<T> {}
+
+impl<T> std::fmt::Debug for DeferredSwapCell<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("DeferredSwapCell").field("seq", &self.load().1).finish()
+    }
+}
+
+impl<T> DeferredSwapCell<T> {
+    /// Creates a cell holding `init` at sequence number 0.
+    #[must_use]
+    pub fn new(init: T) -> Self {
+        Self { ptr: AtomicPtr::new(Node::boxed(init, 0)), retired: AtomicPtr::new(ptr::null_mut()) }
+    }
+
+    /// The current payload and its sequence number.
+    ///
+    /// The reference stays valid for as long as the borrow of `self`:
+    /// nodes are only freed in `Drop`.
+    pub fn load(&self) -> (&T, u64) {
+        let p = self.ptr.load(Ordering::SeqCst);
+        // SAFETY: `p` is never null after construction and every node
+        // reachable from `self.ptr` stays allocated until `Drop` (see
+        // the module docs) — `&self` proves `Drop` has not run.
+        let node = unsafe { &*p };
+        (&node.payload, node.seq)
+    }
+
+    /// Installs `payload` at `expect_seq + 1` iff the current node's
+    /// sequence number equals `expect_seq`; returns whether it did.
+    pub fn compare_swap(&self, expect_seq: u64, payload: T) -> bool {
+        let cur = self.ptr.load(Ordering::SeqCst);
+        // SAFETY: see `load` — nodes live until `Drop`.
+        if unsafe { &*cur }.seq != expect_seq {
+            return false;
+        }
+        let next = Node::boxed(payload, expect_seq + 1);
+        match self.ptr.compare_exchange(cur, next, Ordering::SeqCst, Ordering::SeqCst) {
+            Ok(_) => {
+                self.retire(cur);
+                true
+            }
+            Err(_) => {
+                // SAFETY: `next` was just allocated by us and never
+                // published; we still own it exclusively.
+                drop(unsafe { Box::from_raw(next) });
+                false
+            }
+        }
+    }
+
+    /// Pushes an unlinked node onto the retire list.
+    fn retire(&self, node: *mut Node<T>) {
+        let mut head = self.retired.load(Ordering::Relaxed);
+        loop {
+            // SAFETY: the calling thread just unlinked `node` with a
+            // successful CAS, making it the node's exclusive owner for
+            // list-linking purposes (readers never touch `next_retired`).
+            unsafe { (*node).next_retired.store(head, Ordering::Relaxed) };
+            match self.retired.compare_exchange_weak(
+                head,
+                node,
+                Ordering::Release,
+                Ordering::Relaxed,
+            ) {
+                Ok(_) => return,
+                Err(actual) => head = actual,
+            }
+        }
+    }
+}
+
+impl<T> Drop for DeferredSwapCell<T> {
+    fn drop(&mut self) {
+        // `&mut self`: no other thread can observe the cell; reclaim the
+        // current node and the whole retire list.
+        let cur = *self.ptr.get_mut();
+        if !cur.is_null() {
+            // SAFETY: exclusive access; the current node is not on the
+            // retire list (a node is retired only after being unlinked).
+            drop(unsafe { Box::from_raw(cur) });
+        }
+        let mut head = *self.retired.get_mut();
+        while !head.is_null() {
+            // SAFETY: exclusive access; each retired node was pushed
+            // exactly once, so this walk frees each exactly once.
+            let node = unsafe { Box::from_raw(head) };
+            head = node.next_retired.load(Ordering::Relaxed);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn load_and_swap_sequence() {
+        let c = DeferredSwapCell::new(10u64);
+        assert_eq!(c.load(), (&10, 0));
+        assert!(c.compare_swap(0, 11));
+        assert_eq!(c.load(), (&11, 1));
+        assert!(!c.compare_swap(0, 99), "stale seq must fail");
+        assert_eq!(c.load(), (&11, 1));
+    }
+
+    #[test]
+    fn failed_swap_frees_candidate() {
+        // A failing compare_swap must not leak its candidate node
+        // (checked structurally: repeated failures don't grow the
+        // retire list, and drop stays clean under sanitizers).
+        let c = DeferredSwapCell::new(vec![1u64, 2]);
+        for _ in 0..1000 {
+            assert!(!c.compare_swap(77, vec![9, 9]));
+        }
+    }
+
+    #[test]
+    fn concurrent_swaps_every_seq_won_once() {
+        let c = Arc::new(DeferredSwapCell::new(0u64));
+        let mut joins = Vec::new();
+        for _ in 0..4 {
+            let c = Arc::clone(&c);
+            joins.push(std::thread::spawn(move || {
+                let mut wins = 0u64;
+                while wins < 2_000 {
+                    let (v, seq) = c.load();
+                    let v = *v;
+                    if c.compare_swap(seq, v + 1) {
+                        wins += 1;
+                    }
+                }
+            }));
+        }
+        for j in joins {
+            j.join().unwrap();
+        }
+        assert_eq!(c.load(), (&8_000, 8_000));
+    }
+
+    #[test]
+    fn drop_walks_long_retire_list() {
+        let c = DeferredSwapCell::new(0u64);
+        for i in 0..10_000 {
+            assert!(c.compare_swap(i, i + 1));
+        }
+        drop(c);
+    }
+}

@@ -1,36 +1,34 @@
-//! Epoch-reclamation (pointer-indirection) realization of single-word LL/SC.
+//! Pointer-indirection realization of single-word LL/SC with deferred
+//! node reclamation.
+//!
+//! The upstream design for this substrate is epoch-based reclamation
+//! (`crossbeam_epoch`); this build environment has no access to external
+//! crates, so the object is built on [`DeferredSwapCell`] instead: every
+//! node retired by a successful SC/`write` is kept on a retire list and
+//! freed when the object is dropped. Memory therefore grows with the
+//! number of successful SCs over the object's lifetime (bounded and
+//! small for every test and bench in this suite); swapping in a true
+//! epoch scheme is tracked in `ROADMAP.md`.
 
 use core::fmt;
-use core::sync::atomic::Ordering;
 
-use crossbeam::epoch::{self, Atomic, Owned};
-
+use crate::deferred::DeferredSwapCell;
 use crate::{Link, LlScCell};
-
-/// A node published through the atomic pointer.
-///
-/// `seq` is a 64-bit sequence number unique over the object's lifetime
-/// (incremented on every successful SC/write); it is what [`Link`] snapshots
-/// and what `sc`/`vl` compare, so correctness never depends on a heap
-/// address not being reused.
-struct Node {
-    value: u64,
-    seq: u64,
-}
 
 /// A single-word LL/SC/VL object holding full 64-bit values.
 ///
 /// Each successful SC (and each `write`) allocates a fresh node carrying
-/// `(value, seq+1)` and swings an atomic pointer; retired nodes are freed by
-/// epoch-based reclamation (`crossbeam_epoch`). Because the link compares
-/// the node's 64-bit `seq` (not the pointer), address reuse cannot cause an
-/// ABA false-success, and the wrap-around bound is a full `2^64`.
+/// `(value, seq+1)` and swings an atomic pointer; retired nodes are kept
+/// alive until the object is dropped (see the module docs). Because the
+/// link compares the node's 64-bit `seq` (not the pointer), address
+/// reuse cannot cause an ABA false-success, and the wrap-around bound is
+/// a full `2^64`.
 ///
-/// Compared to [`TaggedLlSc`](crate::TaggedLlSc) this trades an allocation
-/// per successful SC for full-width values and an unbounded tag. The
-/// multiword algorithm only needs narrow values, so `TaggedLlSc` is its
-/// default substrate; `EpochLlSc` exists (a) to cross-check the tagged
-/// realization against an independently derived one and (b) as the
+/// Compared to [`TaggedLlSc`](crate::TaggedLlSc) this trades an
+/// allocation per successful SC for full-width values and an unbounded
+/// tag. The multiword algorithm only needs narrow values, so `TaggedLlSc`
+/// is its default substrate; `EpochLlSc` exists (a) to cross-check the
+/// tagged realization against an independently derived one and (b) as the
 /// substrate ablation measured in the benches.
 ///
 /// # Examples
@@ -46,7 +44,7 @@ struct Node {
 /// assert_eq!(x.read(), 42);
 /// ```
 pub struct EpochLlSc {
-    ptr: Atomic<Node>,
+    cell: DeferredSwapCell<u64>,
 }
 
 impl fmt::Debug for EpochLlSc {
@@ -59,7 +57,7 @@ impl EpochLlSc {
     /// Creates an object with initial value `init`.
     #[must_use]
     pub fn new(init: u64) -> Self {
-        Self { ptr: Atomic::new(Node { value: init, seq: 0 }) }
+        Self { cell: DeferredSwapCell::new(init) }
     }
 
     #[cfg(debug_assertions)]
@@ -86,59 +84,26 @@ impl EpochLlSc {
 
     #[cfg(not(debug_assertions))]
     fn check_link(&self, _link: &Link) {}
-
-    /// Installs `v` iff the current node's `seq` equals `expect_seq`.
-    fn cas_from_seq(&self, expect_seq: u64, v: u64) -> bool {
-        let guard = &epoch::pin();
-        let cur = self.ptr.load(Ordering::SeqCst, guard);
-        // SAFETY: `cur` was loaded under `guard`, so the node cannot be
-        // freed while we hold the guard; the pointer is never null after
-        // construction.
-        let cur_node = unsafe { cur.deref() };
-        if cur_node.seq != expect_seq {
-            return false;
-        }
-        let next = Owned::new(Node { value: v, seq: expect_seq + 1 });
-        match self.ptr.compare_exchange(cur, next, Ordering::SeqCst, Ordering::SeqCst, guard) {
-            Ok(_) => {
-                // SAFETY: `cur` has been unlinked by this CAS and can no
-                // longer be reached by new readers; defer destruction until
-                // all current pins are released.
-                unsafe { guard.defer_destroy(cur) };
-                true
-            }
-            Err(_) => false,
-        }
-    }
 }
 
 impl LlScCell for EpochLlSc {
     fn ll(&self) -> (u64, Link) {
-        let guard = &epoch::pin();
-        let cur = self.ptr.load(Ordering::SeqCst, guard);
-        // SAFETY: loaded under `guard`; never null.
-        let node = unsafe { cur.deref() };
-        (node.value, self.make_link(node.seq))
+        let (value, seq) = self.cell.load();
+        (*value, self.make_link(seq))
     }
 
     fn sc(&self, link: Link, v: u64) -> bool {
         self.check_link(&link);
-        self.cas_from_seq(link.snapshot, v)
+        self.cell.compare_swap(link.snapshot, v)
     }
 
     fn vl(&self, link: Link) -> bool {
         self.check_link(&link);
-        let guard = &epoch::pin();
-        let cur = self.ptr.load(Ordering::SeqCst, guard);
-        // SAFETY: loaded under `guard`; never null.
-        unsafe { cur.deref() }.seq == link.snapshot
+        self.cell.load().1 == link.snapshot
     }
 
     fn read(&self) -> u64 {
-        let guard = &epoch::pin();
-        let cur = self.ptr.load(Ordering::SeqCst, guard);
-        // SAFETY: loaded under `guard`; never null.
-        unsafe { cur.deref() }.value
+        *self.cell.load().0
     }
 
     fn write(&self, v: u64) {
@@ -146,13 +111,8 @@ impl LlScCell for EpochLlSc {
         // within the multiword algorithm every `write` is effectively
         // uncontended, so the loop exits after O(1) attempts.
         loop {
-            let seq = {
-                let guard = epoch::pin();
-                let cur = self.ptr.load(Ordering::SeqCst, &guard);
-                // SAFETY: loaded under `guard`; never null.
-                unsafe { cur.deref() }.seq
-            };
-            if self.cas_from_seq(seq, v) {
+            let seq = self.cell.load().1;
+            if self.cell.compare_swap(seq, v) {
                 return;
             }
         }
@@ -160,21 +120,6 @@ impl LlScCell for EpochLlSc {
 
     fn max_value(&self) -> u64 {
         u64::MAX
-    }
-}
-
-impl Drop for EpochLlSc {
-    fn drop(&mut self) {
-        // We have exclusive access; reclaim the final node immediately.
-        let guard = &epoch::pin();
-        let cur = self.ptr.load(Ordering::Relaxed, guard);
-        if !cur.is_null() {
-            // SAFETY: exclusive access (`&mut self`), no other thread can
-            // observe the pointer; convert back to Owned to drop it.
-            unsafe {
-                let _ = cur.into_owned();
-            }
-        }
     }
 }
 
@@ -258,5 +203,16 @@ mod tests {
             let (_, l) = x.ll();
             assert!(x.sc(l, 4));
         }
+    }
+
+    #[test]
+    fn drop_reclaims_long_retire_lists() {
+        // Many successful SCs, then drop: the whole retire list is walked.
+        let x = EpochLlSc::new(0);
+        for i in 0..10_000u64 {
+            let (_, l) = x.ll();
+            assert!(x.sc(l, i));
+        }
+        drop(x);
     }
 }

@@ -21,9 +21,10 @@
 //!   [`TaggedLlSc::wraparound_bound`] and is astronomically far away for the
 //!   field widths the multiword algorithm needs.
 //! * [`EpochLlSc`] — the value lives in a heap node and the object is an
-//!   atomic pointer managed by epoch-based reclamation
-//!   (`crossbeam_epoch`). Values keep the full 64-bit width and the
-//!   uniqueness of the per-node sequence number is unbounded (64-bit).
+//!   atomic pointer; retired nodes are reclaimed when the object is
+//!   dropped (see the module docs for the reclamation discipline). Values
+//!   keep the full 64-bit width and the uniqueness of the per-node
+//!   sequence number is unbounded (64-bit).
 //!
 //! # Link tokens instead of hidden per-process state
 //!
@@ -66,9 +67,11 @@
 #![warn(missing_docs, missing_debug_implementations)]
 #![deny(unsafe_op_in_unsafe_fn)]
 
+pub mod deferred;
 mod epoch;
 mod tagged;
 
+pub use deferred::DeferredSwapCell;
 pub use epoch::EpochLlSc;
 pub use tagged::TaggedLlSc;
 

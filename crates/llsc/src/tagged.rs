@@ -54,15 +54,9 @@ impl TaggedLlSc {
     /// required), or if `init` does not fit in `value_bits` bits.
     #[must_use]
     pub fn new(value_bits: u32, init: u64) -> Self {
-        assert!(
-            (1..64).contains(&value_bits),
-            "value_bits must be in 1..=63, got {value_bits}"
-        );
+        assert!((1..64).contains(&value_bits), "value_bits must be in 1..=63, got {value_bits}");
         let this = Self { cell: AtomicU64::new(0), value_bits };
-        assert!(
-            init <= this.max_value(),
-            "initial value {init} does not fit in {value_bits} bits"
-        );
+        assert!(init <= this.max_value(), "initial value {init} does not fit in {value_bits} bits");
         this.cell.store(init, Ordering::Relaxed);
         this
     }
@@ -144,9 +138,7 @@ impl LlScCell for TaggedLlSc {
         self.check_link(&link);
         assert!(v <= self.max_value(), "SC value {v} exceeds {} bits", self.value_bits);
         let next = self.pack_next(link.snapshot, v);
-        self.cell
-            .compare_exchange(link.snapshot, next, Ordering::SeqCst, Ordering::SeqCst)
-            .is_ok()
+        self.cell.compare_exchange(link.snapshot, next, Ordering::SeqCst, Ordering::SeqCst).is_ok()
     }
 
     fn vl(&self, link: Link) -> bool {
@@ -172,10 +164,7 @@ impl LlScCell for TaggedLlSc {
         let mut cur = self.cell.load(Ordering::SeqCst);
         loop {
             let next = self.pack_next(cur, v);
-            match self
-                .cell
-                .compare_exchange_weak(cur, next, Ordering::SeqCst, Ordering::SeqCst)
-            {
+            match self.cell.compare_exchange_weak(cur, next, Ordering::SeqCst, Ordering::SeqCst) {
                 Ok(_) => return,
                 Err(actual) => cur = actual,
             }

@@ -198,11 +198,8 @@ impl Monitors {
             // I2: the interval that just closed must contain exactly the
             // one fix-up write `Bank[s] = b` for the closing X = (b, s) —
             // except the initial interval, which needs none (Claim 1).
-            let expected: &[(u32, u32)] = if self.x_changes == 0 {
-                &[]
-            } else {
-                &[(self.cur_x.seq, self.cur_x.buf)]
-            };
+            let expected: &[(u32, u32)] =
+                if self.x_changes == 0 { &[] } else { &[(self.cur_x.seq, self.cur_x.buf)] };
             if self.bank_writes != expected {
                 return Err(Violation::I2 {
                     detail: format!(
@@ -248,8 +245,7 @@ mod tests {
     fn i1_holds_across_a_solo_run() {
         let mut state = SimState::new(2, 2, &[1, 2]);
         let mut procs: Vec<ProcState> = (0..2).map(|p| ProcState::new(p, 2, 2)).collect();
-        let ops =
-            [SimOp::Ll, SimOp::Sc(vec![3, 4]), SimOp::Ll, SimOp::Vl, SimOp::Sc(vec![5, 6])];
+        let ops = [SimOp::Ll, SimOp::Sc(vec![3, 4]), SimOp::Ll, SimOp::Vl, SimOp::Sc(vec![5, 6])];
         for op in &ops {
             let _ = procs[0].begin(op);
             loop {
@@ -284,13 +280,11 @@ mod tests {
 
     #[test]
     fn lemma3_monitor_detects_early_write() {
-        let mut mon = Monitors::new(2); // 2N = 4
+        // 2N = 4.
+        let mut mon = Monitors::new(2);
         // Publish buffer 5 at change 1.
-        mon.on_effect(&StepEffect {
-            x_write: Some(XVal { buf: 5, seq: 1 }),
-            ..Default::default()
-        })
-        .unwrap();
+        mon.on_effect(&StepEffect { x_write: Some(XVal { buf: 5, seq: 1 }), ..Default::default() })
+            .unwrap();
         // Immediately writing buffer 5 must trip Lemma 3.
         let err = mon
             .on_effect(&StepEffect { buf_write: Some((5, 0)), ..Default::default() })
@@ -300,19 +294,14 @@ mod tests {
 
     #[test]
     fn i2_monitor_requires_exact_fixup() {
-        let mut mon = Monitors::new(1); // 2N = 2
+        // 2N = 2.
+        let mut mon = Monitors::new(1);
         // First change: no bank writes expected.
-        mon.on_effect(&StepEffect {
-            x_write: Some(XVal { buf: 2, seq: 1 }),
-            ..Default::default()
-        })
-        .unwrap();
+        mon.on_effect(&StepEffect { x_write: Some(XVal { buf: 2, seq: 1 }), ..Default::default() })
+            .unwrap();
         // Second change without the fix-up write: violation.
         let err = mon
-            .on_effect(&StepEffect {
-                x_write: Some(XVal { buf: 1, seq: 0 }),
-                ..Default::default()
-            })
+            .on_effect(&StepEffect { x_write: Some(XVal { buf: 1, seq: 0 }), ..Default::default() })
             .unwrap_err();
         assert!(matches!(err, Violation::I2 { .. }));
     }
@@ -320,19 +309,12 @@ mod tests {
     #[test]
     fn i2_monitor_accepts_correct_fixup() {
         let mut mon = Monitors::new(1);
-        mon.on_effect(&StepEffect {
-            x_write: Some(XVal { buf: 2, seq: 1 }),
-            ..Default::default()
-        })
-        .unwrap();
-        // The fix-up for X = (2, 1), then the next change.
-        mon.on_effect(&StepEffect { bank_write: Some((1, 2)), ..Default::default() })
+        mon.on_effect(&StepEffect { x_write: Some(XVal { buf: 2, seq: 1 }), ..Default::default() })
             .unwrap();
-        mon.on_effect(&StepEffect {
-            x_write: Some(XVal { buf: 0, seq: 0 }),
-            ..Default::default()
-        })
-        .unwrap();
+        // The fix-up for X = (2, 1), then the next change.
+        mon.on_effect(&StepEffect { bank_write: Some((1, 2)), ..Default::default() }).unwrap();
+        mon.on_effect(&StepEffect { x_write: Some(XVal { buf: 0, seq: 0 }), ..Default::default() })
+            .unwrap();
         assert_eq!(mon.x_changes, 2);
     }
 

@@ -60,6 +60,7 @@ pub mod history;
 pub mod interp;
 pub mod invariants;
 pub mod lp;
+pub mod rng;
 pub mod runner;
 pub mod sched;
 pub mod state;

@@ -150,10 +150,7 @@ impl LpMonitor {
                 if fx.ll_helped {
                     self.per_proc[p].helped = true;
                 } else {
-                    let l2 = self.per_proc[p]
-                        .l2
-                        .as_ref()
-                        .expect("line 4 implies line 2 executed");
+                    let l2 = self.per_proc[p].l2.as_ref().expect("line 4 implies line 2 executed");
                     let changes = self.count - l2.count;
                     if changes > self.num_seqs - 1 {
                         return Err(Self::fail(format!(
@@ -169,15 +166,13 @@ impl LpMonitor {
                 self.per_proc[p].l5 = Some(self.snap());
             }
             // Line 7: rescue detection.
-            Pc::L7
-                if fx.ll_rescued => {
-                    self.per_proc[p].rescued = true;
-                }
+            Pc::L7 if fx.ll_rescued => {
+                self.per_proc[p].rescued = true;
+            }
             // Line 9: a successful withdrawal is a Help[p] write (Lemma 2).
-            Pc::L9
-                if fx.help_withdraw => {
-                    self.note_help_write(p, "own line-9 withdrawal")?;
-                }
+            Pc::L9 if fx.help_withdraw => {
+                self.note_help_write(p, "own line-9 withdrawal")?;
+            }
             // Line 10: the Lemma 2 window (t, t') closes here: exactly one
             // write must have landed.
             Pc::L10 => {
@@ -207,21 +202,20 @@ impl LpMonitor {
             }
             // Line 15: successful donation — attach the snapshot to the
             // helpee's pending LL (and count the Help write, Lemma 2).
-            Pc::L15
-                if fx.help_given => {
-                    let q = (proc.x.seq as usize) % n;
-                    let snap = self.per_proc[p]
-                        .helper_snapshot
-                        .take()
-                        .expect("line 15 success implies a line-14 VL snapshot");
-                    self.note_help_write(q, "a line-15 donation")?;
-                    if self.per_proc[q].donation.is_some() {
-                        return Err(Self::fail(format!(
-                            "Lemma 2: second donation to p{q} within one LL window"
-                        )));
-                    }
-                    self.per_proc[q].donation = Some(snap);
+            Pc::L15 if fx.help_given => {
+                let q = (proc.x.seq as usize) % n;
+                let snap = self.per_proc[p]
+                    .helper_snapshot
+                    .take()
+                    .expect("line 15 success implies a line-14 VL snapshot");
+                self.note_help_write(q, "a line-15 donation")?;
+                if self.per_proc[q].donation.is_some() {
+                    return Err(Self::fail(format!(
+                        "Lemma 2: second donation to p{q} within one LL window"
+                    )));
                 }
+                self.per_proc[q].donation = Some(snap);
+            }
             // Line 19: the SC's LP — Lemma 10; maintain the shadow value on
             // success. (The success response is emitted at line 20, but the
             // outcome is decided — and checked — here.)
@@ -240,9 +234,7 @@ impl LpMonitor {
             // Line 23: VL responds — Lemma 11.
             Pc::L23 => {
                 if let Some(crate::history::RespDesc::Vl(ok)) = fx.response {
-                    let lp = self.per_proc[p]
-                        .lp_count
-                        .expect("VL requires a completed LL");
+                    let lp = self.per_proc[p].lp_count.expect("VL requires a completed LL");
                     let expect = self.count == lp;
                     if ok != expect {
                         return Err(Self::fail(format!(

@@ -1,0 +1,91 @@
+//! A small deterministic PRNG for the randomized schedulers.
+//!
+//! The schedulers need nothing beyond "seeded, reproducible, reasonably
+//! uniform", and this build environment has no access to the `rand`
+//! crate, so a self-contained SplitMix64 covers it. Equal seeds give
+//! equal sequences on every platform, which is what makes recorded
+//! failures replayable.
+
+/// A seeded SplitMix64 generator.
+#[derive(Clone, Debug)]
+pub struct SmallRng {
+    state: u64,
+}
+
+impl SmallRng {
+    /// Creates a generator from a 64-bit seed; equal seeds give equal
+    /// sequences.
+    #[must_use]
+    pub fn seed_from_u64(seed: u64) -> Self {
+        Self { state: seed }
+    }
+
+    /// The next 64 pseudo-random bits.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// A uniform index in `0..n`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0`.
+    pub fn gen_index(&mut self, n: usize) -> usize {
+        assert!(n > 0, "gen_index: empty range");
+        // Modulo bias is ~n/2^64: irrelevant for scheduler choices.
+        (self.next_u64() % n as u64) as usize
+    }
+
+    /// A uniform float in `[0, 1)`.
+    pub fn gen_f64(&mut self) -> f64 {
+        // 53 top bits → the unit interval.
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reproducible() {
+        let mut a = SmallRng::seed_from_u64(9);
+        let mut b = SmallRng::seed_from_u64(9);
+        for _ in 0..64 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn gen_index_in_range() {
+        let mut r = SmallRng::seed_from_u64(1);
+        for n in 1..50 {
+            for _ in 0..20 {
+                assert!(r.gen_index(n) < n);
+            }
+        }
+    }
+
+    #[test]
+    fn gen_f64_in_unit_interval() {
+        let mut r = SmallRng::seed_from_u64(2);
+        let mut sum = 0.0;
+        for _ in 0..1000 {
+            let x = r.gen_f64();
+            assert!((0.0..1.0).contains(&x));
+            sum += x;
+        }
+        // Crude uniformity check: the mean is near 1/2.
+        assert!((sum / 1000.0 - 0.5).abs() < 0.05);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty range")]
+    fn gen_index_zero_panics() {
+        let _ = SmallRng::seed_from_u64(0).gen_index(0);
+    }
+}

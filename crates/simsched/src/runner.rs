@@ -40,8 +40,7 @@ impl Sim {
     pub fn runnable(&self) -> Vec<usize> {
         (0..self.procs.len())
             .filter(|&p| {
-                self.procs[p].pc != crate::interp::Pc::Idle
-                    || self.pos[p] < self.programs[p].len()
+                self.procs[p].pc != crate::interp::Pc::Idle || self.pos[p] < self.programs[p].len()
             })
             .collect()
     }
@@ -240,11 +239,8 @@ pub fn run_with_crashes<S: Scheduler>(
     let mut schedule = Vec::new();
 
     loop {
-        let crashed: Vec<usize> = crashes
-            .iter()
-            .filter(|(_, at)| steps >= *at)
-            .map(|(pid, _)| *pid)
-            .collect();
+        let crashed: Vec<usize> =
+            crashes.iter().filter(|(_, at)| steps >= *at).map(|(pid, _)| *pid).collect();
         let runnable: Vec<usize> =
             sim.runnable().into_iter().filter(|p| !crashed.contains(p)).collect();
         if runnable.is_empty() || steps >= cfg.max_steps {
@@ -283,9 +279,8 @@ pub fn run_with_crashes<S: Scheduler>(
     let crashed: Vec<usize> =
         crashes.iter().filter(|(_, at)| steps >= *at).map(|(pid, _)| *pid).collect();
     let completed = sim.runnable().into_iter().all(|p| crashed.contains(&p));
-    let pending: Vec<usize> = (0..sim.procs.len())
-        .filter(|&p| sim.procs[p].pc != crate::interp::Pc::Idle)
-        .collect();
+    let pending: Vec<usize> =
+        (0..sim.procs.len()).filter(|&p| sim.procs[p].pc != crate::interp::Pc::Idle).collect();
     let final_value = sim.state.abstract_value().to_vec();
     Ok(RunReport {
         history,

@@ -6,8 +6,7 @@
 //! ([`WeightedRandom`]), and targeted starvation ([`StarveVictim`]) — the
 //! adversary the helping mechanism exists to defeat.
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use crate::rng::SmallRng;
 
 /// A policy choosing the next process to step.
 pub trait Scheduler {
@@ -33,20 +32,20 @@ impl Scheduler for RoundRobin {
 /// Uniformly random choice, seeded for reproducibility.
 #[derive(Clone, Debug)]
 pub struct RandomSched {
-    rng: StdRng,
+    rng: SmallRng,
 }
 
 impl RandomSched {
     /// Creates a scheduler from a seed; equal seeds give equal schedules.
     #[must_use]
     pub fn new(seed: u64) -> Self {
-        Self { rng: StdRng::seed_from_u64(seed) }
+        Self { rng: SmallRng::seed_from_u64(seed) }
     }
 }
 
 impl Scheduler for RandomSched {
     fn pick(&mut self, runnable: &[usize], _step: u64) -> usize {
-        runnable[self.rng.gen_range(0..runnable.len())]
+        runnable[self.rng.gen_index(runnable.len())]
     }
 }
 
@@ -56,7 +55,7 @@ impl Scheduler for RandomSched {
 #[derive(Clone, Debug)]
 pub struct WeightedRandom {
     weights: Vec<f64>,
-    rng: StdRng,
+    rng: SmallRng,
 }
 
 impl WeightedRandom {
@@ -71,14 +70,14 @@ impl WeightedRandom {
             weights.iter().all(|w| w.is_finite() && *w > 0.0),
             "weights must be positive and finite"
         );
-        Self { weights, rng: StdRng::seed_from_u64(seed) }
+        Self { weights, rng: SmallRng::seed_from_u64(seed) }
     }
 }
 
 impl Scheduler for WeightedRandom {
     fn pick(&mut self, runnable: &[usize], _step: u64) -> usize {
         let total: f64 = runnable.iter().map(|&p| self.weights[p]).sum();
-        let mut t = self.rng.gen_range(0.0..total);
+        let mut t = self.rng.gen_f64() * total;
         for &p in runnable {
             t -= self.weights[p];
             if t <= 0.0 {
@@ -122,8 +121,7 @@ impl StarveVictim {
 impl Scheduler for StarveVictim {
     fn pick(&mut self, runnable: &[usize], step: u64) -> usize {
         self.decisions += 1;
-        let others: Vec<usize> =
-            runnable.iter().copied().filter(|&p| p != self.victim).collect();
+        let others: Vec<usize> = runnable.iter().copied().filter(|&p| p != self.victim).collect();
         let victim_runnable = runnable.contains(&self.victim);
         if others.is_empty() {
             debug_assert!(victim_runnable);

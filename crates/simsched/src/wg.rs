@@ -117,15 +117,8 @@ pub fn check_linearizable(
     let init_state = SpecState { value: init.to_vec(), valid: 0 };
     let mut memo: HashSet<(u128, SpecState)> = HashSet::new();
     let mut explored = 0u64;
-    let found = dfs(
-        &ops,
-        completed_mask,
-        0,
-        &init_state,
-        &mut memo,
-        &mut explored,
-        config.node_budget,
-    );
+    let found =
+        dfs(&ops, completed_mask, 0, &init_state, &mut memo, &mut explored, config.node_budget);
     match found {
         Some(true) => Ok(()),
         Some(false) => Err(LinzError::NotLinearizable { rendered: render(&ops) }),
@@ -280,8 +273,7 @@ mod tests {
             h.invoke(1, OpDesc::Sc(vec![7]), 3);
             h.respond(1, RespDesc::Sc(true), 4);
             h.respond(0, RespDesc::Ll(vec![seen]), 5);
-            check_linearizable(&h, &[0], cfg())
-                .unwrap_or_else(|e| panic!("seen={seen}: {e}"));
+            check_linearizable(&h, &[0], cfg()).unwrap_or_else(|e| panic!("seen={seen}: {e}"));
         }
     }
 
@@ -337,8 +329,7 @@ mod tests {
             h.invoke(1, OpDesc::Sc(vec![9]), 2); // never responds
             h.invoke(0, OpDesc::Ll, 3);
             h.respond(0, RespDesc::Ll(vec![seen]), 4);
-            check_linearizable(&h, &[0], cfg())
-                .unwrap_or_else(|e| panic!("seen={seen}: {e}"));
+            check_linearizable(&h, &[0], cfg()).unwrap_or_else(|e| panic!("seen={seen}: {e}"));
         }
     }
 

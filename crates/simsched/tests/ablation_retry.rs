@@ -30,32 +30,18 @@ fn waitfree_ll_completes_under_starvation_retry_ll_does_not() {
 
     // The paper's LL: completes within its step bound even while starved
     // and overtaken by hundreds of successful SCs.
-    let report = run(
-        victim_sim(w, SimOp::Ll, 10_000),
-        &mut StarveVictim::new(0, 100),
-        &cfg,
-    )
-    .unwrap();
-    assert!(
-        !report.pending.contains(&0),
-        "the wait-free LL must complete despite starvation"
-    );
+    let report =
+        run(victim_sim(w, SimOp::Ll, 10_000), &mut StarveVictim::new(0, 100), &cfg).unwrap();
+    assert!(!report.pending.contains(&0), "the wait-free LL must complete despite starvation");
     assert!(report.max_op_steps.ll <= ll_step_bound(w));
     assert!(report.helped_lls > 0, "it completed *because* it was helped");
 
     // The ablation: same adversary, same budget — the retry LL is still
     // spinning when the budget expires, having burned orders of magnitude
     // more than the wait-free bound.
-    let report = run(
-        victim_sim(w, SimOp::LlRetry, 10_000),
-        &mut StarveVictim::new(0, 100),
-        &cfg,
-    )
-    .unwrap();
-    assert!(
-        report.pending.contains(&0),
-        "the retry LL must still be starving at the step budget"
-    );
+    let report =
+        run(victim_sim(w, SimOp::LlRetry, 10_000), &mut StarveVictim::new(0, 100), &cfg).unwrap();
+    assert!(report.pending.contains(&0), "the retry LL must still be starving at the step budget");
 }
 
 #[test]
@@ -65,12 +51,8 @@ fn retry_ll_eventually_completes_when_writers_stop() {
     // which is precisely the guarantee gap.
     let w = 8;
     let cfg = RunConfig { record_history: false, ..RunConfig::default() };
-    let report = run(
-        victim_sim(w, SimOp::LlRetry, 40),
-        &mut StarveVictim::new(0, 50),
-        &cfg,
-    )
-    .unwrap();
+    let report =
+        run(victim_sim(w, SimOp::LlRetry, 40), &mut StarveVictim::new(0, 50), &cfg).unwrap();
     assert!(report.completed);
     assert!(
         report.max_op_steps.retry_ll > ll_step_bound(w),
@@ -86,12 +68,7 @@ fn retry_ll_returns_correct_values() {
     // The ablation is still *correct* (linearizable, checked by the LP
     // monitor inside RunConfig::default) — what it lacks is progress.
     for seed in 0..40u64 {
-        let mut programs = vec![vec![
-            SimOp::LlRetry,
-            SimOp::ScBump(1),
-            SimOp::LlRetry,
-            SimOp::Vl,
-        ]];
+        let mut programs = vec![vec![SimOp::LlRetry, SimOp::ScBump(1), SimOp::LlRetry, SimOp::Vl]];
         programs.push(writer_program(5));
         programs.push(writer_program(5));
         let sim = Sim::new(2, &[0, 0], programs);

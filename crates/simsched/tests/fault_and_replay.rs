@@ -32,9 +32,8 @@ fn survivors_unaffected_by_crash_sweep() {
         let programs = vec![inc_program(4); 3];
         let sim = Sim::new(w, &[0, 0], programs);
         let mut sched = RoundRobin::default();
-        let report =
-            run_with_crashes(sim, &mut sched, &RunConfig::default(), &[(0, crash_at)])
-                .unwrap_or_else(|f| panic!("crash_at={crash_at}: {f}"));
+        let report = run_with_crashes(sim, &mut sched, &RunConfig::default(), &[(0, crash_at)])
+            .unwrap_or_else(|f| panic!("crash_at={crash_at}: {f}"));
         assert!(report.completed, "crash_at={crash_at}: survivors did not finish");
         assert!(report.max_op_steps.ll <= ll_step_bound(w));
         check_linearizable(&report.history, &[0, 0], CheckConfig::default())
@@ -69,13 +68,9 @@ fn multiple_crashes_leave_one_survivor() {
     let mut sched = RandomSched::new(99);
     // Three processes die at various points; the last one must still
     // complete all 10 rounds (every SC eventually succeeds solo).
-    let report = run_with_crashes(
-        sim,
-        &mut sched,
-        &RunConfig::default(),
-        &[(0, 30), (1, 55), (2, 80)],
-    )
-    .unwrap();
+    let report =
+        run_with_crashes(sim, &mut sched, &RunConfig::default(), &[(0, 30), (1, 55), (2, 80)])
+            .unwrap();
     assert!(report.completed);
     check_linearizable(&report.history, &[0], CheckConfig::default()).unwrap();
     // The survivor performed at least its 10 successful SCs.
@@ -95,8 +90,7 @@ fn crash_between_ll_and_sc_holds_link_forever() {
     let mut sched = RoundRobin::default();
     // An LL at W=1 takes ≤ 12 steps; p0 steps at parity 0 under round-robin
     // with 2 procs, so by global step 30 its LL is done. Crash it there.
-    let report =
-        run_with_crashes(sim, &mut sched, &RunConfig::default(), &[(0, 30)]).unwrap();
+    let report = run_with_crashes(sim, &mut sched, &RunConfig::default(), &[(0, 30)]).unwrap();
     assert!(report.completed);
     check_linearizable(&report.history, &[0], CheckConfig::default()).unwrap();
 }
@@ -124,8 +118,7 @@ fn replay_with_crashes_reproduces() {
     let make_sim = || Sim::new(1, &[0], vec![inc_program(6); 3]);
     let cfg = RunConfig { record_schedule: true, ..RunConfig::default() };
     let crashes = [(1usize, 40u64)];
-    let original =
-        run_with_crashes(make_sim(), &mut RandomSched::new(7), &cfg, &crashes).unwrap();
+    let original = run_with_crashes(make_sim(), &mut RandomSched::new(7), &cfg, &crashes).unwrap();
     let mut replay = ReplaySched::new(original.schedule.clone());
     let replayed = run_with_crashes(make_sim(), &mut replay, &cfg, &crashes).unwrap();
     assert_eq!(original.history, replayed.history);

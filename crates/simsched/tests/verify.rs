@@ -78,8 +78,8 @@ fn random_schedules_n3_w2_hundreds_of_seeds() {
         ];
         let sim = Sim::new(2, &[0, 0], programs);
         let mut sched = RandomSched::new(seed);
-        let report =
-            run(sim, &mut sched, &RunConfig::default()).unwrap_or_else(|f| panic!("seed {seed}: {f}"));
+        let report = run(sim, &mut sched, &RunConfig::default())
+            .unwrap_or_else(|f| panic!("seed {seed}: {f}"));
         assert!(report.completed, "seed {seed}");
         check_linearizable(&report.history, &[0, 0], CheckConfig::default())
             .unwrap_or_else(|e| panic!("seed {seed}: {e}"));
@@ -104,11 +104,7 @@ fn random_schedules_n4_longer_programs() {
 fn weighted_schedules_reader_vs_writer_storm() {
     for seed in 0..80u64 {
         // p0: slow reader (weight 1); p1, p2: fast writers (weight 50).
-        let programs = vec![
-            vec![SimOp::Ll, SimOp::Ll, SimOp::Vl],
-            inc_program(6),
-            inc_program(6),
-        ];
+        let programs = vec![vec![SimOp::Ll, SimOp::Ll, SimOp::Vl], inc_program(6), inc_program(6)];
         let sim = Sim::new(3, &[0, 0, 0], programs);
         let mut sched = WeightedRandom::new(vec![1.0, 50.0, 50.0], seed);
         let report = run(sim, &mut sched, &RunConfig::default()).unwrap();
@@ -127,11 +123,7 @@ fn starvation_forces_helping_and_rescue() {
     // MUST be helped and rescued — and still be linearizable and within
     // its wait-freedom bound.
     let w = 8;
-    let programs = vec![
-        vec![SimOp::Ll, SimOp::Ll, SimOp::Ll],
-        inc_program(25),
-        inc_program(25),
-    ];
+    let programs = vec![vec![SimOp::Ll, SimOp::Ll, SimOp::Ll], inc_program(25), inc_program(25)];
     let sim = Sim::new(w, &vec![0u64; w], programs);
     let mut sched = StarveVictim::new(0, 60);
     let report = run(sim, &mut sched, &RunConfig::default()).unwrap();
@@ -188,8 +180,7 @@ fn counter_exactness_over_many_schedules() {
     for seed in 0..100u64 {
         let programs = vec![inc_program(6); 3];
         let sim = Sim::new(1, &[0], programs);
-        let report = run(sim, &mut RandomSched::new(seed * 31 + 7), &RunConfig::default())
-            .unwrap();
+        let report = run(sim, &mut RandomSched::new(seed * 31 + 7), &RunConfig::default()).unwrap();
         assert!(report.completed);
         // Every successful ScBump(1) adds exactly 1 to word 0.
         assert_eq!(report.final_value[0], report.x_changes, "seed {seed}");

@@ -61,8 +61,7 @@ fn brute_force_linearizable(history: &History, init: &[u64]) -> bool {
         .into_iter()
         .map(|o| Op { pid: o.pid, op: o.op, inv: o.inv, resp: o.resp, result: o.result })
         .collect();
-    let completed: Vec<usize> =
-        (0..ops.len()).filter(|&i| ops[i].resp.is_some()).collect();
+    let completed: Vec<usize> = (0..ops.len()).filter(|&i| ops[i].resp.is_some()).collect();
     let mut used = vec![false; ops.len()];
     let spec = Spec { value: init.to_vec(), valid: 0 };
     backtrack(&ops, &completed, &mut used, &spec)
@@ -78,9 +77,8 @@ fn backtrack(ops: &[Op], completed: &[usize], used: &mut [bool], spec: &Spec) ->
         }
         // Real-time: every op that responded before ops[i]'s invocation
         // must already be linearized.
-        let eligible = (0..ops.len()).all(|j| {
-            used[j] || ops[j].resp.is_none_or(|r| r > ops[i].inv)
-        });
+        let eligible =
+            (0..ops.len()).all(|j| used[j] || ops[j].resp.is_none_or(|r| r > ops[i].inv));
         if !eligible {
             continue;
         }

@@ -34,7 +34,10 @@ fn main() {
     }
 
     println!("victim grant rate vs helping activity (N={n}, W={w}):\n");
-    println!("| grant every | victim LL steps (bound {}) | helped | rescued | donations |", ll_step_bound(w));
+    println!(
+        "| grant every | victim LL steps (bound {}) | helped | rescued | donations |",
+        ll_step_bound(w)
+    );
     println!("| ----------- | -------------------------- | ------ | ------- | --------- |");
     for grant in [10u64, 40, 160, 640] {
         let sim = Sim::new(w, &vec![0u64; w], programs.clone());
@@ -48,7 +51,10 @@ fn main() {
         // histories of any length; `run` would have returned Err otherwise.
         println!(
             "| {:11} | {:26} | {:6} | {:7} | {:9} |",
-            grant, report.max_op_steps.ll, report.helped_lls, report.rescued_lls,
+            grant,
+            report.max_op_steps.ll,
+            report.helped_lls,
+            report.rescued_lls,
             report.helps_given
         );
     }

@@ -1,0 +1,359 @@
+//! Offline stand-in for the [criterion](https://crates.io/crates/criterion)
+//! benchmark harness.
+//!
+//! This workspace builds in environments without network access to
+//! crates.io, so the real criterion cannot be fetched. This crate
+//! implements the *subset* of criterion's API that the `mwllsc-bench`
+//! targets use — `criterion_group!` / `criterion_main!`, benchmark
+//! groups, `Bencher::iter` / `iter_custom`, `BenchmarkId`, `Throughput`
+//! — with a simple warm-up + timed-loop measurement that reports mean
+//! ns/iteration (and elements/second where a throughput is configured).
+//!
+//! It is intentionally minimal: no statistical analysis, no HTML reports,
+//! no comparison against saved baselines. Swapping in the real criterion
+//! is a one-line `Cargo.toml` change once a registry is reachable; the
+//! bench sources need no edits.
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+/// Top-level benchmark driver (configuration + output).
+#[derive(Clone, Debug)]
+pub struct Criterion {
+    sample_size: usize,
+    measurement_time: Duration,
+    warm_up_time: Duration,
+    /// Hard cap on iterations per sample, so time-bounded measurement
+    /// cannot run away on allocation-heavy benches.
+    max_iters_per_sample: u64,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Self {
+            sample_size: 10,
+            measurement_time: Duration::from_millis(500),
+            warm_up_time: Duration::from_millis(100),
+            max_iters_per_sample: 1_000_000,
+        }
+    }
+}
+
+impl Criterion {
+    /// Sets the number of samples per benchmark.
+    #[must_use]
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Sets the target measurement time per benchmark.
+    #[must_use]
+    pub fn measurement_time(mut self, d: Duration) -> Self {
+        self.measurement_time = d;
+        self
+    }
+
+    /// Sets the warm-up time per benchmark.
+    #[must_use]
+    pub fn warm_up_time(mut self, d: Duration) -> Self {
+        self.warm_up_time = d;
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let name = name.into();
+        println!("\n== {name} ==");
+        BenchmarkGroup {
+            criterion: self,
+            name,
+            throughput: None,
+            sample_size: None,
+            measurement_time: None,
+        }
+    }
+
+    /// Benchmarks a single function outside any group.
+    pub fn bench_function<F>(&mut self, id: impl fmt::Display, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher<'_>),
+    {
+        let cfg = self.clone();
+        run_one(&cfg, &id.to_string(), None, &mut f);
+        self
+    }
+}
+
+/// Identifies one benchmark within a group.
+#[derive(Clone, Debug)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// Builds an id from a parameter's `Display` form.
+    pub fn from_parameter(p: impl fmt::Display) -> Self {
+        Self { id: p.to_string() }
+    }
+
+    /// Builds an id from a function name and a parameter.
+    pub fn new(function: impl Into<String>, p: impl fmt::Display) -> Self {
+        Self { id: format!("{}/{p}", function.into()) }
+    }
+}
+
+impl fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.id)
+    }
+}
+
+/// Units processed per iteration, used to report a rate.
+#[derive(Clone, Copy, Debug)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// A named group of benchmarks sharing throughput/config settings.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+    sample_size: Option<usize>,
+    measurement_time: Option<Duration>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Overrides the sample count for this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = Some(n.max(1));
+        self
+    }
+
+    /// Sets the throughput used to report a rate for subsequent benches.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Overrides the measurement time for this group.
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.measurement_time = Some(d);
+        self
+    }
+
+    /// Benchmarks `f` under `id`.
+    pub fn bench_function<F>(&mut self, id: impl fmt::Display, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher<'_>),
+    {
+        let cfg = self.effective_config();
+        let label = format!("{}/{}", self.name, id);
+        run_one(&cfg, &label, self.throughput, &mut f);
+        self
+    }
+
+    /// Benchmarks `f` under `id`, passing `input` through.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher<'_>, &I),
+    {
+        let cfg = self.effective_config();
+        let label = format!("{}/{}", self.name, id);
+        run_one(&cfg, &label, self.throughput, &mut |b| f(b, input));
+        self
+    }
+
+    /// Ends the group (kept for API compatibility; output is immediate).
+    pub fn finish(self) {}
+
+    fn effective_config(&self) -> Criterion {
+        let mut cfg = self.criterion.clone();
+        if let Some(n) = self.sample_size {
+            cfg.sample_size = n;
+        }
+        if let Some(d) = self.measurement_time {
+            cfg.measurement_time = d;
+        }
+        cfg
+    }
+}
+
+impl fmt::Debug for BenchmarkGroup<'_> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("BenchmarkGroup").field("name", &self.name).finish_non_exhaustive()
+    }
+}
+
+/// Measurement state handed to each benchmark closure.
+pub struct Bencher<'a> {
+    cfg: &'a Criterion,
+    /// `(total_duration, total_iterations)` accumulated by `iter*`.
+    measured: Option<(Duration, u64)>,
+}
+
+impl fmt::Debug for Bencher<'_> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Bencher").finish_non_exhaustive()
+    }
+}
+
+impl Bencher<'_> {
+    /// Times repeated calls of `f`: warm-up, then timed batches until the
+    /// configured measurement time (or the per-sample iteration cap) is
+    /// reached.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        // Warm-up: run until the warm-up clock expires (at least once).
+        let warm_end = Instant::now() + self.cfg.warm_up_time;
+        let mut batch: u64 = 1;
+        loop {
+            for _ in 0..batch {
+                std::hint::black_box(f());
+            }
+            if Instant::now() >= warm_end {
+                break;
+            }
+            batch = (batch * 2).min(4096);
+        }
+        // Measurement: fixed-size batches until the time budget or the
+        // iteration cap is exhausted.
+        let mut total = Duration::ZERO;
+        let mut iters: u64 = 0;
+        let budget = self.cfg.measurement_time;
+        while total < budget && iters < self.cfg.max_iters_per_sample {
+            let start = Instant::now();
+            for _ in 0..batch {
+                std::hint::black_box(f());
+            }
+            total += start.elapsed();
+            iters += batch;
+        }
+        self.measured = Some((total, iters.max(1)));
+    }
+
+    /// Hands full timing control to the closure: `f(iters)` must perform
+    /// `iters` units of work and return the elapsed wall-clock time.
+    pub fn iter_custom<F: FnMut(u64) -> Duration>(&mut self, mut f: F) {
+        // One warm-up call with a small count, then one measured run sized
+        // from the observed per-iteration cost.
+        let probe = 16u64.min(self.cfg.max_iters_per_sample);
+        let warm = f(probe);
+        let per_iter_ns = (warm.as_nanos() as u64 / probe).max(1);
+        let target = (self.cfg.measurement_time.as_nanos() as u64 / per_iter_ns)
+            .clamp(probe, self.cfg.max_iters_per_sample);
+        let elapsed = f(target);
+        self.measured = Some((elapsed, target));
+    }
+}
+
+fn run_one(
+    cfg: &Criterion,
+    label: &str,
+    throughput: Option<Throughput>,
+    f: &mut dyn FnMut(&mut Bencher<'_>),
+) {
+    let mut best_ns = f64::INFINITY;
+    let mut sum_ns = 0.0;
+    let samples = cfg.sample_size.min(16); // keep shim runs short
+    for _ in 0..samples {
+        let mut b = Bencher { cfg, measured: None };
+        f(&mut b);
+        let (dur, iters) = b.measured.unwrap_or((Duration::ZERO, 1));
+        let ns = dur.as_nanos() as f64 / iters as f64;
+        best_ns = best_ns.min(ns);
+        sum_ns += ns;
+    }
+    let mean_ns = sum_ns / samples as f64;
+    let rate = match throughput {
+        Some(Throughput::Elements(e)) => {
+            format!("  ({:.1} Melem/s)", e as f64 / mean_ns * 1e3)
+        }
+        Some(Throughput::Bytes(n)) => {
+            format!("  ({:.1} MiB/s)", n as f64 / mean_ns * 1e3 / 1.048_576)
+        }
+        None => String::new(),
+    };
+    println!("{label:<55} {mean_ns:>12.1} ns/iter  (best {best_ns:.1}){rate}");
+}
+
+/// Declares a group of benchmark functions, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $cfg:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion: $crate::Criterion = $cfg;
+            $($target(&mut criterion);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!(
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        );
+    };
+}
+
+/// Declares the bench binary's `main`, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+/// Re-export matching `criterion::black_box` (benches here import
+/// `std::hint::black_box` directly, but the symbol is part of the API).
+pub use std::hint::black_box;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn iter_measures_something() {
+        let mut c = Criterion::default()
+            .sample_size(2)
+            .measurement_time(Duration::from_millis(5))
+            .warm_up_time(Duration::from_millis(1));
+        let mut group = c.benchmark_group("shim-selftest");
+        let mut count = 0u64;
+        group.bench_function("count", |b| b.iter(|| count = count.wrapping_add(1)));
+        group.finish();
+        assert!(count > 0);
+    }
+
+    #[test]
+    fn iter_custom_runs_requested_iters() {
+        let mut c = Criterion::default().sample_size(1).measurement_time(Duration::from_millis(2));
+        let mut group = c.benchmark_group("shim-selftest-custom");
+        group.bench_function("custom", |b| {
+            b.iter_custom(|iters| {
+                let start = Instant::now();
+                let mut x = 0u64;
+                for _ in 0..iters {
+                    x = std::hint::black_box(x.wrapping_add(1));
+                }
+                start.elapsed()
+            });
+        });
+        group.finish();
+    }
+
+    #[test]
+    fn benchmark_id_formats() {
+        assert_eq!(BenchmarkId::from_parameter(8).to_string(), "8");
+        assert_eq!(BenchmarkId::new("ll", 4).to_string(), "ll/4");
+    }
+}

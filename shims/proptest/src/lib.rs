@@ -1,0 +1,230 @@
+//! Offline stand-in for the [proptest](https://crates.io/crates/proptest)
+//! property-testing framework.
+//!
+//! This workspace builds in environments without network access to
+//! crates.io, so the real proptest cannot be fetched. This crate
+//! implements the *subset* of proptest's API the test suites use:
+//!
+//! * the [`Strategy`] trait with `prop_map`, implemented for integer
+//!   ranges, 2-/3-tuples, and [`Just`];
+//! * [`collection::vec`] and [`any`];
+//! * the [`proptest!`], [`prop_oneof!`], [`prop_assert!`] and
+//!   [`prop_assert_eq!`] macros;
+//! * [`ProptestConfig`] / [`TestCaseError`].
+//!
+//! Differences from the real proptest: generation is a plain seeded PRNG
+//! (derived from the test's module path and case index, so every run is
+//! deterministic and reproducible), and failing cases are **not shrunk**
+//! — the panic message reports the case number instead; re-running
+//! reproduces it exactly. Swapping in the real proptest is a one-line
+//! `Cargo.toml` change once a registry is reachable.
+
+pub mod collection;
+pub mod prelude;
+mod rng;
+mod strategy;
+
+pub use rng::{rng_for, TestRng};
+pub use strategy::{any, Any, Arbitrary, Just, Map, OneOf, Strategy};
+
+/// Why a single generated test case failed.
+#[derive(Clone, Debug)]
+pub struct TestCaseError {
+    message: String,
+}
+
+impl TestCaseError {
+    /// Fails the current case with the given message.
+    pub fn fail(message: impl Into<String>) -> Self {
+        Self { message: message.into() }
+    }
+
+    /// Alias kept for API compatibility (this shim does not track
+    /// rejection separately from failure).
+    pub fn reject(message: impl Into<String>) -> Self {
+        Self::fail(message)
+    }
+}
+
+impl std::fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.message)
+    }
+}
+
+impl std::error::Error for TestCaseError {}
+
+/// Per-`proptest!`-block configuration.
+#[derive(Clone, Copy, Debug)]
+pub struct ProptestConfig {
+    /// Number of generated cases per test function.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A configuration running `cases` generated inputs per test.
+    #[must_use]
+    pub fn with_cases(cases: u32) -> Self {
+        Self { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        Self { cases: 256 }
+    }
+}
+
+/// Declares property tests: each `fn name(pat in strategy, ...) { body }`
+/// becomes a `#[test]` that runs the body over `config.cases` generated
+/// inputs.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl! { $cfg; $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl! { $crate::ProptestConfig::default(); $($rest)* }
+    };
+}
+
+/// Internal expansion helper for [`proptest!`]; not part of the API.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    ($cfg:expr;
+     $( $(#[$meta:meta])*
+        fn $name:ident ( $($arg:ident in $strat:expr),+ $(,)? ) $body:block )* ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let __config: $crate::ProptestConfig = $cfg;
+                for __case in 0..__config.cases {
+                    let mut __rng = $crate::rng_for(
+                        concat!(module_path!(), "::", stringify!($name)),
+                        u64::from(__case),
+                    );
+                    $(let $arg =
+                        $crate::Strategy::generate(&($strat), &mut __rng);)+
+                    let __outcome: ::core::result::Result<(), $crate::TestCaseError> =
+                        (|| {
+                            { $body }
+                            ::core::result::Result::Ok(())
+                        })();
+                    if let ::core::result::Result::Err(e) = __outcome {
+                        panic!(
+                            "proptest {} failed at case {}/{}: {}",
+                            stringify!($name), __case, __config.cases, e
+                        );
+                    }
+                }
+            }
+        )*
+    };
+}
+
+/// Chooses uniformly between several strategies producing the same value
+/// type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($arm:expr),+ $(,)?) => {
+        $crate::OneOf::new(vec![
+            $({
+                let __strategy = $arm;
+                ::std::boxed::Box::new(move |rng: &mut $crate::TestRng| {
+                    $crate::Strategy::generate(&__strategy, rng)
+                }) as ::std::boxed::Box<dyn Fn(&mut $crate::TestRng) -> _>
+            }),+
+        ])
+    };
+}
+
+/// Asserts inside a `proptest!` body, failing the case (not panicking
+/// directly) so the harness can report the case number.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        $crate::prop_assert!($cond, concat!("assertion failed: ", stringify!($cond)))
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !($cond) {
+            return ::core::result::Result::Err($crate::TestCaseError::fail(format!($($fmt)+)));
+        }
+    };
+}
+
+/// Equality assertion counterpart of [`prop_assert!`].
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (__l, __r) = (&$left, &$right);
+        $crate::prop_assert!(
+            __l == __r,
+            "assertion failed: `left == right` (left: {:?}, right: {:?})", __l, __r
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (__l, __r) = (&$left, &$right);
+        if !(__l == __r) {
+            return ::core::result::Result::Err($crate::TestCaseError::fail(format!($($fmt)+)));
+        }
+    }};
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        #[test]
+        fn ranges_stay_in_bounds(x in 3u64..17, y in 0usize..5, z in 0u64..=3) {
+            prop_assert!((3..17).contains(&x));
+            prop_assert!(y < 5);
+            prop_assert!(z <= 3);
+        }
+
+        #[test]
+        fn vec_respects_size(v in prop::collection::vec(0u64..10, 2..6)) {
+            prop_assert!(v.len() >= 2 && v.len() < 6, "len {}", v.len());
+            prop_assert!(v.iter().all(|&x| x < 10));
+        }
+
+        #[test]
+        fn oneof_and_map_compose(v in prop_oneof![
+            (0usize..4).prop_map(|i| i * 2),
+            Just(99usize),
+        ]) {
+            prop_assert!(v == 99usize || v < 8usize);
+        }
+
+        #[test]
+        fn tuples_generate(pair in ((0u64..5), any::<u64>())) {
+            prop_assert!(pair.0 < 5);
+        }
+    }
+
+    #[test]
+    fn determinism_same_name_same_sequence() {
+        let mut a = crate::rng_for("x", 7);
+        let mut b = crate::rng_for("x", 7);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn full_u64_range_reachable_ends() {
+        // 0..=u64::MAX must not panic and must produce varied values.
+        let s = 0u64..=u64::MAX;
+        let mut rng = crate::rng_for("full-range", 0);
+        let mut seen_high = false;
+        for _ in 0..64 {
+            if crate::Strategy::generate(&s, &mut rng) > u64::MAX / 2 {
+                seen_high = true;
+            }
+        }
+        assert!(seen_high);
+    }
+}

@@ -1,0 +1,11 @@
+//! The glob-import surface, mirroring `proptest::prelude`.
+
+pub use crate::strategy::{any, Any, Arbitrary, Just, Map, OneOf, Strategy};
+pub use crate::{
+    prop_assert, prop_assert_eq, prop_oneof, proptest, rng_for, ProptestConfig, TestCaseError,
+    TestRng,
+};
+
+/// Module alias so `prop::collection::vec(...)` resolves as it does with
+/// the real proptest.
+pub use crate as prop;

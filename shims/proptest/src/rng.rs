@@ -1,0 +1,46 @@
+//! Deterministic PRNG used by the shim's generators.
+
+/// A small, fast, deterministic PRNG (SplitMix64).
+///
+/// Every proptest case gets a generator seeded from the test's module
+/// path and case index, so failures reproduce exactly on re-run.
+#[derive(Clone, Debug)]
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    /// Creates a generator from a raw seed.
+    #[must_use]
+    pub fn from_seed(seed: u64) -> Self {
+        Self { state: seed }
+    }
+
+    /// The next 64 pseudo-random bits.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// A uniform value in `0..n` (`n > 0`).
+    pub fn below(&mut self, n: u64) -> u64 {
+        debug_assert!(n > 0);
+        // Modulo bias is negligible for the small ranges tests use, and
+        // irrelevant for coverage-style generation.
+        self.next_u64() % n
+    }
+}
+
+/// Derives the deterministic generator for one test case.
+#[must_use]
+pub fn rng_for(test_name: &str, case: u64) -> TestRng {
+    // FNV-1a over the test name, mixed with the case index.
+    let mut h: u64 = 0xCBF2_9CE4_8422_2325;
+    for b in test_name.bytes() {
+        h = (h ^ u64::from(b)).wrapping_mul(0x100_0000_01B3);
+    }
+    TestRng::from_seed(h ^ case.wrapping_mul(0x9E37_79B9_7F4A_7C15))
+}

@@ -1,0 +1,201 @@
+//! The [`Strategy`] trait and the built-in generators.
+
+use std::ops::{Range, RangeInclusive};
+
+use crate::rng::TestRng;
+
+/// A recipe for generating values of one type.
+///
+/// The shim keeps proptest's name and combinator surface but reduces the
+/// contract to "produce a value from a seeded PRNG" — no shrinking.
+pub trait Strategy {
+    /// The type of generated values.
+    type Value;
+
+    /// Generates one value.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Transforms generated values with `f`.
+    fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> O,
+    {
+        Map { inner: self, f }
+    }
+}
+
+/// Result of [`Strategy::prop_map`].
+#[derive(Clone, Debug)]
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S, O, F> Strategy for Map<S, F>
+where
+    S: Strategy,
+    F: Fn(S::Value) -> O,
+{
+    type Value = O;
+
+    fn generate(&self, rng: &mut TestRng) -> O {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+/// Always generates a clone of the held value.
+#[derive(Clone, Debug)]
+pub struct Just<T>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+
+    fn generate(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// Types with a canonical full-range generator, for [`any`].
+pub trait Arbitrary {
+    /// Generates an unconstrained value.
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+impl Arbitrary for u64 {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        rng.next_u64()
+    }
+}
+
+impl Arbitrary for u32 {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        rng.next_u64() as u32
+    }
+}
+
+impl Arbitrary for usize {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        rng.next_u64() as usize
+    }
+}
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+/// Strategy generating unconstrained values of `T` (see [`any`]).
+#[derive(Clone, Debug, Default)]
+pub struct Any<T> {
+    _marker: std::marker::PhantomData<fn() -> T>,
+}
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+/// The full-range strategy for `T`, mirroring `proptest::prelude::any`.
+#[must_use]
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any { _marker: std::marker::PhantomData }
+}
+
+/// Integer types samplable from ranges.
+pub trait SampleUniform: Copy {
+    /// Converts to the `u64` sampling domain.
+    fn to_u64(self) -> u64;
+    /// Converts back from the `u64` sampling domain.
+    fn from_u64(v: u64) -> Self;
+}
+
+macro_rules! impl_sample_uniform {
+    ($($t:ty),*) => {$(
+        impl SampleUniform for $t {
+            fn to_u64(self) -> u64 {
+                self as u64
+            }
+            fn from_u64(v: u64) -> Self {
+                v as $t
+            }
+        }
+    )*};
+}
+
+impl_sample_uniform!(u8, u16, u32, u64, usize);
+
+impl<T: SampleUniform> Strategy for Range<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut TestRng) -> T {
+        let (lo, hi) = (self.start.to_u64(), self.end.to_u64());
+        assert!(lo < hi, "empty range strategy");
+        T::from_u64(lo + rng.below(hi - lo))
+    }
+}
+
+impl<T: SampleUniform> Strategy for RangeInclusive<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut TestRng) -> T {
+        let (lo, hi) = (self.start().to_u64(), self.end().to_u64());
+        assert!(lo <= hi, "empty range strategy");
+        let span = hi - lo;
+        if span == u64::MAX {
+            return T::from_u64(rng.next_u64());
+        }
+        T::from_u64(lo + rng.below(span + 1))
+    }
+}
+
+impl<A: Strategy, B: Strategy> Strategy for (A, B) {
+    type Value = (A::Value, B::Value);
+
+    fn generate(&self, rng: &mut TestRng) -> Self::Value {
+        (self.0.generate(rng), self.1.generate(rng))
+    }
+}
+
+impl<A: Strategy, B: Strategy, C: Strategy> Strategy for (A, B, C) {
+    type Value = (A::Value, B::Value, C::Value);
+
+    fn generate(&self, rng: &mut TestRng) -> Self::Value {
+        (self.0.generate(rng), self.1.generate(rng), self.2.generate(rng))
+    }
+}
+
+/// Uniform choice among boxed generators (built by [`prop_oneof!`]).
+///
+/// [`prop_oneof!`]: crate::prop_oneof
+pub struct OneOf<V> {
+    arms: Vec<Box<dyn Fn(&mut TestRng) -> V>>,
+}
+
+impl<V> OneOf<V> {
+    /// Builds the strategy from one closure per arm.
+    #[must_use]
+    pub fn new(arms: Vec<Box<dyn Fn(&mut TestRng) -> V>>) -> Self {
+        assert!(!arms.is_empty(), "prop_oneof! needs at least one arm");
+        Self { arms }
+    }
+}
+
+impl<V> std::fmt::Debug for OneOf<V> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("OneOf").field("arms", &self.arms.len()).finish()
+    }
+}
+
+impl<V> Strategy for OneOf<V> {
+    type Value = V;
+
+    fn generate(&self, rng: &mut TestRng) -> V {
+        let i = rng.below(self.arms.len() as u64) as usize;
+        (self.arms[i])(rng)
+    }
+}
