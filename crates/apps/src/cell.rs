@@ -4,17 +4,27 @@
 //! This is the "any read-modify-write in three instructions" usage pattern
 //! from the paper's introduction, lifted to whole Rust values: `LL`,
 //! modify in a register (here: a closure), `SC`, retry on interference.
+//!
+//! [`AtomicHandle`] is generic over the [`MwHandle`] capability, so the
+//! same typed cell logic runs over the paper's algorithm (the default) or
+//! any comparator from `llsc-baselines` — see
+//! [`AtomicHandle::from_raw`].
 
 use std::sync::Arc;
 
-use mwllsc::MwLlSc;
+use mwllsc::{AttachError, MwHandle, MwLlSc};
 
 use crate::codec::WordCodec;
 
-/// A shared value of type `T` with atomic multiword LL/SC/VL semantics.
+/// A shared value of type `T` with atomic multiword LL/SC/VL semantics,
+/// backed by the paper's algorithm.
 ///
-/// Construction fixes the number of processes; each process interacts
-/// through its own [`AtomicHandle`].
+/// Construction fixes the number of process slots; each process interacts
+/// through its own [`AtomicHandle`], leased with [`claim`](Self::claim) /
+/// [`handles`](Self::handles) (pinned ids) or [`attach`](Self::attach)
+/// (any free slot; dropping the handle frees it again). To run the typed
+/// cell over a *different* LL/SC implementation, build that object
+/// directly and wrap its handles with [`AtomicHandle::from_raw`].
 ///
 /// # Examples
 ///
@@ -55,15 +65,36 @@ impl<T: WordCodec> Atomic<T> {
         Arc::new(Self { obj: MwLlSc::new(n, T::WORDS, &words), _marker: std::marker::PhantomData })
     }
 
-    /// Claims the handle for process `p` (once per id).
+    /// Leases the handle for the specific process id `p`.
     ///
     /// # Panics
     ///
-    /// Panics on out-of-range or doubly-claimed ids.
+    /// Panics on an out-of-range id or one leased by a live handle.
     #[must_use]
     pub fn claim(self: &Arc<Self>, p: usize) -> AtomicHandle<T> {
         let inner = self.obj.claim(p).unwrap_or_else(|e| panic!("Atomic::claim: {e}"));
-        AtomicHandle { inner, scratch: vec![0u64; T::WORDS], _marker: std::marker::PhantomData }
+        AtomicHandle::from_raw(inner)
+    }
+
+    /// Leases a handle for any free slot; dropping it frees the slot.
+    ///
+    /// # Errors
+    ///
+    /// [`AttachError::Exhausted`] when all `n` slots are leased.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use mwllsc_apps::Atomic;
+    ///
+    /// let cell = Atomic::<u64>::new(1, 9);
+    /// let h = cell.attach().unwrap();
+    /// assert!(cell.attach().is_err(), "single slot is leased");
+    /// drop(h);
+    /// assert_eq!(cell.attach().unwrap().load(), 9);
+    /// ```
+    pub fn attach(self: &Arc<Self>) -> Result<AtomicHandle<T>, AttachError> {
+        Ok(AtomicHandle::from_raw(self.obj.attach()?))
     }
 
     /// All `N` handles, in process order.
@@ -79,39 +110,73 @@ impl<T: WordCodec> Atomic<T> {
     }
 }
 
-/// Process-local handle to an [`Atomic<T>`].
-pub struct AtomicHandle<T: WordCodec> {
-    inner: mwllsc::Handle,
+/// Process-local handle to a typed multiword atomic cell.
+///
+/// Generic over the backing [`MwHandle`]; defaults to the paper's
+/// [`mwllsc::Handle`].
+pub struct AtomicHandle<T: WordCodec, H: MwHandle = mwllsc::Handle> {
+    inner: H,
     scratch: Vec<u64>,
     _marker: std::marker::PhantomData<fn() -> T>,
 }
 
-impl<T: WordCodec> std::fmt::Debug for AtomicHandle<T> {
+impl<T: WordCodec, H: MwHandle> std::fmt::Debug for AtomicHandle<T, H> {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("AtomicHandle").field("inner", &self.inner).finish()
     }
 }
 
-impl<T: WordCodec> AtomicHandle<T> {
+impl<T: WordCodec, H: MwHandle> AtomicHandle<T, H> {
+    /// Wraps any [`MwHandle`] whose object is `T::WORDS` wide as a typed
+    /// handle — the portability point of the apps layer.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `inner.width() != T::WORDS`.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use llsc_baselines::{build, Algo};
+    /// use mwllsc_apps::AtomicHandle;
+    ///
+    /// // The same typed cell, over the seqlock comparator:
+    /// let (mut handles, _) = build(Algo::SeqLock, 2, 2, &[7, 0]);
+    /// let mut h = AtomicHandle::<u128, _>::from_raw(handles.remove(0));
+    /// assert_eq!(h.load(), 7);
+    /// h.fetch_update(|x| x * 3);
+    /// assert_eq!(h.load(), 21);
+    /// ```
+    #[must_use]
+    pub fn from_raw(inner: H) -> Self {
+        assert_eq!(
+            inner.width(),
+            T::WORDS,
+            "AtomicHandle: object width must equal the codec width"
+        );
+        Self { inner, scratch: vec![0u64; T::WORDS], _marker: std::marker::PhantomData }
+    }
+
     /// Load-linked: returns the current value and links for [`sc`](Self::sc)
-    /// / [`vl`](Self::vl). Wait-free.
+    /// / [`vl`](Self::vl). Wait-free on the default backend.
     pub fn ll(&mut self) -> T {
         self.inner.ll(&mut self.scratch);
         T::decode(&self.scratch)
     }
 
-    /// Store-conditional. Wait-free.
+    /// Store-conditional. Wait-free on the default backend.
     pub fn sc(&mut self, value: &T) -> bool {
         value.encode(&mut self.scratch);
         self.inner.sc(&self.scratch)
     }
 
-    /// Validate. Wait-free, `O(1)`.
+    /// Validate. Wait-free, `O(1)` on the default backend.
     pub fn vl(&mut self) -> bool {
         self.inner.vl()
     }
 
-    /// Reads the current value without linking. Wait-free.
+    /// Reads the current value without linking. Wait-free on the default
+    /// backend.
     pub fn load(&mut self) -> T {
         self.inner.read(&mut self.scratch);
         T::decode(&self.scratch)
@@ -198,6 +263,23 @@ mod tests {
         let installed = h.fetch_update(|x| x * 3);
         assert_eq!(installed, 21);
         assert_eq!(h.load(), 21);
+    }
+
+    #[test]
+    fn attach_churn_reuses_slots() {
+        let cell = Atomic::<u64>::new(2, 0);
+        for i in 0..50 {
+            let mut h = cell.attach().expect("slot free after previous drop");
+            assert_eq!(h.fetch_update(|x| x + 1), i + 1);
+        }
+        assert_eq!(cell.raw().live_leases(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "width must equal")]
+    fn from_raw_checks_width() {
+        let obj = mwllsc::MwLlSc::new(1, 3, &[0, 0, 0]);
+        let _ = AtomicHandle::<u128, _>::from_raw(obj.claim(0).unwrap());
     }
 
     #[test]

@@ -7,6 +7,8 @@
 
 use std::sync::Arc;
 
+use mwllsc::{AttachError, MwHandle};
+
 use crate::cell::{Atomic, AtomicHandle};
 
 /// A `2`-word (128-bit) shared counter built on the multiword object.
@@ -27,14 +29,23 @@ impl WideCounter {
         Self { cell: Atomic::new(n, initial) }
     }
 
-    /// Claims process `p`'s handle.
+    /// Leases process `p`'s handle.
     ///
     /// # Panics
     ///
-    /// Panics on out-of-range or doubly-claimed ids.
+    /// Panics on an out-of-range id or one leased by a live handle.
     #[must_use]
     pub fn claim(&self, p: usize) -> WideCounterHandle {
         WideCounterHandle { h: self.cell.claim(p) }
+    }
+
+    /// Leases a handle for any free slot; dropping it frees the slot.
+    ///
+    /// # Errors
+    ///
+    /// [`AttachError::Exhausted`] when all `n` slots are leased.
+    pub fn attach(&self) -> Result<WideCounterHandle, AttachError> {
+        Ok(WideCounterHandle { h: self.cell.attach()? })
     }
 
     /// All handles in process order.
@@ -45,17 +56,29 @@ impl WideCounter {
 }
 
 /// Per-process handle to a [`WideCounter`].
-pub struct WideCounterHandle {
-    h: AtomicHandle<u128>,
+///
+/// Generic over the backing [`MwHandle`]; defaults to the paper's
+/// [`mwllsc::Handle`].
+pub struct WideCounterHandle<H: MwHandle = mwllsc::Handle> {
+    h: AtomicHandle<u128, H>,
 }
 
-impl std::fmt::Debug for WideCounterHandle {
+impl<H: MwHandle> std::fmt::Debug for WideCounterHandle<H> {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("WideCounterHandle").finish()
     }
 }
 
-impl WideCounterHandle {
+impl<H: MwHandle> WideCounterHandle<H> {
+    /// Wraps any 2-word [`MwHandle`] as a 128-bit counter handle.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the object is not 2 words wide.
+    #[must_use]
+    pub fn from_raw(inner: H) -> Self {
+        Self { h: AtomicHandle::from_raw(inner) }
+    }
     /// Atomically adds `delta`, returning the new value (lock-free RMW).
     pub fn add(&mut self, delta: u128) -> u128 {
         self.h.fetch_update(|x| x.wrapping_add(delta))
@@ -107,14 +130,23 @@ impl StatsCell {
         Self { cell: Atomic::new(n, [0, 0, u64::MAX, 0]) }
     }
 
-    /// Claims process `p`'s handle.
+    /// Leases process `p`'s handle.
     ///
     /// # Panics
     ///
-    /// Panics on out-of-range or doubly-claimed ids.
+    /// Panics on an out-of-range id or one leased by a live handle.
     #[must_use]
     pub fn claim(&self, p: usize) -> StatsHandle {
         StatsHandle { h: self.cell.claim(p) }
+    }
+
+    /// Leases a handle for any free slot; dropping it frees the slot.
+    ///
+    /// # Errors
+    ///
+    /// [`AttachError::Exhausted`] when all `n` slots are leased.
+    pub fn attach(&self) -> Result<StatsHandle, AttachError> {
+        Ok(StatsHandle { h: self.cell.attach()? })
     }
 
     /// All handles in process order.
@@ -125,17 +157,29 @@ impl StatsCell {
 }
 
 /// Per-process handle to a [`StatsCell`].
-pub struct StatsHandle {
-    h: AtomicHandle<[u64; 4]>,
+///
+/// Generic over the backing [`MwHandle`]; defaults to the paper's
+/// [`mwllsc::Handle`].
+pub struct StatsHandle<H: MwHandle = mwllsc::Handle> {
+    h: AtomicHandle<[u64; 4], H>,
 }
 
-impl std::fmt::Debug for StatsHandle {
+impl<H: MwHandle> std::fmt::Debug for StatsHandle<H> {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("StatsHandle").finish()
     }
 }
 
-impl StatsHandle {
+impl<H: MwHandle> StatsHandle<H> {
+    /// Wraps any 4-word [`MwHandle`] as a stats-cell handle.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the object is not 4 words wide.
+    #[must_use]
+    pub fn from_raw(inner: H) -> Self {
+        Self { h: AtomicHandle::from_raw(inner) }
+    }
     /// Atomically records one sample (lock-free RMW).
     pub fn record(&mut self, sample: u64) {
         self.h.fetch_update(|[count, sum, min, max]| {

@@ -14,7 +14,7 @@
 
 use std::sync::Arc;
 
-use mwllsc::MwLlSc;
+use mwllsc::{AttachError, MwHandle, MwLlSc};
 
 /// Why a [`KcasHandle::kcas`] did not install its updates.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -70,15 +70,24 @@ impl KcasArray {
         self.r
     }
 
-    /// Claims process `p`'s handle.
+    /// Leases process `p`'s handle.
     ///
     /// # Panics
     ///
-    /// Panics on out-of-range or doubly-claimed ids.
+    /// Panics on an out-of-range id or one leased by a live handle.
     #[must_use]
     pub fn claim(&self, p: usize) -> KcasHandle {
         let inner = self.obj.claim(p).unwrap_or_else(|e| panic!("KcasArray::claim: {e}"));
-        KcasHandle { inner, scratch: vec![0u64; self.r] }
+        KcasHandle::from_raw(inner)
+    }
+
+    /// Leases a handle for any free slot; dropping it frees the slot.
+    ///
+    /// # Errors
+    ///
+    /// [`AttachError::Exhausted`] when all `n` slots are leased.
+    pub fn attach(&self) -> Result<KcasHandle, AttachError> {
+        Ok(KcasHandle::from_raw(self.obj.attach()?))
     }
 
     /// All handles in process order.
@@ -88,19 +97,42 @@ impl KcasArray {
     }
 }
 
-/// Per-process handle to a [`KcasArray`].
-pub struct KcasHandle {
-    inner: mwllsc::Handle,
+/// Per-process handle to an atomic register array.
+///
+/// Generic over the backing [`MwHandle`]; defaults to the paper's
+/// [`mwllsc::Handle`]. [`from_raw`](Self::from_raw) runs the same k-CAS
+/// logic over any other implementation.
+pub struct KcasHandle<H: MwHandle = mwllsc::Handle> {
+    inner: H,
     scratch: Vec<u64>,
 }
 
-impl std::fmt::Debug for KcasHandle {
+impl<H: MwHandle> std::fmt::Debug for KcasHandle<H> {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("KcasHandle").field("registers", &self.scratch.len()).finish()
     }
 }
 
-impl KcasHandle {
+impl<H: MwHandle> KcasHandle<H> {
+    /// Wraps any [`MwHandle`] as a k-CAS handle; the object's `W` words
+    /// are the `R = W` registers.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use llsc_baselines::{build, Algo};
+    /// use mwllsc_apps::KcasHandle;
+    ///
+    /// let (mut handles, _) = build(Algo::Lock, 2, 3, &[1, 2, 3]);
+    /// let mut h = KcasHandle::from_raw(handles.remove(0));
+    /// h.kcas(&[(0, 1, 10), (2, 3, 30)]).unwrap();
+    /// assert_eq!(h.snapshot(), vec![10, 2, 30]);
+    /// ```
+    #[must_use]
+    pub fn from_raw(inner: H) -> Self {
+        let r = inner.width();
+        Self { inner, scratch: vec![0u64; r] }
+    }
     /// Wait-free read of register `i`.
     ///
     /// # Panics

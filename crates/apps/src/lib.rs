@@ -25,6 +25,15 @@
 //! RMW-class operations are wait-free where helping is in place
 //! ([`universal`]) and lock-free where a bare retry loop is the honest
 //! primitive ([`cell::AtomicHandle::fetch_update`]).
+//!
+//! Every per-process handle type in this crate is generic over the
+//! [`mwllsc::MwHandle`] capability (defaulting to the paper's
+//! [`mwllsc::Handle`]), so each app also runs over any comparator from
+//! `llsc-baselines` — wrap factory-built handles with the `from_raw` /
+//! `from_handles` constructors ([`cell::AtomicHandle::from_raw`],
+//! [`kcas::KcasHandle::from_raw`], [`snapshot::SnapshotHandle::from_raw`],
+//! [`universal::Universal::from_handles`], and the queue/stack
+//! equivalents).
 
 #![warn(missing_docs, missing_debug_implementations)]
 #![forbid(unsafe_code)]

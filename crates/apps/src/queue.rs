@@ -7,6 +7,8 @@
 
 use std::sync::Arc;
 
+use mwllsc::{AttachError, MwHandle};
+
 use crate::universal::{Sequential, Universal, UniversalHandle};
 
 /// The sequential ring buffer stored inside the shared variable.
@@ -33,7 +35,15 @@ pub enum QueueOp {
 const DEQ_OK: u64 = 1 << 32;
 
 impl RingState {
-    fn new(capacity: usize) -> Self {
+    /// An empty ring of the given `capacity` (public so external objects
+    /// can be initialized for [`WaitFreeQueue::from_handles`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity == 0`.
+    #[must_use]
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "capacity must be positive");
         Self { head: 0, tail: 0, slots: vec![0; capacity] }
     }
 
@@ -122,18 +132,26 @@ impl WaitFreeQueue {
     /// Panics if `n == 0` or `capacity == 0`.
     #[must_use]
     pub fn new(n: usize, capacity: usize) -> Self {
-        assert!(capacity > 0, "capacity must be positive");
         Self { uni: Universal::new(n, &RingState::new(capacity)) }
     }
 
-    /// Claims process `p`'s handle.
+    /// Leases process `p`'s handle.
     ///
     /// # Panics
     ///
-    /// Panics on out-of-range or doubly-claimed ids.
+    /// Panics on an out-of-range id or one leased by a live handle.
     #[must_use]
     pub fn claim(&self, p: usize) -> QueueHandle {
         QueueHandle { h: self.uni.claim(p) }
+    }
+
+    /// Leases a handle for any free slot; dropping it frees the slot.
+    ///
+    /// # Errors
+    ///
+    /// [`AttachError::Exhausted`] when all `n` slots are leased.
+    pub fn attach(&self) -> Result<QueueHandle, AttachError> {
+        Ok(QueueHandle { h: self.uni.attach()? })
     }
 
     /// All handles in process order.
@@ -141,20 +159,39 @@ impl WaitFreeQueue {
     pub fn handles(&self) -> Vec<QueueHandle> {
         (0..self.uni.raw().processes()).map(|p| self.claim(p)).collect()
     }
+
+    /// Runs the queue over externally built handles to **any** LL/SC
+    /// implementation (one handle per process; the backing object must be
+    /// `RingState::new(capacity).state_words() + 2N` words wide and
+    /// initialized to `Universal::initial_words`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `handles` is empty or a handle's width does not match.
+    #[must_use]
+    pub fn from_handles<H: MwHandle>(capacity: usize, handles: Vec<H>) -> Vec<QueueHandle<H>> {
+        Universal::from_handles(&RingState::new(capacity), handles)
+            .into_iter()
+            .map(|h| QueueHandle { h })
+            .collect()
+    }
 }
 
 /// Per-process handle to a [`WaitFreeQueue`].
-pub struct QueueHandle {
-    h: UniversalHandle<RingState>,
+///
+/// Generic over the backing [`MwHandle`]; defaults to the paper's
+/// [`mwllsc::Handle`].
+pub struct QueueHandle<H: MwHandle = mwllsc::Handle> {
+    h: UniversalHandle<RingState, H>,
 }
 
-impl std::fmt::Debug for QueueHandle {
+impl<H: MwHandle> std::fmt::Debug for QueueHandle<H> {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("QueueHandle").finish()
     }
 }
 
-impl QueueHandle {
+impl<H: MwHandle> QueueHandle<H> {
     /// Enqueues `v` (31-bit). Returns `false` if the queue was full.
     /// Wait-free.
     pub fn enqueue(&mut self, v: u32) -> bool {

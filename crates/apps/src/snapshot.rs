@@ -18,7 +18,7 @@
 
 use std::sync::Arc;
 
-use mwllsc::MwLlSc;
+use mwllsc::{AttachError, MwHandle, MwLlSc};
 
 /// An `M`-component single-object snapshot built on one `(M+1)`-word
 /// LL/SC variable: components in words `0..M`, their running sum in word
@@ -53,15 +53,24 @@ impl Snapshot {
         self.m
     }
 
-    /// Claims process `p`'s handle.
+    /// Leases process `p`'s handle.
     ///
     /// # Panics
     ///
-    /// Panics on out-of-range or doubly-claimed ids.
+    /// Panics on an out-of-range id or one leased by a live handle.
     #[must_use]
     pub fn claim(&self, p: usize) -> SnapshotHandle {
         let inner = self.obj.claim(p).unwrap_or_else(|e| panic!("Snapshot::claim: {e}"));
-        SnapshotHandle { inner, m: self.m, scratch: vec![0u64; self.m + 1] }
+        SnapshotHandle::from_raw(inner)
+    }
+
+    /// Leases a handle for any free slot; dropping it frees the slot.
+    ///
+    /// # Errors
+    ///
+    /// [`AttachError::Exhausted`] when all `n` slots are leased.
+    pub fn attach(&self) -> Result<SnapshotHandle, AttachError> {
+        Ok(SnapshotHandle::from_raw(self.obj.attach()?))
     }
 
     /// All handles in process order.
@@ -71,20 +80,36 @@ impl Snapshot {
     }
 }
 
-/// Per-process handle to a [`Snapshot`].
-pub struct SnapshotHandle {
-    inner: mwllsc::Handle,
+/// Per-process handle to a snapshot object.
+///
+/// Generic over the backing [`MwHandle`]; defaults to the paper's
+/// [`mwllsc::Handle`]. [`from_raw`](Self::from_raw) runs the same
+/// scan/update logic over any other implementation.
+pub struct SnapshotHandle<H: MwHandle = mwllsc::Handle> {
+    inner: H,
     m: usize,
     scratch: Vec<u64>,
 }
 
-impl std::fmt::Debug for SnapshotHandle {
+impl<H: MwHandle> std::fmt::Debug for SnapshotHandle<H> {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("SnapshotHandle").field("components", &self.m).finish()
     }
 }
 
-impl SnapshotHandle {
+impl<H: MwHandle> SnapshotHandle<H> {
+    /// Wraps any [`MwHandle`] over an `(M+1)`-word object as an
+    /// `M`-component snapshot handle (word `M` is the aggregate).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the object is narrower than 2 words.
+    #[must_use]
+    pub fn from_raw(inner: H) -> Self {
+        let w = inner.width();
+        assert!(w >= 2, "snapshot needs at least one component plus the aggregate word");
+        Self { inner, m: w - 1, scratch: vec![0u64; w] }
+    }
     /// Wait-free scan: an atomic view of all `M` components.
     pub fn scan(&mut self) -> Vec<u64> {
         self.inner.read(&mut self.scratch);

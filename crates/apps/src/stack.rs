@@ -6,6 +6,8 @@
 
 use std::sync::Arc;
 
+use mwllsc::{AttachError, MwHandle};
+
 use crate::universal::{Sequential, Universal, UniversalHandle};
 
 /// The sequential stack state: `[depth, slots[0..capacity]]`.
@@ -112,14 +114,23 @@ impl WaitFreeStack {
         Self { uni: Universal::new(n, &StackState::new(capacity)) }
     }
 
-    /// Claims process `p`'s handle.
+    /// Leases process `p`'s handle.
     ///
     /// # Panics
     ///
-    /// Panics on out-of-range or doubly-claimed ids.
+    /// Panics on an out-of-range id or one leased by a live handle.
     #[must_use]
     pub fn claim(&self, p: usize) -> StackHandle {
         StackHandle { h: self.uni.claim(p) }
+    }
+
+    /// Leases a handle for any free slot; dropping it frees the slot.
+    ///
+    /// # Errors
+    ///
+    /// [`AttachError::Exhausted`] when all `n` slots are leased.
+    pub fn attach(&self) -> Result<StackHandle, AttachError> {
+        Ok(StackHandle { h: self.uni.attach()? })
     }
 
     /// All handles in process order.
@@ -127,20 +138,39 @@ impl WaitFreeStack {
     pub fn handles(&self) -> Vec<StackHandle> {
         (0..self.uni.raw().processes()).map(|p| self.claim(p)).collect()
     }
+
+    /// Runs the stack over externally built handles to **any** LL/SC
+    /// implementation (one handle per process; see
+    /// [`Universal::from_handles`] for the width/initialization contract).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `handles` is empty or a handle's width does not match.
+    #[must_use]
+    pub fn from_handles<H: MwHandle>(capacity: usize, handles: Vec<H>) -> Vec<StackHandle<H>> {
+        assert!(capacity > 0, "capacity must be positive");
+        Universal::from_handles(&StackState::new(capacity), handles)
+            .into_iter()
+            .map(|h| StackHandle { h })
+            .collect()
+    }
 }
 
 /// Per-process handle to a [`WaitFreeStack`].
-pub struct StackHandle {
-    h: UniversalHandle<StackState>,
+///
+/// Generic over the backing [`MwHandle`]; defaults to the paper's
+/// [`mwllsc::Handle`].
+pub struct StackHandle<H: MwHandle = mwllsc::Handle> {
+    h: UniversalHandle<StackState, H>,
 }
 
-impl std::fmt::Debug for StackHandle {
+impl<H: MwHandle> std::fmt::Debug for StackHandle<H> {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("StackHandle").finish()
     }
 }
 
-impl StackHandle {
+impl<H: MwHandle> StackHandle<H> {
     /// Pushes `v` (31-bit). Returns `false` if the stack was full.
     /// Wait-free.
     pub fn push(&mut self, v: u32) -> bool {

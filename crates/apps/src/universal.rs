@@ -19,12 +19,15 @@
 //!
 //! Combined with the core algorithm this yields end-to-end wait-free
 //! arbitrary objects in `O(NW)` space — the paper's headline benefit
-//! compounded through its flagship application.
+//! compounded through its flagship application. The construction itself
+//! only needs the [`MwHandle`] capability, so
+//! [`Universal::from_handles`] runs it unchanged over any comparator
+//! implementation.
 
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
-use mwllsc::MwLlSc;
+use mwllsc::{AttachError, MwHandle, MwLlSc};
 
 /// A deterministic sequential object that can live inside the universal
 /// construction.
@@ -51,25 +54,49 @@ pub trait Sequential: Clone {
     fn apply(&mut self, op: Self::Op) -> u64;
 }
 
-/// The wait-free universal object wrapping a [`Sequential`] `S`.
-///
-/// Shared-variable layout (`W = S + 2N` words):
-/// `[state: S words][applied_count per process: N][response per process: N]`.
-pub struct Universal<S: Sequential> {
-    obj: Arc<MwLlSc>,
+/// The bookkeeping every handle of one universal object shares: the
+/// announce array and the state template. Independent of the backing
+/// LL/SC implementation.
+struct UniShared<S: Sequential> {
     /// `Announce[p]`: `(op_bits: u32, seq: u32)` packed into one atomic.
     announce: Box<[AtomicU64]>,
     template: S,
     n: usize,
     s_words: usize,
-    claimed: Box<[AtomicBool]>,
+}
+
+impl<S: Sequential> UniShared<S> {
+    fn new(n: usize, initial: &S) -> Arc<Self> {
+        let s_words = initial.state_words();
+        assert!(s_words > 0, "state must occupy at least one word");
+        Arc::new(Self {
+            announce: (0..n).map(|_| AtomicU64::new(0)).collect(),
+            template: initial.clone(),
+            n,
+            s_words,
+        })
+    }
+
+    fn width(&self) -> usize {
+        self.s_words + 2 * self.n
+    }
+}
+
+/// The wait-free universal object wrapping a [`Sequential`] `S`, backed by
+/// the paper's algorithm.
+///
+/// Shared-variable layout (`W = S + 2N` words):
+/// `[state: S words][applied_count per process: N][response per process: N]`.
+pub struct Universal<S: Sequential> {
+    obj: Arc<MwLlSc>,
+    shared: Arc<UniShared<S>>,
 }
 
 impl<S: Sequential> std::fmt::Debug for Universal<S> {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("Universal")
-            .field("n", &self.n)
-            .field("state_words", &self.s_words)
+            .field("n", &self.shared.n)
+            .field("state_words", &self.shared.s_words)
             .finish_non_exhaustive()
     }
 }
@@ -82,39 +109,87 @@ impl<S: Sequential> Universal<S> {
     /// Panics if `n == 0` or the state encodes to zero words.
     #[must_use]
     pub fn new(n: usize, initial: &S) -> Arc<Self> {
-        let s_words = initial.state_words();
-        assert!(s_words > 0, "state must occupy at least one word");
-        let w = s_words + 2 * n;
-        let mut init = vec![0u64; w];
-        initial.encode(&mut init[..s_words]);
-        Arc::new(Self {
-            obj: MwLlSc::new(n, w, &init),
-            announce: (0..n).map(|_| AtomicU64::new(0)).collect(),
-            template: initial.clone(),
-            n,
-            s_words,
-            claimed: (0..n).map(|_| AtomicBool::new(false)).collect(),
-        })
+        let shared = UniShared::new(n, initial);
+        let init = Self::initial_words(n, initial);
+        Arc::new(Self { obj: MwLlSc::new(n, shared.width(), &init), shared })
     }
 
-    /// Claims process `p`'s handle.
+    /// The initial contents of the `W = state + 2N`-word backing variable
+    /// for `initial` — what [`from_handles`](Self::from_handles) expects
+    /// the external object to have been constructed with.
+    #[must_use]
+    pub fn initial_words(n: usize, initial: &S) -> Vec<u64> {
+        let s_words = initial.state_words();
+        let mut init = vec![0u64; s_words + 2 * n];
+        initial.encode(&mut init[..s_words]);
+        init
+    }
+
+    /// Runs the construction over externally built handles to **any**
+    /// LL/SC implementation: handle `i` becomes process `i`.
+    ///
+    /// The backing object must be `state_words + 2 * handles.len()` words
+    /// wide and initialized to [`initial_words`](Self::initial_words).
     ///
     /// # Panics
     ///
-    /// Panics on out-of-range or doubly-claimed ids.
+    /// Panics if `handles` is empty or a handle's width does not match.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use llsc_baselines::{build, Algo};
+    /// use mwllsc_apps::queue::RingState;
+    /// use mwllsc_apps::Universal;
+    ///
+    /// let initial = RingState::new(4);
+    /// let init_words = Universal::initial_words(2, &initial);
+    /// let (handles, _) = build(Algo::PtrSwap, 2, init_words.len(), &init_words);
+    /// let mut hs = Universal::from_handles(&initial, handles);
+    /// let _ = &mut hs; // drive ops via UniversalHandle::apply
+    /// ```
     #[must_use]
-    pub fn claim(self: &Arc<Self>, p: usize) -> UniversalHandle<S> {
-        assert!(p < self.n, "process id {p} out of range");
-        assert!(!self.claimed[p].swap(true, Ordering::AcqRel), "process id {p} already claimed");
-        let inner = self.obj.claim(p).expect("inner claim mirrors outer claim");
-        let w = self.s_words + 2 * self.n;
-        UniversalHandle { uni: Arc::clone(self), inner, p, my_seq: 0, scratch: vec![0u64; w] }
+    pub fn from_handles<H: MwHandle>(initial: &S, handles: Vec<H>) -> Vec<UniversalHandle<S, H>> {
+        assert!(!handles.is_empty(), "need at least one process");
+        let shared = UniShared::new(handles.len(), initial);
+        handles
+            .into_iter()
+            .enumerate()
+            .map(|(p, h)| {
+                assert_eq!(h.width(), shared.width(), "handle width must be state + 2N words");
+                UniversalHandle::new(Arc::clone(&shared), h, p)
+            })
+            .collect()
+    }
+
+    /// Leases process `p`'s handle.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an out-of-range id or one leased by a live handle.
+    #[must_use]
+    pub fn claim(&self, p: usize) -> UniversalHandle<S> {
+        let inner = self.obj.claim(p).unwrap_or_else(|e| panic!("Universal::claim: {e}"));
+        UniversalHandle::new(Arc::clone(&self.shared), inner, p)
+    }
+
+    /// Leases a handle for any free slot; dropping it frees the slot for
+    /// later attachers (the new handle resumes at the slot's applied-op
+    /// count, so reuse is seamless).
+    ///
+    /// # Errors
+    ///
+    /// [`AttachError::Exhausted`] when all `n` slots are leased.
+    pub fn attach(&self) -> Result<UniversalHandle<S>, AttachError> {
+        let inner = self.obj.attach()?;
+        let p = inner.process_id();
+        Ok(UniversalHandle::new(Arc::clone(&self.shared), inner, p))
     }
 
     /// All `N` handles, in process order.
     #[must_use]
-    pub fn handles(self: &Arc<Self>) -> Vec<UniversalHandle<S>> {
-        (0..self.n).map(|p| self.claim(p)).collect()
+    pub fn handles(&self) -> Vec<UniversalHandle<S>> {
+        (0..self.shared.n).map(|p| self.claim(p)).collect()
     }
 
     /// The underlying multiword variable (for space accounting).
@@ -124,46 +199,68 @@ impl<S: Sequential> Universal<S> {
     }
 }
 
-/// Per-process handle to a [`Universal<S>`].
-pub struct UniversalHandle<S: Sequential> {
-    uni: Arc<Universal<S>>,
-    inner: mwllsc::Handle,
+/// Per-process handle to a universal object.
+///
+/// Generic over the backing [`MwHandle`]; defaults to the paper's
+/// [`mwllsc::Handle`].
+pub struct UniversalHandle<S: Sequential, H: MwHandle = mwllsc::Handle> {
+    shared: Arc<UniShared<S>>,
+    inner: H,
     p: usize,
     /// This process's operation sequence number (counts announced ops).
     my_seq: u32,
     scratch: Vec<u64>,
 }
 
-impl<S: Sequential> std::fmt::Debug for UniversalHandle<S> {
+impl<S: Sequential, H: MwHandle> std::fmt::Debug for UniversalHandle<S, H> {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("UniversalHandle").field("p", &self.p).field("seq", &self.my_seq).finish()
     }
 }
 
-impl<S: Sequential> UniversalHandle<S> {
-    /// Applies `op` to the shared object, wait-free, returning its
-    /// response.
-    pub fn apply(&mut self, op: S::Op) -> u64 {
-        let uni = &*self.uni;
-        let s_words = uni.s_words;
-        let n = uni.n;
+impl<S: Sequential, H: MwHandle> UniversalHandle<S, H> {
+    fn new(shared: Arc<UniShared<S>>, inner: H, p: usize) -> Self {
+        let mut h = Self { scratch: vec![0u64; shared.width()], shared, inner, p, my_seq: 0 };
+        // Resume at the slot's applied-op count: a freshly leased slot may
+        // have had earlier ops applied by a previous leaseholder, and seq
+        // must stay strictly increasing per slot for exactly-once
+        // application.
+        h.inner.read(&mut h.scratch);
+        let applied = h.scratch[h.shared.s_words + p];
 
-        // Announce: (op, seq). seq starts at 1 so 0 means "nothing yet".
-        self.my_seq += 1;
-        let packed = (u64::from(S::encode_op(op)) << 32) | u64::from(self.my_seq);
-        uni.announce[self.p].store(packed, Ordering::SeqCst);
+        // A previous leaseholder may have died (panicked in `S::apply` and
+        // unwound, dropping its handle) *between* announcing an op and its
+        // application. That orphaned announce cannot be withdrawn — a
+        // helper may already have read it — so overwriting it with our own
+        // announce at the same seq could hand us the orphan's response and
+        // silently drop our op. Instead, adopt the orphan: run the helping
+        // rounds until the slot's applied count covers it.
+        let a = h.shared.announce[p].load(Ordering::SeqCst);
+        let orphan_seq = a as u32;
+        if u64::from(orphan_seq) == applied + 1 {
+            h.my_seq = orphan_seq;
+            h.help_until_applied();
+        }
+        h.my_seq = h.scratch[h.shared.s_words + p] as u32;
+        h
+    }
 
-        // At most 3 LL/SC rounds (see module docs); the loop also exits as
-        // soon as someone (possibly a helper) has applied our op.
+    /// The helping loop: at most 3 LL/SC rounds (see module docs) until
+    /// this slot's applied count reaches `my_seq` (the announce must
+    /// already be visible). Leaves a fresh wait-free read in `scratch`.
+    fn help_until_applied(&mut self) {
+        let shared = &*self.shared;
+        let s_words = shared.s_words;
+        let n = shared.n;
         for _round in 0..3 {
             self.inner.ll(&mut self.scratch);
             if self.scratch[s_words + self.p] >= u64::from(self.my_seq) {
                 break; // already applied by a helper
             }
             // Decode, help everyone, re-encode.
-            let mut state = uni.template.decode(&self.scratch[..s_words]);
+            let mut state = shared.template.decode(&self.scratch[..s_words]);
             for q in 0..n {
-                let a = uni.announce[q].load(Ordering::SeqCst);
+                let a = shared.announce[q].load(Ordering::SeqCst);
                 let (op_bits, seq) = ((a >> 32) as u32, a as u32);
                 if u64::from(seq) == self.scratch[s_words + q] + 1 {
                     let resp = state.apply(S::decode_op(op_bits));
@@ -177,20 +274,30 @@ impl<S: Sequential> UniversalHandle<S> {
                 break;
             }
         }
-
-        // Read the response recorded for our seq (wait-free read).
+        // Read the post-application state (wait-free read).
         self.inner.read(&mut self.scratch);
         debug_assert!(
             self.scratch[s_words + self.p] >= u64::from(self.my_seq),
             "universal construction failed to apply an announced op"
         );
-        self.scratch[s_words + n + self.p]
+    }
+
+    /// Applies `op` to the shared object, wait-free, returning its
+    /// response.
+    pub fn apply(&mut self, op: S::Op) -> u64 {
+        // Announce: (op, seq). seq starts at 1 so 0 means "nothing yet".
+        self.my_seq += 1;
+        let packed = (u64::from(S::encode_op(op)) << 32) | u64::from(self.my_seq);
+        self.shared.announce[self.p].store(packed, Ordering::SeqCst);
+        self.help_until_applied();
+        // The response recorded for our seq.
+        self.scratch[self.shared.s_words + self.shared.n + self.p]
     }
 
     /// A wait-free consistent read of the sequential state.
     pub fn read_state(&mut self) -> S {
         self.inner.read(&mut self.scratch);
-        self.uni.template.decode(&self.scratch[..self.uni.s_words])
+        self.shared.template.decode(&self.scratch[..self.shared.s_words])
     }
 }
 
@@ -301,5 +408,89 @@ mod tests {
         let r1 = hs[1].apply(RegOp::Add(1));
         assert_eq!(r0, 10);
         assert_eq!(r1, 11);
+    }
+
+    #[test]
+    fn attach_churn_keeps_exactly_once_semantics() {
+        // Leases on the same slot resume at the slot's applied-op count:
+        // no op is lost or double-applied across lease generations.
+        let uni = Universal::new(1, &Register { value: 0 });
+        for i in 0..200u64 {
+            let mut h = uni.attach().expect("sole slot free between iterations");
+            assert_eq!(h.apply(RegOp::Add(1)), i + 1);
+        }
+        assert_eq!(uni.attach().unwrap().read_state().value, 200);
+    }
+
+    #[test]
+    fn orphaned_announce_from_panicked_lease_is_adopted_not_lost() {
+        use std::sync::atomic::AtomicBool;
+
+        // A register whose `apply` panics once, on demand — models user
+        // code dying mid-`apply`, after the announce but before the op
+        // lands. The unwound handle drops its lease with the announce
+        // orphaned.
+        #[derive(Clone, Debug)]
+        struct Fragile {
+            value: u64,
+        }
+        static PANIC_NEXT: AtomicBool = AtomicBool::new(false);
+        impl Sequential for Fragile {
+            type Op = u32;
+            fn state_words(&self) -> usize {
+                1
+            }
+            fn encode(&self, out: &mut [u64]) {
+                out[0] = self.value;
+            }
+            fn decode(&self, words: &[u64]) -> Self {
+                Fragile { value: words[0] }
+            }
+            fn encode_op(op: u32) -> u32 {
+                op
+            }
+            fn decode_op(bits: u32) -> u32 {
+                bits
+            }
+            fn apply(&mut self, op: u32) -> u64 {
+                if PANIC_NEXT.swap(false, Ordering::SeqCst) {
+                    panic!("user code died mid-apply");
+                }
+                self.value += u64::from(op);
+                self.value
+            }
+        }
+
+        let uni = Universal::new(1, &Fragile { value: 0 });
+        let mut h = uni.attach().unwrap();
+        assert_eq!(h.apply(5), 5);
+
+        // Announce 7, then die before applying it.
+        PANIC_NEXT.store(true, Ordering::SeqCst);
+        let died = std::panic::catch_unwind(std::panic::AssertUnwindSafe(move || {
+            h.apply(7);
+        }));
+        assert!(died.is_err(), "the fragile apply must have panicked");
+        assert_eq!(uni.raw().live_leases(), 0, "unwinding dropped the lease");
+
+        // The next lease must adopt the orphaned announce (applying 7
+        // exactly once) and its own ops must neither collide with the
+        // orphan's seq nor inherit its response.
+        let mut h2 = uni.attach().unwrap();
+        assert_eq!(h2.read_state().value, 12, "orphaned op applied exactly once");
+        assert_eq!(h2.apply(100), 112, "fresh op gets its own response, not the orphan's");
+        assert_eq!(h2.read_state().value, 112);
+    }
+
+    #[test]
+    fn runs_over_external_handles() {
+        let initial = Register { value: 3 };
+        let n = 2;
+        let init = Universal::initial_words(n, &initial);
+        let obj = MwLlSc::new(n, init.len(), &init);
+        let handles = obj.handles();
+        let mut hs = Universal::from_handles(&initial, handles);
+        assert_eq!(hs[0].apply(RegOp::Add(4)), 7);
+        assert_eq!(hs[1].apply(RegOp::Read), 7);
     }
 }

@@ -342,8 +342,28 @@ impl MwHandle for AmHandle {
         self.obj.x.vl(x_link)
     }
 
+    fn read(&mut self, out: &mut [u64]) {
+        // Run the wait-free LL procedure, then restore the previous link
+        // state: the substrate's links are explicit value tokens, so
+        // putting the old token back leaves the pending `sc`/`vl` exactly
+        // as it was. (`retval` legitimately advances — it must only ever
+        // hold *some* valid recent value for donations.)
+        let (x, x_link) = (self.x, self.x_link);
+        self.ll(out);
+        self.x = x;
+        self.x_link = x_link;
+    }
+
     fn width(&self) -> usize {
         self.obj.w
+    }
+
+    fn progress(&self) -> Progress {
+        AmStyleLlSc::progress()
+    }
+
+    fn space(&self) -> SpaceEstimate {
+        self.obj.space()
     }
 }
 

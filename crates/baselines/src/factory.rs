@@ -1,7 +1,7 @@
 //! Uniform construction of every implementation behind `dyn` handles, for
 //! the harness and benchmarks.
 
-use mwllsc::{LlStrategy, MwLlSc};
+use mwllsc::{ConfigError, LlStrategy, MwLlSc};
 
 use crate::am_style::AmStyleLlSc;
 use crate::lock::LockLlSc;
@@ -77,7 +77,8 @@ impl std::fmt::Display for Algo {
 ///
 /// # Panics
 ///
-/// Panics on invalid `(n, w, initial)` (each constructor's rules).
+/// Panics on invalid `(n, w, initial)`; [`try_build`] reports the same
+/// conditions as errors instead.
 #[must_use]
 pub fn build(
     algo: Algo,
@@ -85,7 +86,50 @@ pub fn build(
     w: usize,
     initial: &[u64],
 ) -> (Vec<Box<dyn MwHandle>>, SpaceEstimate) {
-    match algo {
+    try_build(algo, n, w, initial).unwrap_or_else(|e| panic!("build({algo}): {e}"))
+}
+
+/// [`build`], reporting invalid configurations as errors instead of
+/// panicking — the harness CLI routes through this for clean messages.
+///
+/// # Errors
+///
+/// [`ConfigError`] for a zero `n` or `w`, an `initial` slice whose length
+/// differs from `w`, or (for the tagged-substrate algorithms) an `n` past
+/// [`mwllsc::layout::Layout::MAX_PROCESSES`].
+///
+/// # Examples
+///
+/// ```
+/// use llsc_baselines::{try_build, Algo};
+///
+/// assert!(try_build(Algo::Jp, 2, 2, &[1, 2]).is_ok());
+/// let err = try_build(Algo::Lock, 2, 2, &[1]).unwrap_err();
+/// assert!(err.to_string().contains("expected W = 2"));
+/// ```
+pub fn try_build(
+    algo: Algo,
+    n: usize,
+    w: usize,
+    initial: &[u64],
+) -> Result<(Vec<Box<dyn MwHandle>>, SpaceEstimate), ConfigError> {
+    // Validate the shared construction rules up front so the baseline
+    // constructors (which assert) are only reached with clean inputs.
+    if n == 0 {
+        return Err(ConfigError::ZeroProcesses);
+    }
+    if w == 0 {
+        return Err(ConfigError::ZeroWords);
+    }
+    if initial.len() != w {
+        return Err(ConfigError::WrongInitLen { expected: w, got: initial.len() });
+    }
+    if n > mwllsc::layout::Layout::MAX_PROCESSES
+        && matches!(algo, Algo::Jp | Algo::JpRetry | Algo::AmStyle)
+    {
+        return Err(ConfigError::TooManyProcesses);
+    }
+    Ok(match algo {
         Algo::Jp => {
             let obj = MwLlSc::new(n, w, initial);
             let space = obj.space();
@@ -129,7 +173,7 @@ pub fn build(
                 obj.handles().into_iter().map(|h| Box::new(h) as Box<dyn MwHandle>).collect();
             (handles, space)
         }
-    }
+    })
 }
 
 #[cfg(test)]
@@ -169,6 +213,23 @@ mod tests {
         // The headline: the gap is a factor of ~N.
         let ratio = am as f64 / jp as f64;
         assert!(ratio > n as f64 / 4.0, "ratio {ratio} too small for N={n}");
+    }
+
+    #[test]
+    fn try_build_rejects_bad_configurations() {
+        use mwllsc::ConfigError;
+        for algo in Algo::ALL {
+            assert_eq!(try_build(algo, 0, 1, &[0]).unwrap_err(), ConfigError::ZeroProcesses);
+            assert_eq!(try_build(algo, 1, 0, &[]).unwrap_err(), ConfigError::ZeroWords);
+            assert_eq!(
+                try_build(algo, 1, 2, &[0]).unwrap_err(),
+                ConfigError::WrongInitLen { expected: 2, got: 1 }
+            );
+        }
+        assert_eq!(
+            try_build(Algo::Jp, mwllsc::layout::Layout::MAX_PROCESSES + 1, 1, &[0]).unwrap_err(),
+            ConfigError::TooManyProcesses
+        );
     }
 
     #[test]

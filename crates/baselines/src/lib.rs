@@ -27,7 +27,7 @@ mod seqlock;
 mod traits;
 
 pub use am_style::{AmHandle, AmStyleLlSc};
-pub use factory::{build, Algo};
+pub use factory::{build, try_build, Algo};
 pub use lock::{LockHandle, LockLlSc};
 pub use ptrswap::{PtrSwapHandle, PtrSwapLlSc};
 pub use seqlock::{SeqLockHandle, SeqLockLlSc};

@@ -133,8 +133,22 @@ impl MwHandle for LockHandle {
         self.obj.lock().version == linked
     }
 
+    fn read(&mut self, out: &mut [u64]) {
+        assert_eq!(out.len(), self.obj.w, "read: output slice length must equal W");
+        // Copy under the lock without touching the link.
+        out.copy_from_slice(&self.obj.lock().value);
+    }
+
     fn width(&self) -> usize {
         self.obj.w
+    }
+
+    fn progress(&self) -> Progress {
+        LockLlSc::progress()
+    }
+
+    fn space(&self) -> SpaceEstimate {
+        self.obj.space()
     }
 }
 

@@ -126,8 +126,23 @@ impl MwHandle for PtrSwapHandle {
         self.obj.cell.load().1 == linked
     }
 
+    fn read(&mut self, out: &mut [u64]) {
+        assert_eq!(out.len(), self.obj.w, "read: output slice length must equal W");
+        // Nodes are immutable: one pointer load is a consistent wait-free
+        // read, and the link is untouched.
+        out.copy_from_slice(self.obj.cell.load().0);
+    }
+
     fn width(&self) -> usize {
         self.obj.w
+    }
+
+    fn progress(&self) -> Progress {
+        PtrSwapLlSc::progress()
+    }
+
+    fn space(&self) -> SpaceEstimate {
+        self.obj.space()
     }
 }
 

@@ -143,8 +143,35 @@ impl MwHandle for SeqLockHandle {
         self.obj.version.load(Ordering::Acquire) == linked
     }
 
+    fn read(&mut self, out: &mut [u64]) {
+        assert_eq!(out.len(), self.obj.data.len(), "read: output slice length must equal W");
+        // The seqlock read protocol, without installing a link (lock-free,
+        // same starvation caveat as `ll`).
+        loop {
+            let v1 = self.obj.version.load(Ordering::Acquire);
+            if v1 % 2 == 1 {
+                std::hint::spin_loop();
+                continue;
+            }
+            for (d, s) in out.iter_mut().zip(self.obj.data.iter()) {
+                *d = s.load(Ordering::Acquire);
+            }
+            if self.obj.version.load(Ordering::Acquire) == v1 {
+                return;
+            }
+        }
+    }
+
     fn width(&self) -> usize {
         self.obj.data.len()
+    }
+
+    fn progress(&self) -> Progress {
+        SeqLockLlSc::progress()
+    }
+
+    fn space(&self) -> SpaceEstimate {
+        self.obj.space()
     }
 }
 

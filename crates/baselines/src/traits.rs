@@ -1,72 +1,10 @@
 //! The common interface all multiword LL/SC implementations are driven
-//! through by the benchmarks and the experiment harness.
+//! through.
+//!
+//! [`MwHandle`], [`Progress`], and [`SpaceEstimate`] moved into the core
+//! crate (`mwllsc::traits`) so the application layer can be generic over
+//! implementations without depending on this crate; they are re-exported
+//! here so existing `llsc_baselines::{MwHandle, ...}` imports keep
+//! working.
 
-/// A per-process handle to some `W`-word LL/SC/VL object.
-///
-/// Semantics are those of the paper's Figure 1; progress guarantees differ
-/// per implementation and are documented on each.
-pub trait MwHandle: Send {
-    /// Load-linked: reads the current value into `out`.
-    fn ll(&mut self, out: &mut [u64]);
-
-    /// Store-conditional: installs `v` iff no successful SC intervened
-    /// since this process's latest `ll`.
-    fn sc(&mut self, v: &[u64]) -> bool;
-
-    /// Validate: `true` iff no successful SC intervened since the latest
-    /// `ll`.
-    fn vl(&mut self) -> bool;
-
-    /// Words per value.
-    fn width(&self) -> usize;
-}
-
-/// Progress guarantee provided by an implementation.
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
-pub enum Progress {
-    /// Every operation completes in a bounded number of the caller's steps.
-    WaitFree,
-    /// System-wide progress; individual operations may retry unboundedly.
-    LockFree,
-    /// A stalled or crashed process can block everyone.
-    Blocking,
-}
-
-impl std::fmt::Display for Progress {
-    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.write_str(match self {
-            Self::WaitFree => "wait-free",
-            Self::LockFree => "lock-free",
-            Self::Blocking => "blocking",
-        })
-    }
-}
-
-/// Asymptotic + exact space accounting for one object instance.
-#[derive(Clone, Debug)]
-pub struct SpaceEstimate {
-    /// Exact shared 64-bit words allocated for the object (steady state;
-    /// excludes transient garbage awaiting reclamation).
-    pub shared_words: usize,
-    /// The asymptotic class, e.g. `"O(NW)"`.
-    pub asymptotic: &'static str,
-}
-
-// Adapter: the paper's algorithm already satisfies the interface.
-impl MwHandle for mwllsc::Handle {
-    fn ll(&mut self, out: &mut [u64]) {
-        mwllsc::Handle::ll(self, out);
-    }
-
-    fn sc(&mut self, v: &[u64]) -> bool {
-        mwllsc::Handle::sc(self, v)
-    }
-
-    fn vl(&mut self) -> bool {
-        mwllsc::Handle::vl(self)
-    }
-
-    fn width(&self) -> usize {
-        self.object().width()
-    }
-}
+pub use mwllsc::{MwHandle, Progress, SpaceEstimate};

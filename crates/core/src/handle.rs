@@ -20,6 +20,12 @@ use crate::variable::{LlStrategy, MwLlSc};
 /// most one operation outstanding, which `&mut self` methods enforce
 /// statically.
 ///
+/// A handle is a *lease* on its process slot: dropping it releases the
+/// slot — carrying the owned buffer `mybuf_p` back with it, so the paper's
+/// buffer-partition invariant survives reuse — and a later
+/// [`claim`](MwLlSc::claim) or [`attach`](MwLlSc::attach) can take the
+/// slot over.
+///
 /// # Operation protocol
 ///
 /// [`sc`](Self::sc) and [`vl`](Self::vl) are defined relative to this
@@ -49,9 +55,10 @@ impl<C: NewCell> std::fmt::Debug for Handle<C> {
 }
 
 impl<C: NewCell> Handle<C> {
-    pub(crate) fn new(obj: Arc<MwLlSc<C>>, p: usize) -> Self {
-        // Initialization: mybuf_p = 2N + p.
-        let mybuf = (obj.layout.num_seqs() + p) as u32;
+    /// `mybuf` is whatever the slot registry carried for `p` — initially
+    /// the paper's `2N + p`, later whatever buffer the previous lease of
+    /// this slot owned when it was dropped.
+    pub(crate) fn new(obj: Arc<MwLlSc<C>>, p: usize, mybuf: u32) -> Self {
         Self { obj, p, mybuf, x_rec: XRecord { buf: 0, seq: 0 }, x_link: None }
     }
 
@@ -300,6 +307,16 @@ impl<C: NewCell> Handle<C> {
                 return (xr, x_link);
             }
         }
+    }
+}
+
+impl<C: NewCell> Drop for Handle<C> {
+    /// Releases the lease: slot `p` returns to the free pool carrying this
+    /// handle's current `mybuf`, so the next leaseholder of `p` owns
+    /// exactly the buffer this one did — the `3N`-buffer partition never
+    /// gains or loses a member across any sequence of attaches and drops.
+    fn drop(&mut self) {
+        self.obj.release_slot(self.p, self.mybuf);
     }
 }
 

@@ -47,24 +47,44 @@ pub struct Layout {
 }
 
 impl Layout {
+    /// The largest process count the suite accepts for a 64-bit tagged
+    /// substrate word.
+    ///
+    /// The packed `xtype` occupies `bits_for(3N-1) + bits_for(2N-1)` bits
+    /// and must leave at least [`Self::MIN_TAG_BITS`] tag bits in the
+    /// 64-bit word for the substrate's ABA protection. `2^22` is the
+    /// round cap just under that floor: at `N = 2^22` the record needs
+    /// `24 + 23 = 47` bits (17 tag bits left); the first `N` whose record
+    /// exceeds 48 bits — strictly fewer tag bits than the floor — is
+    /// `⌈(2^24 + 1) / 3⌉ ≈ 5.6M`, so the power-of-two cap is slightly
+    /// conservative. Every constructor that takes an `n` validates
+    /// against this single constant.
+    pub const MAX_PROCESSES: usize = 1 << 22;
+
+    /// The fewest tag bits we accept in the substrate word (the ABA-wrap
+    /// floor behind [`Self::MAX_PROCESSES`]).
+    pub const MIN_TAG_BITS: u32 = 16;
+
     /// Computes the layout for `n` processes.
     ///
     /// # Panics
     ///
-    /// Panics if `n == 0` or if the packed `xtype` would not leave at least
-    /// 16 tag bits in a 64-bit word (i.e. `n` absurdly large; 16 tag bits
-    /// is the floor we refuse to go below, reached only beyond `n ≈ 2^22`).
+    /// Panics if `n == 0` or `n > `[`Self::MAX_PROCESSES`] (the packed
+    /// `xtype` would leave fewer than [`Self::MIN_TAG_BITS`] tag bits in a
+    /// 64-bit word).
     #[must_use]
     pub fn new(n: usize) -> Self {
         assert!(n > 0, "at least one process is required");
+        assert!(
+            n <= Self::MAX_PROCESSES,
+            "n={n} leaves fewer than {} tag bits for the LL/SC substrate",
+            Self::MIN_TAG_BITS
+        );
         let n = u32::try_from(n).expect("process count exceeds u32");
         let buf_bits = bits_for(u64::from(3 * n - 1));
         let seq_bits = bits_for(u64::from(2 * n - 1));
         let layout = Self { n, buf_bits, seq_bits };
-        assert!(
-            layout.x_value_bits() <= 48,
-            "n={n} leaves fewer than 16 tag bits for the LL/SC substrate"
-        );
+        debug_assert!(layout.x_value_bits() <= 64 - Self::MIN_TAG_BITS);
         layout
     }
 
@@ -256,5 +276,21 @@ mod tests {
         let l = Layout::new(1024);
         assert_eq!(l.x_value_bits(), 23);
         assert!(64 - l.x_value_bits() >= 41);
+    }
+
+    #[test]
+    fn max_processes_respects_the_tag_floor() {
+        // The largest admissible N must still leave MIN_TAG_BITS for the
+        // substrate (the round cap is slightly conservative: 47 of the 48
+        // admissible record bits are used).
+        let l = Layout::new(Layout::MAX_PROCESSES);
+        assert!(l.x_value_bits() <= 64 - Layout::MIN_TAG_BITS);
+        assert_eq!(l.x_value_bits(), 47);
+    }
+
+    #[test]
+    #[should_panic(expected = "tag bits")]
+    fn beyond_max_processes_rejected() {
+        let _ = Layout::new(Layout::MAX_PROCESSES + 1);
     }
 }

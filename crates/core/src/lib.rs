@@ -67,7 +67,12 @@
 //! ```
 //!
 //! Threads share the object through [`MwLlSc::handles`] /
-//! [`MwLlSc::claim`]; see the crate examples for realistic scenarios.
+//! [`MwLlSc::claim`] when they pin process ids, or lease slots dynamically
+//! with [`MwLlSc::attach`] / [`MwLlSc::with`] (handles release their slot
+//! on drop, so thread pools can churn freely); see the crate examples for
+//! realistic scenarios. Code meant to run over *any* multiword LL/SC
+//! implementation — this one or the comparators in `llsc-baselines` —
+//! should be written against the [`MwHandle`] trait.
 //!
 //! # Relation to the paper's pseudocode
 //!
@@ -96,11 +101,17 @@
 mod buffer;
 mod handle;
 pub mod layout;
+mod registry;
 mod stats;
+mod tls;
+pub mod traits;
 mod variable;
 
 pub use handle::Handle;
+pub use registry::AttachError;
 pub use stats::Stats;
+pub use tls::detach_current_thread;
+pub use traits::{MwHandle, Progress, SpaceEstimate};
 pub use variable::{ClaimError, ConfigError, LlStrategy, MwLlSc, SpaceReport};
 
 /// The alternative epoch-based substrate (ablation), re-exported.

@@ -1,0 +1,167 @@
+//! The slot-leasing registry behind [`MwLlSc::claim`](crate::MwLlSc::claim)
+//! and [`MwLlSc::attach`](crate::MwLlSc::attach).
+//!
+//! The paper's model fixes `N` static processes; real deployments churn
+//! worker threads. The registry maps the fixed process ids `0..N` onto
+//! *leases*: a [`Handle`](crate::Handle) leases a slot for its lifetime and
+//! releases it on drop, so the id space survives thread churn.
+//!
+//! The load-bearing detail is what travels with the slot. Each process id
+//! `p` permanently owns exactly one spare buffer (`mybuf_p`), and the
+//! algorithm's space bound rests on the invariant that the `3N` buffers are
+//! partitioned at every instant among: the current value (`X.buf`), the
+//! `2N` history entries (`Bank`), and one spare per process. A lease
+//! therefore carries the slot's current `mybuf` out to the new handle, and
+//! the handle's drop carries its (possibly exchanged — helping swaps buffer
+//! ownership) `mybuf` back into the slot. A freed slot is a process that is
+//! simply taking no steps; re-leasing it resumes that process with its
+//! buffer intact, so the 3NW + 3N + 1 shared-word footprint never grows no
+//! matter how many handles come and go.
+
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+
+/// Bit marking a slot as currently leased; the low 32 bits hold the
+/// resting `mybuf` of a free slot (stale while leased).
+const LEASED: u64 = 1 << 63;
+
+/// Errors from [`MwLlSc::attach`](crate::MwLlSc::attach).
+#[derive(Clone, Debug, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum AttachError {
+    /// All `N` slots are leased by live handles.
+    Exhausted {
+        /// The configured process count (= total slots).
+        n: usize,
+    },
+}
+
+impl std::fmt::Display for AttachError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::Exhausted { n } => {
+                write!(f, "all {n} process slots are leased by live handles")
+            }
+        }
+    }
+}
+
+impl std::error::Error for AttachError {}
+
+/// Lease state for the `N` process slots of one object.
+///
+/// Lock-free: a lease is one `fetch_or` on the slot word, a release is one
+/// store. [`lease_any`](Self::lease_any) scans from a rotating start so
+/// attachers spread across the id space instead of contending on slot 0.
+pub(crate) struct SlotRegistry {
+    /// Per-slot word: [`LEASED`] bit plus the resting `mybuf`.
+    slots: Box<[AtomicU64]>,
+    /// Rotating scan start for [`lease_any`](Self::lease_any).
+    cursor: AtomicUsize,
+}
+
+impl SlotRegistry {
+    /// Creates the registry for `n` slots with the paper's initial buffer
+    /// assignment `mybuf_p = 2N + p` (`num_seqs` = `2N`).
+    pub(crate) fn new(n: usize, num_seqs: usize) -> Self {
+        Self {
+            slots: (0..n).map(|p| AtomicU64::new((num_seqs + p) as u64)).collect(),
+            cursor: AtomicUsize::new(0),
+        }
+    }
+
+    /// Leases slot `p` if free, returning the `mybuf` it carries.
+    pub(crate) fn lease_exact(&self, p: usize) -> Option<u32> {
+        // fetch_or is idempotent on an already-leased slot, so losing the
+        // race costs nothing and the winner is decided by one RMW.
+        let prev = self.slots[p].fetch_or(LEASED, Ordering::AcqRel);
+        (prev & LEASED == 0).then_some(prev as u32)
+    }
+
+    /// Leases any free slot, returning `(p, mybuf)`.
+    pub(crate) fn lease_any(&self) -> Option<(usize, u32)> {
+        let n = self.slots.len();
+        let start = self.cursor.fetch_add(1, Ordering::Relaxed) % n;
+        for i in 0..n {
+            let p = (start + i) % n;
+            // Cheap read first; only RMW slots that look free.
+            if self.slots[p].load(Ordering::Relaxed) & LEASED == 0 {
+                if let Some(mybuf) = self.lease_exact(p) {
+                    return Some((p, mybuf));
+                }
+            }
+        }
+        None
+    }
+
+    /// Returns slot `p` to the free pool, carrying `mybuf` back with it.
+    ///
+    /// The `Release` store pairs with the `AcqRel` in
+    /// [`lease_exact`](Self::lease_exact): the next leaseholder observes
+    /// every write the previous one made (its final `Help[p]` state and the
+    /// contents of the carried buffer).
+    pub(crate) fn release(&self, p: usize, mybuf: u32) {
+        debug_assert!(self.slots[p].load(Ordering::Relaxed) & LEASED != 0, "double release of {p}");
+        self.slots[p].store(u64::from(mybuf), Ordering::Release);
+    }
+
+    /// Number of currently leased slots.
+    pub(crate) fn live(&self) -> usize {
+        self.slots.iter().filter(|s| s.load(Ordering::Acquire) & LEASED != 0).count()
+    }
+}
+
+impl std::fmt::Debug for SlotRegistry {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SlotRegistry")
+            .field("slots", &self.slots.len())
+            .field("live", &self.live())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lease_release_roundtrip_carries_mybuf() {
+        let r = SlotRegistry::new(3, 6);
+        assert_eq!(r.lease_exact(1), Some(7), "initial mybuf_1 = 2N + 1");
+        assert_eq!(r.lease_exact(1), None, "slot is held");
+        r.release(1, 42);
+        assert_eq!(r.lease_exact(1), Some(42), "release carried the new mybuf back");
+        assert_eq!(r.live(), 1);
+    }
+
+    #[test]
+    fn lease_any_exhausts_and_recovers() {
+        let r = SlotRegistry::new(2, 4);
+        let a = r.lease_any().unwrap();
+        let b = r.lease_any().unwrap();
+        assert_ne!(a.0, b.0);
+        assert_eq!(r.lease_any(), None, "both slots held");
+        r.release(a.0, a.1);
+        assert_eq!(r.lease_any(), Some(a), "freed slot is reusable with its buffer");
+    }
+
+    #[test]
+    fn concurrent_lease_any_grants_distinct_slots() {
+        use std::sync::{Arc, Barrier};
+        let n = 8;
+        let r = Arc::new(SlotRegistry::new(n, 2 * n));
+        let barrier = Arc::new(Barrier::new(n));
+        let joins: Vec<_> = (0..n)
+            .map(|_| {
+                let r = Arc::clone(&r);
+                let barrier = Arc::clone(&barrier);
+                std::thread::spawn(move || {
+                    barrier.wait();
+                    r.lease_any().expect("one slot per thread")
+                })
+            })
+            .collect();
+        let mut got: Vec<usize> = joins.into_iter().map(|j| j.join().unwrap().0).collect();
+        got.sort_unstable();
+        assert_eq!(got, (0..n).collect::<Vec<_>>(), "every slot granted exactly once");
+    }
+}

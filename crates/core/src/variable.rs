@@ -1,7 +1,6 @@
 //! The shared `W`-word LL/SC/VL object (Figure 2 of the paper): shared
 //! state, construction, and space accounting.
 
-use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 
 use llsc_word::{NewCell, TaggedLlSc};
@@ -9,6 +8,7 @@ use llsc_word::{NewCell, TaggedLlSc};
 use crate::buffer::BufferPool;
 use crate::handle::Handle;
 use crate::layout::{HelpRecord, Layout, XRecord};
+use crate::registry::{AttachError, SlotRegistry};
 use crate::stats::{Counters, Stats};
 
 /// How [`Handle::ll`](crate::Handle::ll) obtains a consistent value.
@@ -73,7 +73,8 @@ pub enum ClaimError {
         /// The configured process count.
         n: usize,
     },
-    /// The process id was already claimed by an earlier call.
+    /// The process id is currently leased by a live [`Handle`]. Dropping
+    /// that handle frees the slot for a later `claim` or `attach`.
     AlreadyClaimed {
         /// The contested id.
         p: usize,
@@ -136,10 +137,22 @@ impl SpaceReport {
 /// The type parameter `C` selects the single-word substrate; the default
 /// [`TaggedLlSc`] packs value + tag into one `AtomicU64`.
 ///
-/// Each of the `N` processes interacts through its own [`Handle`], claimed
-/// with [`claim`](Self::claim) or [`handles`](Self::handles); a handle is
-/// `Send` but deliberately not `Clone` — the algorithm (like the paper's
-/// model) requires one outstanding operation per process.
+/// # Handles are leases
+///
+/// Each of the `N` processes interacts through its own [`Handle`]; a
+/// handle is `Send` but deliberately not `Clone` — the algorithm (like the
+/// paper's model) requires one outstanding operation per process. The `N`
+/// process slots are *leased*, not claimed forever: dropping a handle
+/// returns its slot (together with the buffer the slot owns — the paper's
+/// space invariant) for a later [`claim`](Self::claim) or
+/// [`attach`](Self::attach), so thread pools can churn workers without
+/// exhausting the id space. Pick the acquisition style that fits:
+///
+/// * [`claim(p)`](Self::claim) — lease a *specific* pinned id;
+/// * [`handles()`](Self::handles) — lease all `N` at once, in order;
+/// * [`attach()`](Self::attach) — lease *any* free slot (lock-free scan);
+/// * [`with(f)`](Self::with) — run a closure on a thread-cached
+///   attachment, so pool code never tracks ids at all.
 ///
 /// # Examples
 ///
@@ -170,7 +183,7 @@ pub struct MwLlSc<C: NewCell = TaggedLlSc> {
     pub(crate) bufs: BufferPool,
     pub(crate) counters: Counters,
     pub(crate) strategy: LlStrategy,
-    claimed: Box<[AtomicBool]>,
+    registry: SlotRegistry,
 }
 
 impl<C: NewCell> std::fmt::Debug for MwLlSc<C> {
@@ -238,7 +251,7 @@ impl<C: NewCell> MwLlSc<C> {
         if initial.len() != w {
             return Err(ConfigError::WrongInitLen { expected: w, got: initial.len() });
         }
-        if n > (1 << 22) {
+        if n > Layout::MAX_PROCESSES {
             return Err(ConfigError::TooManyProcesses);
         }
         let layout = Layout::new(n);
@@ -269,7 +282,7 @@ impl<C: NewCell> MwLlSc<C> {
             bufs,
             counters: Counters::default(),
             strategy,
-            claimed: (0..n).map(|_| AtomicBool::new(false)).collect(),
+            registry: SlotRegistry::new(n, layout.num_seqs()),
         }))
     }
 
@@ -291,28 +304,96 @@ impl<C: NewCell> MwLlSc<C> {
         self.strategy
     }
 
-    /// Claims the [`Handle`] for process `p`. Each id can be claimed once.
+    /// Leases the [`Handle`] for the *specific* process id `p`.
+    ///
+    /// Fails while another live handle holds the slot; dropping that
+    /// handle frees it for re-claiming. Use this when the caller pins
+    /// process ids itself (the paper's static model); pool code that does
+    /// not care which id it gets should use [`attach`](Self::attach) or
+    /// [`with`](Self::with) instead.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use mwllsc::MwLlSc;
+    ///
+    /// let obj = MwLlSc::new(2, 1, &[0]);
+    /// let h = obj.claim(0).unwrap();
+    /// assert!(obj.claim(0).is_err(), "slot 0 is leased");
+    /// drop(h);
+    /// assert!(obj.claim(0).is_ok(), "dropping the handle freed the slot");
+    /// ```
     pub fn claim(self: &Arc<Self>, p: usize) -> Result<Handle<C>, ClaimError> {
         let n = self.layout.n();
         if p >= n {
             return Err(ClaimError::OutOfRange { p, n });
         }
-        if self.claimed[p].swap(true, Ordering::AcqRel) {
-            return Err(ClaimError::AlreadyClaimed { p });
+        match self.registry.lease_exact(p) {
+            Some(mybuf) => Ok(Handle::new(Arc::clone(self), p, mybuf)),
+            None => Err(ClaimError::AlreadyClaimed { p }),
         }
-        Ok(Handle::new(Arc::clone(self), p))
     }
 
-    /// Claims all `N` handles at once, in process-id order.
+    /// Leases a handle for *any* free process slot (lock-free scan over
+    /// the slot registry).
+    ///
+    /// This is the churn-friendly acquisition path: worker threads attach
+    /// on demand and release by dropping the handle, and the slot carries
+    /// its owned buffer (`mybuf`) across lease generations, so the space
+    /// bound of the paper (`3NW + 3N + 1` shared words) is unaffected by
+    /// any amount of attach/drop traffic.
+    ///
+    /// # Errors
+    ///
+    /// [`AttachError::Exhausted`] when all `N` slots are leased by live
+    /// handles — the caller can retry after another handle drops, or size
+    /// `n` to the worst-case number of *concurrent* operations.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use mwllsc::MwLlSc;
+    ///
+    /// let obj = MwLlSc::new(2, 1, &[7]);
+    /// let mut a = obj.attach().unwrap();
+    /// let b = obj.attach().unwrap();
+    /// assert!(obj.attach().is_err(), "both slots leased");
+    /// drop(b);
+    /// let mut c = obj.attach().unwrap(); // b's slot, recycled
+    /// let mut v = [0u64];
+    /// a.ll(&mut v);
+    /// assert!(a.sc(&[v[0] + 1]));
+    /// c.ll(&mut v);
+    /// assert_eq!(v, [8]);
+    /// ```
+    pub fn attach(self: &Arc<Self>) -> Result<Handle<C>, AttachError> {
+        match self.registry.lease_any() {
+            Some((p, mybuf)) => Ok(Handle::new(Arc::clone(self), p, mybuf)),
+            None => Err(AttachError::Exhausted { n: self.layout.n() }),
+        }
+    }
+
+    /// Leases all `N` handles at once, in process-id order.
     ///
     /// # Panics
     ///
-    /// Panics if any handle was already claimed.
+    /// Panics if any slot is already leased.
     #[must_use]
     pub fn handles(self: &Arc<Self>) -> Vec<Handle<C>> {
         (0..self.layout.n())
             .map(|p| self.claim(p).unwrap_or_else(|e| panic!("handles(): {e}")))
             .collect()
+    }
+
+    /// Number of process slots currently leased by live handles.
+    #[must_use]
+    pub fn live_leases(&self) -> usize {
+        self.registry.live()
+    }
+
+    /// Returns slot `p` with its current `mybuf`; called by `Handle::drop`.
+    pub(crate) fn release_slot(&self, p: usize, mybuf: u32) {
+        self.registry.release(p, mybuf);
     }
 
     /// A snapshot of the instrumentation counters.
@@ -351,18 +432,21 @@ mod tests {
     }
 
     #[test]
-    fn claim_is_exclusive() {
+    fn claim_is_exclusive_while_leased() {
         let obj = MwLlSc::new(2, 1, &[0]);
-        let _h0 = obj.claim(0).unwrap();
+        let h0 = obj.claim(0).unwrap();
         assert_eq!(obj.claim(0).unwrap_err(), ClaimError::AlreadyClaimed { p: 0 });
         let _h1 = obj.claim(1).unwrap();
         assert_eq!(obj.claim(2).unwrap_err(), ClaimError::OutOfRange { p: 2, n: 2 });
+        drop(h0);
+        assert!(obj.claim(0).is_ok(), "dropping the lease frees the id");
     }
 
     #[test]
     fn concurrent_claims_grant_each_id_exactly_once() {
         // Many threads race to claim the same small id space; every id
-        // must be granted to exactly one winner.
+        // must be granted to exactly one winner. Handles are held until
+        // the end so no slot is released mid-race.
         let n = 4;
         let obj = MwLlSc::new(n, 1, &[0]);
         let mut joins = Vec::new();
@@ -371,19 +455,56 @@ mod tests {
             joins.push(std::thread::spawn(move || {
                 let mut won = Vec::new();
                 for p in 0..n {
-                    if obj.claim(p).is_ok() {
-                        won.push(p);
+                    if let Ok(h) = obj.claim(p) {
+                        won.push(h);
                     }
                 }
                 won
             }));
         }
-        let mut winners: Vec<usize> = Vec::new();
-        for j in joins {
-            winners.extend(j.join().unwrap());
-        }
+        // Keep every won handle alive until all threads have finished, so
+        // no slot is released (and re-won) mid-tally.
+        let held: Vec<Vec<Handle>> = joins.into_iter().map(|j| j.join().unwrap()).collect();
+        let mut winners: Vec<usize> = held.iter().flatten().map(Handle::process_id).collect();
         winners.sort_unstable();
         assert_eq!(winners, (0..n).collect::<Vec<_>>(), "each id claimed exactly once");
+    }
+
+    #[test]
+    fn attach_leases_any_free_slot() {
+        let obj = MwLlSc::new(3, 1, &[0]);
+        let a = obj.attach().unwrap();
+        let b = obj.attach().unwrap();
+        let c = obj.attach().unwrap();
+        let mut ids = [a.process_id(), b.process_id(), c.process_id()];
+        ids.sort_unstable();
+        assert_eq!(ids, [0, 1, 2]);
+        assert_eq!(obj.attach().unwrap_err(), AttachError::Exhausted { n: 3 });
+        assert_eq!(obj.live_leases(), 3);
+        drop(b);
+        assert_eq!(obj.live_leases(), 2);
+        let d = obj.attach().expect("freed slot is attachable");
+        let _ = d.process_id();
+    }
+
+    #[test]
+    fn lease_reuse_preserves_buffer_ownership_and_space() {
+        // Churn a single slot through many lease generations, each doing
+        // real SCs (which *exchange* buffer ownership via line 20). The
+        // space report — and with it the paper's 3NW + 3N + 1 invariant —
+        // must be byte-identical after any amount of churn.
+        let obj = MwLlSc::new(2, 2, &[0, 0]);
+        let before = obj.space();
+        for gen in 0..100u64 {
+            let mut h = obj.attach().unwrap();
+            let mut v = [0u64; 2];
+            h.ll(&mut v);
+            assert_eq!(v, [gen, gen]);
+            assert!(h.sc(&[gen + 1, gen + 1]));
+        }
+        assert_eq!(obj.space(), before);
+        assert_eq!(obj.space().shared_words(), 3 * 2 * 2 + 3 * 2 + 1);
+        assert_eq!(obj.live_leases(), 0);
     }
 
     #[test]

@@ -1,0 +1,161 @@
+//! Slot-churn stress: the lease registry under 4× more threads than
+//! slots.
+//!
+//! The paper's model has no notion of a process arriving or departing, so
+//! the lease layer (PR 2) must prove two things the paper's proof does not
+//! cover: (a) a slot is never held by two live handles at once, and (b)
+//! buffer ownership (`mybuf`) survives the lease boundary — otherwise two
+//! generations could write the same buffer concurrently and readers would
+//! see torn values.
+
+use std::collections::HashSet;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Barrier, Mutex};
+
+use mwllsc::{AttachError, MwLlSc};
+
+const SLOTS: usize = 4;
+const THREADS: usize = 4 * SLOTS;
+const W: usize = 6;
+const LEASES_PER_THREAD: usize = 300;
+
+#[test]
+fn churn_4x_threads_over_slots() {
+    let obj = MwLlSc::new(SLOTS, W, &[0u64; W]);
+    let space_before = obj.space();
+    assert_eq!(space_before.shared_words(), 3 * SLOTS * W + 3 * SLOTS + 1);
+
+    // Process ids currently held by a live handle, mirrored by the test:
+    // insert after a successful attach, remove before the handle drops.
+    // A second live lease on the same id would fail the insert.
+    let live: Arc<Mutex<HashSet<usize>>> = Arc::new(Mutex::new(HashSet::new()));
+    let barrier = Arc::new(Barrier::new(THREADS));
+    let sc_wins = Arc::new(AtomicU64::new(0));
+
+    let joins: Vec<_> = (0..THREADS)
+        .map(|t| {
+            let obj = Arc::clone(&obj);
+            let live = Arc::clone(&live);
+            let barrier = Arc::clone(&barrier);
+            let sc_wins = Arc::clone(&sc_wins);
+            std::thread::spawn(move || {
+                barrier.wait();
+                let mut leases = 0;
+                while leases < LEASES_PER_THREAD {
+                    let mut h = match obj.attach() {
+                        Ok(h) => h,
+                        Err(AttachError::Exhausted { n }) => {
+                            assert_eq!(n, SLOTS);
+                            std::hint::spin_loop();
+                            continue;
+                        }
+                        Err(e) => panic!("unexpected attach error: {e}"),
+                    };
+                    assert!(
+                        live.lock().unwrap().insert(h.process_id()),
+                        "slot {} granted to two live handles",
+                        h.process_id()
+                    );
+                    leases += 1;
+
+                    // Mutate under the lease: install an all-equal value
+                    // tagged by thread and round; a reader that ever sees a
+                    // mixed slice caught a torn write — which is exactly
+                    // what a buffer-ownership leak across leases produces.
+                    let stamp = (t * LEASES_PER_THREAD + leases) as u64;
+                    let mut v = [0u64; W];
+                    for _attempt in 0..3 {
+                        h.ll(&mut v);
+                        assert!(
+                            v.iter().all(|&x| x == v[0]),
+                            "torn LL under churn: {v:?} (thread {t}, lease {leases})"
+                        );
+                        if h.sc(&[stamp; W]) {
+                            sc_wins.fetch_add(1, Ordering::Relaxed);
+                            break;
+                        }
+                    }
+                    let mut r = [0u64; W];
+                    h.read(&mut r);
+                    assert!(r.iter().all(|&x| x == r[0]), "torn read under churn: {r:?}");
+
+                    // Mirror removal strictly before the slot release.
+                    assert!(live.lock().unwrap().remove(&h.process_id()));
+                    drop(h);
+                }
+            })
+        })
+        .collect();
+    for j in joins {
+        j.join().unwrap();
+    }
+
+    assert!(live.lock().unwrap().is_empty());
+    assert_eq!(obj.live_leases(), 0, "every lease was returned");
+    assert!(
+        sc_wins.load(Ordering::Relaxed) > 0,
+        "the workload must have committed at least one SC"
+    );
+
+    // The headline acceptance check: full churn left the space accounting
+    // — and with it the 3NW + 3N + 1 buffer partition — untouched.
+    assert_eq!(obj.space(), space_before);
+    assert_eq!(obj.space().shared_words(), 3 * SLOTS * W + 3 * SLOTS + 1);
+
+    // The object is still fully usable: all slots attachable, value sane.
+    let handles: Vec<_> = (0..SLOTS).map(|_| obj.attach().unwrap()).collect();
+    let ids: HashSet<usize> = handles.iter().map(|h| h.process_id()).collect();
+    assert_eq!(ids.len(), SLOTS, "all slots recycled to distinct ids");
+    drop(handles);
+    let mut h = obj.attach().unwrap();
+    let mut v = [0u64; W];
+    h.ll(&mut v);
+    assert!(v.iter().all(|&x| x == v[0]), "final value is untorn: {v:?}");
+}
+
+#[test]
+fn churn_via_thread_cached_with() {
+    // The `with` path under the same churn: short-lived worker threads,
+    // each caching an attachment for its lifetime, all incrementing one
+    // counter. The total must be exact and every slot must come back.
+    const ROUNDS: usize = 8;
+    const WORKERS: usize = 2 * SLOTS;
+    const INCS: u64 = 50;
+    let obj = MwLlSc::new(SLOTS, 2, &[0, 0]);
+    for _ in 0..ROUNDS {
+        let joins: Vec<_> = (0..WORKERS)
+            .map(|_| {
+                let obj = Arc::clone(&obj);
+                std::thread::spawn(move || {
+                    let mut done = 0;
+                    while done < INCS {
+                        // Slots may all be leased by sibling workers'
+                        // caches; retry until this thread gets one.
+                        let r = obj.try_with(|h| {
+                            let mut v = [0u64; 2];
+                            loop {
+                                h.ll(&mut v);
+                                if h.sc(&[v[0] + 1, v[1] + 1]) {
+                                    return;
+                                }
+                            }
+                        });
+                        match r {
+                            Ok(()) => done += 1,
+                            Err(_) => std::hint::spin_loop(),
+                        }
+                    }
+                })
+            })
+            .collect();
+        for j in joins {
+            j.join().unwrap();
+        }
+        assert_eq!(obj.live_leases(), 0, "worker exits released their cached slots");
+    }
+    let mut h = obj.attach().unwrap();
+    let mut v = [0u64; 2];
+    h.ll(&mut v);
+    let expected = (ROUNDS * WORKERS) as u64 * INCS;
+    assert_eq!(v, [expected, expected], "no increment lost across churn");
+}

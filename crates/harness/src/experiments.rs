@@ -5,7 +5,7 @@ use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::time::Instant;
 
-use llsc_baselines::{build, Algo};
+use llsc_baselines::{try_build, Algo, MwHandle, SpaceEstimate};
 use mwllsc::MwLlSc;
 use simsched::explore::{explore, ExploreConfig};
 use simsched::interp::{ll_step_bound, sc_step_bound, SimOp};
@@ -15,6 +15,21 @@ use simsched::wg::{check_linearizable, CheckConfig};
 
 use crate::table::{fmt_ns, fmt_ops, Table};
 use crate::timing::{bench_ns, correlation, linear_fit};
+
+/// Builds via [`try_build`] and exits the CLI with a clean message (rather
+/// than a panic backtrace) if an experiment sweeps into an invalid
+/// configuration.
+fn build(
+    algo: Algo,
+    n: usize,
+    w: usize,
+    initial: &[u64],
+) -> (Vec<Box<dyn MwHandle>>, SpaceEstimate) {
+    try_build(algo, n, w, initial).unwrap_or_else(|e| {
+        eprintln!("mwllsc-harness: cannot build {algo} with n={n}, w={w}: {e}");
+        std::process::exit(2);
+    })
+}
 
 /// E1 — space complexity: the paper's headline `O(NW)` vs `O(N²W)`.
 pub fn e1_space(_quick: bool) {

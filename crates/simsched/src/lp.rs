@@ -140,10 +140,8 @@ impl LpMonitor {
                 entry.rescued = false;
                 entry.donation = None;
             }
-            Pc::R7 => {
-                if fx.response.is_some() {
-                    self.check_ll_response(p, proc)?;
-                }
+            Pc::R7 if fx.response.is_some() => {
+                self.check_ll_response(p, proc)?;
             }
             // Line 4: helped detection + Lemma 4 check when not helped.
             Pc::L4 => {

@@ -127,7 +127,7 @@ impl Scheduler for StarveVictim {
             debug_assert!(victim_runnable);
             return self.victim;
         }
-        if victim_runnable && self.decisions.is_multiple_of(self.grant_every) {
+        if victim_runnable && self.decisions % self.grant_every == 0 {
             return self.victim;
         }
         self.rr.pick(&others, step)

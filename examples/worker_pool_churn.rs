@@ -1,0 +1,95 @@
+//! Worker-pool churn: short-lived threads sharing one object through
+//! slot leases — the scenario the paper's static `N`-process model cannot
+//! express directly.
+//!
+//! A fixed object sized for `N = 8` concurrent operations serves several
+//! *generations* of worker threads (far more than 8 distinct threads in
+//! total). Workers either `attach()` explicitly per task or go through
+//! the thread-cached `with()` path; every handle drop returns its slot —
+//! and the buffer the slot owns — so the object's `3NW + 3N + 1` shared
+//! words serve unbounded thread traffic.
+//!
+//! Run with: `cargo run --release --example worker_pool_churn`
+
+use std::sync::Arc;
+use std::time::Instant;
+
+use mwllsc::MwLlSc;
+
+const SLOTS: usize = 8;
+const GENERATIONS: usize = 4;
+const WORKERS_PER_GEN: usize = 16; // 2x oversubscribed vs slots
+const TASKS_PER_WORKER: usize = 200;
+const W: usize = 4;
+
+fn main() {
+    let obj = MwLlSc::new(SLOTS, W, &[0u64; W]);
+    let space = obj.space();
+    println!(
+        "object: N={SLOTS} slots, W={W} words, {} shared words ({} expected)",
+        space.shared_words(),
+        3 * SLOTS * W + 3 * SLOTS + 1
+    );
+
+    let start = Instant::now();
+    let mut total_threads = 0usize;
+    for generation in 0..GENERATIONS {
+        let joins: Vec<_> = (0..WORKERS_PER_GEN)
+            .map(|worker| {
+                let obj = Arc::clone(&obj);
+                std::thread::spawn(move || {
+                    let mut committed = 0u64;
+                    for task in 0..TASKS_PER_WORKER {
+                        if (worker + task) % 2 == 0 {
+                            // Style A: lease per task; the drop at the end
+                            // of the iteration frees the slot for siblings.
+                            let Ok(mut h) = obj.attach() else {
+                                continue; // all slots busy; skip this tick
+                            };
+                            let mut v = [0u64; W];
+                            h.ll(&mut v);
+                            assert!(v.iter().all(|&x| x == v[0]), "torn value: {v:?}");
+                            if h.sc(&[v[0] + 1; W]) {
+                                committed += 1;
+                            }
+                        } else {
+                            // Style B: thread-cached attachment — no id
+                            // bookkeeping, one lease per thread lifetime.
+                            let r = obj.try_with(|h| {
+                                let mut v = [0u64; W];
+                                h.ll(&mut v);
+                                assert!(v.iter().all(|&x| x == v[0]), "torn value: {v:?}");
+                                h.sc(&[v[0] + 1; W])
+                            });
+                            if r == Ok(true) {
+                                committed += 1;
+                            }
+                        }
+                    }
+                    committed
+                })
+            })
+            .collect();
+        let committed: u64 = joins.into_iter().map(|j| j.join().unwrap()).sum();
+        total_threads += WORKERS_PER_GEN;
+        println!(
+            "generation {generation}: {WORKERS_PER_GEN} fresh workers, \
+             {committed} committed SCs, live leases now {}",
+            obj.live_leases()
+        );
+        assert_eq!(obj.live_leases(), 0, "every worker generation returns all slots");
+    }
+
+    let mut h = obj.attach().expect("all slots free after churn");
+    let mut v = [0u64; W];
+    h.ll(&mut v);
+    assert!(v.iter().all(|&x| x == v[0]));
+    assert_eq!(obj.space(), space, "space accounting unchanged by churn");
+    println!(
+        "{} threads over {} slots in {:.1?}; final value {} (untorn), space bound intact",
+        total_threads,
+        SLOTS,
+        start.elapsed(),
+        v[0]
+    );
+}

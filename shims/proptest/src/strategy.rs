@@ -169,17 +169,20 @@ impl<A: Strategy, B: Strategy, C: Strategy> Strategy for (A, B, C) {
     }
 }
 
+/// One boxed generator arm of a [`OneOf`] strategy.
+pub type OneOfArm<V> = Box<dyn Fn(&mut TestRng) -> V>;
+
 /// Uniform choice among boxed generators (built by [`prop_oneof!`]).
 ///
 /// [`prop_oneof!`]: crate::prop_oneof
 pub struct OneOf<V> {
-    arms: Vec<Box<dyn Fn(&mut TestRng) -> V>>,
+    arms: Vec<OneOfArm<V>>,
 }
 
 impl<V> OneOf<V> {
     /// Builds the strategy from one closure per arm.
     #[must_use]
-    pub fn new(arms: Vec<Box<dyn Fn(&mut TestRng) -> V>>) -> Self {
+    pub fn new(arms: Vec<OneOfArm<V>>) -> Self {
         assert!(!arms.is_empty(), "prop_oneof! needs at least one arm");
         Self { arms }
     }

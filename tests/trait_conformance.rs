@@ -1,0 +1,110 @@
+//! Conformance matrix: every `Algo` driven through the relocated core
+//! `MwHandle` trait (including the new `read`/`progress`/`space`
+//! methods), and the apps layer instantiated generically over
+//! factory-built handles.
+
+use mwllsc_suite::llsc_baselines::{try_build, Algo};
+use mwllsc_suite::mwllsc::{MwHandle, Progress};
+use mwllsc_suite::mwllsc_apps::{AtomicHandle, KcasHandle, Universal, WaitFreeQueue};
+
+/// The `every_algo_builds_and_operates` matrix, expressed against the
+/// core trait: ll/sc/vl semantics plus the un-linked `read`.
+fn drive_semantics<H: MwHandle>(handles: &mut [H]) {
+    let w = handles[0].width();
+    assert_eq!(w, 2);
+    let mut v = [0u64; 2];
+    handles[0].ll(&mut v);
+    assert_eq!(v, [10, 20]);
+    assert!(handles[0].sc(&[1, 2]));
+    handles[1].ll(&mut v);
+    assert_eq!(v, [1, 2]);
+    assert!(handles[1].vl());
+
+    // `read` must not disturb handle 1's link...
+    let mut r = [0u64; 2];
+    handles[1].read(&mut r);
+    assert_eq!(r, [1, 2]);
+    assert!(handles[1].vl(), "read must leave the link intact");
+
+    // ...and must observe later commits while a stale link keeps failing.
+    handles[2].ll(&mut v);
+    assert!(handles[2].sc(&[3, 4]));
+    handles[1].read(&mut r);
+    assert_eq!(r, [3, 4], "read sees the latest committed value");
+    assert!(!handles[1].vl());
+    assert!(!handles[1].sc(&[9, 9]));
+}
+
+#[test]
+fn every_algo_operates_through_the_core_trait() {
+    for algo in Algo::ALL {
+        let (mut handles, space) = try_build(algo, 3, 2, &[10, 20]).unwrap();
+        assert_eq!(handles.len(), 3);
+        drive_semantics(&mut handles);
+        // The trait's accessors must agree with the factory's metadata.
+        for h in &handles {
+            assert_eq!(h.progress(), algo.progress(), "{algo}");
+            assert_eq!(h.space().shared_words, space.shared_words, "{algo}");
+            assert_eq!(h.space().asymptotic, space.asymptotic, "{algo}");
+            assert_eq!(h.width(), 2, "{algo}");
+        }
+    }
+}
+
+#[test]
+fn progress_claims_match_the_taxonomy() {
+    for algo in Algo::ALL {
+        let (handles, _) = try_build(algo, 1, 1, &[0]).unwrap();
+        let expected = match algo {
+            Algo::Jp | Algo::AmStyle | Algo::PtrSwap => Progress::WaitFree,
+            Algo::JpRetry | Algo::SeqLock => Progress::LockFree,
+            Algo::Lock => Progress::Blocking,
+        };
+        assert_eq!(handles[0].progress(), expected, "{algo}");
+    }
+}
+
+#[test]
+fn atomic_u128_runs_over_every_algo() {
+    for algo in Algo::ALL {
+        let (mut handles, _) = try_build(algo, 2, 2, &[5, 0]).unwrap();
+        let mut a = AtomicHandle::<u128, _>::from_raw(handles.remove(0));
+        let mut b = AtomicHandle::<u128, _>::from_raw(handles.remove(0));
+        assert_eq!(a.load(), 5, "{algo}");
+        a.fetch_update(|x| x + (1u128 << 70));
+        assert_eq!(b.load(), 5 + (1u128 << 70), "{algo}: cross-word value intact");
+        assert_eq!(b.swap(&1), 5 + (1u128 << 70), "{algo}");
+        assert_eq!(a.load(), 1, "{algo}");
+    }
+}
+
+#[test]
+fn kcas_runs_over_every_algo() {
+    for algo in Algo::ALL {
+        let (mut handles, _) = try_build(algo, 2, 3, &[1, 2, 3]).unwrap();
+        let mut a = KcasHandle::from_raw(handles.remove(0));
+        let mut b = KcasHandle::from_raw(handles.remove(0));
+        a.kcas(&[(0, 1, 10), (2, 3, 30)]).unwrap();
+        assert_eq!(b.snapshot(), vec![10, 2, 30], "{algo}");
+        let err = b.kcas(&[(1, 99, 0)]).unwrap_err();
+        assert_eq!((err.index, err.actual, err.expected), (1, 2, 99), "{algo}");
+        assert_eq!(a.read(1), 2, "{algo}");
+    }
+}
+
+#[test]
+fn universal_queue_runs_over_every_algo() {
+    use mwllsc_suite::mwllsc_apps::queue::RingState;
+    for algo in Algo::ALL {
+        let capacity = 4;
+        let n = 2;
+        let init = Universal::initial_words(n, &RingState::new(capacity));
+        let (handles, _) = try_build(algo, n, init.len(), &init).unwrap();
+        let mut qs = WaitFreeQueue::from_handles(capacity, handles);
+        assert!(qs[0].enqueue(11), "{algo}");
+        assert!(qs[1].enqueue(22), "{algo}");
+        assert_eq!(qs[1].dequeue(), Some(11), "{algo}: FIFO across processes");
+        assert_eq!(qs[0].dequeue(), Some(22), "{algo}");
+        assert_eq!(qs[0].dequeue(), None, "{algo}");
+    }
+}
