@@ -229,6 +229,7 @@ impl AmStyleLlSc {
                 + n * n * self.w                                 // help slots
                 + 1                                              // X
                 + n, // Help
+            retired_words: 0, // statically bounded buffers, no garbage
             asymptotic: "O(N^2 W)",
         }
     }

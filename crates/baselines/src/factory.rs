@@ -135,7 +135,14 @@ pub fn try_build(
             let space = obj.space();
             let handles =
                 obj.handles().into_iter().map(|h| Box::new(h) as Box<dyn MwHandle>).collect();
-            (handles, SpaceEstimate { shared_words: space.shared_words(), asymptotic: "O(NW)" })
+            (
+                handles,
+                SpaceEstimate {
+                    shared_words: space.shared_words(),
+                    retired_words: 0,
+                    asymptotic: "O(NW)",
+                },
+            )
         }
         Algo::JpRetry => {
             let obj = MwLlSc::try_with_strategy(n, w, initial, LlStrategy::RetryLoop)
@@ -143,7 +150,14 @@ pub fn try_build(
             let space = obj.space();
             let handles =
                 obj.handles().into_iter().map(|h| Box::new(h) as Box<dyn MwHandle>).collect();
-            (handles, SpaceEstimate { shared_words: space.shared_words(), asymptotic: "O(NW)" })
+            (
+                handles,
+                SpaceEstimate {
+                    shared_words: space.shared_words(),
+                    retired_words: 0,
+                    asymptotic: "O(NW)",
+                },
+            )
         }
         Algo::AmStyle => {
             let obj = AmStyleLlSc::new(n, w, initial);

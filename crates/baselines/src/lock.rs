@@ -88,6 +88,7 @@ impl LockLlSc {
     pub fn space(&self) -> SpaceEstimate {
         SpaceEstimate {
             shared_words: self.w + 2, // value + version + lock word
+            retired_words: 0,         // no dynamic allocation, ever
             asymptotic: "O(W)",
         }
     }

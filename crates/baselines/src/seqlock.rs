@@ -79,7 +79,7 @@ impl SeqLockLlSc {
     /// Exact shared-space accounting.
     #[must_use]
     pub fn space(&self) -> SpaceEstimate {
-        SpaceEstimate { shared_words: self.data.len() + 1, asymptotic: "O(W)" }
+        SpaceEstimate { shared_words: self.data.len() + 1, retired_words: 0, asymptotic: "O(W)" }
     }
 }
 

@@ -6,6 +6,19 @@ use std::sync::Arc;
 
 use llsc_baselines::{build, Algo};
 
+/// Per-thread iteration budget: `base` scaled by the `MWLLSC_STRESS_ITERS`
+/// env knob — an integer multiplier, default 1 — so CI stays inside its
+/// time budget while many-core soak runs can scale the same tests up
+/// (e.g. `MWLLSC_STRESS_ITERS=50 cargo test --release --test contention`).
+fn stress_iters(base: u64) -> u64 {
+    let mult = std::env::var("MWLLSC_STRESS_ITERS")
+        .ok()
+        .and_then(|s| s.parse::<u64>().ok())
+        .unwrap_or(1)
+        .max(1);
+    base.saturating_mul(mult)
+}
+
 fn checksum(words: &[u64]) -> u64 {
     words.iter().fold(0xCBF29CE484222325, |acc, &x| (acc ^ x).wrapping_mul(0x100000001B3))
 }
@@ -66,39 +79,39 @@ fn storm(algo: Algo, n: usize, w: usize, per_thread: u64) {
 
 #[test]
 fn storm_jp() {
-    storm(Algo::Jp, 4, 4, 8_000);
+    storm(Algo::Jp, 4, 4, stress_iters(8_000));
 }
 
 #[test]
 fn storm_jp_retry() {
-    storm(Algo::JpRetry, 4, 4, 8_000);
+    storm(Algo::JpRetry, 4, 4, stress_iters(8_000));
 }
 
 #[test]
 fn storm_am_style() {
-    storm(Algo::AmStyle, 4, 4, 8_000);
+    storm(Algo::AmStyle, 4, 4, stress_iters(8_000));
 }
 
 #[test]
 fn storm_lock() {
-    storm(Algo::Lock, 4, 4, 8_000);
+    storm(Algo::Lock, 4, 4, stress_iters(8_000));
 }
 
 #[test]
 fn storm_seqlock() {
-    storm(Algo::SeqLock, 4, 4, 8_000);
+    storm(Algo::SeqLock, 4, 4, stress_iters(8_000));
 }
 
 #[test]
 fn storm_ptr_swap() {
-    storm(Algo::PtrSwap, 4, 4, 8_000);
+    storm(Algo::PtrSwap, 4, 4, stress_iters(8_000));
 }
 
 #[test]
 fn storm_wide_values_wait_free_algos() {
     // The wait-free implementations with wide values (long copy windows).
     for algo in [Algo::Jp, Algo::AmStyle, Algo::PtrSwap] {
-        storm(algo, 3, 32, 2_000);
+        storm(algo, 3, 32, stress_iters(2_000));
     }
 }
 
@@ -124,7 +137,7 @@ fn monotonic_reader(algo: Algo) {
     }
     let mut last = 0u64;
     let mut v = vec![0u64; w];
-    for _ in 0..30_000 {
+    for _ in 0..stress_iters(30_000) {
         reader.ll(&mut v);
         assert_eq!(v[0], v[1], "{algo}: torn read");
         assert!(v[0] >= last, "{algo}: counter went backwards {} < {last}", v[0]);

@@ -1,0 +1,84 @@
+//! E9 — reclamation overhead and steady-state memory.
+//!
+//! Two questions about the hand-rolled EBR subsystem under the pointer
+//! substrates (`llsc_word::smr`):
+//!
+//! * **Overhead**: what does a successful SC cost on the epoch-pointer
+//!   substrate (allocate + CAS + retire + amortized collection) compared
+//!   to the tagged-CAS substrate (one `compare_exchange`), and compared
+//!   to a failing SC (no retire at all)?
+//! * **Steady-state memory**: after hundreds of thousands of successful
+//!   swaps, how many heap nodes is the substrate actually holding? The
+//!   seed behavior held one node *per successful swap ever*; with EBR
+//!   the number printed below stays `O(threads × bag size)`.
+//!
+//! Run: `cargo bench -p mwllsc-bench --bench reclamation`
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use llsc_word::{smr, EpochLlSc, LlScCell, TaggedLlSc};
+use std::hint::black_box;
+
+fn bench_sc_cost(c: &mut Criterion) {
+    let mut group = c.benchmark_group("reclamation_sc_cost");
+    group.bench_function("tagged_sc_success", |b| {
+        let cell = TaggedLlSc::new(32, 0);
+        b.iter(|| {
+            let (v, link) = cell.ll();
+            black_box(cell.sc(link, black_box(v + 1)));
+        });
+    });
+    group.bench_function("epoch_sc_success_with_retire", |b| {
+        let cell = EpochLlSc::new(0);
+        b.iter(|| {
+            let (v, link) = cell.ll();
+            black_box(cell.sc(link, black_box(v + 1)));
+        });
+    });
+    group.bench_function("epoch_sc_failure_no_retire", |b| {
+        let cell = EpochLlSc::new(0);
+        let (_, stale) = cell.ll();
+        let (_, l) = cell.ll();
+        assert!(cell.sc(l, 1));
+        b.iter(|| {
+            black_box(cell.sc(black_box(stale), 2));
+        });
+    });
+    group.finish();
+}
+
+fn bench_steady_state_memory(c: &mut Criterion) {
+    let mut group = c.benchmark_group("reclamation_steady_state");
+    group.bench_function("epoch_sustained_swap", |b| {
+        let cell = EpochLlSc::new(0);
+        b.iter(|| {
+            let (v, link) = cell.ll();
+            black_box(cell.sc(link, v + 1));
+        });
+    });
+    group.finish();
+
+    // The memory half of E9: a fixed sustained run, reported as numbers
+    // rather than time. `tracked_nodes` counts live + retired-unfreed
+    // nodes for this one cell; `smr::pending` is the process-wide limbo
+    // backlog.
+    const SWAPS: u64 = 200_000;
+    let cell = EpochLlSc::new(0);
+    let mut high_water = 0usize;
+    for _ in 0..SWAPS {
+        let (v, link) = cell.ll();
+        assert!(cell.sc(link, v.wrapping_add(1)));
+        high_water = high_water.max(cell.tracked_nodes());
+    }
+    smr::try_flush();
+    eprintln!(
+        "reclamation_steady_state/memory: {SWAPS} successful swaps, \
+         node high-water {high_water} (seed behavior: {SWAPS}), \
+         after flush: {} tracked, {} pending process-wide, epoch {}",
+        cell.tracked_nodes(),
+        smr::pending(),
+        smr::global_epoch(),
+    );
+}
+
+criterion_group!(benches, bench_sc_cost, bench_steady_state_memory);
+criterion_main!(benches);

@@ -92,11 +92,27 @@ impl std::fmt::Display for Progress {
 /// Asymptotic + exact space accounting for one object instance.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub struct SpaceEstimate {
-    /// Exact shared 64-bit words allocated for the object (steady state;
-    /// excludes transient garbage awaiting reclamation).
+    /// Exact shared 64-bit words allocated for the object (steady state,
+    /// live structures only).
     pub shared_words: usize,
+    /// 64-bit words currently held by retired-but-not-yet-reclaimed
+    /// garbage (the reclamation limbo backlog), sampled at call time.
+    /// Zero for the statically-bounded algorithms; for the pointer-swap
+    /// substrates it is bounded by `O(threads × bag size)` but never
+    /// zero-by-omission — the estimate is honest about what the process
+    /// is actually holding.
+    pub retired_words: usize,
     /// The asymptotic class, e.g. `"O(NW)"`.
     pub asymptotic: &'static str,
+}
+
+impl SpaceEstimate {
+    /// Everything the object is currently holding: live structures plus
+    /// the reclamation backlog.
+    #[must_use]
+    pub fn total_words(&self) -> usize {
+        self.shared_words + self.retired_words
+    }
 }
 
 // The paper's algorithm satisfies its own capability trait, over any
@@ -130,7 +146,14 @@ impl<C: NewCell> MwHandle for Handle<C> {
     }
 
     fn space(&self) -> SpaceEstimate {
-        SpaceEstimate { shared_words: self.object().space().shared_words(), asymptotic: "O(NW)" }
+        SpaceEstimate {
+            shared_words: self.object().space().shared_words(),
+            // The paper's algorithm has no dynamic allocation, but the
+            // *substrate* may (the epoch-pointer cells); report whatever
+            // limbo backlog the cells are carrying rather than hiding it.
+            retired_words: self.object().substrate_retired_words(),
+            asymptotic: "O(NW)",
+        }
     }
 }
 

@@ -402,6 +402,21 @@ impl<C: NewCell> MwLlSc<C> {
         self.counters.snapshot()
     }
 
+    /// 64-bit words currently held in the substrate cells' reclamation
+    /// backlog (retired but not yet freed), summed over `X`, `Bank`, and
+    /// `Help`. Zero for the default tagged substrate; bounded (and
+    /// typically tiny — these cells see one retire per successful SC at
+    /// most) for the epoch-pointer substrate. Reported through
+    /// [`MwHandle::space`](crate::MwHandle::space) so the estimate never
+    /// under-counts what the process is holding.
+    #[must_use]
+    pub fn substrate_retired_words(&self) -> usize {
+        use llsc_word::LlScCell;
+        self.x.retired_words()
+            + self.bank.iter().map(LlScCell::retired_words).sum::<usize>()
+            + self.help.iter().map(LlScCell::retired_words).sum::<usize>()
+    }
+
     /// Exact space usage in 64-bit words.
     #[must_use]
     pub fn space(&self) -> SpaceReport {

@@ -17,10 +17,23 @@ use mwllsc::{AttachError, MwLlSc};
 const SLOTS: usize = 4;
 const THREADS: usize = 4 * SLOTS;
 const W: usize = 6;
-const LEASES_PER_THREAD: usize = 300;
+
+/// Iteration budget scaled by the `MWLLSC_STRESS_ITERS` env knob — an
+/// integer multiplier, default 1 — so CI stays inside its time budget
+/// while many-core soak runs can scale the same tests up (e.g.
+/// `MWLLSC_STRESS_ITERS=50 cargo test --release --test churn`).
+fn stress_iters(base: usize) -> usize {
+    let mult = std::env::var("MWLLSC_STRESS_ITERS")
+        .ok()
+        .and_then(|s| s.parse::<usize>().ok())
+        .unwrap_or(1)
+        .max(1);
+    base.saturating_mul(mult)
+}
 
 #[test]
 fn churn_4x_threads_over_slots() {
+    let leases_per_thread = stress_iters(300);
     let obj = MwLlSc::new(SLOTS, W, &[0u64; W]);
     let space_before = obj.space();
     assert_eq!(space_before.shared_words(), 3 * SLOTS * W + 3 * SLOTS + 1);
@@ -41,7 +54,7 @@ fn churn_4x_threads_over_slots() {
             std::thread::spawn(move || {
                 barrier.wait();
                 let mut leases = 0;
-                while leases < LEASES_PER_THREAD {
+                while leases < leases_per_thread {
                     let mut h = match obj.attach() {
                         Ok(h) => h,
                         Err(AttachError::Exhausted { n }) => {
@@ -62,7 +75,7 @@ fn churn_4x_threads_over_slots() {
                     // tagged by thread and round; a reader that ever sees a
                     // mixed slice caught a torn write — which is exactly
                     // what a buffer-ownership leak across leases produces.
-                    let stamp = (t * LEASES_PER_THREAD + leases) as u64;
+                    let stamp = (t * leases_per_thread + leases) as u64;
                     let mut v = [0u64; W];
                     for _attempt in 0..3 {
                         h.ll(&mut v);
@@ -118,17 +131,17 @@ fn churn_via_thread_cached_with() {
     // The `with` path under the same churn: short-lived worker threads,
     // each caching an attachment for its lifetime, all incrementing one
     // counter. The total must be exact and every slot must come back.
-    const ROUNDS: usize = 8;
     const WORKERS: usize = 2 * SLOTS;
-    const INCS: u64 = 50;
+    let rounds = stress_iters(8);
+    let incs = stress_iters(50) as u64;
     let obj = MwLlSc::new(SLOTS, 2, &[0, 0]);
-    for _ in 0..ROUNDS {
+    for _ in 0..rounds {
         let joins: Vec<_> = (0..WORKERS)
             .map(|_| {
                 let obj = Arc::clone(&obj);
                 std::thread::spawn(move || {
                     let mut done = 0;
-                    while done < INCS {
+                    while done < incs {
                         // Slots may all be leased by sibling workers'
                         // caches; retry until this thread gets one.
                         let r = obj.try_with(|h| {
@@ -156,6 +169,6 @@ fn churn_via_thread_cached_with() {
     let mut h = obj.attach().unwrap();
     let mut v = [0u64; 2];
     h.ll(&mut v);
-    let expected = (ROUNDS * WORKERS) as u64 * INCS;
+    let expected = (rounds * WORKERS) as u64 * incs;
     assert_eq!(v, [expected, expected], "no increment lost across churn");
 }

@@ -16,6 +16,19 @@ use std::sync::Arc;
 use llsc_word::EpochLlSc;
 use mwllsc::MwLlSc;
 
+/// Per-thread iteration budget: `base` scaled by the `MWLLSC_STRESS_ITERS`
+/// env knob — an integer multiplier, default 1 — so CI stays inside its
+/// time budget while many-core soak runs can scale the same tests up
+/// (e.g. `MWLLSC_STRESS_ITERS=50 cargo test --release --test stress`).
+fn stress_iters(base: u64) -> u64 {
+    let mult = std::env::var("MWLLSC_STRESS_ITERS")
+        .ok()
+        .and_then(|s| s.parse::<u64>().ok())
+        .unwrap_or(1)
+        .max(1);
+    base.saturating_mul(mult)
+}
+
 /// Fills `v[..W-1]` from `seed` and sets the last word to a checksum.
 fn make_value(w: usize, seed: u64) -> Vec<u64> {
     let mut v: Vec<u64> =
@@ -97,22 +110,22 @@ fn fetch_increment_storm_verified(n: usize, w: usize, per_thread: u64) {
 
 #[test]
 fn storm_n2_w2() {
-    fetch_increment_storm_verified(2, 2, 30_000);
+    fetch_increment_storm_verified(2, 2, stress_iters(30_000));
 }
 
 #[test]
 fn storm_n4_w8() {
-    fetch_increment_storm_verified(4, 8, 10_000);
+    fetch_increment_storm_verified(4, 8, stress_iters(10_000));
 }
 
 #[test]
 fn storm_n8_w4() {
-    fetch_increment_storm_verified(8, 4, 5_000);
+    fetch_increment_storm_verified(8, 4, stress_iters(5_000));
 }
 
 #[test]
 fn storm_n3_w64_wide_values() {
-    fetch_increment_storm_verified(3, 64, 3_000);
+    fetch_increment_storm_verified(3, 64, stress_iters(3_000));
 }
 
 #[test]
@@ -121,7 +134,7 @@ fn storm_epoch_substrate() {
     // realization against an independently built one.
     let n = 4;
     let w = 4;
-    let per_thread = 5_000u64;
+    let per_thread = stress_iters(5_000);
     let init = {
         let mut v = vec![0u64; w - 1];
         let c = checksum(&v);
@@ -201,7 +214,7 @@ fn slow_reader_under_writer_storm_never_sees_torn_value() {
         }));
     }
     let mut v = vec![0u64; w];
-    for _ in 0..20_000 {
+    for _ in 0..stress_iters(20_000) {
         reader.ll(&mut v);
         assert_checksummed(&v, "reader LL");
         reader.read(&mut v);
@@ -239,7 +252,7 @@ fn vl_only_observer_is_consistent() {
     });
     let mut v = [0u64; 2];
     let mut vl_true = 0u64;
-    for _ in 0..100_000 {
+    for _ in 0..stress_iters(100_000) {
         observer.ll(&mut v);
         if observer.vl() {
             vl_true += 1;

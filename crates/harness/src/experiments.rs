@@ -600,10 +600,15 @@ pub fn e8_compare(quick: bool) {
             "N=4",
             "N=8",
             "space words (N=8)",
+            "retired high-water",
             "space class",
         ]);
         for algo in Algo::ALL {
             let mut cells: Vec<String> = Vec::new();
+            // Post-storm reclamation backlog (the epoch-limbo high-water
+            // mark): 0 by construction for the bounded algorithms, bounded
+            // by O(threads × bag size) for the pointer-swap substrate.
+            let mut retired_high = 0usize;
             for n in [2usize, 4, 8] {
                 let init = vec![0u64; w];
                 let (mut handles, _space) = build(algo, n, w, &init);
@@ -630,6 +635,9 @@ pub fn e8_compare(quick: bool) {
                     v[0] += 1;
                     if h0.sc(&v) {
                         wins += 1;
+                        // Sample the limbo backlog *during* the storm —
+                        // post-storm it has already decongested to ~0.
+                        retired_high = retired_high.max(h0.space().retired_words);
                     }
                 }
                 for j in joins {
@@ -648,6 +656,7 @@ pub fn e8_compare(quick: bool) {
                 cells[1].clone(),
                 cells[2].clone(),
                 space.shared_words.to_string(),
+                retired_high.to_string(),
                 space.asymptotic.to_string(),
             ]);
         }

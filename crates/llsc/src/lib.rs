@@ -21,10 +21,12 @@
 //!   [`TaggedLlSc::wraparound_bound`] and is astronomically far away for the
 //!   field widths the multiword algorithm needs.
 //! * [`EpochLlSc`] — the value lives in a heap node and the object is an
-//!   atomic pointer; retired nodes are reclaimed when the object is
-//!   dropped (see the module docs for the reclamation discipline). Values
-//!   keep the full 64-bit width and the uniqueness of the per-node
-//!   sequence number is unbounded (64-bit).
+//!   atomic pointer; retired nodes are reclaimed by the hand-rolled
+//!   epoch-based reclamation subsystem in [`smr`] as soon as no reader
+//!   can still observe them, so memory stays bounded under sustained SC
+//!   traffic (see [`deferred`] for the discipline). Values keep the full
+//!   64-bit width and the uniqueness of the per-node sequence number is
+//!   unbounded (64-bit).
 //!
 //! # Link tokens instead of hidden per-process state
 //!
@@ -58,20 +60,45 @@
 //!
 //! # Memory ordering
 //!
-//! Every operation uses `SeqCst`. The correctness proof of the multiword
-//! algorithm reasons about a single global time order of events on the
-//! word-sized objects; `SeqCst` gives exactly that, so the paper's proof
-//! transfers without a weak-memory re-derivation. The measured cost of this
-//! conservative choice is one of the ablations in the benchmark suite.
+//! [`TaggedLlSc`] uses `SeqCst` everywhere. The correctness proof of the
+//! multiword algorithm reasons about a single global time order of events
+//! on the word-sized objects; `SeqCst` gives exactly that, so the paper's
+//! proof transfers without a weak-memory re-derivation, and the tagged
+//! realization is the multiword algorithm's default substrate. The
+//! measured cost of this conservative choice is one of the ablations in
+//! the benchmark suite.
+//!
+//! [`EpochLlSc`]'s cell ([`DeferredSwapCell`]) instead uses the *minimal*
+//! per-access orderings — Acquire loads paired with the Release
+//! publication CAS, Relaxed where the value is discarded — with each
+//! choice justified at its site. Two things keep this sound: every
+//! LL/SC/VL decision is keyed on the sequence number of one single atomic
+//! pointer, whose modification order is total by coherence alone; and
+//! every operation begins by pinning an epoch guard, which executes a
+//! `SeqCst` fence (see [`smr`]), preserving an operation-level global
+//! time order across cells.
 
 #![warn(missing_docs, missing_debug_implementations)]
 #![deny(unsafe_op_in_unsafe_fn)]
 
 pub mod deferred;
 mod epoch;
+pub mod smr;
 mod tagged;
 
-pub use deferred::DeferredSwapCell;
+/// Serializes the unit tests that either hold epoch pins for extended
+/// stretches or assert backlog bounds: the epoch state is process-global,
+/// so a pin held by one concurrently-running test would block reclamation
+/// and flake another test's bound. (The integration suite in
+/// `tests/reclamation.rs` has its own copy of this gate.)
+#[cfg(test)]
+pub(crate) fn testgate() -> std::sync::MutexGuard<'static, ()> {
+    use std::sync::{Mutex, OnceLock};
+    static GATE: OnceLock<Mutex<()>> = OnceLock::new();
+    GATE.get_or_init(|| Mutex::new(())).lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
+pub use deferred::{DeferredSwapCell, Pinned};
 pub use epoch::EpochLlSc;
 pub use tagged::TaggedLlSc;
 
@@ -134,6 +161,15 @@ pub trait LlScCell: Send + Sync {
 
     /// The largest value this cell can store (inclusive).
     fn max_value(&self) -> u64;
+
+    /// 64-bit words currently held by nodes this cell has retired but the
+    /// reclamation subsystem has not yet freed. Zero for realizations with
+    /// no transient garbage (the tagged cell); consumers add it to their
+    /// space accounting so estimates never silently omit the limbo
+    /// backlog.
+    fn retired_words(&self) -> usize {
+        0
+    }
 }
 
 /// Construction of an [`LlScCell`] sized for a given value range.
