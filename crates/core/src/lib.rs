@@ -101,6 +101,7 @@
 mod buffer;
 mod handle;
 pub mod layout;
+mod pad;
 mod registry;
 mod stats;
 mod tls;
@@ -108,7 +109,8 @@ pub mod traits;
 mod variable;
 
 pub use handle::Handle;
-pub use registry::AttachError;
+pub use pad::CachePadded;
+pub use registry::{AttachError, SlotRegistry};
 pub use stats::Stats;
 pub use tls::detach_current_thread;
 pub use traits::{MwHandle, Progress, SpaceEstimate};

@@ -1,27 +1,37 @@
 //! The slot-leasing registry behind [`MwLlSc::claim`](crate::MwLlSc::claim)
-//! and [`MwLlSc::attach`](crate::MwLlSc::attach).
+//! and [`MwLlSc::attach`](crate::MwLlSc::attach) — public since the store
+//! layer (`mwllsc-store`) leases shard-level slots through the same
+//! machinery.
 //!
 //! The paper's model fixes `N` static processes; real deployments churn
 //! worker threads. The registry maps the fixed process ids `0..N` onto
 //! *leases*: a [`Handle`](crate::Handle) leases a slot for its lifetime and
 //! releases it on drop, so the id space survives thread churn.
 //!
-//! The load-bearing detail is what travels with the slot. Each process id
-//! `p` permanently owns exactly one spare buffer (`mybuf_p`), and the
-//! algorithm's space bound rests on the invariant that the `3N` buffers are
-//! partitioned at every instant among: the current value (`X.buf`), the
-//! `2N` history entries (`Bank`), and one spare per process. A lease
-//! therefore carries the slot's current `mybuf` out to the new handle, and
-//! the handle's drop carries its (possibly exchanged — helping swaps buffer
-//! ownership) `mybuf` back into the slot. A freed slot is a process that is
-//! simply taking no steps; re-leasing it resumes that process with its
-//! buffer intact, so the 3NW + 3N + 1 shared-word footprint never grows no
-//! matter how many handles come and go.
+//! The load-bearing detail is what travels with the slot: each slot carries
+//! a `u32` *payload* that a lease hands to the new holder and a release
+//! hands back. For `MwLlSc` the payload is the slot's owned buffer index
+//! (`mybuf_p`): the algorithm's space bound rests on the invariant that the
+//! `3N` buffers are partitioned at every instant among the current value
+//! (`X.buf`), the `2N` history entries (`Bank`), and one spare per process,
+//! and helping *exchanges* buffer ownership, so the payload must survive
+//! the lease boundary. A freed slot is a process that is simply taking no
+//! steps; re-leasing it resumes that process with its buffer intact, so the
+//! `3NW + 3N + 1` shared-word footprint never grows no matter how many
+//! handles come and go. Other consumers (the sharded store) use the payload
+//! as an opaque token.
+//!
+//! Each slot word is [`CachePadded`]: lease/release traffic on one slot
+//! must not invalidate the cache line holding its neighbours' words, or the
+//! lock-free scan in [`lease_any`](SlotRegistry::lease_any) would serialize
+//! attachers at high core counts.
 
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 
+use crate::pad::CachePadded;
+
 /// Bit marking a slot as currently leased; the low 32 bits hold the
-/// resting `mybuf` of a free slot (stale while leased).
+/// resting payload of a free slot (stale while leased).
 const LEASED: u64 = 1 << 63;
 
 /// Errors from [`MwLlSc::attach`](crate::MwLlSc::attach).
@@ -47,65 +57,109 @@ impl std::fmt::Display for AttachError {
 
 impl std::error::Error for AttachError {}
 
-/// Lease state for the `N` process slots of one object.
+/// Lease state for a fixed set of `n` slots.
 ///
 /// Lock-free: a lease is one `fetch_or` on the slot word, a release is one
 /// store. [`lease_any`](Self::lease_any) scans from a rotating start so
 /// attachers spread across the id space instead of contending on slot 0.
-pub(crate) struct SlotRegistry {
-    /// Per-slot word: [`LEASED`] bit plus the resting `mybuf`.
-    slots: Box<[AtomicU64]>,
+///
+/// # Examples
+///
+/// ```
+/// use mwllsc::SlotRegistry;
+///
+/// let r = SlotRegistry::new(2);
+/// let (p, payload) = r.lease_any().unwrap();
+/// assert_eq!(payload, p as u32, "fresh slots carry their own id");
+/// let q = r.lease_any().unwrap().0;
+/// assert_ne!(p, q);
+/// assert!(r.lease_any().is_none(), "both slots held");
+/// r.release(p, 7);
+/// assert_eq!(r.lease_exact(p), Some(7), "the payload travels with the slot");
+/// ```
+pub struct SlotRegistry {
+    /// Per-slot word: [`LEASED`] bit plus the resting payload. Padded so
+    /// lease churn on one slot leaves its neighbours' cache lines alone.
+    slots: Box<[CachePadded<AtomicU64>]>,
     /// Rotating scan start for [`lease_any`](Self::lease_any).
     cursor: AtomicUsize,
 }
 
 impl SlotRegistry {
-    /// Creates the registry for `n` slots with the paper's initial buffer
-    /// assignment `mybuf_p = 2N + p` (`num_seqs` = `2N`).
-    pub(crate) fn new(n: usize, num_seqs: usize) -> Self {
+    /// Creates a registry of `n` slots, slot `p` initially carrying the
+    /// payload `p` (an opaque token for consumers that do not use it).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0` or `n > u32::MAX` (payloads are 32-bit).
+    #[must_use]
+    pub fn new(n: usize) -> Self {
+        Self::with_payloads(n, |p| p as u32)
+    }
+
+    /// Creates the registry for one [`MwLlSc`](crate::MwLlSc): the paper's
+    /// initial buffer assignment `mybuf_p = 2N + p` (`num_seqs` = `2N`).
+    pub(crate) fn for_object(n: usize, num_seqs: usize) -> Self {
+        Self::with_payloads(n, |p| (num_seqs + p) as u32)
+    }
+
+    fn with_payloads(n: usize, payload: impl Fn(usize) -> u32) -> Self {
+        assert!(n > 0, "a registry needs at least one slot");
+        assert!(u32::try_from(n).is_ok(), "slot count exceeds u32");
         Self {
-            slots: (0..n).map(|p| AtomicU64::new((num_seqs + p) as u64)).collect(),
+            slots: (0..n)
+                .map(|p| CachePadded::new(AtomicU64::new(u64::from(payload(p)))))
+                .collect(),
             cursor: AtomicUsize::new(0),
         }
     }
 
-    /// Leases slot `p` if free, returning the `mybuf` it carries.
-    pub(crate) fn lease_exact(&self, p: usize) -> Option<u32> {
+    /// Total number of slots.
+    #[must_use]
+    pub fn capacity(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Leases slot `p` if free, returning the payload it carries.
+    #[must_use]
+    pub fn lease_exact(&self, p: usize) -> Option<u32> {
         // fetch_or is idempotent on an already-leased slot, so losing the
         // race costs nothing and the winner is decided by one RMW.
         let prev = self.slots[p].fetch_or(LEASED, Ordering::AcqRel);
         (prev & LEASED == 0).then_some(prev as u32)
     }
 
-    /// Leases any free slot, returning `(p, mybuf)`.
-    pub(crate) fn lease_any(&self) -> Option<(usize, u32)> {
+    /// Leases any free slot, returning `(p, payload)`.
+    #[must_use]
+    pub fn lease_any(&self) -> Option<(usize, u32)> {
         let n = self.slots.len();
         let start = self.cursor.fetch_add(1, Ordering::Relaxed) % n;
         for i in 0..n {
             let p = (start + i) % n;
             // Cheap read first; only RMW slots that look free.
             if self.slots[p].load(Ordering::Relaxed) & LEASED == 0 {
-                if let Some(mybuf) = self.lease_exact(p) {
-                    return Some((p, mybuf));
+                if let Some(payload) = self.lease_exact(p) {
+                    return Some((p, payload));
                 }
             }
         }
         None
     }
 
-    /// Returns slot `p` to the free pool, carrying `mybuf` back with it.
+    /// Returns slot `p` to the free pool, carrying `payload` back with it.
     ///
     /// The `Release` store pairs with the `AcqRel` in
     /// [`lease_exact`](Self::lease_exact): the next leaseholder observes
-    /// every write the previous one made (its final `Help[p]` state and the
-    /// contents of the carried buffer).
-    pub(crate) fn release(&self, p: usize, mybuf: u32) {
+    /// every write the previous one made (for `MwLlSc`, its final `Help[p]`
+    /// state and the contents of the carried buffer).
+    pub fn release(&self, p: usize, payload: u32) {
         debug_assert!(self.slots[p].load(Ordering::Relaxed) & LEASED != 0, "double release of {p}");
-        self.slots[p].store(u64::from(mybuf), Ordering::Release);
+        self.slots[p].store(u64::from(payload), Ordering::Release);
     }
 
     /// Number of currently leased slots.
-    pub(crate) fn live(&self) -> usize {
+    #[must_use]
+    pub fn live(&self) -> usize {
         self.slots.iter().filter(|s| s.load(Ordering::Acquire) & LEASED != 0).count()
     }
 }
@@ -124,31 +178,40 @@ mod tests {
     use super::*;
 
     #[test]
-    fn lease_release_roundtrip_carries_mybuf() {
-        let r = SlotRegistry::new(3, 6);
+    fn lease_release_roundtrip_carries_payload() {
+        let r = SlotRegistry::for_object(3, 6);
         assert_eq!(r.lease_exact(1), Some(7), "initial mybuf_1 = 2N + 1");
         assert_eq!(r.lease_exact(1), None, "slot is held");
         r.release(1, 42);
-        assert_eq!(r.lease_exact(1), Some(42), "release carried the new mybuf back");
+        assert_eq!(r.lease_exact(1), Some(42), "release carried the new payload back");
         assert_eq!(r.live(), 1);
+        assert_eq!(r.capacity(), 3);
+    }
+
+    #[test]
+    fn plain_registry_payload_is_the_slot_id() {
+        let r = SlotRegistry::new(4);
+        for p in 0..4 {
+            assert_eq!(r.lease_exact(p), Some(p as u32));
+        }
     }
 
     #[test]
     fn lease_any_exhausts_and_recovers() {
-        let r = SlotRegistry::new(2, 4);
+        let r = SlotRegistry::for_object(2, 4);
         let a = r.lease_any().unwrap();
         let b = r.lease_any().unwrap();
         assert_ne!(a.0, b.0);
         assert_eq!(r.lease_any(), None, "both slots held");
         r.release(a.0, a.1);
-        assert_eq!(r.lease_any(), Some(a), "freed slot is reusable with its buffer");
+        assert_eq!(r.lease_any(), Some(a), "freed slot is reusable with its payload");
     }
 
     #[test]
     fn concurrent_lease_any_grants_distinct_slots() {
         use std::sync::{Arc, Barrier};
         let n = 8;
-        let r = Arc::new(SlotRegistry::new(n, 2 * n));
+        let r = Arc::new(SlotRegistry::new(n));
         let barrier = Arc::new(Barrier::new(n));
         let joins: Vec<_> = (0..n)
             .map(|_| {
@@ -163,5 +226,11 @@ mod tests {
         let mut got: Vec<usize> = joins.into_iter().map(|j| j.join().unwrap().0).collect();
         got.sort_unstable();
         assert_eq!(got, (0..n).collect::<Vec<_>>(), "every slot granted exactly once");
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one slot")]
+    fn zero_slots_rejected() {
+        let _ = SlotRegistry::new(0);
     }
 }

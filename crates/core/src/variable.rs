@@ -8,6 +8,7 @@ use llsc_word::{NewCell, TaggedLlSc};
 use crate::buffer::BufferPool;
 use crate::handle::Handle;
 use crate::layout::{HelpRecord, Layout, XRecord};
+use crate::pad::CachePadded;
 use crate::registry::{AttachError, SlotRegistry};
 use crate::stats::{Counters, Stats};
 
@@ -173,12 +174,21 @@ impl SpaceReport {
 pub struct MwLlSc<C: NewCell = TaggedLlSc> {
     pub(crate) layout: Layout,
     pub(crate) w: usize,
-    /// `X`: the tag of `O`'s current value — `(buf, seq)` packed.
-    pub(crate) x: C,
-    /// `Bank[0..2N-1]`: buffer index per sequence number.
+    /// `X`: the tag of `O`'s current value — `(buf, seq)` packed. Hit by
+    /// every LL, SC and VL of every process, so it gets its own padded
+    /// cache-line pair.
+    pub(crate) x: CachePadded<C>,
+    /// `Bank[0..2N-1]`: buffer index per sequence number. Deliberately
+    /// *not* padded: entries are touched once per successful SC (plus rare
+    /// lazy fix-ups), and padding them would multiply the `O(N)` cell
+    /// footprint by 16 for no contended-path win.
     pub(crate) bank: Box<[C]>,
-    /// `Help[0..N-1]`: helping mailboxes — `(helpme, buf)` packed.
-    pub(crate) help: Box<[C]>,
+    /// `Help[0..N-1]`: helping mailboxes — `(helpme, buf)` packed. Each is
+    /// padded: process `p` writes `Help[p]` on *every* LL (the line-1
+    /// announcement), and without padding that write would invalidate the
+    /// cache line holding its neighbours' mailboxes — false sharing on the
+    /// hottest per-process word in the algorithm.
+    pub(crate) help: Box<[CachePadded<C>]>,
     /// `BUF[0..3N-1]`: the value buffers.
     pub(crate) bufs: BufferPool,
     pub(crate) counters: Counters,
@@ -259,15 +269,18 @@ impl<C: NewCell> MwLlSc<C> {
         // Initialization block of Figure 2:
         //   X = (0, 0); BUF[0] = initial value of O;
         //   Bank[k] = k for k in 0..2N; mybuf_p = 2N + p; Help[p] = (0, _).
-        let x = C::new_cell(layout.x_max(), layout.pack_x(XRecord { buf: 0, seq: 0 }));
+        let x = CachePadded::new(C::new_cell(
+            layout.x_max(),
+            layout.pack_x(XRecord { buf: 0, seq: 0 }),
+        ));
         let bank: Box<[C]> =
             (0..layout.num_seqs()).map(|k| C::new_cell(layout.buf_max(), k as u64)).collect();
-        let help: Box<[C]> = (0..n)
+        let help: Box<[CachePadded<C>]> = (0..n)
             .map(|_| {
-                C::new_cell(
+                CachePadded::new(C::new_cell(
                     layout.help_max(),
                     layout.pack_help(HelpRecord { helpme: false, buf: 0 }),
-                )
+                ))
             })
             .collect();
         let bufs = BufferPool::new(layout.num_buffers(), w);
@@ -282,7 +295,7 @@ impl<C: NewCell> MwLlSc<C> {
             bufs,
             counters: Counters::default(),
             strategy,
-            registry: SlotRegistry::new(n, layout.num_seqs()),
+            registry: SlotRegistry::for_object(n, layout.num_seqs()),
         }))
     }
 
@@ -414,7 +427,7 @@ impl<C: NewCell> MwLlSc<C> {
         use llsc_word::LlScCell;
         self.x.retired_words()
             + self.bank.iter().map(LlScCell::retired_words).sum::<usize>()
-            + self.help.iter().map(LlScCell::retired_words).sum::<usize>()
+            + self.help.iter().map(|c| c.retired_words()).sum::<usize>()
     }
 
     /// Exact space usage in 64-bit words.

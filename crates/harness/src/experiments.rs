@@ -6,7 +6,9 @@ use std::sync::Arc;
 use std::time::Instant;
 
 use llsc_baselines::{try_build, Algo, MwHandle, SpaceEstimate};
+use mwllsc::layout::Layout;
 use mwllsc::MwLlSc;
+use mwllsc_store::{Store, StoreConfig, StoreError};
 use simsched::explore::{explore, ExploreConfig};
 use simsched::interp::{ll_step_bound, sc_step_bound, SimOp};
 use simsched::runner::{run, RunConfig, Sim};
@@ -669,6 +671,156 @@ pub fn e8_compare(quick: bool) {
     println!("same time class, factor-N less space, no GC dependence.\n");
 }
 
+/// Builds a [`Store`] via [`Store::try_new`] and exits the CLI with a
+/// clean message (rather than a panic backtrace) on an invalid
+/// configuration.
+fn build_store(config: StoreConfig) -> std::sync::Arc<Store> {
+    let desc = format!(
+        "shards={} capacity={} w={} keys={}",
+        config.shards, config.shard_capacity, config.width, config.keys
+    );
+    Store::try_new(config).unwrap_or_else(|e| {
+        eprintln!("mwllsc-harness: cannot build store with {desc}: {e}");
+        std::process::exit(2);
+    })
+}
+
+/// E10 — store scaling: throughput vs shard count and key-space scaling
+/// past the single-object `N = 2^22` ceiling, with the honest space
+/// rollup.
+pub fn e10_store(quick: bool) {
+    println!("## E10 — sharded store: scaling past the 2^22 single-object ceiling\n");
+    println!("Claim: composing many small O(cW) paper-objects behind a deterministic");
+    println!("router serves a 2^24-key space (beyond Layout::MAX_PROCESSES = 2^22) at");
+    println!("per-key cost 3cW + 3c + 1 words, materialized lazily; update throughput");
+    println!("grows with shard count because handles stop sharing X/Help/Bank regions.\n");
+
+    // The typed-error path the CLI is required to surface cleanly.
+    let too_big = Layout::MAX_PROCESSES + 1;
+    match Store::try_new(StoreConfig::new(2, too_big, 1, 16)) {
+        Err(e @ StoreError::ShardCapacityTooLarge { .. }) => {
+            println!("Config validation: shard_capacity = 2^22 + 1 rejected with a typed");
+            println!("error (no panic): \"{e}\"\n");
+        }
+        other => {
+            eprintln!("mwllsc-harness: expected ShardCapacityTooLarge, got {other:?}");
+            std::process::exit(2);
+        }
+    }
+
+    let threads =
+        std::thread::available_parallelism().map_or(2, std::num::NonZeroUsize::get).clamp(2, 8);
+    let per_thread: u64 = if quick { 20_000 } else { 100_000 };
+    let touch: u64 = if quick { 1 << 12 } else { 1 << 14 };
+    const KEYS: u64 = 1 << 24;
+    let stride = KEYS / touch; // spread the working set across the whole space
+    let w = 2;
+
+    println!("### Throughput vs shard count ({threads} threads, {per_thread} updates each,");
+    println!("{touch} distinct keys spread over a {KEYS}-key space, W = {w})\n");
+    let mut t = Table::new([
+        "shards",
+        "throughput",
+        "sc retries",
+        "touched keys",
+        "shared words",
+        "retired",
+        "words/key",
+    ]);
+    for shards in [1usize, 2, 4, 8, 16, 32, 64] {
+        let store = build_store(StoreConfig::new(shards, threads, w, KEYS));
+        let start = Instant::now();
+        let joins: Vec<_> = (0..threads)
+            .map(|tid| {
+                let store = std::sync::Arc::clone(&store);
+                std::thread::spawn(move || {
+                    let mut h = store.attach();
+                    let mut buf = vec![0u64; w];
+                    let mut x = tid as u64 + 1;
+                    for _ in 0..per_thread {
+                        // SplitMix-ish stream, distinct per thread.
+                        x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                        let key = ((x >> 17) % touch) * stride;
+                        h.update_with(key, &mut buf, |v| {
+                            v[0] += 1;
+                            v[1] = v[0] ^ key;
+                        })
+                        .unwrap();
+                    }
+                })
+            })
+            .collect();
+        for j in joins {
+            j.join().unwrap();
+        }
+        let secs = start.elapsed().as_secs_f64();
+        let space = store.space();
+        let stats = store.stats();
+        t.row([
+            shards.to_string(),
+            fmt_ops(per_thread as f64 * threads as f64 / secs),
+            stats.update_retries.to_string(),
+            space.touched_keys.to_string(),
+            space.shared_words.to_string(),
+            space.retired_words.to_string(),
+            space.per_key_shared_words.to_string(),
+        ]);
+    }
+    t.print();
+    println!();
+    println!("Shape check (multi-core hosts): throughput rises and SC retries collapse");
+    println!("as shards grow — each added shard splits the contended X/Help/Bank");
+    println!("regions. On any host the space column stays exactly");
+    println!("touched × (3cW + 3c + 1): the honest rollup.\n");
+
+    println!("### Key-space scaling at 64 shards (lazy vs eager footprint)\n");
+    let sample: u64 = if quick { 1 << 10 } else { 1 << 12 };
+    let mut t = Table::new([
+        "key space",
+        "vs 2^22 ceiling",
+        "keys touched",
+        "live words",
+        "eager words (avoided)",
+        "boundary keys ok",
+    ]);
+    let mut all_ok = true;
+    for exp in [20u32, 22, 24] {
+        let keys = 1u64 << exp;
+        let store = build_store(StoreConfig::new(64, 2, w, keys));
+        let mut h = store.attach();
+        let stride = keys / sample;
+        let mut ok = true;
+        for i in 0..sample {
+            let key = i * stride;
+            let v = h.update(key, |v| v[0] = key + 1).unwrap();
+            ok &= v[0] == key + 1;
+        }
+        // Both ends of the space must be live.
+        ok &= h.update(keys - 1, |v| v[0] = keys).unwrap()[0] == keys;
+        ok &= h.read_vec(0).unwrap()[0] == 1;
+        let space = store.space();
+        t.row([
+            format!("2^{exp}"),
+            format!("{:.2}x", keys as f64 / Layout::MAX_PROCESSES as f64),
+            space.touched_keys.to_string(),
+            space.shared_words.to_string(),
+            space.eager_words().to_string(),
+            ok.to_string(),
+        ]);
+        all_ok &= ok;
+    }
+    t.print();
+    println!();
+    println!("Shape check: live words track *touched* keys only — a 2^24-key store costs");
+    println!("what its working set costs, while the eager column (full materialization)");
+    println!("is what a non-lazy design would pay up front.\n");
+    // The CI smoke job gates on this exit code, not on reading the table.
+    if !all_ok {
+        eprintln!("mwllsc-harness: E10 boundary-key check FAILED (see table above)");
+        std::process::exit(2);
+    }
+}
+
 /// Runs every experiment in order.
 pub fn all(quick: bool) {
     e1_space(quick);
@@ -679,4 +831,5 @@ pub fn all(quick: bool) {
     e6_linearizability(quick);
     e7_helping(quick);
     e8_compare(quick);
+    e10_store(quick);
 }

@@ -12,6 +12,7 @@
 //!   e6-linearizability   exhaustive + sampled linearizability checking
 //!   e7-helping           helping-path statistics under real-thread storms
 //!   e8-compare           throughput + space, all implementations
+//!   e10-store            sharded store: throughput vs shards, key scaling
 //!   all                  everything above, in order
 //! ```
 //!
@@ -25,7 +26,7 @@ mod timing;
 fn usage() -> ! {
     eprintln!(
         "usage: mwllsc-harness <e1-space|e2-time-w|e3-time-n|e4-vl|e5-waitfree|\
-         e6-linearizability|e7-helping|e8-compare|all> [--quick]"
+         e6-linearizability|e7-helping|e8-compare|e10-store|all> [--quick]"
     );
     std::process::exit(2);
 }
@@ -52,6 +53,7 @@ fn main() {
         "e6-linearizability" => experiments::e6_linearizability(quick),
         "e7-helping" => experiments::e7_helping(quick),
         "e8-compare" => experiments::e8_compare(quick),
+        "e10-store" => experiments::e10_store(quick),
         "all" => experiments::all(quick),
         _ => usage(),
     }

@@ -1,0 +1,344 @@
+//! [`StoreHandle`]: per-caller capability to read and update logical
+//! variables.
+//!
+//! A handle leases **one process slot per touched shard**, lazily, and
+//! holds each lease for its lifetime (dropping the handle releases them
+//! all). The lease is the concurrency contract that makes per-key access
+//! cheap: holding shard slot `p` exclusively means *no other handle* ever
+//! uses process id `p` in that shard, so claiming id `p` on any per-key
+//! object in the shard is one uncontended RMW that cannot fail.
+
+use std::sync::atomic::Ordering;
+use std::sync::Arc;
+
+use mwllsc::{Handle, MwLlSc};
+
+use crate::store::{Store, StoreError};
+
+/// A capability to operate on a [`Store`]'s logical variables.
+///
+/// Like the core [`Handle`](mwllsc::Handle), a `StoreHandle` is `Send`
+/// but deliberately not `Clone`: the `&mut self` methods statically
+/// enforce one outstanding operation per handle, and each concurrent
+/// actor should hold its own (or use [`Store::with`] for thread-cached
+/// acquisition).
+///
+/// # Examples
+///
+/// ```
+/// use mwllsc_store::{Store, StoreConfig};
+///
+/// let store = Store::new(StoreConfig::new(4, 2, 1, 1 << 20));
+/// let mut h = store.attach();
+/// for _ in 0..3 {
+///     h.update(42, |v| v[0] += 1).unwrap();
+/// }
+/// assert_eq!(h.read_vec(42).unwrap(), vec![3]);
+/// assert_eq!(h.read_vec(43).unwrap(), vec![0], "untouched keys read the initial value");
+/// ```
+pub struct StoreHandle {
+    store: Arc<Store>,
+    /// Per-shard leased slot id; `None` until the shard is first touched.
+    slots: Box<[Option<u32>]>,
+}
+
+impl std::fmt::Debug for StoreHandle {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("StoreHandle")
+            .field("shards", &self.slots.len())
+            .field("leased", &self.slots.iter().filter(|s| s.is_some()).count())
+            .finish()
+    }
+}
+
+impl StoreHandle {
+    pub(crate) fn new(store: Arc<Store>) -> Self {
+        let shards = store.shards();
+        Self { store, slots: vec![None; shards].into_boxed_slice() }
+    }
+
+    /// The store this handle operates on.
+    #[must_use]
+    pub fn store(&self) -> &Arc<Store> {
+        &self.store
+    }
+
+    /// Number of shards this handle currently holds a slot lease in.
+    #[must_use]
+    pub fn leased_shards(&self) -> usize {
+        self.slots.iter().filter(|s| s.is_some()).count()
+    }
+
+    /// This handle's process id within shard `si`, leasing one on first
+    /// touch.
+    fn slot_for(&mut self, si: usize) -> Result<usize, StoreError> {
+        if let Some(p) = self.slots[si] {
+            return Ok(p as usize);
+        }
+        match self.store.shard(si).registry.lease_any() {
+            Some((p, _payload)) => {
+                self.slots[si] = Some(p as u32);
+                Ok(p)
+            }
+            None => {
+                Err(StoreError::ShardExhausted { shard: si, capacity: self.store.shard_capacity() })
+            }
+        }
+    }
+
+    /// Claims this handle's per-shard process id on `key`'s object,
+    /// returning the shard index alongside.
+    fn object_handle(&mut self, key: u64) -> Result<(usize, Handle), StoreError> {
+        let si = self.store.route(key)?;
+        let p = self.slot_for(si)?;
+        let obj = self.store.object_for(si, key);
+        Ok((si, claim_owned(&obj, p)))
+    }
+
+    /// Reads the current value of `key` into `out`.
+    ///
+    /// One wait-free `O(W)` read on the key's object (the paper's LL
+    /// procedure with the link discarded).
+    pub fn read(&mut self, key: u64, out: &mut [u64]) -> Result<(), StoreError> {
+        if out.len() != self.store.width() {
+            return Err(StoreError::WrongValueLen { expected: self.store.width(), got: out.len() });
+        }
+        let (si, mut h) = self.object_handle(key)?;
+        h.read(out);
+        self.store.shard(si).reads.fetch_add(1, Ordering::Relaxed);
+        Ok(())
+    }
+
+    /// Reads the current value of `key` into a fresh `Vec`.
+    pub fn read_vec(&mut self, key: u64) -> Result<Vec<u64>, StoreError> {
+        let mut out = vec![0u64; self.store.width()];
+        self.read(key, &mut out)?;
+        Ok(out)
+    }
+
+    /// Atomically read-modify-writes `key`: runs `f` on the current value
+    /// in `out` and installs the result, retrying the LL/SC round until
+    /// the SC lands. On return `out` holds the installed value.
+    ///
+    /// This is the allocation-free update path: `out` is the working
+    /// buffer for every LL/SC round (callers on hot loops reuse one).
+    /// `f` may run multiple times (once per round) and must be a pure
+    /// function of its input slice. Every LL and SC inside the loop is
+    /// wait-free `O(W)`; the loop itself is lock-free under per-key
+    /// contention, like any LL/SC retry loop.
+    pub fn update_with(
+        &mut self,
+        key: u64,
+        out: &mut [u64],
+        mut f: impl FnMut(&mut [u64]),
+    ) -> Result<(), StoreError> {
+        if out.len() != self.store.width() {
+            return Err(StoreError::WrongValueLen { expected: self.store.width(), got: out.len() });
+        }
+        let (si, mut h) = self.object_handle(key)?;
+        let shard = self.store.shard(si);
+        loop {
+            h.ll(out);
+            f(out);
+            if h.sc(out) {
+                shard.updates.fetch_add(1, Ordering::Relaxed);
+                return Ok(());
+            }
+            shard.update_retries.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// [`update_with`](Self::update_with) into a fresh `Vec`, returning
+    /// the installed value.
+    pub fn update(&mut self, key: u64, f: impl FnMut(&mut [u64])) -> Result<Vec<u64>, StoreError> {
+        let mut out = vec![0u64; self.store.width()];
+        self.update_with(key, &mut out, f)?;
+        Ok(out)
+    }
+
+    /// Reads many keys, returning values in the order of `keys`.
+    ///
+    /// The batch is processed in `(shard, key)` order: shard-slot lookup
+    /// and object-table acquisition are amortized over each run of keys
+    /// landing in the same shard, consecutive duplicate keys reuse one
+    /// claimed object handle, and the access pattern walks each shard's
+    /// table once instead of hopping between shards per key.
+    ///
+    /// All-or-nothing for the *reads*: routing is validated and every
+    /// needed shard slot is leased *before* the first read, so an error —
+    /// bad key or an exhausted shard — is returned without reading or
+    /// materializing anything. Shard slots leased by the pre-pass stay
+    /// with the handle whether or not the batch succeeds (leases are
+    /// handle-lifetime state, as with every other operation), so a failed
+    /// batch can still raise [`leased_shards`](Self::leased_shards).
+    pub fn read_many(&mut self, keys: &[u64]) -> Result<Vec<Vec<u64>>, StoreError> {
+        let w = self.store.width();
+        let mut order: Vec<(usize, usize, u64)> = Vec::with_capacity(keys.len());
+        for (i, &key) in keys.iter().enumerate() {
+            order.push((self.store.route(key)?, i, key));
+        }
+        order.sort_unstable_by_key(|&(si, _, key)| (si, key));
+        // Lease every shard the batch needs up front: a capacity failure
+        // must surface before any key is read or materialized.
+        for &(si, _, _) in &order {
+            self.slot_for(si)?;
+        }
+
+        let mut out = vec![vec![0u64; w]; keys.len()];
+        let mut cached: Option<(u64, Handle)> = None;
+        for (si, i, key) in order {
+            let reuse = matches!(&cached, Some((k, _)) if *k == key);
+            if !reuse {
+                let p = self.slot_for(si).expect("leased in the pre-pass above");
+                // Replacing `cached` drops the previous key's claim; the
+                // overlap is harmless because slot `p` conflicts are
+                // per-object and the two claims are on distinct objects.
+                cached = Some((key, claim_owned(&self.store.object_for(si, key), p)));
+            }
+            let (_, h) = cached.as_mut().expect("claimed just above");
+            h.read(&mut out[i]);
+            self.store.shard(si).reads.fetch_add(1, Ordering::Relaxed);
+        }
+        Ok(out)
+    }
+}
+
+/// Claims process id `p` on `obj`. Infallible by construction: a claim
+/// of `p` can conflict only with another live claim of `p` on the *same*
+/// object (registries are per-object), which would require a second
+/// holder of this shard's slot `p` — and the shard registry grants `p`
+/// to exactly one [`StoreHandle`], which takes at most one claim per
+/// object at a time. (Briefly holding claims of `p` on two *distinct*
+/// objects — as `read_many`'s cache rotation does — is fine.)
+fn claim_owned(obj: &Arc<MwLlSc>, p: usize) -> Handle {
+    obj.claim(p).expect(
+        "shard slot p is exclusively leased by this StoreHandle, so claim(p) cannot conflict",
+    )
+}
+
+impl Drop for StoreHandle {
+    /// Releases every leased shard slot (the payload is the slot's own id,
+    /// mirroring [`SlotRegistry::new`](mwllsc::SlotRegistry::new)'s
+    /// convention).
+    fn drop(&mut self) {
+        for (si, slot) in self.slots.iter().enumerate() {
+            if let Some(p) = slot {
+                self.store.shard(si).registry.release(*p as usize, *p);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::store::StoreConfig;
+
+    #[test]
+    fn leases_accumulate_per_shard_and_release_on_drop() {
+        let store = Store::new(StoreConfig::new(8, 2, 1, 1 << 16));
+        let mut h = store.attach();
+        assert_eq!(h.leased_shards(), 0);
+        // Touch enough distinct keys to hit several shards.
+        for key in 0..64 {
+            h.update(key, |v| v[0] += 1).unwrap();
+        }
+        assert!(h.leased_shards() > 1, "64 keys should spread over >1 of 8 shards");
+        assert_eq!(store.live_slot_leases(), h.leased_shards());
+        drop(h);
+        assert_eq!(store.live_slot_leases(), 0, "drop released every shard slot");
+    }
+
+    #[test]
+    fn update_is_atomic_across_two_handles() {
+        let store = Store::new(StoreConfig::new(2, 2, 2, 100));
+        let mut a = store.attach();
+        let mut b = store.attach();
+        for _ in 0..50 {
+            a.update(7, |v| v[0] += 1).unwrap();
+            b.update(7, |v| v[1] += 1).unwrap();
+        }
+        assert_eq!(a.read_vec(7).unwrap(), vec![50, 50]);
+    }
+
+    #[test]
+    fn shard_exhaustion_is_typed() {
+        let store = Store::new(StoreConfig::new(1, 1, 1, 10));
+        let mut a = store.attach();
+        a.update(0, |v| v[0] = 5).unwrap();
+        let mut b = store.attach();
+        assert_eq!(
+            b.read_vec(0).unwrap_err(),
+            StoreError::ShardExhausted { shard: 0, capacity: 1 }
+        );
+        drop(a);
+        assert_eq!(b.read_vec(0).unwrap(), vec![5], "freed slot is leasable");
+    }
+
+    #[test]
+    fn wrong_width_and_range_are_typed() {
+        let store = Store::new(StoreConfig::new(2, 1, 2, 10));
+        let mut h = store.attach();
+        let mut small = [0u64; 1];
+        assert_eq!(
+            h.read(3, &mut small).unwrap_err(),
+            StoreError::WrongValueLen { expected: 2, got: 1 }
+        );
+        assert_eq!(
+            h.update(10, |_| ()).unwrap_err(),
+            StoreError::KeyOutOfRange { key: 10, capacity: 10 }
+        );
+    }
+
+    #[test]
+    fn read_many_preserves_order_and_matches_reads() {
+        let store = Store::new(StoreConfig::new(8, 2, 1, 1 << 16));
+        let mut h = store.attach();
+        let keys: Vec<u64> = (0..200).map(|i| (i * 37) % 150).collect();
+        for &k in &keys {
+            h.update(k, |v| v[0] = k + 1).unwrap();
+        }
+        let batch = h.read_many(&keys).unwrap();
+        assert_eq!(batch.len(), keys.len());
+        for (i, &k) in keys.iter().enumerate() {
+            assert_eq!(batch[i], vec![k + 1], "key {k} at position {i}");
+            assert_eq!(batch[i], h.read_vec(k).unwrap());
+        }
+    }
+
+    #[test]
+    fn read_many_is_all_or_nothing_on_shard_exhaustion() {
+        let store = Store::new(StoreConfig::new(4, 1, 1, 1 << 16));
+        let router = store.router();
+        let key_a = 0u64;
+        let key_b = (1..1 << 16).find(|&k| router.shard_of(k) != router.shard_of(key_a)).unwrap();
+
+        // Handle `a` exhausts key_a's single-slot shard.
+        let mut a = store.attach();
+        a.update(key_a, |v| v[0] = 1).unwrap();
+        let touched_before = store.touched_keys();
+
+        // `b`'s batch leads with a key in a *free* shard; the exhausted
+        // shard must still fail the batch before any read or
+        // materialization happens.
+        let mut b = store.attach();
+        let err = b.read_many(&[key_b, key_a]).unwrap_err();
+        assert!(matches!(err, StoreError::ShardExhausted { .. }), "{err:?}");
+        assert_eq!(store.touched_keys(), touched_before, "failed batch materialized nothing");
+        assert_eq!(store.stats().reads, 0, "failed batch read nothing");
+
+        drop(a);
+        assert_eq!(b.read_many(&[key_b, key_a]).unwrap(), vec![vec![0], vec![1]]);
+    }
+
+    #[test]
+    fn read_many_rejects_any_bad_key_up_front() {
+        let store = Store::new(StoreConfig::new(2, 1, 1, 10));
+        let mut h = store.attach();
+        assert_eq!(
+            h.read_many(&[1, 2, 99]).unwrap_err(),
+            StoreError::KeyOutOfRange { key: 99, capacity: 10 }
+        );
+        assert_eq!(store.touched_keys(), 0, "failed batch materialized nothing");
+    }
+}

@@ -1,0 +1,87 @@
+//! `mwllsc-store` — a sharded register store serving **millions of logical
+//! `W`-word LL/SC variables** over pools of the paper's wait-free
+//! [`MwLlSc`](mwllsc::MwLlSc) objects.
+//!
+//! # Why a store
+//!
+//! One `MwLlSc` object is a *single* `W`-word variable shared by up to
+//! `N ≤ 2^22` processes ([`Layout::MAX_PROCESSES`](mwllsc::layout::Layout)
+//! — the tagged substrate's 16-tag-bit floor), and all `N` processes
+//! contend on one `X`/`Help`/`Bank` region. Neither property matches a
+//! service that must hold millions of independent variables for millions
+//! of users. The paper's `O(NW)` space bound is what makes the fix
+//! affordable: because *per-object* cost is linear in the processes that
+//! touch it, the classic sharding move — many small, cache-friendly
+//! objects behind a deterministic router, each shared by a handful of
+//! processes — costs `keys × O(cW)` instead of the `keys × O(c²W)` an
+//! Anderson–Moir-style object would multiply out to.
+//!
+//! # Architecture
+//!
+//! ```text
+//! key ──fnv──► shard s ──► lazy table ──► per-key MwLlSc (c slots, W words)
+//!                 │
+//!                 └─ SlotRegistry(c): one process id per StoreHandle
+//! ```
+//!
+//! * [`Store`] owns `S` cache-line-padded shards. A shard holds a
+//!   [`SlotRegistry`](mwllsc::SlotRegistry) of `c = shard_capacity`
+//!   process slots and a lazily-populated table of per-key objects — a
+//!   16M-key store allocates **nothing** per key until the key is first
+//!   touched (per-key cost is `3cW + 3c + 1` words once materialized).
+//! * [`Router`] maps keys to shards with an FNV-1a hash — deterministic,
+//!   dependency-free, balanced (the router property tests assert ≤ 2× of
+//!   ideal across 64 shards).
+//! * [`StoreHandle`] leases **one slot per touched shard**, on demand, and
+//!   holds it for its lifetime (the same lease discipline as
+//!   [`MwLlSc::attach`](mwllsc::MwLlSc::attach)). Holding shard slot `p`
+//!   exclusively means `claim(p)` on *any* object in that shard can never
+//!   conflict, so every per-key operation acquires its object handle with
+//!   one uncontended RMW.
+//! * [`Store::space`] / [`Store::stats`] roll every materialized object's
+//!   [`SpaceReport`](mwllsc::SpaceReport) (including the substrate's
+//!   retired-words backlog) into one honest [`StoreSpace`] /
+//!   [`StoreStats`] report.
+//!
+//! # Progress guarantees, honestly
+//!
+//! Per-key [`read`](StoreHandle::read) performs one wait-free `O(W)` LL on
+//! the key's object; [`update`](StoreHandle::update) is the standard
+//! LL/SC retry loop — every LL and SC inside it is wait-free, the loop
+//! itself is lock-free under per-key contention (like any LL/SC loop).
+//! One engineering caveat: the *first* touch of a key takes the owning
+//! shard's table lock to materialize the object (subsequent touches take a
+//! read lock). The lock is sharded `S` ways and never held across an
+//! LL/SC operation.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use mwllsc_store::{Store, StoreConfig};
+//!
+//! // 2^24 logical 2-word variables over 8 shards, ≤ 4 concurrent
+//! // handles per shard — far beyond one object's 2^22 process ceiling.
+//! let store = Store::try_new(StoreConfig::new(8, 4, 2, 1 << 24)).unwrap();
+//! let mut h = store.attach();
+//!
+//! h.update(7, |v| v[0] += 1).unwrap();
+//! h.update((1 << 24) - 1, |v| v[1] = 9).unwrap();
+//! assert_eq!(h.read_vec(7).unwrap(), vec![1, 0]);
+//!
+//! let space = store.space();
+//! assert_eq!(space.touched_keys, 2, "only touched keys are materialized");
+//! assert_eq!(space.shared_words, 2 * space.per_key_shared_words);
+//! ```
+
+#![warn(missing_docs, missing_debug_implementations)]
+#![forbid(unsafe_code)]
+
+mod handle;
+mod router;
+mod store;
+mod tls;
+
+pub use handle::StoreHandle;
+pub use router::{fnv1a, Router};
+pub use store::{Store, StoreConfig, StoreError, StoreSpace, StoreStats};
+pub use tls::detach_current_thread;

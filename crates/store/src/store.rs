@@ -1,0 +1,523 @@
+//! The sharded store: configuration, shards, lazy per-key objects, and
+//! the rolled-up space/stats reports.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, PoisonError, RwLock};
+
+use mwllsc::layout::Layout;
+use mwllsc::{CachePadded, MwLlSc, SlotRegistry};
+
+use crate::handle::StoreHandle;
+use crate::router::Router;
+
+/// Configuration for [`Store::try_new`].
+///
+/// `shards × shard_capacity` bounds the number of *concurrent*
+/// [`StoreHandle`]s that can operate (each handle leases at most one slot
+/// per shard); `keys` bounds the logical variable space, of which only
+/// touched keys are ever materialized.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct StoreConfig {
+    /// Number of shards `S`.
+    pub shards: usize,
+    /// Process slots per shard `c` — the most handles that can touch one
+    /// shard concurrently. Every per-key object is built for `c`
+    /// processes, so per-key cost is `3cW + 3c + 1` words.
+    pub shard_capacity: usize,
+    /// Words per logical variable, `W`.
+    pub width: usize,
+    /// Logical key space: valid keys are `0..keys`.
+    pub keys: u64,
+    /// Initial value of every variable (length `width`).
+    pub initial: Vec<u64>,
+}
+
+impl StoreConfig {
+    /// A configuration with every variable initially all-zero.
+    #[must_use]
+    pub fn new(shards: usize, shard_capacity: usize, width: usize, keys: u64) -> Self {
+        Self { shards, shard_capacity, width, keys, initial: vec![0; width] }
+    }
+
+    /// Replaces the initial value (must have length `width`).
+    #[must_use]
+    pub fn with_initial(mut self, initial: &[u64]) -> Self {
+        self.initial = initial.to_vec();
+        self
+    }
+}
+
+/// Errors from store construction and per-key operations.
+#[derive(Clone, Debug, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum StoreError {
+    /// `shards` was zero.
+    ZeroShards,
+    /// `shard_capacity` was zero.
+    ZeroShardCapacity,
+    /// `width` was zero.
+    ZeroWords,
+    /// `keys` was zero.
+    ZeroKeys,
+    /// `shard_capacity` exceeds the per-object process ceiling
+    /// ([`Layout::MAX_PROCESSES`]).
+    ShardCapacityTooLarge {
+        /// The requested per-shard capacity.
+        capacity: usize,
+        /// The largest admissible value.
+        max: usize,
+    },
+    /// The initial value slice length differs from `width`.
+    WrongInitLen {
+        /// Configured word count `W`.
+        expected: usize,
+        /// Length of the supplied initial value.
+        got: usize,
+    },
+    /// The key is outside the configured `0..keys` space.
+    KeyOutOfRange {
+        /// The offending key.
+        key: u64,
+        /// The configured key-space size.
+        capacity: u64,
+    },
+    /// A value slice's length differs from `width`.
+    WrongValueLen {
+        /// Configured word count `W`.
+        expected: usize,
+        /// Length of the supplied slice.
+        got: usize,
+    },
+    /// All `shard_capacity` slots of the shard are leased by live
+    /// [`StoreHandle`]s; drop one (or size `shard_capacity` to the
+    /// worst-case number of concurrent handles per shard).
+    ShardExhausted {
+        /// The contested shard.
+        shard: usize,
+        /// Its slot capacity.
+        capacity: usize,
+    },
+}
+
+impl std::fmt::Display for StoreError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::ZeroShards => write!(f, "shard count must be at least 1"),
+            Self::ZeroShardCapacity => write!(f, "shard capacity must be at least 1"),
+            Self::ZeroWords => write!(f, "word count W must be at least 1"),
+            Self::ZeroKeys => write!(f, "key space must hold at least 1 key"),
+            Self::ShardCapacityTooLarge { capacity, max } => {
+                write!(f, "shard capacity {capacity} exceeds the per-object process ceiling {max}")
+            }
+            Self::WrongInitLen { expected, got } => {
+                write!(f, "initial value has {got} words, expected W = {expected}")
+            }
+            Self::KeyOutOfRange { key, capacity } => {
+                write!(f, "key {key} outside the configured key space 0..{capacity}")
+            }
+            Self::WrongValueLen { expected, got } => {
+                write!(f, "value slice has {got} words, expected W = {expected}")
+            }
+            Self::ShardExhausted { shard, capacity } => {
+                write!(f, "all {capacity} slots of shard {shard} are leased by live store handles")
+            }
+        }
+    }
+}
+
+impl std::error::Error for StoreError {}
+
+/// One shard: a slot registry for handle leases plus the lazily-populated
+/// table of per-key objects.
+pub(crate) struct Shard {
+    /// Shard-level slot leases. A [`StoreHandle`] holding slot `p` here
+    /// owns process id `p` in *every* object of this shard, so its
+    /// per-operation `claim(p)` can never conflict.
+    pub(crate) registry: SlotRegistry,
+    /// key → object, populated on first touch.
+    objects: RwLock<HashMap<u64, Arc<MwLlSc>>>,
+    /// Materialized-object count, mirrored outside the lock so stats and
+    /// space rollups stay cheap.
+    touched: AtomicUsize,
+    // Operation counters live *per shard* (inside the shard's padded
+    // block), not on the `Store`: a single store-global counter would be
+    // one cache line RMW'd by every thread on every operation — exactly
+    // the coherence ping-pong sharding exists to remove. Contention on
+    // these mirrors shard contention, which is the quantity being scaled.
+    /// Completed read-family operations against this shard.
+    pub(crate) reads: AtomicU64,
+    /// Completed updates against this shard.
+    pub(crate) updates: AtomicU64,
+    /// Extra LL/SC rounds taken by updates that lost an SC race.
+    pub(crate) update_retries: AtomicU64,
+}
+
+/// A sharded store of up to `keys` logical `W`-word LL/SC variables.
+///
+/// See the [crate docs](crate) for the architecture; construction is
+/// [`Store::try_new`] (or the panicking [`Store::new`]), access is through
+/// [`Store::attach`] / [`Store::with`].
+pub struct Store {
+    router: Router,
+    shards: Box<[CachePadded<Shard>]>,
+    shard_capacity: usize,
+    w: usize,
+    keys: u64,
+    initial: Box<[u64]>,
+}
+
+impl std::fmt::Debug for Store {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Store")
+            .field("shards", &self.shards.len())
+            .field("shard_capacity", &self.shard_capacity)
+            .field("w", &self.w)
+            .field("keys", &self.keys)
+            .finish_non_exhaustive()
+    }
+}
+
+impl Store {
+    /// Creates a store, reporting configuration problems as typed errors.
+    ///
+    /// Nothing is allocated per key here: a shard starts as an empty table
+    /// plus a slot registry, and a key's object (with its `3cW` buffer
+    /// words) is materialized on first touch.
+    pub fn try_new(config: StoreConfig) -> Result<Arc<Self>, StoreError> {
+        let StoreConfig { shards, shard_capacity, width, keys, initial } = config;
+        if shards == 0 {
+            return Err(StoreError::ZeroShards);
+        }
+        if shard_capacity == 0 {
+            return Err(StoreError::ZeroShardCapacity);
+        }
+        if width == 0 {
+            return Err(StoreError::ZeroWords);
+        }
+        if keys == 0 {
+            return Err(StoreError::ZeroKeys);
+        }
+        if shard_capacity > Layout::MAX_PROCESSES {
+            return Err(StoreError::ShardCapacityTooLarge {
+                capacity: shard_capacity,
+                max: Layout::MAX_PROCESSES,
+            });
+        }
+        if initial.len() != width {
+            return Err(StoreError::WrongInitLen { expected: width, got: initial.len() });
+        }
+        Ok(Arc::new(Self {
+            router: Router::new(shards),
+            shards: (0..shards)
+                .map(|_| {
+                    CachePadded::new(Shard {
+                        registry: SlotRegistry::new(shard_capacity),
+                        objects: RwLock::new(HashMap::new()),
+                        touched: AtomicUsize::new(0),
+                        reads: AtomicU64::new(0),
+                        updates: AtomicU64::new(0),
+                        update_retries: AtomicU64::new(0),
+                    })
+                })
+                .collect(),
+            shard_capacity,
+            w: width,
+            keys,
+            initial: initial.into_boxed_slice(),
+        }))
+    }
+
+    /// [`try_new`](Self::try_new), panicking on configuration errors.
+    ///
+    /// # Panics
+    ///
+    /// Panics on the conditions `try_new` reports as errors.
+    #[must_use]
+    pub fn new(config: StoreConfig) -> Arc<Self> {
+        Self::try_new(config).unwrap_or_else(|e| panic!("Store::new: {e}"))
+    }
+
+    /// Attaches a [`StoreHandle`].
+    ///
+    /// Always succeeds: shard slots are leased lazily, one per shard the
+    /// handle actually touches, so capacity pressure surfaces as a typed
+    /// [`StoreError::ShardExhausted`] on the first operation that needs a
+    /// full shard — not here.
+    #[must_use]
+    pub fn attach(self: &Arc<Self>) -> StoreHandle {
+        StoreHandle::new(Arc::clone(self))
+    }
+
+    /// Number of shards `S`.
+    #[must_use]
+    pub fn shards(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Process slots per shard, `c`.
+    #[must_use]
+    pub fn shard_capacity(&self) -> usize {
+        self.shard_capacity
+    }
+
+    /// Words per logical variable, `W`.
+    #[must_use]
+    pub fn width(&self) -> usize {
+        self.w
+    }
+
+    /// Size of the logical key space (valid keys are `0..key_capacity()`).
+    #[must_use]
+    pub fn key_capacity(&self) -> u64 {
+        self.keys
+    }
+
+    /// Number of logical keys materialized so far.
+    #[must_use]
+    pub fn touched_keys(&self) -> usize {
+        self.shards.iter().map(|s| s.touched.load(Ordering::Relaxed)).sum()
+    }
+
+    /// Number of shard slots currently leased by live [`StoreHandle`]s.
+    #[must_use]
+    pub fn live_slot_leases(&self) -> usize {
+        self.shards.iter().map(|s| s.registry.live()).sum()
+    }
+
+    /// The router (pure, deterministic key→shard function).
+    #[must_use]
+    pub fn router(&self) -> Router {
+        self.router
+    }
+
+    /// Validates `key` and returns its shard index.
+    pub(crate) fn route(&self, key: u64) -> Result<usize, StoreError> {
+        if key >= self.keys {
+            return Err(StoreError::KeyOutOfRange { key, capacity: self.keys });
+        }
+        Ok(self.router.shard_of(key))
+    }
+
+    pub(crate) fn shard(&self, si: usize) -> &Shard {
+        &self.shards[si]
+    }
+
+    /// Returns the object for `key` (which must route to shard `si`),
+    /// materializing it on first touch.
+    pub(crate) fn object_for(&self, si: usize, key: u64) -> Arc<MwLlSc> {
+        let shard = &self.shards[si];
+        if let Some(obj) = shard.objects.read().unwrap_or_else(PoisonError::into_inner).get(&key) {
+            return Arc::clone(obj);
+        }
+        let mut map = shard.objects.write().unwrap_or_else(PoisonError::into_inner);
+        let obj = map.entry(key).or_insert_with(|| {
+            shard.touched.fetch_add(1, Ordering::Relaxed);
+            MwLlSc::try_new(self.shard_capacity, self.w, &self.initial)
+                .expect("per-key config was validated at store construction")
+        });
+        Arc::clone(obj)
+    }
+
+    /// Rolls every materialized object's space report (including the
+    /// substrate's retired-words backlog) into one [`StoreSpace`].
+    #[must_use]
+    pub fn space(&self) -> StoreSpace {
+        let mut shared_words = 0;
+        let mut retired_words = 0;
+        let mut touched_keys = 0;
+        for shard in self.shards.iter() {
+            let map = shard.objects.read().unwrap_or_else(PoisonError::into_inner);
+            touched_keys += map.len();
+            for obj in map.values() {
+                shared_words += obj.space().shared_words();
+                retired_words += obj.substrate_retired_words();
+            }
+        }
+        StoreSpace {
+            shards: self.shards.len(),
+            key_capacity: self.keys,
+            touched_keys,
+            shared_words,
+            retired_words,
+            per_key_shared_words: 3 * self.shard_capacity * self.w + 3 * self.shard_capacity + 1,
+        }
+    }
+
+    /// Rolls every shard's operation counters and every materialized
+    /// object's instrumentation counters into one [`StoreStats`].
+    #[must_use]
+    pub fn stats(&self) -> StoreStats {
+        let mut s = StoreStats { live_slot_leases: self.live_slot_leases(), ..Default::default() };
+        for shard in self.shards.iter() {
+            s.reads += shard.reads.load(Ordering::Relaxed);
+            s.updates += shard.updates.load(Ordering::Relaxed);
+            s.update_retries += shard.update_retries.load(Ordering::Relaxed);
+            let map = shard.objects.read().unwrap_or_else(PoisonError::into_inner);
+            s.objects += map.len();
+            for obj in map.values() {
+                let os = obj.stats();
+                s.ll_ops += os.ll_ops;
+                s.sc_attempts += os.sc_attempts;
+                s.sc_successes += os.sc_successes;
+                s.lls_helped += os.lls_helped;
+                s.helps_given += os.helps_given;
+            }
+        }
+        s
+    }
+}
+
+/// Honest space rollup for one [`Store`], in 64-bit words.
+///
+/// `shared_words` sums the [`SpaceReport`](mwllsc::SpaceReport) of every
+/// *materialized* object; keys never touched cost nothing, which is the
+/// whole point of lazy initialization. The invariant
+/// `shared_words == touched_keys × per_key_shared_words` is asserted by
+/// the store stress tests. Word counts are logical registers (the paper's
+/// unit); cache-line alignment slack is excluded by design (see
+/// [`CachePadded`]).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[non_exhaustive]
+pub struct StoreSpace {
+    /// Shard count `S`.
+    pub shards: usize,
+    /// Configured logical key space.
+    pub key_capacity: u64,
+    /// Keys materialized by a first touch.
+    pub touched_keys: usize,
+    /// Live shared words over all materialized objects: `touched ×
+    /// (3cW + 3c + 1)`.
+    pub shared_words: usize,
+    /// Substrate reclamation backlog over all materialized objects
+    /// (retired-but-not-freed words; zero for the default tagged
+    /// substrate).
+    pub retired_words: usize,
+    /// Cost of one materialized key, `3cW + 3c + 1` words.
+    pub per_key_shared_words: usize,
+}
+
+impl StoreSpace {
+    /// Everything the store currently holds: live words plus the
+    /// reclamation backlog.
+    #[must_use]
+    pub fn total_words(&self) -> usize {
+        self.shared_words + self.retired_words
+    }
+
+    /// What materializing the *entire* key space up front would cost, in
+    /// words — the figure lazy initialization avoids.
+    #[must_use]
+    pub fn eager_words(&self) -> u128 {
+        u128::from(self.key_capacity) * self.per_key_shared_words as u128
+    }
+}
+
+/// Aggregated instrumentation for one [`Store`]: store-level operation
+/// counts plus the rollup of every materialized object's
+/// [`Stats`](mwllsc::Stats).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+#[non_exhaustive]
+pub struct StoreStats {
+    /// Materialized per-key objects.
+    pub objects: usize,
+    /// Shard slots currently leased by live handles.
+    pub live_slot_leases: usize,
+    /// Completed [`StoreHandle::read`]-family operations.
+    pub reads: u64,
+    /// Completed [`StoreHandle::update`] operations.
+    pub updates: u64,
+    /// Extra LL/SC rounds taken by updates that lost an SC race.
+    pub update_retries: u64,
+    /// Sum of per-object LL counts.
+    pub ll_ops: u64,
+    /// Sum of per-object SC attempts.
+    pub sc_attempts: u64,
+    /// Sum of per-object successful SCs.
+    pub sc_successes: u64,
+    /// Sum of per-object helped LLs.
+    pub lls_helped: u64,
+    /// Sum of per-object helps given.
+    pub helps_given: u64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_validates() {
+        let ok = StoreConfig::new(4, 2, 2, 100);
+        assert!(Store::try_new(ok.clone()).is_ok());
+        assert_eq!(
+            Store::try_new(StoreConfig { shards: 0, ..ok.clone() }).unwrap_err(),
+            StoreError::ZeroShards
+        );
+        assert_eq!(
+            Store::try_new(StoreConfig { shard_capacity: 0, ..ok.clone() }).unwrap_err(),
+            StoreError::ZeroShardCapacity
+        );
+        assert_eq!(
+            Store::try_new(StoreConfig { width: 0, initial: vec![], ..ok.clone() }).unwrap_err(),
+            StoreError::ZeroWords
+        );
+        assert_eq!(
+            Store::try_new(StoreConfig { keys: 0, ..ok.clone() }).unwrap_err(),
+            StoreError::ZeroKeys
+        );
+        assert_eq!(
+            Store::try_new(StoreConfig { shard_capacity: Layout::MAX_PROCESSES + 1, ..ok.clone() })
+                .unwrap_err(),
+            StoreError::ShardCapacityTooLarge {
+                capacity: Layout::MAX_PROCESSES + 1,
+                max: Layout::MAX_PROCESSES
+            }
+        );
+        assert_eq!(
+            Store::try_new(StoreConfig { initial: vec![1], ..ok }).unwrap_err(),
+            StoreError::WrongInitLen { expected: 2, got: 1 }
+        );
+    }
+
+    #[test]
+    fn lazy_materialization_counts_touches_once() {
+        let store = Store::new(StoreConfig::new(4, 2, 1, 1000));
+        assert_eq!(store.touched_keys(), 0);
+        let si = store.route(17).unwrap();
+        let a = store.object_for(si, 17);
+        let b = store.object_for(si, 17);
+        assert!(Arc::ptr_eq(&a, &b), "one object per key");
+        assert_eq!(store.touched_keys(), 1);
+        assert_eq!(store.space().shared_words, store.space().per_key_shared_words);
+    }
+
+    #[test]
+    fn route_rejects_out_of_range_keys() {
+        let store = Store::new(StoreConfig::new(2, 1, 1, 10));
+        assert!(store.route(9).is_ok());
+        assert_eq!(
+            store.route(10).unwrap_err(),
+            StoreError::KeyOutOfRange { key: 10, capacity: 10 }
+        );
+    }
+
+    #[test]
+    fn eager_words_quantifies_what_lazy_avoids() {
+        let store = Store::new(StoreConfig::new(64, 2, 2, 1 << 24));
+        let space = store.space();
+        assert_eq!(space.shared_words, 0);
+        assert_eq!(space.per_key_shared_words, 3 * 2 * 2 + 3 * 2 + 1);
+        assert_eq!(space.eager_words(), (1u128 << 24) * 19);
+    }
+
+    #[test]
+    fn error_messages_render() {
+        assert!(StoreError::ShardExhausted { shard: 3, capacity: 8 }
+            .to_string()
+            .contains("shard 3"));
+        assert!(StoreError::KeyOutOfRange { key: 5, capacity: 4 }.to_string().contains("0..4"));
+        assert!(StoreError::ShardCapacityTooLarge { capacity: 9, max: 8 }
+            .to_string()
+            .contains("ceiling 8"));
+    }
+}

@@ -1,0 +1,149 @@
+//! Thread-cached store handles: [`Store::with`], mirroring
+//! [`MwLlSc::with`](mwllsc::MwLlSc::with).
+//!
+//! Pool schedulers migrate logical tasks across OS threads; per-task
+//! `attach()`/drop would discard each handle's accumulated shard-slot
+//! leases and re-lease them one RMW at a time. Instead, each OS thread
+//! lazily attaches one [`StoreHandle`] per store, caches it in
+//! thread-local storage, and reuses it (with all its warm shard leases)
+//! for every subsequent [`with`](Store::with) on that store. The cached
+//! handle is dropped — releasing its shard slots — when the thread exits
+//! or eagerly via [`detach_current_thread`].
+
+use std::cell::RefCell;
+use std::sync::Arc;
+
+use crate::handle::StoreHandle;
+use crate::store::Store;
+
+thread_local! {
+    /// This thread's cached store handles, keyed by store address. The
+    /// handle holds an `Arc` to the store, so the address cannot be
+    /// recycled while the entry lives — the key is collision-free.
+    static ATTACHMENTS: RefCell<Vec<(usize, StoreHandle)>> = const { RefCell::new(Vec::new()) };
+}
+
+impl Store {
+    /// Runs `f` on this thread's cached [`StoreHandle`] for the store,
+    /// attaching one (and caching it for later calls) on first use.
+    ///
+    /// Unlike `MwLlSc::with`, this never fails at acquisition time —
+    /// shard slots are leased per touched shard inside `f`'s operations,
+    /// which report [`ShardExhausted`](crate::StoreError::ShardExhausted)
+    /// as a typed error. Size `shard_capacity` to the number of worker
+    /// threads that may touch one shard concurrently.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use mwllsc_store::{Store, StoreConfig};
+    ///
+    /// let store = Store::new(StoreConfig::new(4, 4, 1, 1 << 20));
+    /// let total: u64 = (0..4u64)
+    ///     .map(|_| {
+    ///         let store = store.clone();
+    ///         std::thread::spawn(move || {
+    ///             store.with(|h| h.update(99, |v| v[0] += 1).unwrap()[0])
+    ///         })
+    ///     })
+    ///     .collect::<Vec<_>>()
+    ///     .into_iter()
+    ///     .map(|j| j.join().unwrap())
+    ///     .max()
+    ///     .unwrap();
+    /// assert_eq!(total, 4, "4 increments, each observed its predecessors");
+    /// assert_eq!(store.live_slot_leases(), 0, "exited workers released their leases");
+    /// ```
+    pub fn with<R>(self: &Arc<Self>, f: impl FnOnce(&mut StoreHandle) -> R) -> R {
+        let key = Arc::as_ptr(self) as usize;
+        // Take the entry out of the cache while `f` runs so a nested
+        // `with` on a *different* store does not hit a RefCell
+        // double-borrow; a nested `with` on the *same* store attaches a
+        // second handle (with its own shard leases).
+        let cached = ATTACHMENTS.with(|c| {
+            let mut c = c.borrow_mut();
+            c.iter().position(|(k, _)| *k == key).map(|i| c.swap_remove(i).1)
+        });
+        let mut handle = cached.unwrap_or_else(|| self.attach());
+        let r = f(&mut handle);
+        ATTACHMENTS.with(|c| {
+            let mut c = c.borrow_mut();
+            if c.iter().any(|(k, _)| *k == key) {
+                // A nested `with` on the same store already re-cached a
+                // handle under this key while ours was checked out; keep
+                // one cached handle per (thread, store) and release ours
+                // rather than pinning extra shard slots until thread exit.
+                drop(handle);
+            } else {
+                c.push((key, handle));
+            }
+        });
+        r
+    }
+}
+
+/// Drops every store handle cached by [`Store::with`] on the *current*
+/// thread, releasing their shard-slot leases (for all stores this thread
+/// has touched) immediately instead of at thread exit.
+///
+/// # Examples
+///
+/// ```
+/// use mwllsc_store::{detach_current_thread, Store, StoreConfig};
+///
+/// let store = Store::new(StoreConfig::new(2, 1, 1, 100));
+/// store.with(|h| h.update(5, |v| v[0] = 1).unwrap());
+/// assert_eq!(store.live_slot_leases(), 1, "handle (and its lease) is cached");
+/// detach_current_thread();
+/// assert_eq!(store.live_slot_leases(), 0);
+/// ```
+pub fn detach_current_thread() {
+    ATTACHMENTS.with(|c| c.borrow_mut().clear());
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::store::StoreConfig;
+
+    #[test]
+    fn with_caches_one_handle_per_thread() {
+        let store = Store::new(StoreConfig::new(2, 2, 1, 100));
+        store.with(|h| h.update(1, |v| v[0] += 1).unwrap());
+        let leases = store.live_slot_leases();
+        assert_eq!(leases, 1);
+        // Second call reuses the cached handle: no new lease for the
+        // already-touched shard.
+        store.with(|h| h.update(1, |v| v[0] += 1).unwrap());
+        assert_eq!(store.live_slot_leases(), leases);
+        detach_current_thread();
+        assert_eq!(store.live_slot_leases(), 0);
+    }
+
+    #[test]
+    fn nested_with_on_distinct_stores_works() {
+        let a = Store::new(StoreConfig::new(1, 1, 1, 10));
+        let b = Store::new(StoreConfig::new(1, 1, 1, 10));
+        let (va, vb) = a.with(|ha| {
+            let va = ha.update(0, |v| v[0] = 1).unwrap()[0];
+            let vb = b.with(|hb| hb.update(0, |v| v[0] = 2).unwrap()[0]);
+            (va, vb)
+        });
+        assert_eq!((va, vb), (1, 2));
+        detach_current_thread();
+        assert_eq!(a.live_slot_leases() + b.live_slot_leases(), 0);
+    }
+
+    #[test]
+    fn nested_with_on_same_store_keeps_one_cached_handle() {
+        let store = Store::new(StoreConfig::new(1, 2, 1, 10));
+        store.with(|outer| {
+            outer.update(0, |v| v[0] += 1).unwrap();
+            let inner = store.with(|h| h.update(0, |v| v[0] += 1).unwrap()[0]);
+            assert_eq!(inner, 2);
+        });
+        assert_eq!(store.live_slot_leases(), 1, "only one handle stays cached");
+        detach_current_thread();
+        assert_eq!(store.live_slot_leases(), 0);
+    }
+}

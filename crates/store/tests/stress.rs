@@ -1,0 +1,216 @@
+//! Store stress: concurrent per-key read-modify-writes over a 2^24-key
+//! space, with per-key exact counters, in-flight monotonicity, and the
+//! rolled-up space invariant.
+//!
+//! The single-object suite proves one `MwLlSc` is linearizable; what the
+//! store must prove on top is that the composition is sound: the router
+//! never sends one key to two objects, shard-slot leasing never hands two
+//! handles the same process id, and lazy materialization accounts for
+//! exactly the touched keys. A violation of any of these shows up here as
+//! a lost increment, a torn `(counter, 7·counter)` pair, or a space
+//! mismatch.
+
+use std::collections::{HashMap, HashSet};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Barrier};
+
+use mwllsc::layout::Layout;
+use mwllsc_store::{Store, StoreConfig};
+
+/// Logical key space: 2^24 — beyond the single-object process ceiling
+/// (`Layout::MAX_PROCESSES` = 2^22), which is the point of the store.
+const KEY_CAPACITY: u64 = 1 << 24;
+const SHARDS: usize = 64;
+const UPDATERS: usize = 4;
+const W: usize = 2;
+
+/// Iteration budget scaled by the `MWLLSC_STRESS_ITERS` env knob — an
+/// integer multiplier, default 1 — so CI stays inside its time budget
+/// while many-core soak runs can scale the same test up (e.g.
+/// `MWLLSC_STRESS_ITERS=8 cargo test --release -p mwllsc-store --test stress`).
+fn stress_iters(base: usize) -> usize {
+    let mult = std::env::var("MWLLSC_STRESS_ITERS")
+        .ok()
+        .and_then(|s| s.parse::<usize>().ok())
+        .unwrap_or(1)
+        .max(1);
+    base.saturating_mul(mult)
+}
+
+/// The touched-key working set: distinct keys spread across the whole
+/// 2^24 space (odd-multiplier stride is injective mod 2^24), always
+/// including both boundary keys.
+fn key_set(count: usize) -> Vec<u64> {
+    let mut seen = HashSet::new();
+    let mut keys = vec![0u64, KEY_CAPACITY - 1];
+    seen.extend(keys.iter().copied());
+    let mut j = 1u64;
+    while keys.len() < count {
+        let k = j.wrapping_mul(1_000_003) % KEY_CAPACITY;
+        if seen.insert(k) {
+            keys.push(k);
+        }
+        j += 1;
+    }
+    keys
+}
+
+/// The headline churn test: `UPDATERS` threads each apply `ROUNDS` batched
+/// increments to every key of a working set drawn from the full 2^24
+/// space, while a reader thread continuously checks value consistency and
+/// per-key monotonicity. Afterwards every key must hold exactly
+/// `UPDATERS × ROUNDS` and the space rollup must equal
+/// `touched × (3cW + 3c + 1)`.
+#[test]
+fn per_key_counters_are_exact_across_a_2pow24_key_space() {
+    const ROUNDS: usize = 2;
+    let distinct_keys = stress_iters(2048).min(1 << 20);
+    let keys = Arc::new(key_set(distinct_keys));
+
+    // One slot per updater plus one for the reader: capacity is exact, so
+    // the test also proves the lease discipline never double-grants.
+    let store = Store::new(StoreConfig::new(SHARDS, UPDATERS + 1, W, KEY_CAPACITY));
+    assert!(KEY_CAPACITY > Layout::MAX_PROCESSES as u64);
+
+    let barrier = Arc::new(Barrier::new(UPDATERS + 1));
+    let stop = Arc::new(AtomicBool::new(false));
+
+    let mut joins = Vec::new();
+    for t in 0..UPDATERS {
+        let store = Arc::clone(&store);
+        let keys = Arc::clone(&keys);
+        let barrier = Arc::clone(&barrier);
+        joins.push(std::thread::spawn(move || {
+            let mut h = store.attach();
+            let mut buf = [0u64; W];
+            barrier.wait();
+            for round in 0..ROUNDS {
+                // Each thread walks the key set from its own offset so
+                // threads collide on different keys at different times.
+                let start = (t * keys.len() / UPDATERS + round * 17) % keys.len();
+                for i in 0..keys.len() {
+                    let key = keys[(start + i) % keys.len()];
+                    h.update_with(key, &mut buf, |v| {
+                        v[0] += 1;
+                        v[1] = v[0] * 7;
+                    })
+                    .unwrap();
+                }
+            }
+        }));
+    }
+
+    // Reader: every observed value must satisfy the committed-value
+    // relation (torn-read detector) and per-key counters must be
+    // monotone (linearizability smoke at the store level).
+    let reader = {
+        let store = Arc::clone(&store);
+        let keys = Arc::clone(&keys);
+        let barrier = Arc::clone(&barrier);
+        let stop = Arc::clone(&stop);
+        std::thread::spawn(move || {
+            let mut h = store.attach();
+            let mut last: HashMap<u64, u64> = HashMap::new();
+            barrier.wait();
+            let mut batches = 0u64;
+            while !stop.load(Ordering::Relaxed) {
+                let start = (batches as usize * 251) % keys.len();
+                let batch: Vec<u64> = (0..64).map(|i| keys[(start + i) % keys.len()]).collect();
+                for (i, v) in h.read_many(&batch).unwrap().into_iter().enumerate() {
+                    assert_eq!(v[1], v[0] * 7, "torn value at key {}: {v:?}", batch[i]);
+                    let prev = last.entry(batch[i]).or_insert(0);
+                    assert!(
+                        v[0] >= *prev,
+                        "counter of key {} went backwards: {} -> {}",
+                        batch[i],
+                        *prev,
+                        v[0]
+                    );
+                    *prev = v[0];
+                }
+                batches += 1;
+            }
+            batches
+        })
+    };
+
+    for j in joins {
+        j.join().unwrap();
+    }
+    stop.store(true, Ordering::Relaxed);
+    let batches = reader.join().unwrap();
+    assert!(batches > 0, "the reader must have observed the storm");
+
+    // Every key holds exactly the total number of increments.
+    let expected = (UPDATERS * ROUNDS) as u64;
+    let mut h = store.attach();
+    for chunk in keys.chunks(512) {
+        for (i, v) in h.read_many(chunk).unwrap().into_iter().enumerate() {
+            assert_eq!(
+                v,
+                vec![expected, expected * 7],
+                "key {} lost or duplicated an increment",
+                chunk[i]
+            );
+        }
+    }
+    drop(h);
+
+    // Updater/reader exits released every shard slot.
+    assert_eq!(store.live_slot_leases(), 0);
+
+    // The rolled-up space invariant: exactly the touched keys are
+    // materialized, each costing the paper's per-object footprint; the
+    // tagged substrate retires nothing.
+    let space = store.space();
+    assert_eq!(space.touched_keys, keys.len());
+    assert_eq!(space.per_key_shared_words, 3 * (UPDATERS + 1) * W + 3 * (UPDATERS + 1) + 1);
+    assert_eq!(space.shared_words, keys.len() * space.per_key_shared_words);
+    assert_eq!(space.retired_words, 0);
+
+    // And the stats rollup agrees with the workload.
+    let stats = store.stats();
+    assert_eq!(stats.objects, keys.len());
+    assert_eq!(stats.updates, expected * keys.len() as u64);
+    assert_eq!(stats.sc_successes, stats.updates, "every update landed exactly one SC");
+    assert_eq!(stats.sc_attempts, stats.updates + stats.update_retries);
+}
+
+/// Thread-cached handle churn: short-lived workers acquire handles via
+/// `Store::with`, increment shared keys, and exit; totals stay exact and
+/// all leases come back.
+#[test]
+fn with_churn_releases_leases_and_loses_nothing() {
+    const WORKERS: usize = 6;
+    let rounds = stress_iters(4);
+    let incs = stress_iters(64) as u64;
+    let store = Store::new(StoreConfig::new(8, WORKERS, 1, 1 << 20));
+    for _ in 0..rounds {
+        let joins: Vec<_> = (0..WORKERS)
+            .map(|t| {
+                let store = Arc::clone(&store);
+                std::thread::spawn(move || {
+                    for i in 0..incs {
+                        // Two hot shared keys plus a per-thread private one.
+                        let key = match i % 3 {
+                            0 => 11,
+                            1 => 777_777,
+                            _ => 1000 + t as u64,
+                        };
+                        store.with(|h| h.update(key, |v| v[0] += 1).unwrap());
+                    }
+                })
+            })
+            .collect();
+        for j in joins {
+            j.join().unwrap();
+        }
+        assert_eq!(store.live_slot_leases(), 0, "worker exits released cached handles");
+    }
+    let mut h = store.attach();
+    let mut total = 0u64;
+    for k in [11u64, 777_777].into_iter().chain((0..WORKERS).map(|t| 1000 + t as u64)) {
+        total += h.read_vec(k).unwrap()[0];
+    }
+    assert_eq!(total, rounds as u64 * WORKERS as u64 * incs, "no increment lost across churn");
+}

@@ -9,6 +9,8 @@
 //!   comparators;
 //! * [`mwllsc_apps`] — typed atomics, counters, snapshot, universal
 //!   construction, queue, stack;
+//! * [`mwllsc_store`] — the sharded register store: millions of logical
+//!   `W`-word variables behind a deterministic router;
 //! * [`simsched`] — deterministic simulator, schedule explorer,
 //!   invariant monitors, linearizability checker.
 //!
@@ -22,4 +24,5 @@ pub use llsc_baselines;
 pub use llsc_word;
 pub use mwllsc;
 pub use mwllsc_apps;
+pub use mwllsc_store;
 pub use simsched;

@@ -1,0 +1,130 @@
+//! Store conformance: the `read`/`update`/`read_many` surface of
+//! `mwllsc-store` checked against a sequential model, plus the
+//! beyond-the-ceiling capacity demonstration — the store-layer companion
+//! of `tests/trait_conformance.rs`.
+
+use std::collections::HashMap;
+
+use mwllsc_suite::mwllsc::layout::Layout;
+use mwllsc_suite::mwllsc_store::{Store, StoreConfig, StoreError};
+
+/// Tiny deterministic LCG so the model comparison is reproducible.
+struct Lcg(u64);
+
+impl Lcg {
+    fn next(&mut self) -> u64 {
+        self.0 = self.0.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        self.0 >> 11
+    }
+}
+
+/// A random single-threaded op tape, mirrored into a `HashMap` model:
+/// after every operation the store and the model must agree exactly.
+#[test]
+fn read_update_conform_to_the_sequential_model() {
+    let w = 3;
+    let keyspace = 4096u64;
+    let store = Store::new(StoreConfig::new(16, 2, w, keyspace).with_initial(&[5, 6, 7]));
+    let mut h = store.attach();
+    let mut model: HashMap<u64, Vec<u64>> = HashMap::new();
+    let initial = vec![5u64, 6, 7];
+    let mut rng = Lcg(0xC0FFEE);
+
+    for step in 0..4000 {
+        let key = rng.next() % keyspace;
+        match rng.next() % 3 {
+            0 => {
+                let got = h.read_vec(key).unwrap();
+                let want = model.get(&key).unwrap_or(&initial);
+                assert_eq!(&got, want, "step {step}: read({key})");
+            }
+            1 => {
+                let add = rng.next() % 100;
+                let got = h
+                    .update(key, |v| {
+                        v[0] += add;
+                        v[2] = v[0] ^ v[1];
+                    })
+                    .unwrap();
+                let e = model.entry(key).or_insert_with(|| initial.clone());
+                e[0] += add;
+                e[2] = e[0] ^ e[1];
+                assert_eq!(&got, e, "step {step}: update({key})");
+            }
+            _ => {
+                let batch: Vec<u64> = (0..8).map(|_| rng.next() % keyspace).collect();
+                let got = h.read_many(&batch).unwrap();
+                for (i, k) in batch.iter().enumerate() {
+                    let want = model.get(k).unwrap_or(&initial);
+                    assert_eq!(&got[i], want, "step {step}: read_many[{i}]({k})");
+                }
+            }
+        }
+    }
+
+    // Touched keys (reads materialize too) bound the rollup, exactly.
+    let space = store.space();
+    assert!(space.touched_keys >= model.len(), "every updated key is materialized");
+    assert!(space.touched_keys as u64 <= keyspace);
+    assert_eq!(space.shared_words, space.touched_keys * space.per_key_shared_words);
+}
+
+/// The acceptance headline: one `Store` serves a key space of 2^24 logical
+/// `W`-word variables — 4× beyond the single-object process ceiling — with
+/// both boundary keys live, per-shard capacity validated against
+/// `Layout::MAX_PROCESSES`, and nothing materialized for untouched keys.
+#[test]
+fn one_store_serves_2pow24_logical_variables() {
+    let keys = 1u64 << 24;
+    assert!(keys > Layout::MAX_PROCESSES as u64, "the ceiling the store exists to pass");
+
+    let store = Store::new(StoreConfig::new(64, 2, 2, keys));
+    let mut h = store.attach();
+    h.update(0, |v| v[0] = 1).unwrap();
+    h.update(keys / 2, |v| v[0] = 2).unwrap();
+    h.update(keys - 1, |v| v[0] = 3).unwrap();
+    assert_eq!(h.read_vec(0).unwrap(), vec![1, 0]);
+    assert_eq!(h.read_vec(keys - 1).unwrap(), vec![3, 0]);
+    assert_eq!(
+        h.update(keys, |_| ()).unwrap_err(),
+        StoreError::KeyOutOfRange { key: keys, capacity: keys }
+    );
+
+    let space = store.space();
+    assert_eq!(space.key_capacity, keys);
+    assert_eq!(space.touched_keys, 3, "16M-key capacity, 3 materialized objects");
+    assert_eq!(space.shared_words, 3 * space.per_key_shared_words);
+    // What the store would cost without lazy materialization: ~2^24 × 19
+    // words ≈ 2.5 GiB — the figure the lazy table avoids paying up front.
+    assert_eq!(space.eager_words(), u128::from(keys) * 19);
+
+    // And the guard rail the ceiling demands: per-*shard* capacity is
+    // still validated against the per-object maximum.
+    assert_eq!(
+        Store::try_new(StoreConfig::new(2, Layout::MAX_PROCESSES + 1, 1, 10)).unwrap_err(),
+        StoreError::ShardCapacityTooLarge {
+            capacity: Layout::MAX_PROCESSES + 1,
+            max: Layout::MAX_PROCESSES
+        }
+    );
+}
+
+/// The typed-error matrix mirrored from `MwLlSc::try_new`: every invalid
+/// configuration is an error value, never a panic.
+#[test]
+fn constructors_report_typed_errors() {
+    let ok = StoreConfig::new(2, 2, 2, 16);
+    assert!(Store::try_new(ok.clone()).is_ok());
+    for (cfg, want) in [
+        (StoreConfig { shards: 0, ..ok.clone() }, StoreError::ZeroShards),
+        (StoreConfig { shard_capacity: 0, ..ok.clone() }, StoreError::ZeroShardCapacity),
+        (StoreConfig { width: 0, initial: vec![], ..ok.clone() }, StoreError::ZeroWords),
+        (StoreConfig { keys: 0, ..ok.clone() }, StoreError::ZeroKeys),
+        (
+            StoreConfig { initial: vec![0; 5], ..ok },
+            StoreError::WrongInitLen { expected: 2, got: 5 },
+        ),
+    ] {
+        assert_eq!(Store::try_new(cfg).unwrap_err(), want);
+    }
+}
