@@ -48,8 +48,10 @@
 //! which requires `p` to have withdrawn (changing `Help[p]`, failing any
 //! in-flight donation SC) and re-announced.
 
-use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::Arc;
+use std::sync::atomic::{AtomicBool, AtomicU32, Ordering};
+use std::sync::{Arc, Mutex, PoisonError};
+
+use mwllsc::{ClaimError, ConfigError, MwFactory};
 
 use llsc_word::{bits_for, Link, LlScCell, TaggedLlSc};
 
@@ -132,6 +134,18 @@ pub struct AmStyleLlSc {
     /// `HELPBUF[q][r]`: `q`'s dedicated donation slot for helpee `r`.
     helpbufs: Box<[WordBuffer]>,
     claimed: Box<[AtomicBool]>,
+    /// Each process's round-robin pool cursor, persisted across lease
+    /// generations: the slot-stability argument counts successful SCs by
+    /// *process id*, so a re-claimed id must resume where the previous
+    /// holder stopped — resetting to 0 could write into the currently
+    /// published slot.
+    cursors: Box<[AtomicU32]>,
+    /// Each process's `retval` scratch buffer, recycled across lease
+    /// generations so claim-per-operation consumers (the sharded store)
+    /// do not pay a heap allocation per operation. Uncontended by
+    /// construction — slot `p` is exclusively leased — so the mutex is
+    /// one uncontended RMW.
+    scratch: Box<[Mutex<Vec<u64>>]>,
 }
 
 impl std::fmt::Debug for AmStyleLlSc {
@@ -176,6 +190,10 @@ impl AmStyleLlSc {
             pools,
             helpbufs,
             claimed: (0..n).map(|_| AtomicBool::new(false)).collect(),
+            // Process 0's slot 0 holds the initial value; its cursor
+            // starts past it so the published slot is never overwritten.
+            cursors: (0..n).map(|p| AtomicU32::new(u32::from(p == 0))).collect(),
+            scratch: (0..n).map(|_| Mutex::new(Vec::new())).collect(),
         })
     }
 
@@ -187,25 +205,41 @@ impl AmStyleLlSc {
         &self.helpbufs[helper as usize * self.layout.n as usize + helpee as usize]
     }
 
-    /// Claims the handle for process `p` (once per id).
+    /// Leases the handle for process `p`. Fails while another live handle
+    /// holds the id; dropping the handle frees it (the same lease
+    /// semantics as [`MwLlSc::claim`](mwllsc::MwLlSc::claim)). The pool
+    /// cursor carries over between lease generations, preserving the
+    /// slot-stability argument across any amount of claim/drop churn.
+    pub fn try_claim(self: &Arc<Self>, p: usize) -> Result<AmHandle, ClaimError> {
+        let n = self.layout.n as usize;
+        if p >= n {
+            return Err(ClaimError::OutOfRange { p, n });
+        }
+        if self.claimed[p].swap(true, Ordering::AcqRel) {
+            return Err(ClaimError::AlreadyClaimed { p });
+        }
+        // Recycle the slot's scratch buffer (first claim allocates it).
+        let mut retval =
+            std::mem::take(&mut *self.scratch[p].lock().unwrap_or_else(PoisonError::into_inner));
+        retval.resize(self.w, 0);
+        Ok(AmHandle {
+            obj: Arc::clone(self),
+            p: p as u32,
+            cursor: self.cursors[p].load(Ordering::Relaxed),
+            x: AmX { owner: 0, slot: 0, seq: 0 },
+            x_link: None,
+            retval,
+        })
+    }
+
+    /// [`try_claim`](Self::try_claim), panicking on errors.
     ///
     /// # Panics
     ///
-    /// Panics on an out-of-range or already-claimed id.
+    /// Panics on an out-of-range or currently-leased id.
     #[must_use]
     pub fn claim(self: &Arc<Self>, p: usize) -> AmHandle {
-        assert!(p < self.layout.n as usize, "process id {p} out of range");
-        assert!(!self.claimed[p].swap(true, Ordering::AcqRel), "process id {p} already claimed");
-        AmHandle {
-            obj: Arc::clone(self),
-            p: p as u32,
-            // Process 0's slot 0 holds the initial value; its cursor starts
-            // past it so the published slot is never overwritten.
-            cursor: if p == 0 { 1 } else { 0 },
-            x: AmX { owner: 0, slot: 0, seq: 0 },
-            x_link: None,
-            retval: vec![0; self.w],
-        }
+        self.try_claim(p).unwrap_or_else(|e| panic!("claim: {e}"))
     }
 
     /// All `N` handles, in process order.
@@ -270,6 +304,59 @@ impl AmHandle {
     #[must_use]
     pub fn process_id(&self) -> usize {
         self.p as usize
+    }
+}
+
+impl Drop for AmHandle {
+    fn drop(&mut self) {
+        // Persist the cursor and return the scratch buffer *before*
+        // freeing the id: the next claimant's `swap(true, AcqRel)` on the
+        // flag orders its loads after these stores.
+        let p = self.p as usize;
+        *self.obj.scratch[p].lock().unwrap_or_else(PoisonError::into_inner) =
+            std::mem::take(&mut self.retval);
+        self.obj.cursors[p].store(self.cursor, Ordering::Relaxed);
+        self.obj.claimed[p].store(false, Ordering::Release);
+    }
+}
+
+/// [`MwFactory`] marker: AM-style `Θ(N²W)` objects as a store backend —
+/// exists so the space-class comparison runs at store scale too.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct AmStyleBackend;
+
+impl MwFactory for AmStyleBackend {
+    type Object = AmStyleLlSc;
+    type Handle = AmHandle;
+
+    const NAME: &'static str = "am-style";
+
+    fn progress() -> Progress {
+        Progress::WaitFree
+    }
+
+    fn max_processes() -> usize {
+        // The packed X record (owner, slot, seq) must fit 48 bits
+        // (`AmLayout::new`): at N = 2^15 it uses 15 + 17 + 16 = 48.
+        1 << 15
+    }
+
+    fn try_build(n: usize, w: usize, initial: &[u64]) -> Result<Arc<Self::Object>, ConfigError> {
+        ConfigError::validate(n, w, initial, Self::max_processes())?;
+        Ok(AmStyleLlSc::new(n, w, initial))
+    }
+
+    fn try_claim(obj: &Arc<Self::Object>, p: usize) -> Result<Self::Handle, ClaimError> {
+        obj.try_claim(p)
+    }
+
+    fn object_shared_words(n: usize, w: usize) -> usize {
+        // pools + help slots + X + Help, matching `space()`.
+        n * (2 * n + 1) * w + n * n * w + 1 + n
+    }
+
+    fn measured_shared_words(obj: &Self::Object) -> usize {
+        obj.space().shared_words
     }
 }
 

@@ -14,6 +14,15 @@
 //! All of them (and the paper's algorithm, via an adapter) implement
 //! [`MwHandle`], so the harness and benches drive them identically;
 //! [`build`] constructs any of them from an [`Algo`] tag.
+//!
+//! Every baseline also ships an [`MwFactory`](mwllsc::MwFactory) marker
+//! ([`LockBackend`], [`SeqLockBackend`], [`PtrSwapBackend`],
+//! [`AmStyleBackend`]), so `mwllsc-store`'s sharded `Store` can serve a
+//! multi-million-key space over any of them; [`try_build_store`] selects
+//! a backend from an [`Algo`] tag at runtime. To make that possible the
+//! baselines' `claim` is now a *lease* (like the core algorithm's since
+//! the slot-registry redesign): dropping a handle frees its process id
+//! for a later [`try_claim`](LockLlSc::try_claim).
 
 #![warn(missing_docs, missing_debug_implementations)]
 #![deny(unsafe_op_in_unsafe_fn)]
@@ -26,9 +35,9 @@ mod ptrswap;
 mod seqlock;
 mod traits;
 
-pub use am_style::{AmHandle, AmStyleLlSc};
-pub use factory::{build, try_build, Algo};
-pub use lock::{LockHandle, LockLlSc};
-pub use ptrswap::{PtrSwapHandle, PtrSwapLlSc};
-pub use seqlock::{SeqLockHandle, SeqLockLlSc};
+pub use am_style::{AmHandle, AmStyleBackend, AmStyleLlSc};
+pub use factory::{build, try_build, try_build_store, Algo};
+pub use lock::{LockBackend, LockHandle, LockLlSc};
+pub use ptrswap::{PtrSwapBackend, PtrSwapHandle, PtrSwapLlSc};
+pub use seqlock::{SeqLockBackend, SeqLockHandle, SeqLockLlSc};
 pub use traits::{MwHandle, Progress, SpaceEstimate};

@@ -12,6 +12,8 @@
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Mutex, MutexGuard};
 
+use mwllsc::{ClaimError, ConfigError, MwFactory};
+
 use crate::traits::{MwHandle, Progress, SpaceEstimate};
 
 struct Inner {
@@ -59,16 +61,27 @@ impl LockLlSc {
         self.inner.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
     }
 
-    /// Claims the handle for process `p` (once per id).
+    /// Leases the handle for process `p`. Fails while another live handle
+    /// holds the id; dropping the handle frees it (the same lease
+    /// semantics as [`MwLlSc::claim`](mwllsc::MwLlSc::claim)).
+    pub fn try_claim(self: &Arc<Self>, p: usize) -> Result<LockHandle, ClaimError> {
+        if p >= self.n {
+            return Err(ClaimError::OutOfRange { p, n: self.n });
+        }
+        if self.claimed[p].swap(true, Ordering::AcqRel) {
+            return Err(ClaimError::AlreadyClaimed { p });
+        }
+        Ok(LockHandle { obj: Arc::clone(self), p, linked_version: None })
+    }
+
+    /// [`try_claim`](Self::try_claim), panicking on errors.
     ///
     /// # Panics
     ///
-    /// Panics on an out-of-range or already-claimed id.
+    /// Panics on an out-of-range or currently-leased id.
     #[must_use]
     pub fn claim(self: &Arc<Self>, p: usize) -> LockHandle {
-        assert!(p < self.n, "process id {p} out of range");
-        assert!(!self.claimed[p].swap(true, Ordering::AcqRel), "process id {p} already claimed");
-        LockHandle { obj: Arc::clone(self), linked_version: None }
+        self.try_claim(p).unwrap_or_else(|e| panic!("claim: {e}"))
     }
 
     /// All `N` handles, in process order.
@@ -94,10 +107,18 @@ impl LockLlSc {
     }
 }
 
-/// Per-process handle to a [`LockLlSc`].
+/// Per-process handle to a [`LockLlSc`] (a lease: dropping it frees the
+/// process id for a later claim).
 pub struct LockHandle {
     obj: Arc<LockLlSc>,
+    p: usize,
     linked_version: Option<u64>,
+}
+
+impl Drop for LockHandle {
+    fn drop(&mut self) {
+        self.obj.claimed[self.p].store(false, Ordering::Release);
+    }
 }
 
 impl std::fmt::Debug for LockHandle {
@@ -153,9 +174,51 @@ impl MwHandle for LockHandle {
     }
 }
 
+/// [`MwFactory`] marker: mutex-protected values as a store backend.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct LockBackend;
+
+impl MwFactory for LockBackend {
+    type Object = LockLlSc;
+    type Handle = LockHandle;
+
+    const NAME: &'static str = "lock";
+
+    fn progress() -> Progress {
+        Progress::Blocking
+    }
+
+    fn try_build(n: usize, w: usize, initial: &[u64]) -> Result<Arc<Self::Object>, ConfigError> {
+        ConfigError::validate(n, w, initial, Self::max_processes())?;
+        Ok(LockLlSc::new(n, w, initial))
+    }
+
+    fn try_claim(obj: &Arc<Self::Object>, p: usize) -> Result<Self::Handle, ClaimError> {
+        obj.try_claim(p)
+    }
+
+    fn object_shared_words(_n: usize, w: usize) -> usize {
+        w + 2 // value + version + lock word, matching `space()`
+    }
+
+    fn measured_shared_words(obj: &Self::Object) -> usize {
+        obj.space().shared_words
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn claim_is_a_lease() {
+        let obj = LockLlSc::new(2, 1, &[0]);
+        let h = obj.try_claim(0).unwrap();
+        assert_eq!(obj.try_claim(0).unwrap_err(), ClaimError::AlreadyClaimed { p: 0 });
+        assert_eq!(obj.try_claim(2).unwrap_err(), ClaimError::OutOfRange { p: 2, n: 2 });
+        drop(h);
+        let _re = obj.try_claim(0).expect("dropping the handle frees the id");
+    }
 
     #[test]
     fn semantics() {

@@ -29,6 +29,7 @@ use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 
 use llsc_word::DeferredSwapCell;
+use mwllsc::{ClaimError, ConfigError, MwFactory};
 
 use crate::traits::{MwHandle, Progress, SpaceEstimate};
 
@@ -65,16 +66,27 @@ impl PtrSwapLlSc {
         })
     }
 
-    /// Claims the handle for process `p` (once per id).
+    /// Leases the handle for process `p`. Fails while another live handle
+    /// holds the id; dropping the handle frees it (the same lease
+    /// semantics as [`MwLlSc::claim`](mwllsc::MwLlSc::claim)).
+    pub fn try_claim(self: &Arc<Self>, p: usize) -> Result<PtrSwapHandle, ClaimError> {
+        if p >= self.n {
+            return Err(ClaimError::OutOfRange { p, n: self.n });
+        }
+        if self.claimed[p].swap(true, Ordering::AcqRel) {
+            return Err(ClaimError::AlreadyClaimed { p });
+        }
+        Ok(PtrSwapHandle { obj: Arc::clone(self), p, linked_seq: None })
+    }
+
+    /// [`try_claim`](Self::try_claim), panicking on errors.
     ///
     /// # Panics
     ///
-    /// Panics on an out-of-range or already-claimed id.
+    /// Panics on an out-of-range or currently-leased id.
     #[must_use]
     pub fn claim(self: &Arc<Self>, p: usize) -> PtrSwapHandle {
-        assert!(p < self.n, "process id {p} out of range");
-        assert!(!self.claimed[p].swap(true, Ordering::AcqRel), "process id {p} already claimed");
-        PtrSwapHandle { obj: Arc::clone(self), linked_seq: None }
+        self.try_claim(p).unwrap_or_else(|e| panic!("claim: {e}"))
     }
 
     /// All `N` handles, in process order.
@@ -110,10 +122,18 @@ impl PtrSwapLlSc {
     }
 }
 
-/// Per-process handle to a [`PtrSwapLlSc`].
+/// Per-process handle to a [`PtrSwapLlSc`] (a lease: dropping it frees
+/// the process id for a later claim).
 pub struct PtrSwapHandle {
     obj: Arc<PtrSwapLlSc>,
+    p: usize,
     linked_seq: Option<u64>,
+}
+
+impl Drop for PtrSwapHandle {
+    fn drop(&mut self) {
+        self.obj.claimed[self.p].store(false, Ordering::Release);
+    }
 }
 
 impl std::fmt::Debug for PtrSwapHandle {
@@ -162,9 +182,54 @@ impl MwHandle for PtrSwapHandle {
     }
 }
 
+/// [`MwFactory`] marker: epoch pointer-swap objects as a store backend.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct PtrSwapBackend;
+
+impl MwFactory for PtrSwapBackend {
+    type Object = PtrSwapLlSc;
+    type Handle = PtrSwapHandle;
+
+    const NAME: &'static str = "ptr-swap";
+
+    fn progress() -> Progress {
+        Progress::WaitFree
+    }
+
+    fn try_build(n: usize, w: usize, initial: &[u64]) -> Result<Arc<Self::Object>, ConfigError> {
+        ConfigError::validate(n, w, initial, Self::max_processes())?;
+        Ok(PtrSwapLlSc::new(n, w, initial))
+    }
+
+    fn try_claim(obj: &Arc<Self::Object>, p: usize) -> Result<Self::Handle, ClaimError> {
+        obj.try_claim(p)
+    }
+
+    fn object_shared_words(_n: usize, w: usize) -> usize {
+        w + 2 // live node value + pointer + seq word, matching `space()`
+    }
+
+    fn measured_shared_words(obj: &Self::Object) -> usize {
+        obj.space().shared_words
+    }
+
+    fn retired_words(obj: &Self::Object) -> usize {
+        obj.space().retired_words
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn claim_is_a_lease() {
+        let obj = PtrSwapLlSc::new(2, 1, &[0]);
+        let h = obj.try_claim(0).unwrap();
+        assert_eq!(obj.try_claim(0).unwrap_err(), ClaimError::AlreadyClaimed { p: 0 });
+        drop(h);
+        let _re = obj.try_claim(0).expect("dropping the handle frees the id");
+    }
 
     #[test]
     fn semantics() {

@@ -18,6 +18,8 @@
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 
+use mwllsc::{ClaimError, ConfigError, MwFactory};
+
 use crate::traits::{MwHandle, Progress, SpaceEstimate};
 
 /// A `W`-word LL/SC/VL object with seqlock internals.
@@ -52,16 +54,27 @@ impl SeqLockLlSc {
         })
     }
 
-    /// Claims the handle for process `p` (once per id).
+    /// Leases the handle for process `p`. Fails while another live handle
+    /// holds the id; dropping the handle frees it (the same lease
+    /// semantics as [`MwLlSc::claim`](mwllsc::MwLlSc::claim)).
+    pub fn try_claim(self: &Arc<Self>, p: usize) -> Result<SeqLockHandle, ClaimError> {
+        if p >= self.n {
+            return Err(ClaimError::OutOfRange { p, n: self.n });
+        }
+        if self.claimed[p].swap(true, Ordering::AcqRel) {
+            return Err(ClaimError::AlreadyClaimed { p });
+        }
+        Ok(SeqLockHandle { obj: Arc::clone(self), p, linked: None })
+    }
+
+    /// [`try_claim`](Self::try_claim), panicking on errors.
     ///
     /// # Panics
     ///
-    /// Panics on an out-of-range or already-claimed id.
+    /// Panics on an out-of-range or currently-leased id.
     #[must_use]
     pub fn claim(self: &Arc<Self>, p: usize) -> SeqLockHandle {
-        assert!(p < self.n, "process id {p} out of range");
-        assert!(!self.claimed[p].swap(true, Ordering::AcqRel), "process id {p} already claimed");
-        SeqLockHandle { obj: Arc::clone(self), linked: None }
+        self.try_claim(p).unwrap_or_else(|e| panic!("claim: {e}"))
     }
 
     /// All `N` handles, in process order.
@@ -83,11 +96,19 @@ impl SeqLockLlSc {
     }
 }
 
-/// Per-process handle to a [`SeqLockLlSc`].
+/// Per-process handle to a [`SeqLockLlSc`] (a lease: dropping it frees
+/// the process id for a later claim).
 pub struct SeqLockHandle {
     obj: Arc<SeqLockLlSc>,
+    p: usize,
     /// The (even) version this process linked against.
     linked: Option<u64>,
+}
+
+impl Drop for SeqLockHandle {
+    fn drop(&mut self) {
+        self.obj.claimed[self.p].store(false, Ordering::Release);
+    }
 }
 
 impl std::fmt::Debug for SeqLockHandle {
@@ -175,9 +196,50 @@ impl MwHandle for SeqLockHandle {
     }
 }
 
+/// [`MwFactory`] marker: seqlocks as a store backend.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct SeqLockBackend;
+
+impl MwFactory for SeqLockBackend {
+    type Object = SeqLockLlSc;
+    type Handle = SeqLockHandle;
+
+    const NAME: &'static str = "seqlock";
+
+    fn progress() -> Progress {
+        Progress::LockFree
+    }
+
+    fn try_build(n: usize, w: usize, initial: &[u64]) -> Result<Arc<Self::Object>, ConfigError> {
+        ConfigError::validate(n, w, initial, Self::max_processes())?;
+        Ok(SeqLockLlSc::new(n, w, initial))
+    }
+
+    fn try_claim(obj: &Arc<Self::Object>, p: usize) -> Result<Self::Handle, ClaimError> {
+        obj.try_claim(p)
+    }
+
+    fn object_shared_words(_n: usize, w: usize) -> usize {
+        w + 1 // data + version word, matching `space()`
+    }
+
+    fn measured_shared_words(obj: &Self::Object) -> usize {
+        obj.space().shared_words
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn claim_is_a_lease() {
+        let obj = SeqLockLlSc::new(2, 1, &[0]);
+        let h = obj.try_claim(1).unwrap();
+        assert_eq!(obj.try_claim(1).unwrap_err(), ClaimError::AlreadyClaimed { p: 1 });
+        drop(h);
+        let _re = obj.try_claim(1).expect("dropping the handle frees the id");
+    }
 
     #[test]
     fn semantics() {

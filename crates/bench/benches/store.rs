@@ -1,16 +1,18 @@
-//! E10 (bench form): per-operation cost of the store layer — routing,
+//! E10/E11 (bench form): per-operation cost of the store layer — routing,
 //! shard-slot lookup, lazy-table hit, per-object claim — over the raw
-//! object, and the batched `read_many` path against one-by-one reads.
+//! object; the batched `read_many`/`update_many` paths against one-by-one
+//! operations; and the same update workload across store backends.
 //!
-//! The harness (`mwllsc-harness e10-store`) produces the headline
-//! throughput-vs-shards table; this bench isolates the store's per-op
-//! overhead at criterion granularity.
+//! The harness (`mwllsc-harness e10-store` / `e11-backends`) produces the
+//! headline tables; this bench isolates the store's per-op overhead at
+//! criterion granularity.
 
 use std::time::Duration;
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use llsc_baselines::{try_build_store, Algo};
 use mwllsc::MwLlSc;
-use mwllsc_store::{Store, StoreConfig};
+use mwllsc_store::{EpochBackend, Store, StoreConfig};
 use std::hint::black_box;
 
 const W: usize = 2;
@@ -78,9 +80,66 @@ fn bench_read_many_vs_loop(c: &mut Criterion) {
     group.finish();
 }
 
+fn bench_update_many_vs_loop(c: &mut Criterion) {
+    const BATCH: usize = 256;
+    let mut group = c.benchmark_group("e11_store_update_256_keys");
+    group.throughput(Throughput::Elements(BATCH as u64));
+    let store = Store::new(StoreConfig::new(64, 2, W, KEYS));
+    let keys: Vec<u64> = (0..BATCH as u64).map(|i| (i * 37 % TOUCH) * (KEYS / TOUCH)).collect();
+    group.bench_function("batched_update_many", |b| {
+        let mut h = store.attach();
+        let mut batch: Vec<(u64, _)> =
+            keys.iter().map(|&k| (k, |v: &mut [u64]| v[0] += 1)).collect();
+        b.iter(|| h.update_many(black_box(&mut batch)).unwrap());
+    });
+    group.bench_function("one_by_one", |b| {
+        let mut h = store.attach();
+        let mut buf = [0u64; W];
+        b.iter(|| {
+            for &k in &keys {
+                h.update_with(black_box(k), &mut buf, |v| v[0] += 1).unwrap();
+            }
+        });
+    });
+    group.finish();
+}
+
+fn bench_backend_update(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e11_store_backend_update");
+    let keys: Vec<u64> = (0..TOUCH).map(|i| i * (KEYS / TOUCH)).collect();
+    // The runtime-selectable backends, driven through the erased handle
+    // so every row pays the same dispatch cost.
+    for algo in [Algo::Jp, Algo::PtrSwap, Algo::SeqLock, Algo::Lock] {
+        group.bench_with_input(BenchmarkId::from_parameter(algo), &algo, |b, &algo| {
+            let store = try_build_store(algo, StoreConfig::new(8, 2, W, KEYS)).unwrap();
+            let mut h = store.attach_dyn();
+            let mut buf = [0u64; W];
+            let mut i = 0usize;
+            b.iter(|| {
+                let key = keys[i % keys.len()];
+                i += 1;
+                h.update_with_dyn(black_box(key), &mut buf, &mut |v| v[0] += 1).unwrap();
+            });
+        });
+    }
+    // The typed epoch-substrate variant, same driver.
+    group.bench_function("jp-epoch-substrate", |b| {
+        let store = Store::<EpochBackend>::new_in(StoreConfig::new(8, 2, W, KEYS));
+        let mut h = store.attach();
+        let mut buf = [0u64; W];
+        let mut i = 0usize;
+        b.iter(|| {
+            let key = keys[i % keys.len()];
+            i += 1;
+            h.update_with(black_box(key), &mut buf, |v| v[0] += 1).unwrap();
+        });
+    });
+    group.finish();
+}
+
 criterion_group!(
     name = benches;
     config = Criterion::default().sample_size(15).measurement_time(Duration::from_millis(900)).warm_up_time(Duration::from_millis(200));
-    targets = bench_update_vs_shards, bench_read_many_vs_loop
+    targets = bench_update_vs_shards, bench_read_many_vs_loop, bench_update_many_vs_loop, bench_backend_update
 );
 criterion_main!(benches);

@@ -63,6 +63,28 @@ impl std::fmt::Display for ConfigError {
 
 impl std::error::Error for ConfigError {}
 
+impl ConfigError {
+    /// Checks the construction rules every implementation shares — `n` and
+    /// `w` nonzero, `initial` of length `w`, `n` within `max_processes` —
+    /// so factories and backends validate identically instead of each
+    /// re-deriving the matrix.
+    pub fn validate(n: usize, w: usize, initial: &[u64], max_processes: usize) -> Result<(), Self> {
+        if n == 0 {
+            return Err(Self::ZeroProcesses);
+        }
+        if w == 0 {
+            return Err(Self::ZeroWords);
+        }
+        if initial.len() != w {
+            return Err(Self::WrongInitLen { expected: w, got: initial.len() });
+        }
+        if n > max_processes {
+            return Err(Self::TooManyProcesses);
+        }
+        Ok(())
+    }
+}
+
 /// Errors from [`MwLlSc::claim`].
 #[derive(Clone, Debug, PartialEq, Eq)]
 #[non_exhaustive]
@@ -252,18 +274,7 @@ impl<C: NewCell> MwLlSc<C> {
         initial: &[u64],
         strategy: LlStrategy,
     ) -> Result<Arc<Self>, ConfigError> {
-        if n == 0 {
-            return Err(ConfigError::ZeroProcesses);
-        }
-        if w == 0 {
-            return Err(ConfigError::ZeroWords);
-        }
-        if initial.len() != w {
-            return Err(ConfigError::WrongInitLen { expected: w, got: initial.len() });
-        }
-        if n > Layout::MAX_PROCESSES {
-            return Err(ConfigError::TooManyProcesses);
-        }
+        ConfigError::validate(n, w, initial, Layout::MAX_PROCESSES)?;
         let layout = Layout::new(n);
 
         // Initialization block of Figure 2:

@@ -13,6 +13,7 @@
 //!   e7-helping           helping-path statistics under real-thread storms
 //!   e8-compare           throughput + space, all implementations
 //!   e10-store            sharded store: throughput vs shards, key scaling
+//!   e11-backends         multi-backend store matrix + batched update_many
 //!   all                  everything above, in order
 //! ```
 //!
@@ -26,7 +27,7 @@ mod timing;
 fn usage() -> ! {
     eprintln!(
         "usage: mwllsc-harness <e1-space|e2-time-w|e3-time-n|e4-vl|e5-waitfree|\
-         e6-linearizability|e7-helping|e8-compare|e10-store|all> [--quick]"
+         e6-linearizability|e7-helping|e8-compare|e10-store|e11-backends|all> [--quick]"
     );
     std::process::exit(2);
 }
@@ -54,6 +55,7 @@ fn main() {
         "e7-helping" => experiments::e7_helping(quick),
         "e8-compare" => experiments::e8_compare(quick),
         "e10-store" => experiments::e10_store(quick),
+        "e11-backends" => experiments::e11_backends(quick),
         "all" => experiments::all(quick),
         _ => usage(),
     }

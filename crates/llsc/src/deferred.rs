@@ -251,6 +251,17 @@ mod tests {
     use super::*;
     use std::sync::Arc;
 
+    /// Iteration budget: full size natively, floored under Miri — the
+    /// interpreter runs these storms ~100x slower, and the assertions are
+    /// count-parametric, so a smaller budget exercises the same paths.
+    fn scaled(n: u64) -> u64 {
+        if cfg!(miri) {
+            (n / 50).max(8)
+        } else {
+            n
+        }
+    }
+
     #[test]
     fn load_and_swap_sequence() {
         let c = DeferredSwapCell::new(10u64);
@@ -270,7 +281,7 @@ mod tests {
         // A failing compare_swap must not leak its candidate node: the
         // cell's node counter ends where it started.
         let c = DeferredSwapCell::new(vec![1u64, 2]);
-        for _ in 0..1000 {
+        for _ in 0..scaled(1000) {
             assert!(!c.compare_swap(77, vec![9, 9]));
         }
         assert_eq!(c.tracked_nodes(), 1, "only the live node remains tracked");
@@ -283,7 +294,7 @@ mod tests {
         let held = c.load();
         let c2 = Arc::clone(&c);
         std::thread::spawn(move || {
-            for i in 0..500 {
+            for i in 0..scaled(500) {
                 let seq = c2.load().seq();
                 c2.compare_swap(seq, vec![i; 32]);
             }
@@ -298,13 +309,14 @@ mod tests {
 
     #[test]
     fn concurrent_swaps_every_seq_won_once() {
+        let per_thread = scaled(2_000);
         let c = Arc::new(DeferredSwapCell::new(0u64));
         let mut joins = Vec::new();
         for _ in 0..4 {
             let c = Arc::clone(&c);
             joins.push(std::thread::spawn(move || {
                 let mut wins = 0u64;
-                while wins < 2_000 {
+                while wins < per_thread {
                     let p = c.load();
                     let (v, seq) = (*p, p.seq());
                     drop(p);
@@ -318,7 +330,7 @@ mod tests {
             j.join().unwrap();
         }
         let p = c.load();
-        assert_eq!((*p, p.seq()), (8_000, 8_000));
+        assert_eq!((*p, p.seq()), (4 * per_thread, 4 * per_thread));
     }
 
     #[test]
@@ -328,7 +340,7 @@ mod tests {
         let _gate = crate::testgate();
         let c = DeferredSwapCell::new(0u64);
         let mut high_water = 0;
-        for i in 0..10_000 {
+        for i in 0..scaled(10_000) {
             assert!(c.compare_swap(i, i + 1));
             high_water = high_water.max(c.tracked_nodes());
         }

@@ -70,6 +70,16 @@ impl EpochLlSc {
         self.cell.tracked_nodes()
     }
 
+    /// 64-bit words of the one *live* heap node a quiescent cell holds
+    /// beyond its counted pointer word (payload + seq + tracker header).
+    /// Space accounting that compares this substrate against in-place
+    /// designs must add this per cell — hiding the indirection would
+    /// make the epoch realization look as cheap as the tagged one.
+    #[must_use]
+    pub fn live_node_words() -> usize {
+        DeferredSwapCell::<u64>::node_words()
+    }
+
     #[cfg(debug_assertions)]
     fn id(&self) -> usize {
         self as *const Self as usize

@@ -1,0 +1,237 @@
+//! Type-erased store access: [`DynStore`] / [`DynStoreHandle`].
+//!
+//! [`Store`] is generic over its backend, which is the right shape for
+//! code that knows its implementation at compile time — but the harness
+//! CLI (and any configuration-driven service) picks the backend at
+//! *runtime*. These object-safe traits erase `B`: every
+//! `Arc<Store<B>>` is a `DynStore`, every `StoreHandle<B>` is a
+//! `DynStoreHandle`, and `llsc_baselines::try_build_store` maps an
+//! `Algo` name to a boxed `DynStore` of the matching backend.
+//!
+//! The erased surface trades monomorphized closures for `&mut dyn FnMut`
+//! (one indirect call per LL/SC round — noise next to the operation
+//! itself) and is deliberately a subset: typed construction and the
+//! allocation-free generic paths stay on [`Store`]/[`StoreHandle`].
+
+use std::sync::Arc;
+
+use mwllsc::{MwFactory, Progress};
+
+use crate::handle::StoreHandle;
+use crate::store::{Store, StoreError, StoreSpace, StoreStats};
+
+/// Object-safe view of a [`StoreHandle`], for stores selected at runtime.
+pub trait DynStoreHandle: Send {
+    /// Words per logical variable, `W`.
+    fn width(&self) -> usize;
+
+    /// Reads the current value of `key` into `out`
+    /// ([`StoreHandle::read`]).
+    fn read(&mut self, key: u64, out: &mut [u64]) -> Result<(), StoreError>;
+
+    /// Reads many keys, returning values in the order of `keys`
+    /// ([`StoreHandle::read_many`]).
+    fn read_many(&mut self, keys: &[u64]) -> Result<Vec<Vec<u64>>, StoreError>;
+
+    /// Atomically read-modify-writes `key` with `f`, using `out` as the
+    /// working buffer ([`StoreHandle::update_with`]).
+    fn update_with_dyn(
+        &mut self,
+        key: u64,
+        out: &mut [u64],
+        f: &mut dyn FnMut(&mut [u64]),
+    ) -> Result<(), StoreError>;
+
+    /// Batched read-modify-write: commits `apply(i, buf)` once per key in
+    /// `(shard, key)` order with the [`StoreHandle::update_many`]
+    /// batching economics. `apply` receives the entry's index in `keys`.
+    fn update_many_dyn(
+        &mut self,
+        keys: &[u64],
+        apply: &mut dyn FnMut(usize, &mut [u64]),
+    ) -> Result<(), StoreError>;
+
+    /// Blind-writes `(key, value)` pairs ([`StoreHandle::write_many`]).
+    fn write_many(&mut self, batch: &[(u64, &[u64])]) -> Result<(), StoreError>;
+
+    /// Reads `key` into a fresh `Vec`.
+    fn read_vec(&mut self, key: u64) -> Result<Vec<u64>, StoreError> {
+        let mut out = vec![0u64; self.width()];
+        self.read(key, &mut out)?;
+        Ok(out)
+    }
+}
+
+impl<B: MwFactory> DynStoreHandle for StoreHandle<B> {
+    fn width(&self) -> usize {
+        self.store().width()
+    }
+
+    fn read(&mut self, key: u64, out: &mut [u64]) -> Result<(), StoreError> {
+        StoreHandle::read(self, key, out)
+    }
+
+    fn read_many(&mut self, keys: &[u64]) -> Result<Vec<Vec<u64>>, StoreError> {
+        StoreHandle::read_many(self, keys)
+    }
+
+    fn update_with_dyn(
+        &mut self,
+        key: u64,
+        out: &mut [u64],
+        f: &mut dyn FnMut(&mut [u64]),
+    ) -> Result<(), StoreError> {
+        self.update_with(key, out, f)
+    }
+
+    fn update_many_dyn(
+        &mut self,
+        keys: &[u64],
+        apply: &mut dyn FnMut(usize, &mut [u64]),
+    ) -> Result<(), StoreError> {
+        self.batch_update(keys, apply)
+    }
+
+    fn write_many(&mut self, batch: &[(u64, &[u64])]) -> Result<(), StoreError> {
+        StoreHandle::write_many(self, batch)
+    }
+}
+
+/// Object-safe view of an owned [`Store`], for runtime backend selection.
+///
+/// Implemented for `Arc<Store<B>>` (attachment needs the `Arc`), so a
+/// `Box<dyn DynStore>` is a boxed `Arc` — cloning cost is one refcount.
+///
+/// # Examples
+///
+/// ```
+/// use mwllsc_store::{DynStore, Store, StoreConfig};
+///
+/// let store: Box<dyn DynStore> = Box::new(Store::new(StoreConfig::new(4, 2, 1, 1 << 20)));
+/// let mut h = store.attach_dyn();
+/// let mut buf = [0u64; 1];
+/// h.update_with_dyn(9, &mut buf, &mut |v| v[0] += 41).unwrap();
+/// assert_eq!(h.read_vec(9).unwrap(), vec![41]);
+/// assert_eq!(store.backend(), "paper");
+/// ```
+pub trait DynStore: Send + Sync {
+    /// Attaches a type-erased handle ([`Store::attach`]).
+    fn attach_dyn(&self) -> Box<dyn DynStoreHandle>;
+
+    /// The backend's display name ([`Store::backend`]).
+    fn backend(&self) -> &'static str;
+
+    /// The backend's per-object progress guarantee
+    /// ([`MwFactory::progress`]).
+    fn progress(&self) -> Progress;
+
+    /// Number of shards `S`.
+    fn shards(&self) -> usize;
+
+    /// Process slots per shard, `c`.
+    fn shard_capacity(&self) -> usize;
+
+    /// Words per logical variable, `W`.
+    fn width(&self) -> usize;
+
+    /// Size of the logical key space.
+    fn key_capacity(&self) -> u64;
+
+    /// Shard slots currently leased by live handles.
+    fn live_slot_leases(&self) -> usize;
+
+    /// The space rollup ([`Store::space`]).
+    fn space(&self) -> StoreSpace;
+
+    /// The stats rollup ([`Store::stats`]).
+    fn stats(&self) -> StoreStats;
+}
+
+impl std::fmt::Debug for dyn DynStore + '_ {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("DynStore")
+            .field("backend", &self.backend())
+            .field("shards", &self.shards())
+            .field("shard_capacity", &self.shard_capacity())
+            .field("w", &self.width())
+            .field("keys", &self.key_capacity())
+            .finish_non_exhaustive()
+    }
+}
+
+impl std::fmt::Debug for dyn DynStoreHandle + '_ {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("DynStoreHandle").field("w", &self.width()).finish_non_exhaustive()
+    }
+}
+
+impl<B: MwFactory> DynStore for Arc<Store<B>> {
+    fn attach_dyn(&self) -> Box<dyn DynStoreHandle> {
+        Box::new(self.attach())
+    }
+
+    fn backend(&self) -> &'static str {
+        Store::backend(self)
+    }
+
+    fn progress(&self) -> Progress {
+        B::progress()
+    }
+
+    fn shards(&self) -> usize {
+        Store::shards(self)
+    }
+
+    fn shard_capacity(&self) -> usize {
+        Store::shard_capacity(self)
+    }
+
+    fn width(&self) -> usize {
+        Store::width(self)
+    }
+
+    fn key_capacity(&self) -> u64 {
+        Store::key_capacity(self)
+    }
+
+    fn live_slot_leases(&self) -> usize {
+        Store::live_slot_leases(self)
+    }
+
+    fn space(&self) -> StoreSpace {
+        Store::space(self)
+    }
+
+    fn stats(&self) -> StoreStats {
+        Store::stats(self)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::store::StoreConfig;
+    use mwllsc::EpochBackend;
+
+    #[test]
+    fn erased_store_serves_every_operation() {
+        let store: Box<dyn DynStore> =
+            Box::new(Store::<EpochBackend>::new_in(StoreConfig::new(4, 2, 2, 1 << 16)));
+        assert_eq!(store.backend(), "paper-epoch");
+        assert_eq!(store.width(), 2);
+
+        let mut h = store.attach_dyn();
+        let mut buf = [0u64; 2];
+        h.update_with_dyn(5, &mut buf, &mut |v| v[0] = 7).unwrap();
+        h.write_many(&[(6, [8, 9].as_slice())]).unwrap();
+        h.update_many_dyn(&[5, 6], &mut |i, v| v[1] += i as u64 + 1).unwrap();
+        assert_eq!(h.read_vec(5).unwrap(), vec![7, 1]);
+        assert_eq!(h.read_many(&[6]).unwrap(), vec![vec![8, 11]]);
+
+        let space = store.space();
+        assert_eq!(space.touched_keys, 2);
+        assert_eq!(space.shared_words, 2 * space.per_key_shared_words);
+        drop(h);
+        assert_eq!(store.live_slot_leases(), 0);
+    }
+}

@@ -7,13 +7,18 @@
 //! cheap: holding shard slot `p` exclusively means *no other handle* ever
 //! uses process id `p` in that shard, so claiming id `p` on any per-key
 //! object in the shard is one uncontended RMW that cannot fail.
+//!
+//! The handle is generic over the store's backend `B`
+//! ([`MwFactory`]): every operation drives `B::Handle` through the
+//! [`MwHandle`] capability trait, so the same code path serves the paper
+//! algorithm, the substrate ablations, and the baselines.
 
 use std::sync::atomic::Ordering;
 use std::sync::Arc;
 
-use mwllsc::{Handle, MwLlSc};
+use mwllsc::{MwFactory, MwHandle, PaperBackend};
 
-use crate::store::{Store, StoreError};
+use crate::store::{Shard, Store, StoreError};
 
 /// A capability to operate on a [`Store`]'s logical variables.
 ///
@@ -36,30 +41,31 @@ use crate::store::{Store, StoreError};
 /// assert_eq!(h.read_vec(42).unwrap(), vec![3]);
 /// assert_eq!(h.read_vec(43).unwrap(), vec![0], "untouched keys read the initial value");
 /// ```
-pub struct StoreHandle {
-    store: Arc<Store>,
+pub struct StoreHandle<B: MwFactory = PaperBackend> {
+    store: Arc<Store<B>>,
     /// Per-shard leased slot id; `None` until the shard is first touched.
     slots: Box<[Option<u32>]>,
 }
 
-impl std::fmt::Debug for StoreHandle {
+impl<B: MwFactory> std::fmt::Debug for StoreHandle<B> {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("StoreHandle")
+            .field("backend", &B::NAME)
             .field("shards", &self.slots.len())
             .field("leased", &self.slots.iter().filter(|s| s.is_some()).count())
             .finish()
     }
 }
 
-impl StoreHandle {
-    pub(crate) fn new(store: Arc<Store>) -> Self {
+impl<B: MwFactory> StoreHandle<B> {
+    pub(crate) fn new(store: Arc<Store<B>>) -> Self {
         let shards = store.shards();
         Self { store, slots: vec![None; shards].into_boxed_slice() }
     }
 
     /// The store this handle operates on.
     #[must_use]
-    pub fn store(&self) -> &Arc<Store> {
+    pub fn store(&self) -> &Arc<Store<B>> {
         &self.store
     }
 
@@ -88,17 +94,17 @@ impl StoreHandle {
 
     /// Claims this handle's per-shard process id on `key`'s object,
     /// returning the shard index alongside.
-    fn object_handle(&mut self, key: u64) -> Result<(usize, Handle), StoreError> {
+    fn object_handle(&mut self, key: u64) -> Result<(usize, B::Handle), StoreError> {
         let si = self.store.route(key)?;
         let p = self.slot_for(si)?;
         let obj = self.store.object_for(si, key);
-        Ok((si, claim_owned(&obj, p)))
+        Ok((si, claim_owned::<B>(&obj, p)))
     }
 
     /// Reads the current value of `key` into `out`.
     ///
-    /// One wait-free `O(W)` read on the key's object (the paper's LL
-    /// procedure with the link discarded).
+    /// One `O(W)` read on the key's object (wait-free for the paper
+    /// backends; the backend's own read guarantee otherwise).
     pub fn read(&mut self, key: u64, out: &mut [u64]) -> Result<(), StoreError> {
         if out.len() != self.store.width() {
             return Err(StoreError::WrongValueLen { expected: self.store.width(), got: out.len() });
@@ -123,9 +129,9 @@ impl StoreHandle {
     /// This is the allocation-free update path: `out` is the working
     /// buffer for every LL/SC round (callers on hot loops reuse one).
     /// `f` may run multiple times (once per round) and must be a pure
-    /// function of its input slice. Every LL and SC inside the loop is
-    /// wait-free `O(W)`; the loop itself is lock-free under per-key
-    /// contention, like any LL/SC retry loop.
+    /// function of its input slice. For the paper backends every LL and
+    /// SC inside the loop is wait-free `O(W)`; the loop itself is
+    /// lock-free under per-key contention, like any LL/SC retry loop.
     pub fn update_with(
         &mut self,
         key: u64,
@@ -161,8 +167,9 @@ impl StoreHandle {
     /// The batch is processed in `(shard, key)` order: shard-slot lookup
     /// and object-table acquisition are amortized over each run of keys
     /// landing in the same shard, consecutive duplicate keys reuse one
-    /// claimed object handle, and the access pattern walks each shard's
-    /// table once instead of hopping between shards per key.
+    /// claimed object handle, the per-shard operation counter is bumped
+    /// once per run instead of once per key, and the access pattern walks
+    /// each shard's table once instead of hopping between shards per key.
     ///
     /// All-or-nothing for the *reads*: routing is validated and every
     /// needed shard slot is leased *before* the first read, so an error —
@@ -173,50 +180,272 @@ impl StoreHandle {
     /// batch can still raise [`leased_shards`](Self::leased_shards).
     pub fn read_many(&mut self, keys: &[u64]) -> Result<Vec<Vec<u64>>, StoreError> {
         let w = self.store.width();
+        let order = self.batch_prepass(keys)?;
+
+        let store = Arc::clone(&self.store);
+        let runs = resolve_runs(&store, &order);
+        let mut out = vec![vec![0u64; w]; keys.len()];
+        let mut counters = CounterRun::new();
+        for (at, end, obj) in runs {
+            let si = order[at].0;
+            let p = self.slots[si].expect("leased in the pre-pass above") as usize;
+            let mut h = claim_owned::<B>(&obj, p);
+            for &(_, i, _) in &order[at..end] {
+                h.read(&mut out[i]);
+            }
+            counters.count(&store, si, (end - at) as u64, 0, bump_reads);
+        }
+        counters.flush(&store, bump_reads);
+        Ok(out)
+    }
+
+    /// Atomically read-modify-writes a batch: for each `(key, f)` entry,
+    /// runs `f` on the key's current value and installs the result
+    /// (per-key atomicity, *not* a cross-key transaction).
+    ///
+    /// This is the batched write path: entries are processed in
+    /// `(shard, key)` order with the original order preserved between
+    /// duplicates of the same key, so router validation, shard-slot
+    /// leasing, object claims, the table lock, the scratch buffer, and
+    /// the per-shard counters are all amortized across the batch — the
+    /// same economics as [`read_many`](Self::read_many), now for
+    /// updates. Entries for the same key go further: the whole run is
+    /// folded into **one LL/SC commit** (several logical updates per
+    /// SC), applied in batch order inside a single atomic step — a
+    /// concurrent reader sees either none or all of a batch's entries
+    /// for one key, never an intermediate prefix. As with
+    /// [`update_with`](Self::update_with), closures may run once per
+    /// LL/SC round and must be pure functions of the value slice.
+    ///
+    /// All-or-nothing *before the first write*: routing is validated and
+    /// every needed shard slot is leased up front, so a bad key or an
+    /// exhausted shard returns an error with nothing written or
+    /// materialized. Once writing starts every entry commits (an LL/SC
+    /// loop cannot fail, only retry). As with `read_many`, shard slots
+    /// leased by the pre-pass stay with the handle either way.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use mwllsc_store::{Store, StoreConfig};
+    ///
+    /// let store = Store::new(StoreConfig::new(4, 2, 1, 1 << 20));
+    /// let mut h = store.attach();
+    /// let mut batch: Vec<(u64, _)> = (0..100u64).map(|k| (k, move |v: &mut [u64]| v[0] += k)).collect();
+    /// h.update_many(&mut batch).unwrap();
+    /// assert_eq!(h.read_vec(99).unwrap(), vec![99]);
+    /// ```
+    pub fn update_many<F: FnMut(&mut [u64])>(
+        &mut self,
+        batch: &mut [(u64, F)],
+    ) -> Result<(), StoreError> {
+        let keys: Vec<u64> = batch.iter().map(|(k, _)| *k).collect();
+        self.batch_update(&keys, &mut |i, buf| (batch[i].1)(buf))
+    }
+
+    /// Blind-writes a batch of `(key, value)` pairs: each key is
+    /// atomically set to its value (last entry wins for duplicate keys —
+    /// entries for one key are applied in batch order).
+    ///
+    /// Same batching, ordering, and all-or-nothing validation as
+    /// [`update_many`](Self::update_many); additionally every value slice
+    /// is length-checked against `W` *before* anything is leased,
+    /// materialized, or written.
+    pub fn write_many(&mut self, batch: &[(u64, &[u64])]) -> Result<(), StoreError> {
+        let w = self.store.width();
+        for (_, v) in batch {
+            if v.len() != w {
+                return Err(StoreError::WrongValueLen { expected: w, got: v.len() });
+            }
+        }
+        let keys: Vec<u64> = batch.iter().map(|(k, _)| *k).collect();
+        self.batch_update(&keys, &mut |i, buf| buf.copy_from_slice(batch[i].1))
+    }
+
+    /// Shared batch machinery: validates and sorts `keys` by
+    /// `(shard, key, index)`, leases every needed shard slot, then commits
+    /// `apply(i, buf)` for each entry with one LL/SC loop, reusing the
+    /// claimed object handle across runs of equal keys and flushing the
+    /// per-shard counters once per run.
+    pub(crate) fn batch_update(
+        &mut self,
+        keys: &[u64],
+        apply: &mut dyn FnMut(usize, &mut [u64]),
+    ) -> Result<(), StoreError> {
+        let order = self.batch_prepass(keys)?;
+
+        let store = Arc::clone(&self.store);
+        let runs = resolve_runs(&store, &order);
+        let mut buf = vec![0u64; store.width()];
+        let mut counters = CounterRun::new();
+        for (at, end, obj) in runs {
+            let si = order[at].0;
+            let p = self.slots[si].expect("leased in the pre-pass above") as usize;
+            let mut h = claim_owned::<B>(&obj, p);
+            let mut retries = 0;
+            // The whole run of entries for this key is applied inside ONE
+            // LL/SC commit — several logical updates per SC.
+            loop {
+                h.ll(&mut buf);
+                for &(_, i, _) in &order[at..end] {
+                    apply(i, &mut buf);
+                }
+                if h.sc(&buf) {
+                    break;
+                }
+                retries += 1;
+            }
+            counters.count(&store, si, (end - at) as u64, retries, bump_updates);
+        }
+        counters.flush(&store, bump_updates);
+        Ok(())
+    }
+
+    /// The batch pre-pass shared by `read_many` and `batch_update`:
+    /// validates every route, sorts by `(shard, key, index)` (ties on the
+    /// same key keep batch order), and leases every needed shard slot so
+    /// capacity failures surface before any key is touched.
+    fn batch_prepass(&mut self, keys: &[u64]) -> Result<Vec<(usize, usize, u64)>, StoreError> {
         let mut order: Vec<(usize, usize, u64)> = Vec::with_capacity(keys.len());
         for (i, &key) in keys.iter().enumerate() {
             order.push((self.store.route(key)?, i, key));
         }
-        order.sort_unstable_by_key(|&(si, _, key)| (si, key));
-        // Lease every shard the batch needs up front: a capacity failure
-        // must surface before any key is read or materialized.
+        order.sort_unstable_by_key(|&(si, i, key)| (si, key, i));
         for &(si, _, _) in &order {
             self.slot_for(si)?;
         }
+        Ok(order)
+    }
+}
 
-        let mut out = vec![vec![0u64; w]; keys.len()];
-        let mut cached: Option<(u64, Handle)> = None;
-        for (si, i, key) in order {
-            let reuse = matches!(&cached, Some((k, _)) if *k == key);
-            if !reuse {
-                let p = self.slot_for(si).expect("leased in the pre-pass above");
-                // Replacing `cached` drops the previous key's claim; the
-                // overlap is harmless because slot `p` conflicts are
-                // per-object and the two claims are on distinct objects.
-                cached = Some((key, claim_owned(&self.store.object_for(si, key), p)));
-            }
-            let (_, h) = cached.as_mut().expect("claimed just above");
-            h.read(&mut out[i]);
-            self.store.shard(si).reads.fetch_add(1, Ordering::Relaxed);
+/// Counter attribution for the batched read path: a run's ops are
+/// reads, and the read path never produces retries.
+fn bump_reads<B: MwFactory>(shard: &Shard<B>, ops: u64, retries: u64) {
+    debug_assert_eq!(retries, 0, "the read path takes no LL/SC retries");
+    shard.reads.fetch_add(ops, Ordering::Relaxed);
+}
+
+/// Counter attribution for the batched write path: logical updates plus
+/// the SC rounds lost to races.
+fn bump_updates<B: MwFactory>(shard: &Shard<B>, ops: u64, retries: u64) {
+    shard.updates.fetch_add(ops, Ordering::Relaxed);
+    if retries > 0 {
+        shard.update_retries.fetch_add(retries, Ordering::Relaxed);
+    }
+}
+
+/// A held read guard on one shard's key table, tagged with the shard
+/// index: the resolve pass keeps it across a run of same-shard keys so
+/// the table lock is acquired once per run, not once per key.
+type ShardTable<'a, B> = Option<(
+    usize,
+    std::sync::RwLockReadGuard<'a, std::collections::HashMap<u64, Arc<<B as MwFactory>::Object>>>,
+)>;
+
+/// Resolves a sorted batch into its key-runs: one `(start, end, object)`
+/// per maximal run of equal keys, materializing first touches along the
+/// way. All table locking happens *inside this pass* — one read-guard
+/// acquisition per shard run, at most one shard's lock held at a time,
+/// and crucially **no lock is held when it returns**, so the commit
+/// loops can run user closures and LL/SC retries without stalling
+/// concurrent first-touchers or deadlocking a re-entrant caller.
+fn resolve_runs<B: MwFactory>(
+    store: &Store<B>,
+    order: &[(usize, usize, u64)],
+) -> Vec<(usize, usize, Arc<B::Object>)> {
+    let mut runs = Vec::new();
+    let mut table: ShardTable<'_, B> = None;
+    let mut at = 0;
+    while at < order.len() {
+        let (si, _, key) = order[at];
+        // The run of entries for this key (adjacent after the sort).
+        let end = at + order[at..].iter().take_while(|&&(s, _, k)| s == si && k == key).count();
+        if !matches!(&table, Some((tsi, _)) if *tsi == si) {
+            // Release the previous shard's guard *before* locking the
+            // next one: never hold two shard table locks at once, so
+            // deadlock-freedom does not hinge on the batch's ordering.
+            drop(table.take());
+            table = Some((si, store.shard_objects(si)));
         }
-        Ok(out)
+        let hit = table.as_ref().and_then(|(_, map)| map.get(&key).cloned());
+        let obj = hit.unwrap_or_else(|| {
+            // Release the read lock before `object_for` takes the write
+            // lock (holding both would deadlock this thread against
+            // itself).
+            drop(table.take());
+            let obj = store.object_for(si, key);
+            table = Some((si, store.shard_objects(si)));
+            obj
+        });
+        runs.push((at, end, obj));
+        at = end;
+    }
+    runs
+}
+
+/// Accumulates per-shard `(ops, retries)` counter deltas across a sorted
+/// batch and applies them once per shard run, instead of once per key.
+/// Which shard counters the totals land in is entirely the caller's
+/// `apply` closure — the accumulator cannot misattribute a read-path
+/// delta to a write-path counter.
+struct CounterRun {
+    shard: Option<usize>,
+    ops: u64,
+    retries: u64,
+}
+
+impl CounterRun {
+    fn new() -> Self {
+        Self { shard: None, ops: 0, retries: 0 }
+    }
+
+    /// Adds a delta for shard `si`, first applying the previous run's
+    /// totals when the shard changes.
+    fn count<B: MwFactory>(
+        &mut self,
+        store: &Store<B>,
+        si: usize,
+        ops: u64,
+        retries: u64,
+        apply: impl Fn(&Shard<B>, u64, u64),
+    ) {
+        if self.shard != Some(si) {
+            self.flush(store, apply);
+            self.shard = Some(si);
+        }
+        self.ops += ops;
+        self.retries += retries;
+    }
+
+    /// Applies the current run's `(ops, retries)` totals and resets.
+    fn flush<B: MwFactory>(&mut self, store: &Store<B>, apply: impl Fn(&Shard<B>, u64, u64)) {
+        if let Some(si) = self.shard.take() {
+            if self.ops > 0 || self.retries > 0 {
+                apply(store.shard(si), self.ops, self.retries);
+            }
+        }
+        self.ops = 0;
+        self.retries = 0;
     }
 }
 
 /// Claims process id `p` on `obj`. Infallible by construction: a claim
 /// of `p` can conflict only with another live claim of `p` on the *same*
-/// object (registries are per-object), which would require a second
-/// holder of this shard's slot `p` — and the shard registry grants `p`
-/// to exactly one [`StoreHandle`], which takes at most one claim per
-/// object at a time. (Briefly holding claims of `p` on two *distinct*
-/// objects — as `read_many`'s cache rotation does — is fine.)
-fn claim_owned(obj: &Arc<MwLlSc>, p: usize) -> Handle {
-    obj.claim(p).expect(
-        "shard slot p is exclusively leased by this StoreHandle, so claim(p) cannot conflict",
-    )
+/// object (claim tracking is per-object for every backend), which would
+/// require a second holder of this shard's slot `p` — and the shard
+/// registry grants `p` to exactly one [`StoreHandle`], which takes at
+/// most one claim per object at a time. (Briefly holding claims of `p`
+/// on two *distinct* objects — as the batched paths' cache rotation does
+/// — is fine.)
+fn claim_owned<B: MwFactory>(obj: &Arc<B::Object>, p: usize) -> B::Handle {
+    B::try_claim(obj, p).unwrap_or_else(|e| {
+        panic!(
+            "shard slot {p} is exclusively leased by this StoreHandle, claim cannot conflict: {e}"
+        )
+    })
 }
 
-impl Drop for StoreHandle {
+impl<B: MwFactory> Drop for StoreHandle<B> {
     /// Releases every leased shard slot (the payload is the slot's own id,
     /// mirroring [`SlotRegistry::new`](mwllsc::SlotRegistry::new)'s
     /// convention).
@@ -340,5 +569,102 @@ mod tests {
             StoreError::KeyOutOfRange { key: 99, capacity: 10 }
         );
         assert_eq!(store.touched_keys(), 0, "failed batch materialized nothing");
+    }
+
+    #[test]
+    fn update_many_matches_per_key_updates() {
+        let store = Store::new(StoreConfig::new(8, 2, 2, 1 << 16));
+        let mut h = store.attach();
+        // Batch with repeats: key k gains k once per occurrence.
+        let keys: Vec<u64> = (0..300u64).map(|i| (i * 13) % 100).collect();
+        let mut batch: Vec<(u64, _)> = keys
+            .iter()
+            .map(|&k| {
+                (k, move |v: &mut [u64]| {
+                    v[0] += k + 1;
+                    v[1] = v[0] ^ k;
+                })
+            })
+            .collect();
+        h.update_many(&mut batch).unwrap();
+
+        let mut expected = std::collections::HashMap::<u64, u64>::new();
+        for &k in &keys {
+            *expected.entry(k).or_default() += k + 1;
+        }
+        for (&k, &sum) in &expected {
+            assert_eq!(h.read_vec(k).unwrap(), vec![sum, sum ^ k], "key {k}");
+        }
+        let stats = store.stats();
+        assert_eq!(stats.updates, keys.len() as u64, "every entry counted as one update");
+    }
+
+    type BoxedOp = Box<dyn FnMut(&mut [u64])>;
+
+    #[test]
+    fn update_many_applies_duplicate_keys_in_batch_order() {
+        let store = Store::new(StoreConfig::new(4, 1, 1, 100));
+        let mut h = store.attach();
+        // Non-commutative entries on one key: ((0 + 5) * 10) + 7 = 57.
+        let mut ops: Vec<(u64, BoxedOp)> = vec![
+            (7, Box::new(|v: &mut [u64]| v[0] += 5)),
+            (7, Box::new(|v: &mut [u64]| v[0] *= 10)),
+            (7, Box::new(|v: &mut [u64]| v[0] += 7)),
+        ];
+        h.update_many(&mut ops).unwrap();
+        assert_eq!(h.read_vec(7).unwrap(), vec![57], "batch order preserved for equal keys");
+        let stats = store.stats();
+        assert_eq!(stats.updates, 3, "three logical updates");
+        assert_eq!(stats.sc_successes, 1, "folded into one SC commit");
+    }
+
+    #[test]
+    fn update_many_is_all_or_nothing_before_the_first_write() {
+        let store = Store::new(StoreConfig::new(4, 1, 1, 1 << 16));
+        let router = store.router();
+        let key_a = 0u64;
+        let key_b = (1..1 << 16).find(|&k| router.shard_of(k) != router.shard_of(key_a)).unwrap();
+
+        let mut a = store.attach();
+        a.update(key_a, |v| v[0] = 1).unwrap();
+        let touched_before = store.touched_keys();
+
+        let mut b = store.attach();
+        let mut batch: Vec<(u64, _)> =
+            [key_b, key_a].map(|k| (k, |v: &mut [u64]| v[0] = 99)).into_iter().collect();
+        let err = b.update_many(&mut batch).unwrap_err();
+        assert!(matches!(err, StoreError::ShardExhausted { .. }), "{err:?}");
+        assert_eq!(store.touched_keys(), touched_before, "failed batch materialized nothing");
+        assert_eq!(store.stats().updates, 1, "failed batch wrote nothing");
+
+        // Bad key: rejected before leases or writes.
+        assert_eq!(
+            b.update_many(&mut [(1u64 << 40, |v: &mut [u64]| v[0] = 1)]).unwrap_err(),
+            StoreError::KeyOutOfRange { key: 1 << 40, capacity: 1 << 16 }
+        );
+
+        drop(a);
+        b.update_many(&mut batch).unwrap();
+        assert_eq!(b.read_vec(key_a).unwrap(), vec![99]);
+        assert_eq!(b.read_vec(key_b).unwrap(), vec![99]);
+    }
+
+    #[test]
+    fn write_many_sets_values_and_validates_lengths_up_front() {
+        let store = Store::new(StoreConfig::new(4, 1, 2, 100));
+        let mut h = store.attach();
+        let err = h.write_many(&[(1, [1, 2].as_slice()), (2, [3].as_slice())]).unwrap_err();
+        assert_eq!(err, StoreError::WrongValueLen { expected: 2, got: 1 });
+        assert_eq!(store.touched_keys(), 0, "length failure writes nothing");
+
+        h.write_many(&[
+            (1, [1, 2].as_slice()),
+            (2, [3, 4].as_slice()),
+            // Duplicate key: last entry wins.
+            (1, [5, 6].as_slice()),
+        ])
+        .unwrap();
+        assert_eq!(h.read_vec(1).unwrap(), vec![5, 6]);
+        assert_eq!(h.read_vec(2).unwrap(), vec![3, 4]);
     }
 }

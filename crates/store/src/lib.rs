@@ -19,8 +19,8 @@
 //! # Architecture
 //!
 //! ```text
-//! key ──fnv──► shard s ──► lazy table ──► per-key MwLlSc (c slots, W words)
-//!                 │
+//! key ──fnv──► shard s ──► lazy table ──► per-key B::Object (c slots, W words)
+//!                 │                        B: MwFactory = PaperBackend
 //!                 └─ SlotRegistry(c): one process id per StoreHandle
 //! ```
 //!
@@ -28,10 +28,30 @@
 //!   [`SlotRegistry`](mwllsc::SlotRegistry) of `c = shard_capacity`
 //!   process slots and a lazily-populated table of per-key objects — a
 //!   16M-key store allocates **nothing** per key until the key is first
-//!   touched (per-key cost is `3cW + 3c + 1` words once materialized).
+//!   touched (per-key cost is `3cW + 3c + 1` words once materialized on
+//!   the default backend).
+//! * The store is **generic over its backend**: the type parameter
+//!   `B: `[`MwFactory`] decides what a shard's key table materializes.
+//!   [`PaperBackend`] (the default — `Store::new` is unchanged) builds
+//!   paper objects on the tagged substrate;
+//!   `Store::<EpochBackend>::new_in(...)` runs the same router and lease
+//!   discipline over the epoch pointer-swap substrate; the baseline
+//!   markers in `llsc-baselines` (lock, seqlock, pointer-swap, AM-style)
+//!   open the 2^24-key workload to every implementation in the suite,
+//!   and `llsc_baselines::try_build_store(algo, config)` selects one at
+//!   runtime behind [`DynStore`].
 //! * [`Router`] maps keys to shards with an FNV-1a hash — deterministic,
 //!   dependency-free, balanced (the router property tests assert ≤ 2× of
 //!   ideal across 64 shards).
+//! * Batched paths amortize the store layer:
+//!   [`read_many`](StoreHandle::read_many) and the write-side
+//!   [`update_many`](StoreHandle::update_many) /
+//!   [`write_many`](StoreHandle::write_many) process a batch in
+//!   `(shard, key)` order — router validation and every needed shard
+//!   lease happen up front (all-or-nothing before the first
+//!   read/write), the table lock and per-shard counters are paid once
+//!   per shard run instead of once per key, and a run of equal keys is
+//!   folded into **one LL/SC commit**: several logical updates per SC.
 //! * [`StoreHandle`] leases **one slot per touched shard**, on demand, and
 //!   holds it for its lifetime (the same lease discipline as
 //!   [`MwLlSc::attach`](mwllsc::MwLlSc::attach)). Holding shard slot `p`
@@ -76,12 +96,20 @@
 #![warn(missing_docs, missing_debug_implementations)]
 #![forbid(unsafe_code)]
 
+mod dynstore;
 mod handle;
 mod router;
 mod store;
 mod tls;
 
+pub use dynstore::{DynStore, DynStoreHandle};
 pub use handle::StoreHandle;
 pub use router::{fnv1a, Router};
 pub use store::{Store, StoreConfig, StoreError, StoreSpace, StoreStats};
 pub use tls::detach_current_thread;
+
+// The backend vocabulary, re-exported so store consumers need not import
+// from the core crate: the default paper backend plus the substrate
+// ablations. Baseline backends (lock, seqlock, pointer-swap, AM-style)
+// live in `llsc-baselines` together with `try_build_store`.
+pub use mwllsc::{EpochBackend, MwFactory, PaperBackend, PaperRetryBackend};

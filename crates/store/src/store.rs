@@ -5,8 +5,7 @@ use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, PoisonError, RwLock};
 
-use mwllsc::layout::Layout;
-use mwllsc::{CachePadded, MwLlSc, SlotRegistry};
+use mwllsc::{CachePadded, MwFactory, PaperBackend, SlotRegistry};
 
 use crate::handle::StoreHandle;
 use crate::router::Router;
@@ -60,8 +59,9 @@ pub enum StoreError {
     ZeroWords,
     /// `keys` was zero.
     ZeroKeys,
-    /// `shard_capacity` exceeds the per-object process ceiling
-    /// ([`Layout::MAX_PROCESSES`]).
+    /// `shard_capacity` exceeds the backend's per-object process ceiling
+    /// ([`MwFactory::max_processes`] — `Layout::MAX_PROCESSES` for the
+    /// paper backends).
     ShardCapacityTooLarge {
         /// The requested per-shard capacity.
         capacity: usize,
@@ -130,13 +130,13 @@ impl std::error::Error for StoreError {}
 
 /// One shard: a slot registry for handle leases plus the lazily-populated
 /// table of per-key objects.
-pub(crate) struct Shard {
+pub(crate) struct Shard<B: MwFactory> {
     /// Shard-level slot leases. A [`StoreHandle`] holding slot `p` here
     /// owns process id `p` in *every* object of this shard, so its
     /// per-operation `claim(p)` can never conflict.
     pub(crate) registry: SlotRegistry,
     /// key → object, populated on first touch.
-    objects: RwLock<HashMap<u64, Arc<MwLlSc>>>,
+    objects: RwLock<HashMap<u64, Arc<B::Object>>>,
     /// Materialized-object count, mirrored outside the lock so stats and
     /// space rollups stay cheap.
     touched: AtomicUsize,
@@ -158,18 +158,31 @@ pub(crate) struct Shard {
 /// See the [crate docs](crate) for the architecture; construction is
 /// [`Store::try_new`] (or the panicking [`Store::new`]), access is through
 /// [`Store::attach`] / [`Store::with`].
-pub struct Store {
+///
+/// # Backends
+///
+/// The type parameter `B` selects the *backend*: the LL/SC implementation
+/// a shard's key table materializes. The default [`PaperBackend`] keeps
+/// the original API — `Store::new(...)` still builds a store of paper
+/// objects over the tagged substrate — while
+/// `Store::<EpochBackend>::new_in(...)` (or any other [`MwFactory`])
+/// serves the same 2^24-key workload over a different implementation.
+/// Runtime selection (the harness CLI) goes through
+/// `llsc_baselines::try_build_store`, which returns the type-erased
+/// [`DynStore`](crate::DynStore) view.
+pub struct Store<B: MwFactory = PaperBackend> {
     router: Router,
-    shards: Box<[CachePadded<Shard>]>,
+    shards: Box<[CachePadded<Shard<B>>]>,
     shard_capacity: usize,
     w: usize,
     keys: u64,
     initial: Box<[u64]>,
 }
 
-impl std::fmt::Debug for Store {
+impl<B: MwFactory> std::fmt::Debug for Store<B> {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("Store")
+            .field("backend", &B::NAME)
             .field("shards", &self.shards.len())
             .field("shard_capacity", &self.shard_capacity)
             .field("w", &self.w)
@@ -179,12 +192,37 @@ impl std::fmt::Debug for Store {
 }
 
 impl Store {
-    /// Creates a store, reporting configuration problems as typed errors.
+    /// Creates a [`PaperBackend`] store, reporting configuration problems
+    /// as typed errors.
+    ///
+    /// This is [`try_new_in`](Store::try_new_in) pinned to the default
+    /// backend, so `Store::try_new(...)` needs no type annotations.
+    pub fn try_new(config: StoreConfig) -> Result<Arc<Self>, StoreError> {
+        Self::try_new_in(config)
+    }
+
+    /// [`try_new`](Self::try_new), panicking on configuration errors.
+    ///
+    /// # Panics
+    ///
+    /// Panics on the conditions `try_new` reports as errors.
+    #[must_use]
+    pub fn new(config: StoreConfig) -> Arc<Self> {
+        Self::new_in(config)
+    }
+}
+
+impl<B: MwFactory> Store<B> {
+    /// Creates a store over backend `B`, reporting configuration problems
+    /// as typed errors.
     ///
     /// Nothing is allocated per key here: a shard starts as an empty table
-    /// plus a slot registry, and a key's object (with its `3cW` buffer
-    /// words) is materialized on first touch.
-    pub fn try_new(config: StoreConfig) -> Result<Arc<Self>, StoreError> {
+    /// plus a slot registry, and a key's object is materialized on first
+    /// touch. (For inference reasons the backend-generic constructors
+    /// carry the `_in` suffix, mirroring `MwLlSc::try_new_in`; the
+    /// unsuffixed [`Store::try_new`]/[`Store::new`] build the default
+    /// [`PaperBackend`].)
+    pub fn try_new_in(config: StoreConfig) -> Result<Arc<Self>, StoreError> {
         let StoreConfig { shards, shard_capacity, width, keys, initial } = config;
         if shards == 0 {
             return Err(StoreError::ZeroShards);
@@ -198,10 +236,10 @@ impl Store {
         if keys == 0 {
             return Err(StoreError::ZeroKeys);
         }
-        if shard_capacity > Layout::MAX_PROCESSES {
+        if shard_capacity > B::max_processes() {
             return Err(StoreError::ShardCapacityTooLarge {
                 capacity: shard_capacity,
-                max: Layout::MAX_PROCESSES,
+                max: B::max_processes(),
             });
         }
         if initial.len() != width {
@@ -228,14 +266,21 @@ impl Store {
         }))
     }
 
-    /// [`try_new`](Self::try_new), panicking on configuration errors.
+    /// [`try_new_in`](Self::try_new_in), panicking on configuration
+    /// errors.
     ///
     /// # Panics
     ///
-    /// Panics on the conditions `try_new` reports as errors.
+    /// Panics on the conditions `try_new_in` reports as errors.
     #[must_use]
-    pub fn new(config: StoreConfig) -> Arc<Self> {
-        Self::try_new(config).unwrap_or_else(|e| panic!("Store::new: {e}"))
+    pub fn new_in(config: StoreConfig) -> Arc<Self> {
+        Self::try_new_in(config).unwrap_or_else(|e| panic!("Store::new: {e}"))
+    }
+
+    /// The backend's display name (e.g. `"paper"`, `"lock"`).
+    #[must_use]
+    pub fn backend(&self) -> &'static str {
+        B::NAME
     }
 
     /// Attaches a [`StoreHandle`].
@@ -245,7 +290,7 @@ impl Store {
     /// [`StoreError::ShardExhausted`] on the first operation that needs a
     /// full shard — not here.
     #[must_use]
-    pub fn attach(self: &Arc<Self>) -> StoreHandle {
+    pub fn attach(self: &Arc<Self>) -> StoreHandle<B> {
         StoreHandle::new(Arc::clone(self))
     }
 
@@ -299,13 +344,23 @@ impl Store {
         Ok(self.router.shard_of(key))
     }
 
-    pub(crate) fn shard(&self, si: usize) -> &Shard {
+    pub(crate) fn shard(&self, si: usize) -> &Shard<B> {
         &self.shards[si]
+    }
+
+    /// Read-locks shard `si`'s key table. The batched paths hold this
+    /// across a whole run of same-shard keys, paying one lock acquisition
+    /// per run instead of one per key.
+    pub(crate) fn shard_objects(
+        &self,
+        si: usize,
+    ) -> std::sync::RwLockReadGuard<'_, HashMap<u64, Arc<B::Object>>> {
+        self.shards[si].objects.read().unwrap_or_else(PoisonError::into_inner)
     }
 
     /// Returns the object for `key` (which must route to shard `si`),
     /// materializing it on first touch.
-    pub(crate) fn object_for(&self, si: usize, key: u64) -> Arc<MwLlSc> {
+    pub(crate) fn object_for(&self, si: usize, key: u64) -> Arc<B::Object> {
         let shard = &self.shards[si];
         if let Some(obj) = shard.objects.read().unwrap_or_else(PoisonError::into_inner).get(&key) {
             return Arc::clone(obj);
@@ -313,14 +368,21 @@ impl Store {
         let mut map = shard.objects.write().unwrap_or_else(PoisonError::into_inner);
         let obj = map.entry(key).or_insert_with(|| {
             shard.touched.fetch_add(1, Ordering::Relaxed);
-            MwLlSc::try_new(self.shard_capacity, self.w, &self.initial)
+            B::try_build(self.shard_capacity, self.w, &self.initial)
                 .expect("per-key config was validated at store construction")
         });
         Arc::clone(obj)
     }
 
-    /// Rolls every materialized object's space report (including the
-    /// substrate's retired-words backlog) into one [`StoreSpace`].
+    /// Rolls every materialized object's space accounting (including the
+    /// backend's retired-words backlog) into one [`StoreSpace`].
+    ///
+    /// `shared_words` sums what each object *measures* about itself
+    /// ([`MwFactory::measured_shared_words`]), while
+    /// `per_key_shared_words` is the backend's closed-form formula — the
+    /// store tests assert `shared_words == touched ×
+    /// per_key_shared_words`, which keeps the formula honest against the
+    /// actual allocations rather than defining the invariant away.
     #[must_use]
     pub fn space(&self) -> StoreSpace {
         let mut shared_words = 0;
@@ -330,17 +392,18 @@ impl Store {
             let map = shard.objects.read().unwrap_or_else(PoisonError::into_inner);
             touched_keys += map.len();
             for obj in map.values() {
-                shared_words += obj.space().shared_words();
-                retired_words += obj.substrate_retired_words();
+                shared_words += B::measured_shared_words(obj);
+                retired_words += B::retired_words(obj);
             }
         }
         StoreSpace {
+            backend: B::NAME,
             shards: self.shards.len(),
             key_capacity: self.keys,
             touched_keys,
             shared_words,
             retired_words,
-            per_key_shared_words: 3 * self.shard_capacity * self.w + 3 * self.shard_capacity + 1,
+            per_key_shared_words: B::object_shared_words(self.shard_capacity, self.w),
         }
     }
 
@@ -356,7 +419,7 @@ impl Store {
             let map = shard.objects.read().unwrap_or_else(PoisonError::into_inner);
             s.objects += map.len();
             for obj in map.values() {
-                let os = obj.stats();
+                let os = B::object_stats(obj);
                 s.ll_ops += os.ll_ops;
                 s.sc_attempts += os.sc_attempts;
                 s.sc_successes += os.sc_successes;
@@ -370,9 +433,10 @@ impl Store {
 
 /// Honest space rollup for one [`Store`], in 64-bit words.
 ///
-/// `shared_words` sums the [`SpaceReport`](mwllsc::SpaceReport) of every
-/// *materialized* object; keys never touched cost nothing, which is the
-/// whole point of lazy initialization. The invariant
+/// `shared_words` counts the exact per-object footprint
+/// ([`MwFactory::object_shared_words`]) of every *materialized* object;
+/// keys never touched cost nothing, which is the whole point of lazy
+/// initialization. The invariant
 /// `shared_words == touched_keys × per_key_shared_words` is asserted by
 /// the store stress tests. Word counts are logical registers (the paper's
 /// unit); cache-line alignment slack is excluded by design (see
@@ -380,6 +444,8 @@ impl Store {
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 #[non_exhaustive]
 pub struct StoreSpace {
+    /// The backend that materialized the objects ([`MwFactory::NAME`]).
+    pub backend: &'static str,
     /// Shard count `S`.
     pub shards: usize,
     /// Configured logical key space.
@@ -387,13 +453,15 @@ pub struct StoreSpace {
     /// Keys materialized by a first touch.
     pub touched_keys: usize,
     /// Live shared words over all materialized objects: `touched ×
-    /// (3cW + 3c + 1)`.
+    /// per_key_shared_words` (`touched × (3cW + 3c + 1)` for the paper
+    /// backends).
     pub shared_words: usize,
     /// Substrate reclamation backlog over all materialized objects
     /// (retired-but-not-freed words; zero for the default tagged
     /// substrate).
     pub retired_words: usize,
-    /// Cost of one materialized key, `3cW + 3c + 1` words.
+    /// Cost of one materialized key ([`MwFactory::object_shared_words`];
+    /// `3cW + 3c + 1` words for the paper backends).
     pub per_key_shared_words: usize,
 }
 
@@ -443,6 +511,8 @@ pub struct StoreStats {
 
 #[cfg(test)]
 mod tests {
+    use mwllsc::layout::Layout;
+
     use super::*;
 
     #[test]

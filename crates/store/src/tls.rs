@@ -10,8 +10,11 @@
 //! handle is dropped — releasing its shard slots — when the thread exits
 //! or eagerly via [`detach_current_thread`].
 
+use std::any::Any;
 use std::cell::RefCell;
 use std::sync::Arc;
+
+use mwllsc::MwFactory;
 
 use crate::handle::StoreHandle;
 use crate::store::Store;
@@ -19,11 +22,14 @@ use crate::store::Store;
 thread_local! {
     /// This thread's cached store handles, keyed by store address. The
     /// handle holds an `Arc` to the store, so the address cannot be
-    /// recycled while the entry lives — the key is collision-free.
-    static ATTACHMENTS: RefCell<Vec<(usize, StoreHandle)>> = const { RefCell::new(Vec::new()) };
+    /// recycled while the entry lives — the key is collision-free. Entries
+    /// are type-erased because `Store` is generic over its backend; the
+    /// address key pins the concrete `StoreHandle<B>` type, so the
+    /// downcast on retrieval cannot fail.
+    static ATTACHMENTS: RefCell<Vec<(usize, Box<dyn Any>)>> = const { RefCell::new(Vec::new()) };
 }
 
-impl Store {
+impl<B: MwFactory> Store<B> {
     /// Runs `f` on this thread's cached [`StoreHandle`] for the store,
     /// attaching one (and caching it for later calls) on first use.
     ///
@@ -54,16 +60,21 @@ impl Store {
     /// assert_eq!(total, 4, "4 increments, each observed its predecessors");
     /// assert_eq!(store.live_slot_leases(), 0, "exited workers released their leases");
     /// ```
-    pub fn with<R>(self: &Arc<Self>, f: impl FnOnce(&mut StoreHandle) -> R) -> R {
+    pub fn with<R>(self: &Arc<Self>, f: impl FnOnce(&mut StoreHandle<B>) -> R) -> R {
         let key = Arc::as_ptr(self) as usize;
         // Take the entry out of the cache while `f` runs so a nested
         // `with` on a *different* store does not hit a RefCell
         // double-borrow; a nested `with` on the *same* store attaches a
         // second handle (with its own shard leases).
-        let cached = ATTACHMENTS.with(|c| {
-            let mut c = c.borrow_mut();
-            c.iter().position(|(k, _)| *k == key).map(|i| c.swap_remove(i).1)
-        });
+        let cached: Option<StoreHandle<B>> = ATTACHMENTS
+            .with(|c| {
+                let mut c = c.borrow_mut();
+                c.iter().position(|(k, _)| *k == key).map(|i| c.swap_remove(i).1)
+            })
+            .map(|any| {
+                *any.downcast::<StoreHandle<B>>()
+                    .expect("the store's address pins the cached handle's backend type")
+            });
         let mut handle = cached.unwrap_or_else(|| self.attach());
         let r = f(&mut handle);
         ATTACHMENTS.with(|c| {
@@ -75,7 +86,7 @@ impl Store {
                 // rather than pinning extra shard slots until thread exit.
                 drop(handle);
             } else {
-                c.push((key, handle));
+                c.push((key, Box::new(handle)));
             }
         });
         r

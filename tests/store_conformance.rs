@@ -1,12 +1,14 @@
-//! Store conformance: the `read`/`update`/`read_many` surface of
-//! `mwllsc-store` checked against a sequential model, plus the
-//! beyond-the-ceiling capacity demonstration — the store-layer companion
-//! of `tests/trait_conformance.rs`.
+//! Store conformance: the `read`/`update`/`read_many`/`update_many`
+//! surface of `mwllsc-store` checked against a sequential model — over
+//! the default paper backend *and* every backend `try_build_store`
+//! accepts — plus the beyond-the-ceiling capacity demonstration. The
+//! store-layer companion of `tests/trait_conformance.rs`.
 
 use std::collections::HashMap;
 
+use mwllsc_suite::llsc_baselines::{try_build_store, Algo};
 use mwllsc_suite::mwllsc::layout::Layout;
-use mwllsc_suite::mwllsc_store::{Store, StoreConfig, StoreError};
+use mwllsc_suite::mwllsc_store::{DynStore, EpochBackend, Store, StoreConfig, StoreError};
 
 /// Tiny deterministic LCG so the model comparison is reproducible.
 struct Lcg(u64);
@@ -110,21 +112,142 @@ fn one_store_serves_2pow24_logical_variables() {
 }
 
 /// The typed-error matrix mirrored from `MwLlSc::try_new`: every invalid
-/// configuration is an error value, never a panic.
+/// configuration is an error value, never a panic — for the typed
+/// constructor and for every backend `try_build_store` accepts.
 #[test]
 fn constructors_report_typed_errors() {
     let ok = StoreConfig::new(2, 2, 2, 16);
     assert!(Store::try_new(ok.clone()).is_ok());
-    for (cfg, want) in [
-        (StoreConfig { shards: 0, ..ok.clone() }, StoreError::ZeroShards),
-        (StoreConfig { shard_capacity: 0, ..ok.clone() }, StoreError::ZeroShardCapacity),
-        (StoreConfig { width: 0, initial: vec![], ..ok.clone() }, StoreError::ZeroWords),
-        (StoreConfig { keys: 0, ..ok.clone() }, StoreError::ZeroKeys),
-        (
-            StoreConfig { initial: vec![0; 5], ..ok },
-            StoreError::WrongInitLen { expected: 2, got: 5 },
-        ),
-    ] {
-        assert_eq!(Store::try_new(cfg).unwrap_err(), want);
+    let matrix = |build: &dyn Fn(StoreConfig) -> Option<StoreError>, who: &str| {
+        for (cfg, want) in [
+            (StoreConfig { shards: 0, ..ok.clone() }, StoreError::ZeroShards),
+            (StoreConfig { shard_capacity: 0, ..ok.clone() }, StoreError::ZeroShardCapacity),
+            (StoreConfig { width: 0, initial: vec![], ..ok.clone() }, StoreError::ZeroWords),
+            (StoreConfig { keys: 0, ..ok.clone() }, StoreError::ZeroKeys),
+            (
+                StoreConfig { initial: vec![0; 5], ..ok.clone() },
+                StoreError::WrongInitLen { expected: 2, got: 5 },
+            ),
+        ] {
+            assert_eq!(build(cfg.clone()), Some(want), "{who}: {cfg:?}");
+        }
+    };
+    matrix(&|cfg| Store::try_new(cfg).err(), "paper (typed)");
+    matrix(&|cfg| Store::<EpochBackend>::try_new_in(cfg).err(), "paper-epoch (typed)");
+    for algo in Algo::ALL {
+        matrix(&move |cfg| try_build_store(algo, cfg).err(), algo.name());
     }
+}
+
+/// Runs the random op tape of the paper-backend model test over an
+/// erased store: reads, per-key updates, batched reads, batched updates,
+/// and blind batched writes must all agree with a `HashMap` model, and
+/// the space rollup must hold the per-backend invariant exactly.
+fn conforms_to_the_sequential_model(store: &dyn DynStore) {
+    let backend = store.backend();
+    let w = store.width();
+    let keyspace = store.key_capacity();
+    let initial = vec![5u64; w];
+    let mut h = store.attach_dyn();
+    let mut model: HashMap<u64, Vec<u64>> = HashMap::new();
+    let mut rng = Lcg(0xFEED ^ keyspace);
+
+    for step in 0..1500 {
+        let key = rng.next() % keyspace;
+        match rng.next() % 5 {
+            0 => {
+                let got = h.read_vec(key).unwrap();
+                let want = model.get(&key).unwrap_or(&initial);
+                assert_eq!(&got, want, "{backend} step {step}: read({key})");
+            }
+            1 => {
+                let add = rng.next() % 100;
+                let mut buf = vec![0u64; w];
+                h.update_with_dyn(key, &mut buf, &mut |v| {
+                    v[0] += add;
+                    v[w - 1] = v[0] ^ 7;
+                })
+                .unwrap();
+                let e = model.entry(key).or_insert_with(|| initial.clone());
+                e[0] += add;
+                e[w - 1] = e[0] ^ 7;
+                assert_eq!(&buf, e, "{backend} step {step}: update({key})");
+            }
+            2 => {
+                let batch: Vec<u64> = (0..8).map(|_| rng.next() % keyspace).collect();
+                let got = h.read_many(&batch).unwrap();
+                for (i, k) in batch.iter().enumerate() {
+                    let want = model.get(k).unwrap_or(&initial);
+                    assert_eq!(&got[i], want, "{backend} step {step}: read_many[{i}]({k})");
+                }
+            }
+            3 => {
+                // Batched updates, with duplicates: entry i adds i + 1.
+                let batch: Vec<u64> = (0..8).map(|_| rng.next() % (keyspace / 4)).collect();
+                h.update_many_dyn(&batch, &mut |i, v| v[0] += i as u64 + 1).unwrap();
+                for (i, k) in batch.iter().enumerate() {
+                    model.entry(*k).or_insert_with(|| initial.clone())[0] += i as u64 + 1;
+                }
+            }
+            _ => {
+                let vals: Vec<Vec<u64>> = (0..4)
+                    .map(|i| (0..w as u64).map(|j| i * 10 + j + rng.next() % 5).collect())
+                    .collect();
+                let batch: Vec<(u64, &[u64])> = vals
+                    .iter()
+                    .enumerate()
+                    .map(|(i, v)| (((rng.next() >> 7) + i as u64) % keyspace, v.as_slice()))
+                    .collect();
+                h.write_many(&batch).unwrap();
+                for (k, v) in &batch {
+                    model.insert(*k, v.to_vec());
+                }
+            }
+        }
+    }
+
+    let space = store.space();
+    assert_eq!(space.backend, backend);
+    assert!(space.touched_keys >= model.len(), "{backend}: every updated key materialized");
+    assert_eq!(
+        space.shared_words,
+        space.touched_keys * space.per_key_shared_words,
+        "{backend}: space invariant"
+    );
+    drop(h);
+    assert_eq!(store.live_slot_leases(), 0, "{backend}: handle drop released leases");
+}
+
+/// The backend conformance matrix: the sequential-model tape over every
+/// backend `try_build_store` accepts, plus the typed epoch-substrate
+/// store — same router, same semantics, per-backend space accounting.
+#[test]
+fn every_backend_conforms_to_the_sequential_model() {
+    let config = StoreConfig::new(8, 2, 3, 1024).with_initial(&[5, 5, 5]);
+    for algo in Algo::ALL {
+        let store = try_build_store(algo, config.clone()).unwrap_or_else(|e| panic!("{algo}: {e}"));
+        conforms_to_the_sequential_model(store.as_ref());
+    }
+    let epoch: Box<dyn DynStore> = Box::new(Store::<EpochBackend>::new_in(config));
+    conforms_to_the_sequential_model(epoch.as_ref());
+}
+
+/// Per-backend capacity ceilings flow through the store's validation:
+/// the paper's 2^22 for tagged layouts, AM-style's 2^15, none for the
+/// `O(W)` baselines (probed at a ceiling low enough to allocate).
+#[test]
+fn shard_capacity_ceiling_is_per_backend() {
+    let cfg = |cap: usize| StoreConfig::new(1, cap, 1, 16);
+    assert_eq!(
+        try_build_store(Algo::Jp, cfg(Layout::MAX_PROCESSES + 1)).unwrap_err(),
+        StoreError::ShardCapacityTooLarge {
+            capacity: Layout::MAX_PROCESSES + 1,
+            max: Layout::MAX_PROCESSES
+        }
+    );
+    assert_eq!(
+        try_build_store(Algo::AmStyle, cfg((1 << 15) + 1)).unwrap_err(),
+        StoreError::ShardCapacityTooLarge { capacity: (1 << 15) + 1, max: 1 << 15 }
+    );
+    assert!(try_build_store(Algo::Lock, cfg((1 << 15) + 1)).is_ok());
 }
