@@ -1,0 +1,97 @@
+//! Facade zero-cost guard: in a normal build the `llsc_word::sync`
+//! re-exports must *be* `std::sync::atomic` — same types, same layout —
+//! and the shipping LL/SC path must not have picked up any per-access
+//! dispatch. Two layers of defense:
+//!
+//! 1. Hard `TypeId`/layout assertions that fail the build's first run if
+//!    the facade ever stops re-exporting std in a non-model build (e.g.
+//!    someone makes the instrumented types unconditional).
+//! 2. A throughput smoke reading of the uncontended LL/SC hot path, so a
+//!    regression that slips past the type guard (say, an accidental
+//!    `#[inline(never)]` shim) still shows up in the Criterion history.
+//!
+//! Under `--cfg mwllsc_model` the type assertions do not apply (the whole
+//! point of that cfg is to swap the types), so this bench refuses to
+//! measure: a model build is serialized through the controller and any
+//! number it produced would be noise in the history.
+
+use std::hint::black_box;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use mwllsc_bench::solo_handle;
+
+#[cfg(not(mwllsc_model))]
+fn assert_facade_is_std() {
+    use llsc_word::sync;
+    use std::any::TypeId;
+    assert_eq!(
+        TypeId::of::<sync::AtomicU64>(),
+        TypeId::of::<std::sync::atomic::AtomicU64>(),
+        "sync::AtomicU64 is not std's in a non-model build"
+    );
+    assert_eq!(
+        TypeId::of::<sync::AtomicU32>(),
+        TypeId::of::<std::sync::atomic::AtomicU32>(),
+        "sync::AtomicU32 is not std's in a non-model build"
+    );
+    assert_eq!(
+        TypeId::of::<sync::AtomicUsize>(),
+        TypeId::of::<std::sync::atomic::AtomicUsize>(),
+        "sync::AtomicUsize is not std's in a non-model build"
+    );
+    assert_eq!(
+        TypeId::of::<sync::AtomicBool>(),
+        TypeId::of::<std::sync::atomic::AtomicBool>(),
+        "sync::AtomicBool is not std's in a non-model build"
+    );
+    assert_eq!(
+        TypeId::of::<sync::AtomicPtr<u8>>(),
+        TypeId::of::<std::sync::atomic::AtomicPtr<u8>>(),
+        "sync::AtomicPtr is not std's in a non-model build"
+    );
+    // Layout paranoia on top of identity: a facade atomic must cost
+    // exactly one machine word.
+    assert_eq!(size_of::<sync::AtomicU64>(), size_of::<u64>());
+    assert_eq!(align_of::<sync::AtomicU64>(), align_of::<u64>());
+}
+
+#[cfg(mwllsc_model)]
+fn assert_facade_is_std() {
+    panic!(
+        "facade_guard measures the production facade; it is meaningless \
+         under --cfg mwllsc_model (the instrumented build is serialized \
+         through the model controller)"
+    );
+}
+
+fn bench_facade_hot_path(c: &mut Criterion) {
+    assert_facade_is_std();
+
+    let mut group = c.benchmark_group("facade_guard");
+    // The uncontended LL;SC round trip is all facade accesses (X, Help,
+    // Bank, BUF) and nothing else — the most sensitive single number to
+    // any dispatch cost leaking into a normal build.
+    group.bench_function("ll_sc_roundtrip_n2_w8", |b| {
+        let mut h = solo_handle(2, 8);
+        let mut buf = vec![0u64; 8];
+        b.iter(|| {
+            h.ll(&mut buf);
+            buf[0] = buf[0].wrapping_add(1);
+            black_box(h.sc(&buf))
+        });
+    });
+    group.bench_function("vl_n2_w8", |b| {
+        let mut h = solo_handle(2, 8);
+        let mut buf = vec![0u64; 8];
+        h.ll(&mut buf);
+        b.iter(|| black_box(h.vl()));
+    });
+    group.finish();
+}
+
+criterion_group!(
+    name = benches;
+    config = Criterion::default().sample_size(20).measurement_time(std::time::Duration::from_millis(600)).warm_up_time(std::time::Duration::from_millis(200));
+    targets = bench_facade_hot_path
+);
+criterion_main!(benches);

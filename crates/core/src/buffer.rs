@@ -15,7 +15,7 @@
 //! ordered by the `SeqCst` LL/SC operations on `X`/`Help` that precede and
 //! follow buffer accesses (see the crate docs).
 
-use core::sync::atomic::{AtomicU64, Ordering};
+use crate::sync::{AtomicU64, Labeled, Ordering};
 
 /// A `W`-word safe buffer.
 pub(crate) struct Buffer {
@@ -57,6 +57,14 @@ impl Buffer {
             d.store(*s, Ordering::Relaxed);
         }
     }
+
+    /// Labels every word as `("BUF", b, word)` for model-checked builds
+    /// (no-op otherwise).
+    pub(crate) fn model_label(&self, b: u32) {
+        for (i, word) in self.words.iter().enumerate() {
+            Labeled::set_label(word, "BUF", b, i as u32);
+        }
+    }
 }
 
 impl core::fmt::Debug for Buffer {
@@ -90,6 +98,14 @@ impl BufferPool {
     /// dominant term of the paper's `O(NW)` space bound.
     pub(crate) fn words(&self) -> usize {
         self.bufs.iter().map(Buffer::len).sum()
+    }
+
+    /// Labels every buffer word for model-checked builds (no-op
+    /// otherwise).
+    pub(crate) fn model_label(&self) {
+        for (b, buf) in self.bufs.iter().enumerate() {
+            buf.model_label(b as u32);
+        }
     }
 }
 

@@ -104,6 +104,7 @@ pub mod layout;
 mod pad;
 mod registry;
 mod stats;
+pub mod sync;
 mod tls;
 pub mod traits;
 mod variable;

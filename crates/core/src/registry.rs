@@ -26,9 +26,8 @@
 //! lock-free scan in [`lease_any`](SlotRegistry::lease_any) would serialize
 //! attachers at high core counts.
 
-use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
-
 use crate::pad::CachePadded;
+use crate::sync::{AtomicU64, AtomicUsize, Labeled, Ordering};
 
 /// Bit marking a slot as currently leased; the low 32 bits hold the
 /// resting payload of a free slot (stale while leased).
@@ -106,12 +105,17 @@ impl SlotRegistry {
     fn with_payloads(n: usize, payload: impl Fn(usize) -> u32) -> Self {
         assert!(n > 0, "a registry needs at least one slot");
         assert!(u32::try_from(n).is_ok(), "slot count exceeds u32");
-        Self {
+        let this = Self {
             slots: (0..n)
                 .map(|p| CachePadded::new(AtomicU64::new(u64::from(payload(p)))))
                 .collect(),
             cursor: AtomicUsize::new(0),
+        };
+        for (p, slot) in this.slots.iter().enumerate() {
+            Labeled::set_label(&**slot, "SLOT", p as u32, 0);
         }
+        Labeled::set_label(&this.cursor, "CURS", 0, 0);
+        this
     }
 
     /// Total number of slots.

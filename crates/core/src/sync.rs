@@ -1,0 +1,11 @@
+//! The crate's atomics facade: re-exports [`llsc_word::sync`].
+//!
+//! Every atomic access in this crate goes through these types so that a
+//! `--cfg mwllsc_model` build traps each shared-memory access into the
+//! model-checking hook (see `llsc_word::sync` for the full story). In a
+//! normal build the re-exports are exactly `std::sync::atomic`.
+
+pub use llsc_word::sync::{fence, yield_point, AtomicU64, AtomicUsize, Labeled, Ordering};
+
+#[allow(unused_imports)]
+pub use llsc_word::sync::{hook, model, yield_now, AtomicBool, AtomicPtr, AtomicU32};

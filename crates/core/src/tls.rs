@@ -92,6 +92,11 @@ impl<C: NewCell + 'static> MwLlSc<C> {
         f: impl FnOnce(&mut Handle<C>) -> R,
     ) -> Result<R, AttachError> {
         let key = Arc::as_ptr(self) as usize;
+        // A cache hit performs no shared-memory access at all, which would
+        // make `with` invisible to a model checker's scheduler; this
+        // explicit scheduling point (a no-op in normal builds) keeps the
+        // checkout boundary explorable.
+        crate::sync::yield_point();
         // Take the entry out of the cache while `f` runs so a nested
         // `with` on a *different* object does not hit a RefCell
         // double-borrow; a nested `with` on the *same* object attaches a

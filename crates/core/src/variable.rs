@@ -297,6 +297,20 @@ impl<C: NewCell> MwLlSc<C> {
         let bufs = BufferPool::new(layout.num_buffers(), w);
         bufs.get(0).copy_from(initial);
 
+        // Label every shared cell with its algorithmic role so the access
+        // logs of model-checked builds read like the paper (no-ops in
+        // normal builds).
+        {
+            x.model_label("X", 0, 0);
+            for (k, cell) in bank.iter().enumerate() {
+                cell.model_label("Bank", k as u32, 0);
+            }
+            for (p, cell) in help.iter().enumerate() {
+                cell.model_label("Help", p as u32, 0);
+            }
+            bufs.model_label();
+        }
+
         Ok(Arc::new(Self {
             layout,
             w,

@@ -31,8 +31,56 @@ fn stress_iters(base: usize) -> usize {
     base.saturating_mul(mult)
 }
 
+/// Workload-randomization seed, pinned by the `MWLLSC_STRESS_SEED` env
+/// knob. Soak runs randomize thread timing through [`Jitter`]; when one
+/// finds a schedule-dependent failure, exporting the printed seed replays
+/// the exact same perturbation in a plain `cargo test` invocation.
+fn stress_seed() -> u64 {
+    let seed = std::env::var("MWLLSC_STRESS_SEED")
+        .ok()
+        .and_then(|s| s.parse::<u64>().ok())
+        .unwrap_or(0x5EED_0001);
+    eprintln!("MWLLSC_STRESS_SEED={seed}");
+    seed
+}
+
+/// splitmix64 over `seed ^ stream`: one independent stream per thread.
+fn mix(seed: u64, stream: u64) -> u64 {
+    let mut z = seed ^ stream.wrapping_mul(0x9E3779B97F4A7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+    z ^ (z >> 31)
+}
+
+/// Seeded schedule perturbation: an xorshift stream that occasionally
+/// spins for a pseudo-random beat. Different seeds steer the real threads
+/// into different interleaving neighborhoods; the same seed replays the
+/// same rhythm.
+struct Jitter(u64);
+
+impl Jitter {
+    fn new(seed: u64, stream: u64) -> Self {
+        Jitter(mix(seed, stream) | 1)
+    }
+    fn next(&mut self) -> u64 {
+        self.0 ^= self.0 << 13;
+        self.0 ^= self.0 >> 7;
+        self.0 ^= self.0 << 17;
+        self.0
+    }
+    fn perturb(&mut self) {
+        let r = self.next();
+        if r % 8 == 0 {
+            for _ in 0..(r >> 59) {
+                std::hint::spin_loop();
+            }
+        }
+    }
+}
+
 #[test]
 fn churn_4x_threads_over_slots() {
+    let seed = stress_seed();
     let leases_per_thread = stress_iters(300);
     let obj = MwLlSc::new(SLOTS, W, &[0u64; W]);
     let space_before = obj.space();
@@ -52,9 +100,11 @@ fn churn_4x_threads_over_slots() {
             let barrier = Arc::clone(&barrier);
             let sc_wins = Arc::clone(&sc_wins);
             std::thread::spawn(move || {
+                let mut jitter = Jitter::new(seed, t as u64);
                 barrier.wait();
                 let mut leases = 0;
                 while leases < leases_per_thread {
+                    jitter.perturb();
                     let mut h = match obj.attach() {
                         Ok(h) => h,
                         Err(AttachError::Exhausted { n }) => {
@@ -132,16 +182,19 @@ fn churn_via_thread_cached_with() {
     // each caching an attachment for its lifetime, all incrementing one
     // counter. The total must be exact and every slot must come back.
     const WORKERS: usize = 2 * SLOTS;
+    let seed = stress_seed();
     let rounds = stress_iters(8);
     let incs = stress_iters(50) as u64;
     let obj = MwLlSc::new(SLOTS, 2, &[0, 0]);
-    for _ in 0..rounds {
+    for round in 0..rounds {
         let joins: Vec<_> = (0..WORKERS)
-            .map(|_| {
+            .map(|t| {
                 let obj = Arc::clone(&obj);
                 std::thread::spawn(move || {
+                    let mut jitter = Jitter::new(seed, (round * WORKERS + t) as u64);
                     let mut done = 0;
                     while done < incs {
+                        jitter.perturb();
                         // Slots may all be leased by sibling workers'
                         // caches; retry until this thread gets one.
                         let r = obj.try_with(|h| {

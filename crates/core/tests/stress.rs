@@ -29,6 +29,53 @@ fn stress_iters(base: u64) -> u64 {
     base.saturating_mul(mult)
 }
 
+/// Workload-randomization seed, pinned by the `MWLLSC_STRESS_SEED` env
+/// knob. Soak runs randomize thread timing through [`Jitter`]; when one
+/// finds a schedule-dependent failure, exporting the printed seed replays
+/// the exact same perturbation in a plain `cargo test` invocation.
+fn stress_seed() -> u64 {
+    let seed = std::env::var("MWLLSC_STRESS_SEED")
+        .ok()
+        .and_then(|s| s.parse::<u64>().ok())
+        .unwrap_or(0x5EED_0001);
+    eprintln!("MWLLSC_STRESS_SEED={seed}");
+    seed
+}
+
+/// splitmix64 over `seed ^ stream`: one independent stream per thread.
+fn mix(seed: u64, stream: u64) -> u64 {
+    let mut z = seed ^ stream.wrapping_mul(0x9E3779B97F4A7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+    z ^ (z >> 31)
+}
+
+/// Seeded schedule perturbation: an xorshift stream that occasionally
+/// spins for a pseudo-random beat. Different seeds steer the real threads
+/// into different interleaving neighborhoods; the same seed replays the
+/// same rhythm.
+struct Jitter(u64);
+
+impl Jitter {
+    fn new(seed: u64, stream: u64) -> Self {
+        Jitter(mix(seed, stream) | 1)
+    }
+    fn next(&mut self) -> u64 {
+        self.0 ^= self.0 << 13;
+        self.0 ^= self.0 >> 7;
+        self.0 ^= self.0 << 17;
+        self.0
+    }
+    fn perturb(&mut self) {
+        let r = self.next();
+        if r % 8 == 0 {
+            for _ in 0..(r >> 59) {
+                std::hint::spin_loop();
+            }
+        }
+    }
+}
+
 /// Fills `v[..W-1]` from `seed` and sets the last word to a checksum.
 fn make_value(w: usize, seed: u64) -> Vec<u64> {
     let mut v: Vec<u64> =
@@ -51,6 +98,7 @@ fn assert_checksummed(v: &[u64], ctx: &str) {
 /// the main thread so the final value can be verified directly.
 fn fetch_increment_storm_verified(n: usize, w: usize, per_thread: u64) {
     assert!(n >= 2 && w >= 2);
+    let seed = stress_seed();
     let init = {
         let mut v = vec![0u64; w - 1];
         let c = checksum(&v);
@@ -61,11 +109,13 @@ fn fetch_increment_storm_verified(n: usize, w: usize, per_thread: u64) {
     let mut handles = obj.handles();
     let mut h0 = handles.remove(0);
     let mut joins = Vec::new();
-    for mut h in handles {
+    for (t, mut h) in handles.into_iter().enumerate() {
         joins.push(std::thread::spawn(move || {
+            let mut jitter = Jitter::new(seed, t as u64 + 1);
             let mut v = vec![0u64; w];
             let mut successes = 0u64;
             while successes < per_thread {
+                jitter.perturb();
                 h.ll(&mut v);
                 assert_checksummed(&v, "LL in storm");
                 v[0] += 1;
@@ -80,10 +130,12 @@ fn fetch_increment_storm_verified(n: usize, w: usize, per_thread: u64) {
         }));
     }
     // Main thread: increments too, and checks monotonicity of word 0.
+    let mut jitter = Jitter::new(seed, 0);
     let mut v = vec![0u64; w];
     let mut last_seen = 0u64;
     let mut successes = 0u64;
     while successes < per_thread {
+        jitter.perturb();
         h0.ll(&mut v);
         assert_checksummed(&v, "main LL");
         assert!(v[0] >= last_seen, "counter went backwards: {} < {last_seen}", v[0]);
@@ -134,6 +186,7 @@ fn storm_epoch_substrate() {
     // realization against an independently built one.
     let n = 4;
     let w = 4;
+    let seed = stress_seed();
     let per_thread = stress_iters(5_000);
     let init = {
         let mut v = vec![0u64; w - 1];
@@ -145,11 +198,13 @@ fn storm_epoch_substrate() {
     let mut handles = obj.handles();
     let mut h0 = handles.remove(0);
     let mut joins = Vec::new();
-    for mut h in handles {
+    for (t, mut h) in handles.into_iter().enumerate() {
         joins.push(std::thread::spawn(move || {
+            let mut jitter = Jitter::new(seed, t as u64 + 1);
             let mut v = vec![0u64; w];
             let mut successes = 0u64;
             while successes < per_thread {
+                jitter.perturb();
                 h.ll(&mut v);
                 assert_checksummed(&v, "epoch LL");
                 v[0] += 1;
@@ -191,19 +246,22 @@ fn slow_reader_under_writer_storm_never_sees_torn_value() {
     // become likely, and every one must be masked by the helping machinery.
     let n = 3;
     let w = 256;
+    let base = stress_seed();
     let init = make_value(w, 0);
     let obj = MwLlSc::new(n, w, &init);
     let mut handles = obj.handles();
     let mut reader = handles.remove(0);
     let stop = Arc::new(AtomicBool::new(false));
     let mut joins = Vec::new();
-    for mut h in handles {
+    for (t, mut h) in handles.into_iter().enumerate() {
         let stop = Arc::clone(&stop);
         joins.push(std::thread::spawn(move || {
+            let mut jitter = Jitter::new(base, t as u64 + 1);
             let mut v = vec![0u64; w];
-            let mut seed = 1u64;
+            let mut seed = mix(base, t as u64).max(1);
             h.ll(&mut v);
             while !stop.load(Ordering::Relaxed) {
+                jitter.perturb();
                 let next = make_value(w, seed);
                 if h.sc(&next) {
                     seed += 1;
@@ -213,8 +271,10 @@ fn slow_reader_under_writer_storm_never_sees_torn_value() {
             }
         }));
     }
+    let mut jitter = Jitter::new(base, 0);
     let mut v = vec![0u64; w];
     for _ in 0..stress_iters(20_000) {
+        jitter.perturb();
         reader.ll(&mut v);
         assert_checksummed(&v, "reader LL");
         reader.read(&mut v);
@@ -235,6 +295,7 @@ fn slow_reader_under_writer_storm_never_sees_torn_value() {
 fn vl_only_observer_is_consistent() {
     // An observer repeatedly LLs then VLs; whenever VL returns true, a
     // subsequent SC by the observer with no interference must succeed.
+    let seed = stress_seed();
     let obj = MwLlSc::new(2, 2, &[0, 0]);
     let mut hs = obj.handles();
     let mut writer = hs.pop().unwrap();
@@ -242,17 +303,21 @@ fn vl_only_observer_is_consistent() {
     let stop = Arc::new(AtomicBool::new(false));
     let w_stop = Arc::clone(&stop);
     let wj = std::thread::spawn(move || {
+        let mut jitter = Jitter::new(seed, 1);
         let mut v = [0u64; 2];
         let mut i = 0u64;
         while !w_stop.load(Ordering::Relaxed) {
+            jitter.perturb();
             writer.ll(&mut v);
             i += 1;
             let _ = writer.sc(&[i, i]);
         }
     });
+    let mut jitter = Jitter::new(seed, 0);
     let mut v = [0u64; 2];
     let mut vl_true = 0u64;
     for _ in 0..stress_iters(100_000) {
+        jitter.perturb();
         observer.ll(&mut v);
         if observer.vl() {
             vl_true += 1;

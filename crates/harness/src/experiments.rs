@@ -964,6 +964,114 @@ pub fn e11_backends(quick: bool) {
     }
 }
 
+/// E12 — model checking the shipping code through the instrumented
+/// atomics facade: exhaustive sleep-set DFS and scheduler-driven drift
+/// replay, every path lock-stepped against the interpreter twin.
+#[cfg(mwllsc_model)]
+pub fn e12_model(quick: bool) {
+    use simsched::real::bridge::{drift_run, explore_mw, explore_mw_parallel, MwScenario};
+    use simsched::real::dfs::DfsConfig;
+    use simsched::sched::RoundRobin;
+
+    fn inc_scenario(w: usize, rounds: usize, procs: usize) -> MwScenario {
+        let mut program = Vec::new();
+        for _ in 0..rounds {
+            program.push(SimOp::Ll);
+            program.push(SimOp::ScBump(1));
+        }
+        MwScenario { w, initial: vec![0; w], programs: vec![program; procs] }
+    }
+
+    println!("## E12 — model checking the shipping code (instrumented facade)\n");
+    println!("The compiled `MwLlSc` — not the interpreter — serialized at every shared");
+    println!("access by the facade hook, with each path verified against the interpreter");
+    println!("twin (I1/I2, linearization points, step bounds, Wing–Gong) plus the");
+    println!("memory-ordering policy lint.\n");
+
+    println!("### Exhaustive sleep-set DFS over every interleaving\n");
+    let mut t = Table::new([
+        "config",
+        "ops/proc",
+        "workers",
+        "paths",
+        "pruned",
+        "transitions",
+        "max depth",
+        "wall",
+    ]);
+    let mut configs: Vec<(MwScenario, &str, usize, usize)> =
+        vec![(inc_scenario(1, 2, 2), "N=2 W=1", 4, 1)];
+    if !quick {
+        configs.push((inc_scenario(1, 1, 3), "N=3 W=1", 2, 4));
+        configs.push((inc_scenario(2, 1, 2), "N=2 W=2", 2, 4));
+        configs.push((inc_scenario(2, 1, 3), "N=3 W=2", 2, 4));
+    }
+    for (scenario, tag, ops, workers) in configs {
+        let start = Instant::now();
+        let report = if workers > 1 {
+            explore_mw_parallel(scenario, workers, &DfsConfig::default())
+        } else {
+            explore_mw(scenario, &DfsConfig::default())
+        };
+        let wall = start.elapsed();
+        if let Some(f) = &report.failure {
+            eprintln!("!! E12 {tag}: schedule {:?}: {}", f.schedule, f.error);
+            std::process::exit(2);
+        }
+        assert_eq!(report.truncated, 0, "{tag}: depth bound hit");
+        t.row([
+            tag.to_string(),
+            ops.to_string(),
+            workers.to_string(),
+            report.paths.to_string(),
+            report.pruned.to_string(),
+            report.transitions.to_string(),
+            report.max_depth_seen.to_string(),
+            format!("{:.1?}", wall),
+        ]);
+    }
+    t.print();
+
+    println!("\n### Schedule-drift replay (interpreter twin vs shipping code)\n");
+    let seeds: u64 = if quick { 20 } else { 200 };
+    let mut t = Table::new(["config", "scheduler", "schedules", "decisions", "divergences"]);
+    for (n, w) in [(2usize, 1usize), (3, 2)] {
+        let scenario = inc_scenario(w, 2, n);
+        let mut decisions = 0usize;
+        let out = drift_run(&scenario, &mut RoundRobin::default(), 1_000_000)
+            .unwrap_or_else(|e| panic!("E12 drift (round-robin N={n} W={w}): {e}"));
+        decisions += out.decisions;
+        for seed in 0..seeds {
+            let out = drift_run(&scenario, &mut RandomSched::new(seed), 1_000_000)
+                .unwrap_or_else(|e| panic!("E12 drift (seed {seed} N={n} W={w}): {e}"));
+            decisions += out.decisions;
+        }
+        t.row([
+            format!("N={n} W={w}"),
+            "round-robin + random".into(),
+            (seeds + 1).to_string(),
+            decisions.to_string(),
+            "0".into(),
+        ]);
+    }
+    t.print();
+    println!();
+    println!("Shape check: zero divergences and zero lint findings; the exhaustive rows");
+    println!("cover every sleep-set-distinct interleaving of the real compiled code.\n");
+}
+
+/// E12 without the instrumented facade: nothing to measure.
+#[cfg(not(mwllsc_model))]
+pub fn e12_model(_quick: bool) {
+    eprintln!("mwllsc-harness: e12-model drives the instrumented atomics facade,");
+    eprintln!("which this binary was built without. Rebuild with:");
+    eprintln!();
+    eprintln!(
+        "  RUSTFLAGS='--cfg mwllsc_model' cargo run --release -p mwllsc-harness -- e12-model"
+    );
+    std::process::exit(2);
+}
+
 /// Runs every experiment in order.
 pub fn all(quick: bool) {
     e1_space(quick);
@@ -976,4 +1084,6 @@ pub fn all(quick: bool) {
     e8_compare(quick);
     e10_store(quick);
     e11_backends(quick);
+    #[cfg(mwllsc_model)]
+    e12_model(quick);
 }

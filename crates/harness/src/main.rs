@@ -14,6 +14,8 @@
 //!   e8-compare           throughput + space, all implementations
 //!   e10-store            sharded store: throughput vs shards, key scaling
 //!   e11-backends         multi-backend store matrix + batched update_many
+//!   e12-model            model checking of the shipping code (needs
+//!                        `RUSTFLAGS='--cfg mwllsc_model'`)
 //!   all                  everything above, in order
 //! ```
 //!
@@ -27,7 +29,8 @@ mod timing;
 fn usage() -> ! {
     eprintln!(
         "usage: mwllsc-harness <e1-space|e2-time-w|e3-time-n|e4-vl|e5-waitfree|\
-         e6-linearizability|e7-helping|e8-compare|e10-store|e11-backends|all> [--quick]"
+         e6-linearizability|e7-helping|e8-compare|e10-store|e11-backends|\
+         e12-model|all> [--quick]"
     );
     std::process::exit(2);
 }
@@ -56,6 +59,7 @@ fn main() {
         "e8-compare" => experiments::e8_compare(quick),
         "e10-store" => experiments::e10_store(quick),
         "e11-backends" => experiments::e11_backends(quick),
+        "e12-model" => experiments::e12_model(quick),
         "all" => experiments::all(quick),
         _ => usage(),
     }

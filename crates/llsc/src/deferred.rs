@@ -21,10 +21,10 @@
 
 use core::marker::PhantomData;
 use core::ops::Deref;
-use core::sync::atomic::{AtomicPtr, AtomicUsize, Ordering};
 use std::sync::Arc;
 
 use crate::smr;
+use crate::sync::{AtomicPtr, AtomicUsize, Ordering};
 
 struct Node<T> {
     payload: T,

@@ -84,6 +84,7 @@
 pub mod deferred;
 mod epoch;
 pub mod smr;
+pub mod sync;
 mod tagged;
 
 /// Serializes the unit tests that either hold epoch pins for extended
@@ -170,6 +171,11 @@ pub trait LlScCell: Send + Sync {
     fn retired_words(&self) -> usize {
         0
     }
+
+    /// Attaches an algorithmic label `(name, a, b)` to the cell's shared
+    /// word(s) for model-checked builds (see [`sync::hook::Label`]). A
+    /// no-op by default and in non-model builds.
+    fn model_label(&self, _name: &'static str, _a: u32, _b: u32) {}
 }
 
 /// Construction of an [`LlScCell`] sized for a given value range.

@@ -65,8 +65,9 @@
 //! the same suite demonstrates both halves.
 
 use core::cell::Cell;
-use core::sync::atomic::{fence, AtomicBool, AtomicPtr, AtomicU64, AtomicUsize, Ordering};
 use std::ptr;
+
+use crate::sync::{fence, AtomicBool, AtomicPtr, AtomicU64, AtomicUsize, Ordering};
 
 /// Retires a participant performs between two collection attempts.
 ///
@@ -455,7 +456,7 @@ pub fn decongest() {
         } else {
             // Someone is pinned at a stale epoch — most likely preempted
             // mid-operation. Give the scheduler a chance to run them.
-            std::thread::yield_now();
+            crate::sync::yield_now();
         }
     }
 }

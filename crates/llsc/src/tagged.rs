@@ -1,8 +1,8 @@
 //! Tagged-word realization of single-word LL/SC from CAS.
 
 use core::fmt;
-use core::sync::atomic::{AtomicU64, Ordering};
 
+use crate::sync::{AtomicU64, Labeled, Ordering};
 use crate::{Link, LlScCell};
 
 /// A single-word LL/SC/VL/read/write object packed into one `AtomicU64`.
@@ -36,6 +36,11 @@ pub struct TaggedLlSc {
 
 impl fmt::Debug for TaggedLlSc {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        // Untrapped read: formatting must never become a scheduling point
+        // in model-checked builds.
+        #[cfg(mwllsc_model)]
+        let raw = self.cell.debug_load();
+        #[cfg(not(mwllsc_model))]
         let raw = self.cell.load(Ordering::Relaxed);
         f.debug_struct("TaggedLlSc")
             .field("value", &(raw & self.value_mask()))
@@ -152,27 +157,29 @@ impl LlScCell for TaggedLlSc {
 
     /// Plain write; invalidates all outstanding links by bumping the tag.
     ///
-    /// Implemented as a CAS loop. The loop is lock-free, not wait-free, in
-    /// general; however the multiword algorithm only issues `write` on
-    /// `Help[p]` *by process `p` itself* while no SC on `Help[p]` can
-    /// succeed (helpers' SCs require a `(1, _)` link, which cannot exist at
-    /// line 1), and the initializing writes are single-threaded, so within
-    /// the algorithm every `write` completes in `O(1)` steps. This matches
-    /// the paper's cost accounting.
+    /// Implemented as one `fetch_update` (a CAS loop under the hood). The
+    /// loop is lock-free, not wait-free, in general; however the multiword
+    /// algorithm only issues `write` on `Help[p]` *by process `p` itself*
+    /// while no SC on `Help[p]` can succeed (helpers' SCs require a
+    /// `(1, _)` link, which cannot exist at line 1), and the initializing
+    /// writes are single-threaded, so within the algorithm every `write`
+    /// completes in `O(1)` steps. This matches the paper's cost
+    /// accounting — and makes the whole `write` a *single* access at the
+    /// facade granularity, mirroring the one-step `write` of the
+    /// `simsched` interpreter.
     fn write(&self, v: u64) {
         assert!(v <= self.max_value(), "write value {v} exceeds {} bits", self.value_bits);
-        let mut cur = self.cell.load(Ordering::SeqCst);
-        loop {
-            let next = self.pack_next(cur, v);
-            match self.cell.compare_exchange_weak(cur, next, Ordering::SeqCst, Ordering::SeqCst) {
-                Ok(_) => return,
-                Err(actual) => cur = actual,
-            }
-        }
+        let _ = self
+            .cell
+            .fetch_update(Ordering::SeqCst, Ordering::SeqCst, |cur| Some(self.pack_next(cur, v)));
     }
 
     fn max_value(&self) -> u64 {
         self.value_mask()
+    }
+
+    fn model_label(&self, name: &'static str, a: u32, b: u32) {
+        Labeled::set_label(&self.cell, name, a, b);
     }
 }
 

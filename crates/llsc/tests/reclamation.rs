@@ -44,6 +44,53 @@ fn stress_iters(base: u64) -> u64 {
     base.saturating_mul(mult)
 }
 
+/// Workload-randomization seed, pinned by the `MWLLSC_STRESS_SEED` env
+/// knob. Soak runs randomize thread timing through [`Jitter`]; when one
+/// finds a schedule-dependent failure, exporting the printed seed replays
+/// the exact same perturbation in a plain `cargo test` invocation.
+fn stress_seed() -> u64 {
+    let seed = std::env::var("MWLLSC_STRESS_SEED")
+        .ok()
+        .and_then(|s| s.parse::<u64>().ok())
+        .unwrap_or(0x5EED_0001);
+    eprintln!("MWLLSC_STRESS_SEED={seed}");
+    seed
+}
+
+/// splitmix64 over `seed ^ stream`: one independent stream per thread.
+fn mix(seed: u64, stream: u64) -> u64 {
+    let mut z = seed ^ stream.wrapping_mul(0x9E3779B97F4A7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+    z ^ (z >> 31)
+}
+
+/// Seeded schedule perturbation: an xorshift stream that occasionally
+/// spins for a pseudo-random beat. Different seeds steer the real threads
+/// into different interleaving neighborhoods; the same seed replays the
+/// same rhythm.
+struct Jitter(u64);
+
+impl Jitter {
+    fn new(seed: u64, stream: u64) -> Self {
+        Jitter(mix(seed, stream) | 1)
+    }
+    fn next(&mut self) -> u64 {
+        self.0 ^= self.0 << 13;
+        self.0 ^= self.0 >> 7;
+        self.0 ^= self.0 << 17;
+        self.0
+    }
+    fn perturb(&mut self) {
+        let r = self.next();
+        if r % 8 == 0 {
+            for _ in 0..(r >> 59) {
+                std::hint::spin_loop();
+            }
+        }
+    }
+}
+
 /// Flushes until `cond` holds or the budget runs out. Individual
 /// `try_flush` calls can lose races against concurrent pins, so settling
 /// loops rather than single calls make the assertions deterministic.
@@ -73,18 +120,21 @@ fn backlog_bound(threads: usize) -> usize {
 #[test]
 fn backlog_bounded_under_8_thread_storm() {
     let _gate = serial();
+    let seed = stress_seed();
     let target = stress_iters(1_000_000);
     let cell = Arc::new(EpochLlSc::new(0));
     let successes = Arc::new(AtomicU64::new(0));
     let bound = backlog_bound(THREADS);
 
     let joins: Vec<_> = (0..THREADS)
-        .map(|_| {
+        .map(|t| {
             let cell = Arc::clone(&cell);
             let successes = Arc::clone(&successes);
             std::thread::spawn(move || {
+                let mut jitter = Jitter::new(seed, t as u64);
                 let mut local_high = 0usize;
                 while successes.load(Ordering::Relaxed) < target {
+                    jitter.perturb();
                     let (v, link) = cell.ll();
                     if cell.sc(link, v.wrapping_add(1)) {
                         successes.fetch_add(1, Ordering::Relaxed);

@@ -22,7 +22,12 @@
 //! * [`runner`] — checked runs: schedule + workload in, history +
 //!   verdict out;
 //! * [`explore`] — exhaustive DFS over *all* schedules for small
-//!   configurations, with memoization on the full machine state.
+//!   configurations, with memoization on the full machine state;
+//! * [`real`] — model checking of the *shipping* `mwllsc`/`llsc-word`
+//!   code: a controller that serializes real threads at every facade
+//!   access, a sleep-set DFS over those interleavings, and (under
+//!   `--cfg mwllsc_model`) scenario bridges lock-stepping the compiled
+//!   code against the interpreter.
 //!
 //! Together these regenerate the paper's correctness claims (experiments
 //! E5 and E6 in `EXPERIMENTS.md`): linearizability on hundreds of
@@ -60,6 +65,7 @@ pub mod history;
 pub mod interp;
 pub mod invariants;
 pub mod lp;
+pub mod real;
 pub mod rng;
 pub mod runner;
 pub mod sched;

@@ -1,0 +1,755 @@
+//! Scenario bridges: the shipping code under the model checker.
+//!
+//! Only compiled with `--cfg mwllsc_model`, because only then do the
+//! `llsc-word` / `mwllsc` crates route their accesses through the
+//! instrumented facade. Three scenario families:
+//!
+//! - [`RealMwSystem`]: the real [`MwLlSc`] with a *twin* — a fresh
+//!   [`interp`](crate::interp) simulation of the same programs — advanced
+//!   in lock-step, one interpreter step per granted real access. At every
+//!   decision the bridge checks that the set of runnable processes and
+//!   the pending access of each (kind + algorithmic label) are exactly
+//!   what the interpreter predicts; after the path it checks that the
+//!   operation histories agree event for event (including the decision
+//!   stamps) and feeds the shared history through the I1/I2/LP monitors
+//!   and the Wing–Gong linearizability checker. Any divergence between
+//!   the paper's pseudocode and the compiled implementation surfaces as a
+//!   step-level mismatch with the schedule that exposes it.
+//! - [`RegistrySystem`]: lease/release races on the raw [`SlotRegistry`].
+//! - [`run_ebr_scenario`]: swap storms over a
+//!   [`DeferredSwapCell`](llsc_word::DeferredSwapCell), driving the
+//!   epoch-reclamation machinery under a controlled schedule. EBR keeps
+//!   process-global state (the global epoch, participant registry, limbo
+//!   bags) that survives across paths on the pooled actor threads, so
+//!   these runs are scheduler-driven with logical assertions only — never
+//!   exhaustive DFS, which requires path-to-path determinism.
+//!
+//! On top of the structural checks, [`ordering_violation`] lints every
+//! executed access against the crate's memory-ordering policy. The
+//! controller *serializes* accesses, so a weakened ordering can never
+//! change an outcome under the model — the lint is what catches a
+//! `Release` demoted to `Relaxed` (the acceptance drill for this
+//! subsystem) that only a weak-memory execution could punish.
+
+use std::sync::atomic::Ordering as AtomicOrdering;
+use std::sync::{Arc, Mutex};
+
+use llsc_word::sync::hook::{with_hook, AccessKind, Label, StepHook};
+use llsc_word::DeferredSwapCell;
+use mwllsc::{MwLlSc, SlotRegistry};
+
+use crate::history::{EventKind, History, OpDesc, RespDesc};
+use crate::interp::{Pc, SimOp};
+use crate::invariants::Monitors;
+use crate::lp::LpMonitor;
+use crate::runner::{turn, RunConfig, Sim};
+use crate::sched::Scheduler;
+use crate::wg::{check_linearizable, CheckConfig};
+
+use super::ctrl::{ActorBody, ActorHook, ActorSig, Controller, PathEvent, PathTrace};
+use super::dfs::{explore, explore_parallel, DfsConfig, DfsReport, ReplaySystem};
+
+// ———————————————————————— ordering policy ————————————————————————
+
+/// Checks one executed access against the memory-ordering policy of the
+/// shipping code, keyed by the location's algorithmic label:
+///
+/// - `X` / `Bank` / `Help`: the Figure 2 variables — every access (and
+///   every compare-exchange failure ordering) must be `SeqCst`; the
+///   correctness argument treats them as a sequentially consistent
+///   shared memory.
+/// - `BUF`: safe-register buffer words — loads and stores, `Relaxed`
+///   (publication rides on the `SeqCst` `X`/`Help` accesses around them).
+/// - `SLOT`: registry slot words — RMWs must be `AcqRel`+, a release
+///   store must be `Release`+ (it publishes the leaseholder's writes to
+///   the next leaseholder), loads are unconstrained.
+/// - `CURS` and unlabeled locations: unconstrained.
+///
+/// Returns a description of the violation, or `None` if the access
+/// conforms.
+#[must_use]
+pub fn ordering_violation(sig: &ActorSig) -> Option<String> {
+    use AtomicOrdering as O;
+    let at_least = |have: AtomicOrdering, floor: &[AtomicOrdering]| floor.contains(&have);
+    let label = sig.label?;
+    let fail = |need: &str| {
+        Some(format!(
+            "ordering policy: {} {:?} on {} uses {:?}{} — needs {need}",
+            match sig.kind {
+                AccessKind::Load => "load",
+                AccessKind::Store => "store",
+                AccessKind::Rmw => "rmw",
+                AccessKind::Fence => "fence",
+                AccessKind::Yield => "yield",
+            },
+            sig.kind,
+            label,
+            sig.order,
+            sig.failure.map(|f| format!(" (failure {f:?})")).unwrap_or_default(),
+        ))
+    };
+    match label.name {
+        "X" | "Bank" | "Help"
+            if sig.order != O::SeqCst || sig.failure.is_some_and(|f| f != O::SeqCst) =>
+        {
+            fail("SeqCst everywhere (Figure 2 shared memory)")
+        }
+        "BUF" if sig.order != O::Relaxed => {
+            fail("Relaxed (safe-register words; ordering rides on X/Help)")
+        }
+        "SLOT" => match sig.kind {
+            AccessKind::Rmw if !at_least(sig.order, &[O::AcqRel, O::SeqCst]) => {
+                fail("AcqRel or stronger (lease handover)")
+            }
+            AccessKind::Store if !at_least(sig.order, &[O::Release, O::SeqCst]) => {
+                fail("Release or stronger (publishes the holder's writes)")
+            }
+            _ => None,
+        },
+        _ => None,
+    }
+}
+
+/// Lints every access of a path log; returns the first violation.
+fn lint_log(trace: &PathTrace) -> Option<String> {
+    trace.log.iter().find_map(|e| ordering_violation(&e.sig))
+}
+
+// ———————————————————————— the MwLlSc twin ————————————————————————
+
+/// What real access the twin's next interpreter step for `pid` maps to,
+/// as `(kind, label)`. `None` for local-only steps (lines 16 and 20),
+/// which the twin driver drains without consuming a real access.
+fn expected_access(sim: &Sim, pid: usize) -> Option<(AccessKind, Label)> {
+    let proc = &sim.procs[pid];
+    let n = sim.state.n as u32;
+    let lab = |name: &'static str, a: u32, b: u32| Label { name, a, b };
+    let pc = if proc.pc == Pc::Idle {
+        // Idle with program remaining: the real actor is parked at the
+        // *first* access of its next operation.
+        match &sim.programs[pid][sim.pos[pid]] {
+            SimOp::Ll => Pc::L1,
+            SimOp::LlRetry => Pc::R2,
+            SimOp::Sc(_) | SimOp::ScBump(_) => Pc::L12,
+            SimOp::Vl => Pc::L23,
+        }
+    } else {
+        proc.pc
+    };
+    let p = pid as u32;
+    Some(match pc {
+        Pc::Idle => unreachable!("idle handled above"),
+        // LL: announce (line 1, a fetch_update), then the read/help dance.
+        Pc::L1 => (AccessKind::Rmw, lab("Help", p, 0)),
+        Pc::L2 | Pc::L5 | Pc::L7 | Pc::L12Vl | Pc::L14Vl | Pc::L23 | Pc::R2 | Pc::R7 => {
+            (AccessKind::Load, lab("X", 0, 0))
+        }
+        Pc::L3(i) | Pc::L6(i) | Pc::R3(i) => (AccessKind::Load, lab("BUF", proc.x.buf, i as u32)),
+        Pc::L7Copy(i) => (AccessKind::Load, lab("BUF", proc.b4, i as u32)),
+        Pc::L4 | Pc::L8 | Pc::L10 => (AccessKind::Load, lab("Help", p, 0)),
+        Pc::L9 => (AccessKind::Rmw, lab("Help", p, 0)),
+        Pc::L11(i) => (AccessKind::Store, lab("BUF", proc.mybuf, i as u32)),
+        // SC: the Bank fix-up, the help donation, the value install.
+        Pc::L12 => (AccessKind::Load, lab("Bank", proc.x.seq, 0)),
+        Pc::L13 => (AccessKind::Rmw, lab("Bank", proc.x.seq, 0)),
+        Pc::L14 => (AccessKind::Load, lab("Help", proc.x.seq % n, 0)),
+        Pc::L15 => (AccessKind::Rmw, lab("Help", proc.x.seq % n, 0)),
+        Pc::L16 | Pc::L20 => return None,
+        Pc::L17(i) => (AccessKind::Store, lab("BUF", proc.mybuf, i as u32)),
+        Pc::L18 => (AccessKind::Load, lab("Bank", (proc.x.seq + 1) % (2 * n), 0)),
+        Pc::L19 => (AccessKind::Rmw, lab("X", 0, 0)),
+    })
+}
+
+/// A real-vs-twin scenario: `programs.len()` processes run their op
+/// sequences against one `W`-word [`MwLlSc`].
+#[derive(Clone, Debug)]
+pub struct MwScenario {
+    /// Words per value.
+    pub w: usize,
+    /// Initial value (length `w`).
+    pub initial: Vec<u64>,
+    /// Per-process operation sequences ([`SimOp::LlRetry`] is rejected:
+    /// the twin's retry-loop is a per-op choice, the real object's is a
+    /// per-object strategy, so the two cannot be matched op-for-op).
+    pub programs: Vec<Vec<SimOp>>,
+}
+
+/// The outcome of one completed (non-abandoned) real-vs-twin path.
+#[derive(Clone, Debug)]
+pub struct MwPathOutcome {
+    /// Scheduling decisions taken (= real shared-memory accesses).
+    pub decisions: usize,
+    /// The operation history (identical between real and twin — checked).
+    pub history: History,
+    /// The twin's final abstract value of `O`.
+    pub final_value: Vec<u64>,
+}
+
+/// The shipping [`MwLlSc`] as a replayable system for the DFS.
+///
+/// Each [`run_path`](ReplaySystem::run_path) builds a fresh object, a
+/// fresh twin, and fresh actor bodies, so paths are mutually independent
+/// (the `TaggedLlSc` tag counters restart from zero with the object —
+/// the property that makes stateless replay deterministic).
+pub struct RealMwSystem {
+    ctrl: Controller,
+    scenario: MwScenario,
+}
+
+impl std::fmt::Debug for RealMwSystem {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("RealMwSystem").field("scenario", &self.scenario).finish()
+    }
+}
+
+/// One real actor: claims its registry slot (untrapped — lease traffic
+/// is path setup, not schedule), then runs its op sequence under the
+/// hook, noting op boundaries for the history comparison.
+fn mw_actor_body(obj: Arc<MwLlSc>, p: usize, program: Vec<SimOp>, w: usize) -> ActorBody {
+    Box::new(move |hook: Arc<ActorHook>| {
+        let mut h = obj.claim(p).expect("slot p is free at path start");
+        let steps: Arc<dyn StepHook> = Arc::clone(&hook) as Arc<dyn StepHook>;
+        with_hook(steps, || {
+            let mut out = vec![0u64; w];
+            let mut linked = vec![0u64; w];
+            for op in &program {
+                match op {
+                    SimOp::Ll => {
+                        hook.note_invoke(OpDesc::Ll);
+                        h.ll(&mut out);
+                        linked.copy_from_slice(&out);
+                        hook.note_respond(RespDesc::Ll(out.clone()));
+                    }
+                    SimOp::LlRetry => unreachable!("rejected by RealMwSystem::new"),
+                    SimOp::Sc(v) => {
+                        hook.note_invoke(OpDesc::Sc(v.clone()));
+                        let ok = h.sc(v);
+                        hook.note_respond(RespDesc::Sc(ok));
+                    }
+                    SimOp::ScBump(delta) => {
+                        // Same resolution rule as the twin's `begin`: the
+                        // latest LL's value, plus delta on word 0.
+                        let mut v = linked.clone();
+                        v[0] = v[0].wrapping_add(*delta);
+                        hook.note_invoke(OpDesc::Sc(v.clone()));
+                        let ok = h.sc(&v);
+                        hook.note_respond(RespDesc::Sc(ok));
+                    }
+                    SimOp::Vl => {
+                        hook.note_invoke(OpDesc::Vl);
+                        let ok = h.vl();
+                        hook.note_respond(RespDesc::Vl(ok));
+                    }
+                }
+            }
+        });
+        // `h` drops here, after the hook is uninstalled: the release
+        // store on the slot runs untrapped.
+        drop(h);
+    })
+}
+
+/// Compares the controller's op events against the twin's history,
+/// per process and stamp for stamp.
+fn compare_histories(twin: &History, real: &[PathEvent], n: usize) -> Option<String> {
+    #[derive(Debug, PartialEq)]
+    enum Ev {
+        I(OpDesc, u64),
+        R(RespDesc, u64),
+    }
+    let mut twin_by_pid: Vec<Vec<Ev>> = (0..n).map(|_| Vec::new()).collect();
+    for e in &twin.events {
+        twin_by_pid[e.pid].push(match &e.kind {
+            EventKind::Invoke(op) => Ev::I(op.clone(), e.step),
+            EventKind::Respond(r) => Ev::R(r.clone(), e.step),
+        });
+    }
+    let mut real_by_pid: Vec<Vec<Ev>> = (0..n).map(|_| Vec::new()).collect();
+    for e in real {
+        match e {
+            PathEvent::Invoke { actor, op, decision } => {
+                real_by_pid[*actor].push(Ev::I(op.clone(), *decision as u64));
+            }
+            PathEvent::Respond { actor, resp, decision } => {
+                real_by_pid[*actor].push(Ev::R(resp.clone(), *decision as u64));
+            }
+        }
+    }
+    for pid in 0..n {
+        let (t, r) = (&twin_by_pid[pid], &real_by_pid[pid]);
+        if t != r {
+            let at =
+                t.iter().zip(r.iter()).position(|(a, b)| a != b).unwrap_or(t.len().min(r.len()));
+            return Some(format!(
+                "history drift for p{pid} at event {at}: twin {:?}, real {:?}",
+                t.get(at),
+                r.get(at)
+            ));
+        }
+    }
+    None
+}
+
+impl RealMwSystem {
+    /// Builds the system (one controller, pooled actor threads).
+    ///
+    /// # Panics
+    ///
+    /// Panics on malformed scenarios: empty programs, width mismatch, or
+    /// a [`SimOp::LlRetry`] (see [`MwScenario::programs`]).
+    #[must_use]
+    pub fn new(scenario: MwScenario) -> Self {
+        assert!(!scenario.programs.is_empty(), "scenario needs at least one process");
+        assert_eq!(scenario.initial.len(), scenario.w, "initial value width mismatch");
+        assert!(
+            !scenario.programs.iter().flatten().any(|op| matches!(op, SimOp::LlRetry)),
+            "LlRetry is not twin-checkable (per-op vs per-object strategy)"
+        );
+        let n = scenario.programs.len();
+        Self { ctrl: Controller::new(n), scenario }
+    }
+
+    /// The scenario this system runs.
+    #[must_use]
+    pub fn scenario(&self) -> &MwScenario {
+        &self.scenario
+    }
+
+    /// Runs one path under `pick`, lock-stepping the twin and running
+    /// every per-path check.
+    ///
+    /// Returns `Ok(None)` when `pick` abandoned the path (DFS prune /
+    /// depth bound), `Ok(Some(outcome))` for a clean completed path, and
+    /// `Err(reason)` for any check failure.
+    pub fn run_once(
+        &self,
+        pick: &mut dyn FnMut(&[ActorSig]) -> Option<usize>,
+    ) -> Result<Option<MwPathOutcome>, String> {
+        let n = self.scenario.programs.len();
+        let w = self.scenario.w;
+        let obj = MwLlSc::new(n, w, &self.scenario.initial);
+        let mut sim = Sim::new(w, &self.scenario.initial, self.scenario.programs.clone());
+        let mut monitors = Monitors::new(n);
+        let mut lp = LpMonitor::new(n, sim.state.abstract_value());
+        let mut history = History::default();
+        let runcfg = RunConfig::default();
+
+        let bodies: Vec<ActorBody> = (0..n)
+            .map(|p| mw_actor_body(Arc::clone(&obj), p, self.scenario.programs[p].clone(), w))
+            .collect();
+
+        let mut twin_err: Option<String> = None;
+        let mut decisions = 0usize;
+        let trace = self.ctrl.run_path(bodies, &mut |runnable| {
+            if twin_err.is_some() {
+                return None;
+            }
+            // The twin must agree on who is runnable...
+            let twin_run = sim.runnable();
+            let real_run: Vec<usize> = runnable.iter().map(|s| s.actor).collect();
+            if twin_run != real_run {
+                twin_err = Some(format!(
+                    "runnable-set drift at decision {decisions}: twin {twin_run:?}, real {real_run:?}"
+                ));
+                return None;
+            }
+            // ...and on what each runnable process is about to do.
+            for sig in runnable {
+                match expected_access(&sim, sig.actor) {
+                    Some((kind, label)) => {
+                        if sig.kind != kind || sig.label != Some(label) {
+                            twin_err = Some(format!(
+                                "access drift at decision {decisions}: p{} parked at {sig}, \
+                                 twin (pc {:?}) expects {kind:?} {label}",
+                                sig.actor, sim.procs[sig.actor].pc
+                            ));
+                            return None;
+                        }
+                    }
+                    None => {
+                        twin_err = Some(format!(
+                            "twin desync at decision {decisions}: p{} is at local-only pc {:?} \
+                             yet the real process is parked at {sig}",
+                            sig.actor, sim.procs[sig.actor].pc
+                        ));
+                        return None;
+                    }
+                }
+            }
+            let c = pick(runnable)?;
+            let pid = runnable[c].actor;
+            let d = decisions as u64;
+            decisions += 1;
+            // Advance the twin by the one step this grant realizes, then
+            // drain local-only steps (lines 16 and 20 touch no shared
+            // memory in the real code).
+            loop {
+                if let Err(v) = turn(&mut sim, pid, &mut monitors, &mut lp, &runcfg, &mut history, d)
+                {
+                    twin_err = Some(format!("twin violation at decision {d}: {v}"));
+                    return None;
+                }
+                if !matches!(sim.procs[pid].pc, Pc::L16 | Pc::L20) {
+                    break;
+                }
+            }
+            Some(c)
+        });
+
+        // An ordering violation is a finding even on a partial log.
+        if let Some(e) = lint_log(&trace) {
+            return Err(e);
+        }
+        if let Some(e) = twin_err {
+            return Err(e);
+        }
+        if let Some(e) = trace.error {
+            return Err(e);
+        }
+        if trace.aborted {
+            return Ok(None);
+        }
+        if !sim.is_done() {
+            return Err(format!(
+                "real actors finished but the twin still has runnable processes {:?}",
+                sim.runnable()
+            ));
+        }
+        if let Some(e) = compare_histories(&history, &trace.events, n) {
+            return Err(e);
+        }
+        if let Err(e) = check_linearizable(&history, &self.scenario.initial, CheckConfig::default())
+        {
+            return Err(format!("non-linearizable path: {e}\n{}", history.render()));
+        }
+        Ok(Some(MwPathOutcome {
+            decisions,
+            history,
+            final_value: sim.state.abstract_value().to_vec(),
+        }))
+    }
+}
+
+impl ReplaySystem for RealMwSystem {
+    fn run_path(&mut self, pick: &mut dyn FnMut(&[ActorSig]) -> Option<usize>) -> Option<String> {
+        self.run_once(pick).err()
+    }
+}
+
+/// Exhaustively explores every interleaving of `scenario`'s real
+/// shared-memory accesses (sleep-set reduced), twin-checking each path.
+#[must_use]
+pub fn explore_mw(scenario: MwScenario, cfg: &DfsConfig) -> DfsReport {
+    let mut sys = RealMwSystem::new(scenario);
+    explore(&mut sys, cfg)
+}
+
+/// [`explore_mw`] partitioned over `workers` threads, each with its own
+/// controller and actor pool.
+#[must_use]
+pub fn explore_mw_parallel(scenario: MwScenario, workers: usize, cfg: &DfsConfig) -> DfsReport {
+    explore_parallel(|_| RealMwSystem::new(scenario.clone()), workers, cfg)
+}
+
+// ———————————————————————— scheduler adapter ————————————————————————
+
+/// Adapts a classic [`Scheduler`] (which picks *process ids*) to the
+/// controller's picker (which picks *indices into the runnable slice*),
+/// abandoning the path after `max_decisions`.
+pub fn sched_picker<'s, S: Scheduler>(
+    sched: &'s mut S,
+    max_decisions: u64,
+) -> impl FnMut(&[ActorSig]) -> Option<usize> + 's {
+    let mut step = 0u64;
+    move |runnable: &[ActorSig]| {
+        if step >= max_decisions {
+            return None;
+        }
+        let pids: Vec<usize> = runnable.iter().map(|s| s.actor).collect();
+        let pid = sched.pick(&pids, step);
+        step += 1;
+        runnable.iter().position(|s| s.actor == pid)
+    }
+}
+
+/// Runs `scenario` once under `sched`, real against twin, with every
+/// per-path check. Errors on drift, on any violated invariant, and on
+/// failing to complete within `max_decisions`.
+pub fn drift_run<S: Scheduler>(
+    scenario: &MwScenario,
+    sched: &mut S,
+    max_decisions: u64,
+) -> Result<MwPathOutcome, String> {
+    let sys = RealMwSystem::new(scenario.clone());
+    match sys.run_once(&mut sched_picker(sched, max_decisions))? {
+        Some(outcome) => Ok(outcome),
+        None => Err(format!("schedule budget ({max_decisions} decisions) exhausted")),
+    }
+}
+
+// ———————————————————————— registry scenarios ————————————————————————
+
+/// One step of a registry actor's program.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum RegOp {
+    /// Try to lease this exact slot.
+    LeaseExact(usize),
+    /// Try to lease any free slot.
+    LeaseAny,
+    /// Release the most recently acquired still-held slot, carrying this
+    /// payload back. No-op if the actor holds nothing.
+    Release(u32),
+}
+
+/// What one lease attempt observed.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum LeaseOutcome {
+    /// The lease succeeded.
+    Got {
+        /// The leased slot.
+        slot: usize,
+        /// The payload it carried.
+        payload: u32,
+    },
+    /// The slot (or every slot) was held.
+    Busy,
+}
+
+/// Post-path predicate over the final registry state and each actor's
+/// lease outcomes (indexed like the programs). Returns a violation
+/// description, or `None` if the path is acceptable.
+pub type RegistryCheck = fn(&SlotRegistry, &[Vec<LeaseOutcome>]) -> Option<String>;
+
+/// Lease/release races on the raw [`SlotRegistry`] as a replayable
+/// system: every slot and cursor access is a schedule point.
+pub struct RegistrySystem {
+    ctrl: Controller,
+    slots: usize,
+    programs: Vec<Vec<RegOp>>,
+    check: RegistryCheck,
+}
+
+impl std::fmt::Debug for RegistrySystem {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("RegistrySystem")
+            .field("slots", &self.slots)
+            .field("programs", &self.programs)
+            .finish()
+    }
+}
+
+impl RegistrySystem {
+    /// Builds the system: a fresh `slots`-slot registry per path, one
+    /// actor per program, `check` evaluated after every completed path.
+    #[must_use]
+    pub fn new(slots: usize, programs: Vec<Vec<RegOp>>, check: RegistryCheck) -> Self {
+        assert!(!programs.is_empty(), "scenario needs at least one actor");
+        let n = programs.len();
+        Self { ctrl: Controller::new(n), slots, programs, check }
+    }
+}
+
+impl ReplaySystem for RegistrySystem {
+    fn run_path(&mut self, pick: &mut dyn FnMut(&[ActorSig]) -> Option<usize>) -> Option<String> {
+        let n = self.programs.len();
+        let reg = Arc::new(SlotRegistry::new(self.slots));
+        let results: Arc<Mutex<Vec<Vec<LeaseOutcome>>>> = Arc::new(Mutex::new(vec![Vec::new(); n]));
+
+        let bodies: Vec<ActorBody> = (0..n)
+            .map(|a| {
+                let reg = Arc::clone(&reg);
+                let results = Arc::clone(&results);
+                let program = self.programs[a].clone();
+                Box::new(move |hook: Arc<ActorHook>| {
+                    let steps: Arc<dyn StepHook> = Arc::clone(&hook) as Arc<dyn StepHook>;
+                    let mut held: Vec<usize> = Vec::new();
+                    let mut outcomes: Vec<LeaseOutcome> = Vec::new();
+                    with_hook(steps, || {
+                        for op in &program {
+                            match op {
+                                RegOp::LeaseExact(p) => match reg.lease_exact(*p) {
+                                    Some(payload) => {
+                                        held.push(*p);
+                                        outcomes.push(LeaseOutcome::Got { slot: *p, payload });
+                                    }
+                                    None => outcomes.push(LeaseOutcome::Busy),
+                                },
+                                RegOp::LeaseAny => match reg.lease_any() {
+                                    Some((slot, payload)) => {
+                                        held.push(slot);
+                                        outcomes.push(LeaseOutcome::Got { slot, payload });
+                                    }
+                                    None => outcomes.push(LeaseOutcome::Busy),
+                                },
+                                RegOp::Release(payload) => {
+                                    if let Some(slot) = held.pop() {
+                                        reg.release(slot, *payload);
+                                    }
+                                }
+                            }
+                        }
+                    });
+                    // A std mutex, not a facade access: invisible to the
+                    // schedule, and never held across a park.
+                    results.lock().unwrap()[a] = outcomes;
+                }) as ActorBody
+            })
+            .collect();
+
+        let trace = self.ctrl.run_path(bodies, pick);
+        if let Some(e) = lint_log(&trace) {
+            return Some(e);
+        }
+        if let Some(e) = trace.error {
+            return Some(e);
+        }
+        if trace.aborted {
+            return None;
+        }
+        let results = results.lock().unwrap();
+        (self.check)(&reg, &results)
+    }
+}
+
+// ———————————————————————— EBR scenarios ————————————————————————
+
+/// The outcome of one scheduler-driven EBR path.
+#[derive(Clone, Debug)]
+pub struct EbrOutcome {
+    /// Successful `compare_swap`s per actor.
+    pub wins: Vec<u64>,
+    /// The cell's final payload.
+    pub final_value: u64,
+    /// The cell's final sequence number.
+    pub final_seq: u64,
+    /// Live + retired-but-unreclaimed nodes at the end of the path.
+    pub tracked_nodes: usize,
+}
+
+/// Runs `actors` concurrent load → compare-swap increment loops
+/// (`attempts` each) over one [`DeferredSwapCell`] under `sched`, every
+/// facade access — including the epoch pins, retires, and advance scans
+/// inside the reclamation subsystem — serialized by the controller.
+///
+/// Scheduler-driven only (see the module docs for why EBR is never
+/// DFS-explored). The consistency checks are logical: a `compare_swap`
+/// keyed on the observed sequence number wins iff the value was still
+/// current, so the final value and sequence number must both equal the
+/// total number of wins.
+pub fn run_ebr_scenario<S: Scheduler>(
+    actors: usize,
+    attempts: u64,
+    sched: &mut S,
+    max_decisions: u64,
+) -> Result<EbrOutcome, String> {
+    assert!(actors > 0, "need at least one actor");
+    let ctrl = Controller::new(actors);
+    let cell = Arc::new(DeferredSwapCell::new(0u64));
+    let wins: Arc<Mutex<Vec<u64>>> = Arc::new(Mutex::new(vec![0; actors]));
+
+    let bodies: Vec<ActorBody> = (0..actors)
+        .map(|a| {
+            let cell = Arc::clone(&cell);
+            let wins = Arc::clone(&wins);
+            Box::new(move |hook: Arc<ActorHook>| {
+                let steps: Arc<dyn StepHook> = Arc::clone(&hook) as Arc<dyn StepHook>;
+                let mut won = 0u64;
+                with_hook(steps, || {
+                    for _ in 0..attempts {
+                        let p = cell.load();
+                        let (v, seq) = (*p, p.seq());
+                        drop(p);
+                        if cell.compare_swap(seq, v + 1) {
+                            won += 1;
+                        }
+                    }
+                });
+                wins.lock().unwrap()[a] = won;
+            }) as ActorBody
+        })
+        .collect();
+
+    let trace = ctrl.run_path(bodies, &mut sched_picker(sched, max_decisions));
+    if let Some(e) = trace.error {
+        return Err(e);
+    }
+    if trace.aborted {
+        return Err(format!("schedule budget ({max_decisions} decisions) exhausted"));
+    }
+    let wins = wins.lock().unwrap().clone();
+    let total: u64 = wins.iter().sum();
+    let p = cell.load();
+    let (final_value, final_seq) = (*p, p.seq());
+    drop(p);
+    if final_value != total || final_seq != total {
+        return Err(format!(
+            "EBR cell inconsistent: {total} wins but final value {final_value}, seq {final_seq}"
+        ));
+    }
+    Ok(EbrOutcome { wins, final_value, final_seq, tracked_nodes: cell.tracked_nodes() })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::Ordering as O;
+
+    fn sig(kind: AccessKind, name: &'static str, order: O, failure: Option<O>) -> ActorSig {
+        ActorSig { actor: 0, kind, label: Some(Label { name, a: 0, b: 0 }), order, failure }
+    }
+
+    #[test]
+    fn policy_accepts_the_shipping_orderings() {
+        for s in [
+            sig(AccessKind::Load, "X", O::SeqCst, None),
+            sig(AccessKind::Rmw, "X", O::SeqCst, Some(O::SeqCst)),
+            sig(AccessKind::Rmw, "Help", O::SeqCst, None),
+            sig(AccessKind::Load, "BUF", O::Relaxed, None),
+            sig(AccessKind::Store, "BUF", O::Relaxed, None),
+            sig(AccessKind::Rmw, "SLOT", O::AcqRel, None),
+            sig(AccessKind::Store, "SLOT", O::Release, None),
+            sig(AccessKind::Load, "SLOT", O::Relaxed, None),
+            sig(AccessKind::Rmw, "CURS", O::Relaxed, None),
+        ] {
+            assert_eq!(ordering_violation(&s), None, "{s}");
+        }
+    }
+
+    #[test]
+    fn policy_rejects_weakened_orderings() {
+        // The acceptance drill: a SLOT release demoted to Relaxed (the
+        // next leaseholder could observe the previous holder's writes
+        // torn) must be flagged even though serialized execution cannot
+        // punish it.
+        for s in [
+            sig(AccessKind::Store, "SLOT", O::Relaxed, None),
+            sig(AccessKind::Rmw, "SLOT", O::Acquire, None),
+            sig(AccessKind::Load, "X", O::Acquire, None),
+            sig(AccessKind::Rmw, "Bank", O::SeqCst, Some(O::Relaxed)),
+            sig(AccessKind::Store, "BUF", O::Release, None),
+        ] {
+            assert!(ordering_violation(&s).is_some(), "{s} should violate policy");
+        }
+    }
+
+    #[test]
+    fn unlabeled_accesses_are_not_linted() {
+        let s = ActorSig {
+            actor: 0,
+            kind: AccessKind::Store,
+            label: None,
+            order: O::Relaxed,
+            failure: None,
+        };
+        assert_eq!(ordering_violation(&s), None);
+    }
+
+    #[test]
+    fn expected_access_peeks_idle_ops() {
+        let sim = Sim::new(1, &[0], vec![vec![SimOp::Ll], vec![SimOp::Ll]]);
+        let (kind, label) = expected_access(&sim, 1).unwrap();
+        assert_eq!(kind, AccessKind::Rmw, "LL opens with the line-1 announce");
+        assert_eq!(label, Label { name: "Help", a: 1, b: 0 });
+    }
+}

@@ -1,0 +1,475 @@
+//! Exhaustive stateless DFS with sleep sets over a replayable system.
+//!
+//! The explored object is anything implementing [`ReplaySystem`]: given a
+//! picker, it deterministically re-executes one complete path (for the
+//! real-code scenarios, `run_path` builds a fresh object and runs the
+//! shipping code under the [`Controller`](super::ctrl::Controller)). The
+//! DFS replays the current prefix on every path — checking at each step
+//! that the runnable set is identical to the recorded one, which turns
+//! any nondeterminism in the system under test into a reported failure
+//! rather than silent under-exploration.
+//!
+//! Sleep sets (Godefroid's partial-order reduction) prune commuting
+//! interleavings: after exploring actor `t` from a node, `t` sleeps for
+//! the node's remaining children, and a sleeping actor is only woken in a
+//! subtree by a transition that conflicts with its pending access. Two
+//! accesses conflict when they touch the same location and at least one
+//! writes (fences conflict with everything, pure scheduling yields with
+//! nothing). Location identity is the algorithmic `Label` — stable
+//! across re-executions, unlike heap addresses — so scenarios that want
+//! exploration must label every shared cell.
+//!
+//! [`explore_parallel`] partitions the root decisions over worker threads
+//! (each with its own system instance, i.e. its own controller and actor
+//! pool), with the root sleep sets arranged exactly as the sequential
+//! exploration would have them, so the union of the workers' subtrees is
+//! the sequential exploration.
+
+use std::collections::BTreeSet;
+
+use llsc_word::sync::hook::AccessKind;
+
+use super::ctrl::ActorSig;
+
+/// A system the DFS can re-execute path by path.
+pub trait ReplaySystem {
+    /// Runs one complete path. At every decision point `pick` receives
+    /// the runnable actors' pending-access signatures and returns an
+    /// index into that slice, or `None` to abandon the path (the system
+    /// must still run to completion, unrecorded).
+    ///
+    /// Returns `Some(error)` if the path violated a checked property.
+    fn run_path(&mut self, pick: &mut dyn FnMut(&[ActorSig]) -> Option<usize>) -> Option<String>;
+}
+
+/// Exploration limits and partitioning.
+#[derive(Clone, Debug)]
+pub struct DfsConfig {
+    /// Paths longer than this are truncated (counted, not failed).
+    pub max_depth: usize,
+    /// Hard cap on executed paths (safety valve; hitting it is reported).
+    pub max_paths: u64,
+    /// `(worker, stride)`: explore only root decisions `worker`,
+    /// `worker + stride`, ... — the parallel partitioning hook.
+    pub root_partition: Option<(usize, usize)>,
+}
+
+impl Default for DfsConfig {
+    fn default() -> Self {
+        Self { max_depth: 4096, max_paths: u64::MAX, root_partition: None }
+    }
+}
+
+/// A violation found during exploration, with the schedule that exposes
+/// it (actor ids, replayable via a `ReplaySched`-style picker).
+#[derive(Clone, Debug)]
+pub struct DfsFailure {
+    /// The property violation (or determinism divergence) message.
+    pub error: String,
+    /// The decision sequence (actor per step) reaching the violation.
+    pub schedule: Vec<usize>,
+}
+
+/// Exploration statistics.
+#[derive(Clone, Debug, Default)]
+pub struct DfsReport {
+    /// Complete paths executed.
+    pub paths: u64,
+    /// Sleep-set leaf prunes (subtrees proven redundant).
+    pub pruned: u64,
+    /// Depth-bound truncations.
+    pub truncated: u64,
+    /// Total scheduling decisions executed (replays included).
+    pub transitions: u64,
+    /// Deepest decision sequence seen.
+    pub max_depth_seen: usize,
+    /// Whether `max_paths` stopped the exploration early.
+    pub capped: bool,
+    /// First violation found, if any (exploration stops there).
+    pub failure: Option<DfsFailure>,
+}
+
+/// Do the two pending accesses commute (can their order be swapped
+/// without changing any outcome)?
+fn independent(a: &ActorSig, b: &ActorSig) -> bool {
+    use AccessKind::{Fence, Load, Yield};
+    if a.kind == Yield || b.kind == Yield {
+        return true; // no memory effect at all
+    }
+    if a.kind == Fence || b.kind == Fence {
+        return false; // a fence orders against everything
+    }
+    if a.kind == Load && b.kind == Load {
+        return true; // loads commute even on the same location
+    }
+    // At least one write: independent only on provably distinct locations.
+    match (a.label, b.label) {
+        (Some(la), Some(lb)) => la != lb,
+        _ => false, // unlabeled: assume conflicting
+    }
+}
+
+struct Frame {
+    runnable: Vec<ActorSig>,
+    sleep: BTreeSet<usize>,
+    chosen: usize,
+}
+
+/// Exhaustively explores `sys` under `cfg`, depth-first with sleep sets.
+pub fn explore<S: ReplaySystem>(sys: &mut S, cfg: &DfsConfig) -> DfsReport {
+    let mut report = DfsReport::default();
+    let mut stack: Vec<Frame> = Vec::new();
+    let (part_start, part_stride) = cfg.root_partition.unwrap_or((0, 1));
+    assert!(part_stride > 0, "root partition stride must be positive");
+
+    loop {
+        if report.paths + report.pruned + report.truncated >= cfg.max_paths {
+            report.capped = true;
+            return report;
+        }
+        let mut depth = 0usize;
+        let mut pruned_here = false;
+        let mut truncated_here = false;
+        let mut diverged: Option<String> = None;
+
+        let path_error = sys.run_path(&mut |runnable| {
+            let d = depth;
+            depth += 1;
+            if diverged.is_some() {
+                return None;
+            }
+            if d < stack.len() {
+                // Replay of the already-recorded prefix: the runnable set
+                // must be exactly what it was last time.
+                let f = &stack[d];
+                if f.runnable != runnable {
+                    diverged = Some(format!(
+                        "nondeterministic replay at depth {d}: expected [{}], got [{}]",
+                        f.runnable.iter().map(ToString::to_string).collect::<Vec<_>>().join(", "),
+                        runnable.iter().map(ToString::to_string).collect::<Vec<_>>().join(", "),
+                    ));
+                    return None;
+                }
+                return Some(f.chosen);
+            }
+            if d >= cfg.max_depth {
+                truncated_here = true;
+                return None;
+            }
+            // A new node: inherit the sleep set from the parent's choice.
+            let sleep: BTreeSet<usize> = if d == 0 {
+                runnable.iter().take(part_start.min(runnable.len())).map(|s| s.actor).collect()
+            } else {
+                let parent = &stack[d - 1];
+                let chosen_sig = parent.runnable[parent.chosen].clone();
+                parent
+                    .sleep
+                    .iter()
+                    .copied()
+                    .filter(|q| {
+                        parent
+                            .runnable
+                            .iter()
+                            .find(|s| s.actor == *q)
+                            .is_some_and(|sq| independent(sq, &chosen_sig))
+                    })
+                    .collect()
+            };
+            match runnable.iter().position(|s| !sleep.contains(&s.actor)) {
+                Some(c) => {
+                    stack.push(Frame { runnable: runnable.to_vec(), sleep, chosen: c });
+                    Some(c)
+                }
+                None => {
+                    // Every runnable actor sleeps: this subtree is covered
+                    // by a sibling where the sleeping transitions ran first.
+                    pruned_here = true;
+                    None
+                }
+            }
+        });
+
+        report.transitions += depth as u64;
+        report.max_depth_seen = report.max_depth_seen.max(stack.len());
+        let schedule = || stack.iter().map(|f| f.runnable[f.chosen].actor).collect::<Vec<_>>();
+        if let Some(e) = diverged {
+            report.failure = Some(DfsFailure { error: e, schedule: schedule() });
+            return report;
+        }
+        if let Some(e) = path_error {
+            report.failure = Some(DfsFailure { error: e, schedule: schedule() });
+            return report;
+        }
+        if pruned_here {
+            report.pruned += 1;
+        } else if truncated_here {
+            report.truncated += 1;
+        } else {
+            report.paths += 1;
+        }
+
+        // Backtrack: put the explored transition to sleep and advance the
+        // deepest frame with a remaining awake choice.
+        loop {
+            let at_root = stack.len() == 1;
+            let Some(top) = stack.last_mut() else {
+                return report; // fully explored
+            };
+            // At a partitioned root, the siblings between this worker's
+            // consecutive choices belong to other workers: treat them as
+            // explored too, exactly as the sequential order would have.
+            let stride = if at_root { part_stride } else { 1 };
+            let from = top.chosen;
+            let to = (from + stride).min(top.runnable.len());
+            for s in &top.runnable[from..to] {
+                top.sleep.insert(s.actor);
+            }
+            if let Some(next) = top.runnable.iter().position(|s| !top.sleep.contains(&s.actor)) {
+                top.chosen = next;
+                break;
+            }
+            stack.pop();
+        }
+    }
+}
+
+/// Explores the same space as [`explore`] split over `workers` threads,
+/// each running on its own system instance from `factory` (called once
+/// per worker, with the worker index). Reports are merged; the first
+/// failure (by worker index) wins.
+pub fn explore_parallel<S, F>(factory: F, workers: usize, cfg: &DfsConfig) -> DfsReport
+where
+    S: ReplaySystem,
+    F: Fn(usize) -> S + Sync,
+{
+    assert!(workers > 0, "need at least one worker");
+    assert!(cfg.root_partition.is_none(), "explore_parallel manages the partition itself");
+    let reports: Vec<DfsReport> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..workers)
+            .map(|w| {
+                let factory = &factory;
+                let mut wcfg = cfg.clone();
+                wcfg.root_partition = Some((w, workers));
+                scope.spawn(move || {
+                    let mut sys = factory(w);
+                    explore(&mut sys, &wcfg)
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().expect("DFS worker panicked")).collect()
+    });
+    let mut merged = DfsReport::default();
+    for r in reports {
+        merged.paths += r.paths;
+        merged.pruned += r.pruned;
+        merged.truncated += r.truncated;
+        merged.transitions += r.transitions;
+        merged.max_depth_seen = merged.max_depth_seen.max(r.max_depth_seen);
+        merged.capped |= r.capped;
+        if merged.failure.is_none() {
+            merged.failure = r.failure;
+        }
+    }
+    merged
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use llsc_word::sync::hook::Label;
+    use std::sync::atomic::Ordering;
+
+    /// A toy system: each actor executes a fixed list of accesses against
+    /// an integer store keyed by label; `Load` reads the location into the
+    /// actor's accumulator, `Store` writes accumulator + 1. A final check
+    /// runs over the store after every complete path.
+    struct Toy {
+        programs: Vec<Vec<(AccessKind, &'static str)>>,
+        check: fn(&std::collections::HashMap<&'static str, u64>) -> Option<String>,
+    }
+
+    fn sig(actor: usize, kind: AccessKind, name: &'static str) -> ActorSig {
+        ActorSig {
+            actor,
+            kind,
+            label: Some(Label { name, a: 0, b: 0 }),
+            order: Ordering::SeqCst,
+            failure: None,
+        }
+    }
+
+    impl ReplaySystem for Toy {
+        fn run_path(
+            &mut self,
+            pick: &mut dyn FnMut(&[ActorSig]) -> Option<usize>,
+        ) -> Option<String> {
+            let mut pcs = vec![0usize; self.programs.len()];
+            let mut accs = vec![0u64; self.programs.len()];
+            let mut store: std::collections::HashMap<&'static str, u64> =
+                std::collections::HashMap::new();
+            loop {
+                let runnable: Vec<ActorSig> = self
+                    .programs
+                    .iter()
+                    .enumerate()
+                    .filter(|(a, prog)| pcs[*a] < prog.len())
+                    .map(|(a, prog)| {
+                        let (k, name) = prog[pcs[a]];
+                        sig(a, k, name)
+                    })
+                    .collect();
+                if runnable.is_empty() {
+                    return (self.check)(&store);
+                }
+                let c = pick(&runnable)?;
+                let actor = runnable[c].actor;
+                let (k, name) = self.programs[actor][pcs[actor]];
+                match k {
+                    AccessKind::Load => accs[actor] = *store.get(name).unwrap_or(&0),
+                    AccessKind::Store => {
+                        store.insert(name, accs[actor] + 1);
+                    }
+                    _ => {}
+                }
+                pcs[actor] += 1;
+            }
+        }
+    }
+
+    fn no_check(_: &std::collections::HashMap<&'static str, u64>) -> Option<String> {
+        None
+    }
+
+    #[test]
+    fn conflicting_stores_explore_all_interleavings() {
+        // 2 actors x 2 stores on ONE location: every interleaving is
+        // distinguishable, so sleep sets prune nothing: C(4,2) = 6 paths.
+        let mut sys = Toy {
+            programs: vec![
+                vec![(AccessKind::Store, "x"), (AccessKind::Store, "x")],
+                vec![(AccessKind::Store, "x"), (AccessKind::Store, "x")],
+            ],
+            check: no_check,
+        };
+        let r = explore(&mut sys, &DfsConfig::default());
+        assert!(r.failure.is_none(), "{:?}", r.failure);
+        assert_eq!(r.paths, 6);
+        assert_eq!(r.pruned, 0);
+    }
+
+    #[test]
+    fn independent_stores_are_pruned() {
+        // 2 actors x 1 store each on DIFFERENT locations: the two
+        // interleavings commute; exactly one is executed.
+        let mut sys = Toy {
+            programs: vec![vec![(AccessKind::Store, "x")], vec![(AccessKind::Store, "y")]],
+            check: no_check,
+        };
+        let r = explore(&mut sys, &DfsConfig::default());
+        assert!(r.failure.is_none());
+        assert_eq!(r.paths, 1, "one representative of the commuting pair");
+        assert_eq!(r.pruned, 1, "the mirror interleaving is slept away");
+    }
+
+    #[test]
+    fn loads_commute_stores_do_not() {
+        // load/load commute; store breaks the symmetry.
+        let mut sys = Toy {
+            programs: vec![
+                vec![(AccessKind::Load, "x")],
+                vec![(AccessKind::Load, "x")],
+                vec![(AccessKind::Store, "x")],
+            ],
+            check: no_check,
+        };
+        let r = explore(&mut sys, &DfsConfig::default());
+        assert!(r.failure.is_none());
+        // Full space: 3! = 6 interleavings, but the two loads commute, so
+        // only the 4 load-vs-store placements are distinct traces: both
+        // loads before, both after, and each one-before-one-after order.
+        assert_eq!(r.paths, 4, "one path per Mazurkiewicz trace, got {r:?}");
+        assert!(r.pruned >= 1, "load/load symmetry must be exploited, got {r:?}");
+    }
+
+    #[test]
+    fn dfs_finds_the_lost_update() {
+        // The classic: both actors load then store acc+1; some
+        // interleaving loses an update. DFS must find it and report a
+        // schedule.
+        let mut sys = Toy {
+            programs: vec![
+                vec![(AccessKind::Load, "c"), (AccessKind::Store, "c")],
+                vec![(AccessKind::Load, "c"), (AccessKind::Store, "c")],
+            ],
+            check: |store| {
+                let v = *store.get("c").unwrap_or(&0);
+                (v != 2).then(|| format!("lost update: final counter {v} != 2"))
+            },
+        };
+        let r = explore(&mut sys, &DfsConfig::default());
+        let f = r.failure.expect("the lost update must be found");
+        assert!(f.error.contains("lost update"), "{}", f.error);
+        assert!(!f.schedule.is_empty());
+        // The reported schedule must itself reproduce the failure.
+        let mut replay = Toy {
+            programs: vec![
+                vec![(AccessKind::Load, "c"), (AccessKind::Store, "c")],
+                vec![(AccessKind::Load, "c"), (AccessKind::Store, "c")],
+            ],
+            check: |store| {
+                let v = *store.get("c").unwrap_or(&0);
+                (v != 2).then(|| format!("lost update: final counter {v} != 2"))
+            },
+        };
+        let mut tape = f.schedule.clone().into_iter();
+        let err = replay.run_path(&mut |runnable| {
+            let pid = tape.next()?;
+            runnable.iter().position(|s| s.actor == pid)
+        });
+        assert!(err.is_some(), "replaying the schedule reproduces the violation");
+    }
+
+    #[test]
+    fn parallel_partition_covers_the_sequential_tree() {
+        let mk = || Toy {
+            programs: vec![
+                vec![(AccessKind::Store, "x"), (AccessKind::Store, "x")],
+                vec![(AccessKind::Store, "x"), (AccessKind::Store, "x")],
+            ],
+            check: no_check,
+        };
+        let seq = explore(&mut mk(), &DfsConfig::default());
+        let par = explore_parallel(|_| mk(), 2, &DfsConfig::default());
+        assert!(par.failure.is_none(), "{:?}", par.failure);
+        assert_eq!(par.paths, seq.paths, "partitioned workers cover the same tree");
+    }
+
+    #[test]
+    fn depth_bound_truncates_instead_of_hanging() {
+        let mut sys = Toy { programs: vec![vec![(AccessKind::Store, "x"); 10]], check: no_check };
+        let r = explore(&mut sys, &DfsConfig { max_depth: 3, ..DfsConfig::default() });
+        assert_eq!(r.paths, 0);
+        assert_eq!(r.truncated, 1);
+    }
+
+    #[test]
+    fn yields_commute_with_everything() {
+        let mut sys = Toy {
+            programs: vec![vec![(AccessKind::Yield, "x")], vec![(AccessKind::Store, "x")]],
+            check: no_check,
+        };
+        let r = explore(&mut sys, &DfsConfig::default());
+        assert_eq!(r.paths, 1);
+        assert_eq!(r.pruned, 1);
+    }
+
+    #[test]
+    fn fences_conflict_with_everything() {
+        let mut sys = Toy {
+            programs: vec![vec![(AccessKind::Fence, "x")], vec![(AccessKind::Load, "y")]],
+            check: no_check,
+        };
+        let r = explore(&mut sys, &DfsConfig::default());
+        assert_eq!(r.paths, 2, "no pruning around a fence");
+    }
+}

@@ -1,0 +1,33 @@
+//! Model checking the *shipping* implementation.
+//!
+//! Everything else in this crate verifies an [interpreter](crate::interp)
+//! of the paper's pseudocode. This module closes the loop to the real
+//! code: `llsc-word` and `mwllsc` route every shared-memory access
+//! through a [`sync` facade](llsc_word::sync) that, when the crate graph
+//! is compiled with `--cfg mwllsc_model`, traps into a per-thread
+//! [`StepHook`](llsc_word::sync::hook::StepHook). On top of that trap:
+//!
+//! - [`ctrl`] serializes real OS threads into a cooperative system: each
+//!   actor runs the shipping code verbatim but parks before every shared
+//!   access until a central controller grants it one step, giving a
+//!   `pick`-style scheduler total control over the interleaving of the
+//!   actual compiled loads, stores, and RMWs.
+//! - [`dfs`] exhaustively enumerates those interleavings with sleep-set
+//!   partial-order reduction, optionally partitioned across workers.
+//! - `bridge` (only with `--cfg mwllsc_model`) wires concrete
+//!   scenarios: the real [`MwLlSc`](mwllsc::MwLlSc) lock-stepped against
+//!   the interpreter twin, the [`SlotRegistry`](mwllsc::SlotRegistry),
+//!   and the epoch-reclamation paths — plus a memory-ordering policy
+//!   lint that catches weakened orderings that serialized execution
+//!   alone could never observe.
+//!
+//! [`ctrl`] and [`dfs`] compile (and are unit-tested) unconditionally:
+//! they drive the facade's model atomics directly, which exist in every
+//! build. Only `bridge` needs the cfg, because only it requires the
+//! *shipping* types to have been compiled onto the instrumented facade.
+
+pub mod ctrl;
+pub mod dfs;
+
+#[cfg(mwllsc_model)]
+pub mod bridge;

@@ -1,0 +1,241 @@
+//! Model checking the shipping code (requires `--cfg mwllsc_model`).
+//!
+//! These tests drive the *compiled* `mwllsc`/`llsc-word` implementation —
+//! not the interpreter — under the access-granularity controller:
+//! scheduler-driven drift runs lock-stepped against the interpreter twin,
+//! exhaustive sleep-set DFS over every interleaving of small
+//! configurations, registry lease races, and EBR swap storms. Run with:
+//!
+//! ```text
+//! RUSTFLAGS='--cfg mwllsc_model' cargo test -p simsched --test real_model
+//! ```
+#![cfg(mwllsc_model)]
+
+use simsched::interp::SimOp;
+use simsched::real::bridge::{
+    drift_run, explore_mw, explore_mw_parallel, run_ebr_scenario, LeaseOutcome, MwScenario, RegOp,
+    RegistrySystem,
+};
+use simsched::real::dfs::{explore, DfsConfig};
+use simsched::sched::{RandomSched, RoundRobin, StarveVictim};
+
+fn inc_scenario(w: usize, rounds: usize, procs: usize) -> MwScenario {
+    let mut program = Vec::new();
+    for _ in 0..rounds {
+        program.push(SimOp::Ll);
+        program.push(SimOp::ScBump(1));
+    }
+    MwScenario { w, initial: vec![0; w], programs: vec![program; procs] }
+}
+
+// ———————————————————————— drift runs ————————————————————————
+
+#[test]
+fn round_robin_real_matches_twin() {
+    let scenario = inc_scenario(1, 2, 2);
+    let out = drift_run(&scenario, &mut RoundRobin::default(), 100_000).unwrap();
+    assert!(out.decisions > 0);
+    assert!(!out.history.is_empty());
+}
+
+#[test]
+fn random_schedules_real_matches_twin() {
+    let scenario = inc_scenario(1, 2, 3);
+    for seed in 0..20 {
+        let out = drift_run(&scenario, &mut RandomSched::new(seed), 100_000)
+            .unwrap_or_else(|e| panic!("seed {seed}: {e}"));
+        // Increment scenario: the final value equals the successful SCs,
+        // which the twin's monitors already counted — just sanity-check
+        // that *something* committed.
+        assert!(out.final_value[0] >= 1, "seed {seed}: no SC ever succeeded");
+    }
+}
+
+#[test]
+fn starvation_schedule_real_matches_twin() {
+    // The helping path: a starved LL gets one access per 25 decisions
+    // while two writers commit many SCs — exactly the adversary the
+    // paper's helping machinery exists for.
+    let mut programs = vec![vec![SimOp::Ll, SimOp::Vl]];
+    for _ in 0..2 {
+        programs.push(vec![
+            SimOp::Ll,
+            SimOp::ScBump(1),
+            SimOp::Ll,
+            SimOp::ScBump(1),
+            SimOp::Ll,
+            SimOp::ScBump(1),
+        ]);
+    }
+    let scenario = MwScenario { w: 2, initial: vec![5, 6], programs };
+    for period in [5, 13, 25] {
+        drift_run(&scenario, &mut StarveVictim::new(0, period), 200_000)
+            .unwrap_or_else(|e| panic!("period {period}: {e}"));
+    }
+}
+
+#[test]
+fn multiword_values_real_matches_twin() {
+    // W=3: the word-at-a-time buffer copies are separate schedule points;
+    // torn reads must be healed by the helping path in both executions.
+    let mut program = Vec::new();
+    for _ in 0..2 {
+        program.push(SimOp::Ll);
+        program.push(SimOp::ScBump(3));
+    }
+    let scenario = MwScenario { w: 3, initial: vec![10, 20, 30], programs: vec![program; 3] };
+    for seed in 0..10 {
+        drift_run(&scenario, &mut RandomSched::new(seed), 300_000)
+            .unwrap_or_else(|e| panic!("seed {seed}: {e}"));
+    }
+}
+
+// ———————————————————————— exhaustive DFS ————————————————————————
+
+#[test]
+fn exhaustive_n2_w1_all_interleavings_verified() {
+    // The tentpole acceptance run: every sleep-set-distinct interleaving
+    // of 2 processes x (LL; SC; LL; SC) on a 1-word object, each path
+    // lock-step verified against the twin (I1/I2/LP monitors +
+    // linearizability). The trace count is far below the raw
+    // interleaving count (~10^17 at depth ~64): the processes' accesses
+    // are heavily disjoint (own Help word, own BUF words), so sleep sets
+    // collapse the commuting bulk and the paths that remain are exactly
+    // the distinct orderings of the X/Bank/Help conflicts — where the
+    // algorithm actually lives.
+    let scenario = inc_scenario(1, 2, 2);
+    let report = explore_mw(scenario, &DfsConfig::default());
+    if let Some(f) = &report.failure {
+        panic!("schedule {:?}: {}", f.schedule, f.error);
+    }
+    assert!(report.paths > 100, "suspiciously few paths: {report:?}");
+    assert_eq!(report.truncated, 0);
+    assert!(!report.capped);
+    eprintln!(
+        "exhaustive N=2 W=1: {} paths, {} pruned, {} transitions, max depth {}",
+        report.paths, report.pruned, report.transitions, report.max_depth_seen
+    );
+}
+
+#[test]
+#[ignore = "nightly tier: minutes of exhaustive exploration — run via soak.yml or --ignored"]
+fn nightly_exhaustive_n3_and_multiword_parallel() {
+    // The soak-tier sweep past the per-PR N=2/W=1 budget: three
+    // processes, then multiword values, each tree partitioned across
+    // parallel workers. Any failure carries the exact schedule to replay.
+    for (scenario, tag) in [
+        (inc_scenario(1, 1, 3), "N=3 W=1"),
+        (inc_scenario(2, 1, 2), "N=2 W=2"),
+        (inc_scenario(2, 1, 3), "N=3 W=2"),
+    ] {
+        let report = explore_mw_parallel(scenario, 4, &DfsConfig::default());
+        if let Some(f) = &report.failure {
+            panic!("{tag} schedule {:?}: {}", f.schedule, f.error);
+        }
+        assert_eq!(report.truncated, 0, "{tag}");
+        eprintln!(
+            "{tag}: {} paths, {} pruned, {} transitions, max depth {}",
+            report.paths, report.pruned, report.transitions, report.max_depth_seen
+        );
+    }
+}
+
+#[test]
+fn parallel_exploration_covers_the_same_tree() {
+    let scenario = inc_scenario(1, 1, 2);
+    let seq = explore_mw(scenario.clone(), &DfsConfig::default());
+    let par = explore_mw_parallel(scenario, 4, &DfsConfig::default());
+    assert!(par.failure.is_none(), "{:?}", par.failure);
+    assert_eq!(par.paths, seq.paths, "partitioned workers must cover the sequential tree");
+}
+
+// ———————————————————————— registry scenarios ————————————————————————
+
+#[test]
+fn registry_lease_exact_is_mutually_exclusive() {
+    // Two actors race fetch_or on the same slot; in every interleaving
+    // exactly one wins.
+    let mut sys = RegistrySystem::new(1, vec![vec![RegOp::LeaseExact(0)]; 2], |reg, results| {
+        let wins =
+            results.iter().flatten().filter(|o| matches!(o, LeaseOutcome::Got { .. })).count();
+        if wins != 1 {
+            return Some(format!("{wins} actors hold slot 0 simultaneously"));
+        }
+        if reg.live() != 1 {
+            return Some(format!("live() = {} after one unreleased lease", reg.live()));
+        }
+        None
+    });
+    let report = explore(&mut sys, &DfsConfig::default());
+    if let Some(f) = &report.failure {
+        panic!("schedule {:?}: {}", f.schedule, f.error);
+    }
+    assert!(report.paths >= 2, "both grant orders must be explored: {report:?}");
+}
+
+#[test]
+fn registry_lease_any_grants_distinct_slots_in_every_interleaving() {
+    let mut sys = RegistrySystem::new(2, vec![vec![RegOp::LeaseAny]; 2], |_reg, results| {
+        let got: Vec<usize> = results
+            .iter()
+            .flatten()
+            .filter_map(|o| match o {
+                LeaseOutcome::Got { slot, .. } => Some(*slot),
+                LeaseOutcome::Busy => None,
+            })
+            .collect();
+        if got.len() != 2 {
+            return Some(format!("2 actors, 2 slots, but only {} leases granted", got.len()));
+        }
+        if got[0] == got[1] {
+            return Some(format!("both actors granted slot {}", got[0]));
+        }
+        None
+    });
+    let report = explore(&mut sys, &DfsConfig::default());
+    if let Some(f) = &report.failure {
+        panic!("schedule {:?}: {}", f.schedule, f.error);
+    }
+    assert!(report.paths >= 2, "{report:?}");
+}
+
+#[test]
+fn registry_release_handover_explored() {
+    // Actor 0 leases slot 0 and releases it carrying payload 7; actor 1
+    // spins... no — attempts one exact lease. Depending on the schedule it
+    // observes Busy or Got{payload: 0-or-7}; all three outcomes are legal,
+    // anything else is not.
+    let mut sys = RegistrySystem::new(
+        1,
+        vec![vec![RegOp::LeaseExact(0), RegOp::Release(7)], vec![RegOp::LeaseExact(0)]],
+        |_reg, results| match results[1].first() {
+            Some(LeaseOutcome::Busy)
+            | Some(LeaseOutcome::Got { slot: 0, payload: 0 })
+            | Some(LeaseOutcome::Got { slot: 0, payload: 7 }) => None,
+            other => Some(format!("impossible outcome for actor 1: {other:?}")),
+        },
+    );
+    let report = explore(&mut sys, &DfsConfig::default());
+    if let Some(f) = &report.failure {
+        panic!("schedule {:?}: {}", f.schedule, f.error);
+    }
+    assert!(report.paths >= 3, "all three outcomes need distinct paths: {report:?}");
+}
+
+// ———————————————————————— EBR scenarios ————————————————————————
+
+#[test]
+fn ebr_round_robin_swaps_are_consistent() {
+    let out = run_ebr_scenario(2, 4, &mut RoundRobin::default(), 1_000_000).unwrap();
+    assert_eq!(out.final_value, out.wins.iter().sum::<u64>());
+    assert!(out.tracked_nodes >= 1, "the live node is always tracked");
+}
+
+#[test]
+fn ebr_random_schedules_are_consistent() {
+    for seed in 0..10 {
+        let out = run_ebr_scenario(3, 3, &mut RandomSched::new(seed), 1_000_000)
+            .unwrap_or_else(|e| panic!("seed {seed}: {e}"));
+        assert_eq!(out.final_seq, out.final_value, "seed {seed}");
+    }
+}

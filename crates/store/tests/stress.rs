@@ -37,6 +37,53 @@ fn stress_iters(base: usize) -> usize {
     base.saturating_mul(mult)
 }
 
+/// Workload-randomization seed, pinned by the `MWLLSC_STRESS_SEED` env
+/// knob. Soak runs randomize each updater's key-walk offset and timing;
+/// when one finds a schedule-dependent failure, exporting the printed seed
+/// replays the exact same run in a plain `cargo test` invocation.
+fn stress_seed() -> u64 {
+    let seed = std::env::var("MWLLSC_STRESS_SEED")
+        .ok()
+        .and_then(|s| s.parse::<u64>().ok())
+        .unwrap_or(0x5EED_0001);
+    eprintln!("MWLLSC_STRESS_SEED={seed}");
+    seed
+}
+
+/// splitmix64 over `seed ^ stream`: one independent stream per thread.
+fn mix(seed: u64, stream: u64) -> u64 {
+    let mut z = seed ^ stream.wrapping_mul(0x9E3779B97F4A7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+    z ^ (z >> 31)
+}
+
+/// Seeded schedule perturbation: an xorshift stream that occasionally
+/// spins for a pseudo-random beat. Different seeds steer the real threads
+/// into different interleaving neighborhoods; the same seed replays the
+/// same rhythm.
+struct Jitter(u64);
+
+impl Jitter {
+    fn new(seed: u64, stream: u64) -> Self {
+        Jitter(mix(seed, stream) | 1)
+    }
+    fn next(&mut self) -> u64 {
+        self.0 ^= self.0 << 13;
+        self.0 ^= self.0 >> 7;
+        self.0 ^= self.0 << 17;
+        self.0
+    }
+    fn perturb(&mut self) {
+        let r = self.next();
+        if r % 8 == 0 {
+            for _ in 0..(r >> 59) {
+                std::hint::spin_loop();
+            }
+        }
+    }
+}
+
 /// The touched-key working set: distinct keys spread across the whole
 /// 2^24 space (odd-multiplier stride is injective mod 2^24), always
 /// including both boundary keys.
@@ -64,6 +111,7 @@ fn key_set(count: usize) -> Vec<u64> {
 #[test]
 fn per_key_counters_are_exact_across_a_2pow24_key_space() {
     const ROUNDS: usize = 2;
+    let seed = stress_seed();
     let distinct_keys = stress_iters(2048).min(1 << 20);
     let keys = Arc::new(key_set(distinct_keys));
 
@@ -81,14 +129,17 @@ fn per_key_counters_are_exact_across_a_2pow24_key_space() {
         let keys = Arc::clone(&keys);
         let barrier = Arc::clone(&barrier);
         joins.push(std::thread::spawn(move || {
+            let mut jitter = Jitter::new(seed, t as u64);
             let mut h = store.attach();
             let mut buf = [0u64; W];
             barrier.wait();
             for round in 0..ROUNDS {
-                // Each thread walks the key set from its own offset so
-                // threads collide on different keys at different times.
-                let start = (t * keys.len() / UPDATERS + round * 17) % keys.len();
+                // Each thread walks the key set from a seeded offset so
+                // threads collide on different keys at different times —
+                // and the same seed reproduces the same collision pattern.
+                let start = (mix(seed, (t * ROUNDS + round) as u64) as usize) % keys.len();
                 for i in 0..keys.len() {
+                    jitter.perturb();
                     let key = keys[(start + i) % keys.len()];
                     h.update_with(key, &mut buf, |v| {
                         v[0] += 1;
@@ -186,6 +237,7 @@ fn per_key_counters_are_exact_across_a_2pow24_key_space() {
 fn batched_updates_are_exact_on_the_epoch_backend() {
     const ROUNDS: usize = 2;
     const BATCH: usize = 64;
+    let seed = stress_seed();
     let distinct_keys = stress_iters(512).min(1 << 18);
     let keys = Arc::new(key_set(distinct_keys));
 
@@ -199,12 +251,14 @@ fn batched_updates_are_exact_on_the_epoch_backend() {
         let keys = Arc::clone(&keys);
         let barrier = Arc::clone(&barrier);
         joins.push(std::thread::spawn(move || {
+            let mut jitter = Jitter::new(seed, t as u64);
             let mut h = store.attach();
             barrier.wait();
             for round in 0..ROUNDS {
-                let start = (t * keys.len() / UPDATERS + round * 29) % keys.len();
+                let start = (mix(seed, (t * ROUNDS + round) as u64 + 1000) as usize) % keys.len();
                 // Walk the whole key set in update_many batches.
                 for chunk_start in (0..keys.len()).step_by(BATCH) {
+                    jitter.perturb();
                     let mut batch: Vec<(u64, _)> = (chunk_start
                         ..(chunk_start + BATCH).min(keys.len()))
                         .map(|i| {
@@ -292,15 +346,18 @@ fn batched_updates_are_exact_on_the_epoch_backend() {
 #[test]
 fn with_churn_releases_leases_and_loses_nothing() {
     const WORKERS: usize = 6;
+    let seed = stress_seed();
     let rounds = stress_iters(4);
     let incs = stress_iters(64) as u64;
     let store = Store::new(StoreConfig::new(8, WORKERS, 1, 1 << 20));
-    for _ in 0..rounds {
+    for round in 0..rounds {
         let joins: Vec<_> = (0..WORKERS)
             .map(|t| {
                 let store = Arc::clone(&store);
                 std::thread::spawn(move || {
+                    let mut jitter = Jitter::new(seed, (round * WORKERS + t) as u64);
                     for i in 0..incs {
+                        jitter.perturb();
                         // Two hot shared keys plus a per-thread private one.
                         let key = match i % 3 {
                             0 => 11,

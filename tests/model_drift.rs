@@ -1,0 +1,100 @@
+//! Model-drift replay: identical adversarial schedules through the
+//! interpreter and the facade-instrumented shipping code.
+//!
+//! Requires `--cfg mwllsc_model` (no-op otherwise): the shipping
+//! `mwllsc` crate only routes its accesses through the instrumented
+//! facade under that cfg. `simsched::real::bridge::drift_run` runs the
+//! compiled `MwLlSc` under the access-granularity controller while
+//! advancing an interpreter twin of the same programs in lock-step, and
+//! fails on the first divergence: a different runnable set, a different
+//! pending access (kind or label), a different operation result, or a
+//! violated invariant (I1/I2/LP/step bounds/linearizability). Run with:
+//!
+//! ```text
+//! RUSTFLAGS='--cfg mwllsc_model' cargo test -p mwllsc-suite --test model_drift
+//! ```
+#![cfg(mwllsc_model)]
+
+use simsched::interp::SimOp;
+use simsched::real::bridge::{drift_run, MwScenario};
+use simsched::sched::{RandomSched, RoundRobin, StarveVictim, WeightedRandom};
+
+fn rmw_program(rounds: usize, delta: u64) -> Vec<SimOp> {
+    let mut ops = Vec::new();
+    for _ in 0..rounds {
+        ops.push(SimOp::Ll);
+        ops.push(SimOp::ScBump(delta));
+    }
+    ops
+}
+
+#[test]
+fn round_robin_schedules_agree_step_for_step() {
+    for (n, w) in [(2usize, 1usize), (3, 2), (4, 1)] {
+        let scenario =
+            MwScenario { w, initial: vec![100; w], programs: vec![rmw_program(2, 1); n] };
+        let out = drift_run(&scenario, &mut RoundRobin::default(), 500_000)
+            .unwrap_or_else(|e| panic!("N={n} W={w}: {e}"));
+        assert!(out.final_value[0] > 100, "N={n} W={w}: no SC committed");
+    }
+}
+
+#[test]
+fn seeded_random_schedules_agree_step_for_step() {
+    let scenario = MwScenario { w: 2, initial: vec![0, 0], programs: vec![rmw_program(3, 1); 3] };
+    for seed in 0..25 {
+        drift_run(&scenario, &mut RandomSched::new(seed), 500_000)
+            .unwrap_or_else(|e| panic!("seed {seed}: {e}"));
+    }
+}
+
+#[test]
+fn starvation_adversary_exercises_the_helping_path() {
+    // A starved reader amid writer storms is the schedule family where
+    // the real code's helping handshake (lines 1, 4-10, 14-16) actually
+    // fires; drift here would mean the shipping helping path and the
+    // paper's differ.
+    let mut programs = vec![vec![SimOp::Ll, SimOp::Vl, SimOp::Ll]];
+    for _ in 0..3 {
+        programs.push(rmw_program(3, 2));
+    }
+    let scenario = MwScenario { w: 2, initial: vec![9, 9], programs };
+    for period in [3, 7, 19, 31] {
+        drift_run(&scenario, &mut StarveVictim::new(0, period), 500_000)
+            .unwrap_or_else(|e| panic!("period {period}: {e}"));
+    }
+}
+
+#[test]
+fn weighted_random_schedules_agree() {
+    // Skewed weights keep one process mostly descheduled mid-operation —
+    // long windows where its announced Help request is visible to every
+    // writer.
+    let scenario = MwScenario {
+        w: 1,
+        initial: vec![0],
+        programs: vec![rmw_program(2, 1), rmw_program(2, 1), rmw_program(2, 1)],
+    };
+    for seed in 0..10 {
+        let mut sched = WeightedRandom::new(vec![1.0, 10.0, 10.0], seed);
+        drift_run(&scenario, &mut sched, 500_000).unwrap_or_else(|e| panic!("seed {seed}: {e}"));
+    }
+}
+
+#[test]
+fn explicit_sc_values_and_vl_agree() {
+    // Mixed op shapes: explicit SC values (not just bumps) and VLs, so
+    // the history comparison covers every RespDesc variant.
+    let scenario = MwScenario {
+        w: 2,
+        initial: vec![1, 2],
+        programs: vec![
+            vec![SimOp::Ll, SimOp::Sc(vec![10, 20]), SimOp::Ll, SimOp::Vl],
+            vec![SimOp::Ll, SimOp::Sc(vec![30, 40]), SimOp::Vl],
+        ],
+    };
+    for seed in 0..15 {
+        drift_run(&scenario, &mut RandomSched::new(seed), 500_000)
+            .unwrap_or_else(|e| panic!("seed {seed}: {e}"));
+    }
+}
