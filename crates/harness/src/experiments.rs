@@ -1072,6 +1072,242 @@ pub fn e12_model(_quick: bool) {
     std::process::exit(2);
 }
 
+/// E13 — the network frontend: loopback requests/sec across connection
+/// count × pipeline depth, coalesced vs per-request dispatch, plus a
+/// machine-readable `BENCH_<rev>.json` drop (the perf-trajectory entry
+/// the ROADMAP asks for).
+pub fn e13_server(quick: bool) {
+    use mwllsc_server::{
+        Client, Dispatch, Request, Response, Server, ServerConfig, ServerStats, UpdateOp,
+    };
+
+    println!("## E13 — mwllsc-server: pipelined loopback traffic, coalesced vs per-request\n");
+    println!("Claim: the server's wave coalescer converts socket-level concurrency into");
+    println!("the store's batched paths — each worker tick drains every ready");
+    println!("connection's pipelined frames into one merged (shard, key)-sorted batch,");
+    println!("so equal-key runs from different clients fold into single SC commits.");
+    println!("Per-request dispatch serves the same pipelines one store call at a time;");
+    println!("the delta is what batching buys at the network layer.\n");
+
+    const HOT: u64 = 4;
+    const KEYSPACE: u64 = 256;
+    let per_cell: u64 = if quick { 8_000 } else { 48_000 };
+    let seed: u64 = 0xE13_5EED;
+
+    // 80% of requests hit one of HOT keys (the skewed mix the coalescer
+    // folds), the rest spread uniformly over KEYSPACE.
+    fn skewed_key(n: u64) -> u64 {
+        if n % 10 < 8 {
+            n % HOT
+        } else {
+            HOT + (n >> 8) % (KEYSPACE - HOT)
+        }
+    }
+
+    fn mix(seed: u64, stream: u64) -> u64 {
+        let mut z = seed ^ stream.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// One cell: fresh store + server, `conns` client threads each
+    /// pipelining `depth` increments per round. Returns requests/sec
+    /// and the server's counter snapshot; exits on any exactness miss.
+    fn run_cell(
+        conns: usize,
+        depth: usize,
+        dispatch: Dispatch,
+        per_cell: u64,
+        seed: u64,
+    ) -> (f64, ServerStats) {
+        let rounds = (per_cell / (conns as u64 * depth as u64)).max(1) as usize;
+        let store = Store::new(StoreConfig::new(8, 4, 1, KEYSPACE));
+        let config = ServerConfig::with_workers(1).dispatch(dispatch);
+        let server = Server::start(&store, config).unwrap_or_else(|e| {
+            eprintln!("mwllsc-harness: E13 cannot start server: {e}");
+            std::process::exit(2);
+        });
+        let addr = server.local_addr();
+
+        let barrier = std::sync::Barrier::new(conns + 1);
+        let (wall, acked) = std::thread::scope(|s| {
+            let handles: Vec<_> = (0..conns)
+                .map(|t| {
+                    let barrier = &barrier;
+                    s.spawn(move || {
+                        let mut c = Client::connect(addr).unwrap();
+                        let mut acked = vec![0u64; KEYSPACE as usize];
+                        barrier.wait();
+                        for r in 0..rounds {
+                            let keys: Vec<u64> = (0..depth)
+                                .map(|i| {
+                                    let n = mix(seed, (t as u64) << 40 | (r * depth + i) as u64);
+                                    skewed_key(n)
+                                })
+                                .collect();
+                            for &k in &keys {
+                                c.send(&Request::Update { key: k, op: UpdateOp::Add(vec![1]) });
+                            }
+                            c.flush().unwrap();
+                            for &k in &keys {
+                                match c.recv().unwrap() {
+                                    Response::Value(_) => acked[k as usize] += 1,
+                                    other => {
+                                        eprintln!("mwllsc-harness: E13 bad reply: {other:?}");
+                                        std::process::exit(2);
+                                    }
+                                }
+                            }
+                        }
+                        acked
+                    })
+                })
+                .collect();
+            barrier.wait();
+            let start = Instant::now();
+            let per_thread: Vec<Vec<u64>> =
+                handles.into_iter().map(|h| h.join().unwrap()).collect();
+            (start.elapsed(), per_thread)
+        });
+
+        // Exactness over the wire: every acknowledged increment landed
+        // exactly once, across all concurrent pipelines.
+        let mut probe = Client::connect(addr).unwrap();
+        let keys: Vec<u64> = (0..KEYSPACE).collect();
+        let values = probe.mget(keys).unwrap().unwrap();
+        for k in 0..KEYSPACE as usize {
+            let expect: u64 = acked.iter().map(|a| a[k]).sum();
+            if values[k][0] != expect {
+                eprintln!(
+                    "mwllsc-harness: E13 exactness FAILED at key {k}: {} != {expect}",
+                    values[k][0]
+                );
+                std::process::exit(2);
+            }
+        }
+        drop(probe);
+
+        let stats = server.shutdown();
+        let total = (conns * depth * rounds) as f64;
+        (total / wall.as_secs_f64(), stats)
+    }
+
+    let grid: &[(usize, usize)] = if quick {
+        &[(4, 8), (8, 32)]
+    } else {
+        &[(1, 1), (1, 32), (4, 8), (8, 8), (8, 32), (16, 32)]
+    };
+
+    println!("### Requests/sec over loopback (1 worker, W = 1, skewed 80/20 key mix,");
+    println!("~{per_cell} UPDATEs per cell; single core — both modes share it with the clients)\n");
+
+    let mut t = Table::new([
+        "conns",
+        "depth",
+        "per-request",
+        "coalesced",
+        "speedup",
+        "mean write batch",
+        "waves",
+    ]);
+    let mut json_rows = String::new();
+    let mut flagship: Option<ServerStats> = None;
+    let mut flagship_speedup = 0.0f64;
+    for &(conns, depth) in grid {
+        let (rps_per, _) = run_cell(conns, depth, Dispatch::PerRequest, per_cell, seed);
+        let (rps_co, stats) = run_cell(conns, depth, Dispatch::Coalesced, per_cell, seed);
+        let speedup = rps_co / rps_per;
+        if conns >= 8 && depth >= 8 {
+            flagship = Some(stats);
+            flagship_speedup = speedup;
+        }
+        for (mode, rps) in [("per-request", rps_per), ("coalesced", rps_co)] {
+            let (mwb, waves, hist) = if mode == "coalesced" {
+                let h =
+                    stats.batch_hist.iter().map(ToString::to_string).collect::<Vec<_>>().join(",");
+                (stats.mean_write_batch(), stats.waves, h)
+            } else {
+                (1.0, 0, String::new())
+            };
+            json_rows.push_str(&format!(
+                "    {{\"conns\": {conns}, \"depth\": {depth}, \"dispatch\": \"{mode}\", \
+                 \"rps\": {rps:.0}, \"mean_write_batch\": {mwb:.2}, \"waves\": {waves}, \
+                 \"batch_hist\": [{hist}]}},\n"
+            ));
+        }
+        t.row([
+            conns.to_string(),
+            depth.to_string(),
+            fmt_ops(rps_per),
+            fmt_ops(rps_co),
+            format!("{speedup:.2}x"),
+            format!("{:.1}", stats.mean_write_batch()),
+            stats.waves.to_string(),
+        ]);
+    }
+    t.print();
+    println!();
+    if let Some(stats) = flagship {
+        let labels = ServerStats::hist_labels();
+        let hist = labels
+            .iter()
+            .zip(stats.batch_hist)
+            .map(|(l, n)| format!("{l}: {n}"))
+            .collect::<Vec<_>>()
+            .join(" · ");
+        println!("Batch-size histogram at the ≥8-conn deep-pipeline cell (coalesced):");
+        println!("{hist}\n");
+        println!("Shape check: depth-1 single-connection traffic has nothing to coalesce");
+        println!("(waves of one request — parity at best, and the wave bookkeeping can");
+        println!("cost a few percent on batches of one); once ≥ 8");
+        println!("connections pipeline ≥ 8 deep, each wave merges tens of requests into");
+        println!("one store batch and folds the hot keys' runs into single SC commits,");
+        println!("which is where the speedup column and the mean-write-batch column");
+        println!("come from.\n");
+        if flagship_speedup < 1.0 {
+            println!("NOTE: coalesced dispatch did not beat per-request at the flagship cell");
+            println!("this run; single-core timing noise — re-run on pinned hardware.\n");
+        }
+    }
+
+    // Machine-readable drop: the first entry in the perf trajectory.
+    let rev = std::env::var("MWLLSC_BENCH_REV")
+        .ok()
+        .or_else(|| {
+            std::process::Command::new("git")
+                .args(["rev-parse", "--short", "HEAD"])
+                .output()
+                .ok()
+                .filter(|o| o.status.success())
+                .map(|o| String::from_utf8_lossy(&o.stdout).trim().to_string())
+        })
+        .filter(|s| !s.is_empty())
+        .unwrap_or_else(|| "local".to_string());
+    let backend = Store::new(StoreConfig::new(1, 1, 1, 1)).backend();
+    let labels = ServerStats::hist_labels()
+        .iter()
+        .map(|l| format!("\"{l}\""))
+        .collect::<Vec<_>>()
+        .join(", ");
+    let json = format!(
+        "{{\n  \"experiment\": \"e13-server\",\n  \"rev\": \"{rev}\",\n  \"quick\": {quick},\n  \
+         \"backend\": \"{backend}\",\n  \"host\": {{\"os\": \"{}\", \"arch\": \"{}\", \
+         \"cores\": {}, \"mode\": \"{}\"}},\n  \"batch_hist_labels\": [{labels}],\n  \
+         \"rows\": [\n{}  ]\n}}\n",
+        std::env::consts::OS,
+        std::env::consts::ARCH,
+        std::thread::available_parallelism().map_or(0, std::num::NonZeroUsize::get),
+        if cfg!(debug_assertions) { "debug" } else { "release" },
+        json_rows.trim_end_matches(",\n").to_string() + "\n",
+    );
+    let path = format!("BENCH_{rev}.json");
+    match std::fs::write(&path, &json) {
+        Ok(()) => println!("Wrote {path} (throughput, batch histogram, backend).\n"),
+        Err(e) => println!("NOTE: could not write {path}: {e}\n"),
+    }
+}
+
 /// Runs every experiment in order.
 pub fn all(quick: bool) {
     e1_space(quick);
@@ -1084,6 +1320,7 @@ pub fn all(quick: bool) {
     e8_compare(quick);
     e10_store(quick);
     e11_backends(quick);
+    e13_server(quick);
     #[cfg(mwllsc_model)]
     e12_model(quick);
 }

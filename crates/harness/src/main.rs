@@ -16,6 +16,8 @@
 //!   e11-backends         multi-backend store matrix + batched update_many
 //!   e12-model            model checking of the shipping code (needs
 //!                        `RUSTFLAGS='--cfg mwllsc_model'`)
+//!   e13-server           network frontend: loopback rps, coalesced vs
+//!                        per-request dispatch (+ BENCH_<rev>.json)
 //!   all                  everything above, in order
 //! ```
 //!
@@ -30,7 +32,7 @@ fn usage() -> ! {
     eprintln!(
         "usage: mwllsc-harness <e1-space|e2-time-w|e3-time-n|e4-vl|e5-waitfree|\
          e6-linearizability|e7-helping|e8-compare|e10-store|e11-backends|\
-         e12-model|all> [--quick]"
+         e12-model|e13-server|all> [--quick]"
     );
     std::process::exit(2);
 }
@@ -60,6 +62,7 @@ fn main() {
         "e10-store" => experiments::e10_store(quick),
         "e11-backends" => experiments::e11_backends(quick),
         "e12-model" => experiments::e12_model(quick),
+        "e13-server" => experiments::e13_server(quick),
         "all" => experiments::all(quick),
         _ => usage(),
     }

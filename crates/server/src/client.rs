@@ -1,0 +1,150 @@
+//! A minimal blocking client, used by the load generator, the tests,
+//! and the harness. Supports pipelining: [`send`](Client::send) buffers
+//! any number of request frames, [`flush`](Client::flush) pushes them
+//! out, and [`recv`](Client::recv) reads responses back one at a time —
+//! the server answers each connection strictly in request order, so no
+//! correlation ids exist in the protocol.
+
+use std::io::{Read, Write};
+use std::net::{TcpStream, ToSocketAddrs};
+
+use crate::proto::{
+    decode_response, encode_request, Decoded, Request, Response, UpdateOp, WireError,
+};
+
+/// A blocking connection to an [`mwllsc-server`](crate).
+#[derive(Debug)]
+pub struct Client {
+    stream: TcpStream,
+    outbuf: Vec<u8>,
+    inbuf: Vec<u8>,
+    /// Bytes of `inbuf` already consumed by decoded responses.
+    in_at: usize,
+}
+
+impl Client {
+    /// Connects (blocking mode, `TCP_NODELAY` — pipelining supplies the
+    /// batching, Nagle would only add latency).
+    pub fn connect(addr: impl ToSocketAddrs) -> std::io::Result<Self> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        Ok(Self { stream, outbuf: Vec::new(), inbuf: Vec::new(), in_at: 0 })
+    }
+
+    /// Buffers one request frame (nothing hits the socket until
+    /// [`flush`](Client::flush)).
+    pub fn send(&mut self, req: &Request) {
+        encode_request(req, &mut self.outbuf);
+    }
+
+    /// Flushes buffered frames, then writes raw bytes straight to the
+    /// socket — the hook the framing tests and the stress suite use to
+    /// inject malformed frames at a known stream position.
+    pub fn send_raw(&mut self, bytes: &[u8]) -> std::io::Result<()> {
+        self.flush()?;
+        self.stream.write_all(bytes)
+    }
+
+    /// Writes every buffered frame to the socket.
+    pub fn flush(&mut self) -> std::io::Result<()> {
+        self.stream.write_all(&self.outbuf)?;
+        self.outbuf.clear();
+        Ok(())
+    }
+
+    /// Reads the next response frame (blocking).
+    pub fn recv(&mut self) -> std::io::Result<Response> {
+        loop {
+            match decode_response(&self.inbuf[self.in_at..]) {
+                Ok(Decoded::Frame(resp, consumed)) => {
+                    self.in_at += consumed;
+                    if self.in_at == self.inbuf.len() {
+                        self.inbuf.clear();
+                        self.in_at = 0;
+                    }
+                    return Ok(resp);
+                }
+                Ok(Decoded::NeedMore) => {
+                    let mut chunk = [0u8; 16 * 1024];
+                    let n = self.stream.read(&mut chunk)?;
+                    if n == 0 {
+                        return Err(std::io::Error::new(
+                            std::io::ErrorKind::UnexpectedEof,
+                            "server closed mid-response",
+                        ));
+                    }
+                    self.inbuf.extend_from_slice(&chunk[..n]);
+                }
+                Err(e) => {
+                    return Err(std::io::Error::new(
+                        std::io::ErrorKind::InvalidData,
+                        format!("undecodable response: {e}"),
+                    ));
+                }
+            }
+        }
+    }
+
+    /// One synchronous round trip.
+    pub fn call(&mut self, req: &Request) -> std::io::Result<Response> {
+        self.send(req);
+        self.flush()?;
+        self.recv()
+    }
+
+    /// Convenience `GET`: the key's current value.
+    pub fn get(&mut self, key: u64) -> std::io::Result<Result<Vec<u64>, WireError>> {
+        match self.call(&Request::Get { key })? {
+            Response::Value(v) => Ok(Ok(v)),
+            Response::Error(e) => Ok(Err(e)),
+            other => Err(unexpected(&other)),
+        }
+    }
+
+    /// Convenience `SET`.
+    pub fn set(&mut self, key: u64, value: Vec<u64>) -> std::io::Result<Result<(), WireError>> {
+        match self.call(&Request::Set { key, value })? {
+            Response::Ok => Ok(Ok(())),
+            Response::Error(e) => Ok(Err(e)),
+            other => Err(unexpected(&other)),
+        }
+    }
+
+    /// Convenience `UPDATE`: returns the installed value.
+    pub fn update(
+        &mut self,
+        key: u64,
+        op: UpdateOp,
+    ) -> std::io::Result<Result<Vec<u64>, WireError>> {
+        match self.call(&Request::Update { key, op })? {
+            Response::Value(v) => Ok(Ok(v)),
+            Response::Error(e) => Ok(Err(e)),
+            other => Err(unexpected(&other)),
+        }
+    }
+
+    /// Convenience `MGET`: values in key order.
+    pub fn mget(&mut self, keys: Vec<u64>) -> std::io::Result<Result<Vec<Vec<u64>>, WireError>> {
+        match self.call(&Request::MGet { keys })? {
+            Response::Values(vs) => Ok(Ok(vs)),
+            Response::Error(e) => Ok(Err(e)),
+            other => Err(unexpected(&other)),
+        }
+    }
+
+    /// Convenience `MSET`.
+    pub fn mset(&mut self, pairs: Vec<(u64, Vec<u64>)>) -> std::io::Result<Result<(), WireError>> {
+        match self.call(&Request::MSet { pairs })? {
+            Response::Ok => Ok(Ok(())),
+            Response::Error(e) => Ok(Err(e)),
+            other => Err(unexpected(&other)),
+        }
+    }
+}
+
+fn unexpected(resp: &Response) -> std::io::Error {
+    std::io::Error::new(
+        std::io::ErrorKind::InvalidData,
+        format!("response kind does not match the request: {resp:?}"),
+    )
+}

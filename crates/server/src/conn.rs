@@ -1,0 +1,210 @@
+//! Per-connection state: buffered non-blocking I/O, frame decoding, and
+//! the pipelined request queue.
+//!
+//! A [`Conn`] owns one non-blocking `TcpStream` plus three buffers: raw
+//! inbound bytes awaiting a complete frame, decoded requests awaiting
+//! dispatch (the *pipeline*), and encoded response bytes awaiting the
+//! socket. The worker drives each connection through
+//! [`poll_read`](Conn::poll_read) → wave dispatch (see
+//! [`coalesce`](crate::coalesce)) → [`flush`](Conn::flush) every tick.
+//!
+//! Framing errors poison the connection: once bytes fail to parse there
+//! is no resynchronization point in a length-prefixed stream, so the
+//! connection queues one [`WireError::BadFrame`] reply (answered in
+//! pipeline order, after every request decoded before the damage) and
+//! closes after its output drains.
+
+use std::collections::VecDeque;
+use std::io::{ErrorKind, Read, Write};
+use std::net::TcpStream;
+
+use crate::proto::{decode_request, Decoded, FrameError, Request};
+
+/// Bytes read from a socket per tick: large enough to swallow a deep
+/// pipeline in one syscall, small enough that one firehose connection
+/// cannot starve its siblings on a tick.
+const READ_CHUNK: usize = 64 * 1024;
+
+/// One pipelined item awaiting dispatch.
+#[derive(Debug)]
+pub(crate) enum Pending {
+    /// A well-formed request.
+    Req(Request),
+    /// The stream desynced at this point; reply `BadFrame` and close.
+    Bad(FrameError),
+}
+
+/// One client connection owned by a worker thread.
+#[derive(Debug)]
+pub(crate) struct Conn {
+    stream: TcpStream,
+    /// Raw inbound bytes not yet forming a complete frame.
+    inbuf: Vec<u8>,
+    /// Decoded requests awaiting dispatch, in arrival order.
+    pub(crate) pending: VecDeque<Pending>,
+    /// Encoded responses awaiting the socket; `out_at` is the flush
+    /// offset into it (compacted when fully drained).
+    outbuf: Vec<u8>,
+    out_at: usize,
+    /// Peer closed its write half (or read errored): no more requests
+    /// will arrive, but decoded ones still dispatch and replies still
+    /// flush.
+    eof: bool,
+    /// A framing error poisoned the stream: stop reading and decoding;
+    /// close once `outbuf` drains.
+    poisoned: bool,
+    /// The socket is unusable (write error): drop without further I/O.
+    dead: bool,
+}
+
+impl Conn {
+    /// Wraps an accepted stream, switching it to non-blocking mode.
+    pub(crate) fn new(stream: TcpStream) -> std::io::Result<Self> {
+        stream.set_nonblocking(true)?;
+        stream.set_nodelay(true)?;
+        Ok(Self {
+            stream,
+            inbuf: Vec::new(),
+            pending: VecDeque::new(),
+            outbuf: Vec::new(),
+            out_at: 0,
+            eof: false,
+            poisoned: false,
+            dead: false,
+        })
+    }
+
+    /// Undrained response bytes (the backpressure measure).
+    pub(crate) fn out_queued(&self) -> usize {
+        self.outbuf.len() - self.out_at
+    }
+
+    /// Whether this connection still wants read polling.
+    pub(crate) fn wants_read(&self) -> bool {
+        !self.eof && !self.poisoned && !self.dead
+    }
+
+    /// Whether the worker should drop this connection.
+    pub(crate) fn done(&self) -> bool {
+        self.dead
+            || ((self.eof || self.poisoned) && self.pending.is_empty() && self.out_queued() == 0)
+    }
+
+    /// Appends encoded response bytes for later [`flush`](Conn::flush).
+    pub(crate) fn queue_out(&mut self, bytes: &[u8]) {
+        if !self.dead {
+            self.outbuf.extend_from_slice(bytes);
+        }
+    }
+
+    /// Marks the stream poisoned (called by the scatter pass when the
+    /// queued [`Pending::Bad`] reply is written).
+    pub(crate) fn poison(&mut self) {
+        self.poisoned = true;
+    }
+
+    /// Reads whatever the socket has (up to one chunk) and decodes every
+    /// complete frame into the pipeline. Returns `true` if any byte or
+    /// frame was consumed.
+    pub(crate) fn poll_read(&mut self) -> bool {
+        if !self.wants_read() {
+            return false;
+        }
+        let mut progressed = false;
+        let mut chunk = [0u8; READ_CHUNK];
+        loop {
+            match self.stream.read(&mut chunk) {
+                Ok(0) => {
+                    self.eof = true;
+                    break;
+                }
+                Ok(n) => {
+                    self.inbuf.extend_from_slice(&chunk[..n]);
+                    progressed = true;
+                    if n < chunk.len() {
+                        break;
+                    }
+                }
+                Err(e) if e.kind() == ErrorKind::WouldBlock => break,
+                Err(e) if e.kind() == ErrorKind::Interrupted => continue,
+                Err(_) => {
+                    // Treat hard read errors like EOF: serve what was
+                    // decoded, then close.
+                    self.eof = true;
+                    break;
+                }
+            }
+        }
+        progressed |= self.decode_pipeline();
+        progressed
+    }
+
+    /// Decodes complete frames off the front of `inbuf` until it holds
+    /// only a prefix (or the stream poisons).
+    fn decode_pipeline(&mut self) -> bool {
+        let mut at = 0;
+        let mut progressed = false;
+        while !self.poisoned {
+            match decode_request(&self.inbuf[at..]) {
+                Ok(Decoded::Frame(req, consumed)) => {
+                    self.pending.push_back(Pending::Req(req));
+                    at += consumed;
+                    progressed = true;
+                }
+                Ok(Decoded::NeedMore) => break,
+                Err(e) => {
+                    // Past this byte the stream has no frame boundary:
+                    // queue the one diagnostic reply (answered in
+                    // pipeline order) and stop reading for good; the
+                    // scatter pass poisons the connection when the reply
+                    // is written, and it closes once output drains.
+                    self.pending.push_back(Pending::Bad(e));
+                    self.inbuf.clear();
+                    at = 0;
+                    progressed = true;
+                    self.eof = true;
+                    break;
+                }
+            }
+        }
+        if at > 0 {
+            self.inbuf.drain(..at);
+        }
+        progressed
+    }
+
+    /// Writes as much queued output as the socket accepts. Returns
+    /// `true` if any byte moved.
+    pub(crate) fn flush(&mut self) -> bool {
+        if self.dead {
+            return false;
+        }
+        let mut progressed = false;
+        while self.out_at < self.outbuf.len() {
+            match self.stream.write(&self.outbuf[self.out_at..]) {
+                Ok(0) => {
+                    self.dead = true;
+                    break;
+                }
+                Ok(n) => {
+                    self.out_at += n;
+                    progressed = true;
+                }
+                Err(e) if e.kind() == ErrorKind::WouldBlock => break,
+                Err(e) if e.kind() == ErrorKind::Interrupted => continue,
+                Err(_) => {
+                    // The peer is gone (abrupt disconnect mid-pipeline):
+                    // responses for its remaining requests are dropped,
+                    // but the *store effects* of dispatched writes stand.
+                    self.dead = true;
+                    break;
+                }
+            }
+        }
+        if self.out_at == self.outbuf.len() && self.out_at > 0 {
+            self.outbuf.clear();
+            self.out_at = 0;
+        }
+        progressed
+    }
+}

@@ -1,0 +1,265 @@
+//! `mwllsc-server`: a pipelined binary-protocol network frontend with
+//! request coalescing over the sharded LL/SC store.
+//!
+//! The paper's LL/SC object makes a per-key update a handful of shared
+//! RMWs; the store's batched paths ([`update_many`], [`read_many`]) fold
+//! whole runs of same-key operations into *one* SC commit. This crate
+//! closes the remaining gap to "serving traffic": it puts sockets in
+//! front of a [`Store`] and converts socket-level
+//! concurrency into exactly those batches.
+//!
+//! # Architecture
+//!
+//! - **Reactor** (`reactor`): one acceptor thread with a non-blocking
+//!   listener deals connections round-robin to worker threads
+//!   (thread-per-core model — workers never share a connection, so
+//!   connection state needs no locks).
+//! - **Protocol** ([`proto`]): length-prefixed binary frames, versioned
+//!   header, `GET`/`SET`/`UPDATE`/`MGET`/`MSET`, typed error replies
+//!   mirroring [`StoreError`](mwllsc_store::StoreError). Decoding is
+//!   panic-free and allocation-bounded.
+//! - **Connections** (`conn`): non-blocking buffered I/O with
+//!   per-connection pipelining — clients may stream any number of
+//!   request frames ahead of reading replies.
+//! - **Coalescing** (`coalesce`): every tick, each worker drains all
+//!   of its ready connections' pipelines into dispatch *waves*: one
+//!   merged `update_many` write batch and one `read_many` read batch per
+//!   wave. The store sorts each batch by `(shard, key)` and folds
+//!   equal-key runs into single SC commits, so a hot key hammered by
+//!   many connections costs one LL/SC commit per wave, not one per
+//!   request.
+//! - **Workers** (`worker`): each owns one
+//!   [`DynStoreHandle`](mwllsc_store::DynStoreHandle) (one shard-slot
+//!   lease per touched shard), ticking read → coalesce → dispatch →
+//!   flush, with slow-reader backpressure and a graceful drain on
+//!   shutdown.
+//!
+//! # Ordering guarantees
+//!
+//! Within one connection, responses arrive in request order and the
+//! effects are applied in request order (a connection contributes only
+//! its leading same-class run to each wave, and a wave's writes dispatch
+//! before its reads). Across connections, requests race exactly as
+//! concurrent store handles do — each individual request is atomic,
+//! with the backend's per-object progress guarantee.
+//!
+//! The server is generic over the store backend: start it from a typed
+//! [`Store<B>`](mwllsc_store::Store) with [`Server::start`], or from a
+//! runtime-selected backend with [`Server::start_dyn`].
+//!
+//! # Example
+//!
+//! ```
+//! use std::sync::Arc;
+//! use mwllsc_server::{Client, Server, ServerConfig, UpdateOp};
+//! use mwllsc_store::{Store, StoreConfig};
+//!
+//! let store = Store::new(StoreConfig::new(4, 2, 1, 1 << 16));
+//! let server = Server::start(&store, ServerConfig::default()).unwrap();
+//! let mut client = Client::connect(server.local_addr()).unwrap();
+//!
+//! client.set(7, vec![40]).unwrap().unwrap();
+//! assert_eq!(client.update(7, UpdateOp::Add(vec![2])).unwrap().unwrap(), vec![42]);
+//! assert_eq!(client.get(7).unwrap().unwrap(), vec![42]);
+//!
+//! let stats = server.shutdown();
+//! assert_eq!(stats.requests, 3);
+//! assert_eq!(store.live_slot_leases(), 0, "shutdown released every lease");
+//! ```
+//!
+//! [`update_many`]: mwllsc_store::StoreHandle::update_many
+//! [`read_many`]: mwllsc_store::StoreHandle::read_many
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs, missing_debug_implementations)]
+
+pub mod client;
+mod coalesce;
+mod conn;
+pub mod proto;
+mod reactor;
+mod stats;
+mod worker;
+
+use std::net::{SocketAddr, TcpListener};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{mpsc, Arc};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use mwllsc::MwFactory;
+use mwllsc_store::{DynStore, Store};
+
+pub use client::Client;
+pub use coalesce::Dispatch;
+pub use proto::{Request, Response, UpdateOp, WireError};
+pub use stats::{ServerStats, HIST_BUCKETS};
+
+use coalesce::Validator;
+use stats::AtomicStats;
+use worker::WorkerCfg;
+
+/// Server construction knobs. `Default` binds an ephemeral loopback
+/// port with one worker and coalesced dispatch.
+#[derive(Clone, Debug)]
+pub struct ServerConfig {
+    /// Listen address (`127.0.0.1:0` picks an ephemeral port; read the
+    /// result off [`Server::local_addr`]).
+    pub addr: String,
+    /// Worker threads. Each holds one store handle (one shard-slot
+    /// lease per touched shard), so [`Server::start`] clamps this to
+    /// the store's `shard_capacity` — extra workers could never lease a
+    /// slot. For a thread-per-core deployment set it to
+    /// `std::thread::available_parallelism()`.
+    pub workers: usize,
+    /// Batch dispatch mode (the E13 experiment compares both).
+    pub dispatch: Dispatch,
+    /// Per-connection queued-output cap: past it the connection's socket
+    /// is not read until the peer drains replies (slow-reader
+    /// backpressure).
+    pub max_conn_out_bytes: usize,
+    /// Per-connection request cap per coalescing wave: a pipeline deeper
+    /// than this spreads across successive waves, bounding wave latency
+    /// and letting backpressure engage between slices.
+    pub max_wave_run: usize,
+    /// Worker sleep when a tick moved nothing.
+    pub idle_sleep: Duration,
+    /// How long [`Server::shutdown`] keeps flushing already-computed
+    /// responses before dropping undrained connections.
+    pub drain_timeout: Duration,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        Self {
+            addr: "127.0.0.1:0".to_owned(),
+            workers: 1,
+            dispatch: Dispatch::Coalesced,
+            max_conn_out_bytes: 256 * 1024,
+            max_wave_run: 512,
+            idle_sleep: Duration::from_micros(50),
+            drain_timeout: Duration::from_millis(500),
+        }
+    }
+}
+
+impl ServerConfig {
+    /// `Default`, with `workers` workers.
+    #[must_use]
+    pub fn with_workers(workers: usize) -> Self {
+        Self { workers, ..Self::default() }
+    }
+
+    /// Sets the dispatch mode.
+    #[must_use]
+    pub fn dispatch(mut self, dispatch: Dispatch) -> Self {
+        self.dispatch = dispatch;
+        self
+    }
+}
+
+/// A running server: the acceptor thread, its workers, and their shared
+/// counters. Dropping it (or calling [`shutdown`](Server::shutdown))
+/// stops accepting, drains every in-flight request, flushes responses,
+/// and releases all store leases.
+#[derive(Debug)]
+pub struct Server {
+    local_addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    acceptor: Option<JoinHandle<()>>,
+    workers: Vec<JoinHandle<()>>,
+    stats: Arc<AtomicStats>,
+}
+
+impl Server {
+    /// Starts a server over a typed store.
+    pub fn start<B: MwFactory>(
+        store: &Arc<Store<B>>,
+        config: ServerConfig,
+    ) -> std::io::Result<Self> {
+        Self::start_dyn(Arc::new(Arc::clone(store)), config)
+    }
+
+    /// Starts a server over a runtime-selected backend (see
+    /// [`DynStore`]; `llsc_baselines::try_build_store` maps algorithm
+    /// names to boxed stores).
+    pub fn start_dyn(store: Arc<dyn DynStore>, config: ServerConfig) -> std::io::Result<Self> {
+        let listener = TcpListener::bind(&config.addr)?;
+        listener.set_nonblocking(true)?;
+        let local_addr = listener.local_addr()?;
+
+        let stop = Arc::new(AtomicBool::new(false));
+        let stats = Arc::new(AtomicStats::default());
+        let validator = Validator { key_capacity: store.key_capacity(), width: store.width() };
+        let worker_cfg = WorkerCfg {
+            dispatch: config.dispatch,
+            max_conn_out_bytes: config.max_conn_out_bytes,
+            max_wave_run: config.max_wave_run.max(1),
+            idle_sleep: config.idle_sleep,
+            drain_timeout: config.drain_timeout,
+        };
+
+        let n_workers = config.workers.clamp(1, store.shard_capacity());
+        let mut senders = Vec::with_capacity(n_workers);
+        let mut workers = Vec::with_capacity(n_workers);
+        for i in 0..n_workers {
+            let (tx, rx) = mpsc::channel();
+            senders.push(tx);
+            let handle = store.attach_dyn();
+            let (stats, stop) = (Arc::clone(&stats), Arc::clone(&stop));
+            workers.push(
+                std::thread::Builder::new().name(format!("mwllsc-worker-{i}")).spawn(
+                    move || worker::run(&rx, handle, validator, worker_cfg, &stats, &stop),
+                )?,
+            );
+        }
+        let acceptor = {
+            let stop = Arc::clone(&stop);
+            std::thread::Builder::new()
+                .name("mwllsc-acceptor".to_owned())
+                .spawn(move || reactor::run_acceptor(&listener, &senders, &stop))?
+        };
+
+        Ok(Self { local_addr, stop, acceptor: Some(acceptor), workers, stats })
+    }
+
+    /// The bound listen address (the ephemeral port, for `…:0` configs).
+    #[must_use]
+    pub fn local_addr(&self) -> SocketAddr {
+        self.local_addr
+    }
+
+    /// A live counter snapshot.
+    #[must_use]
+    pub fn stats(&self) -> ServerStats {
+        self.stats.snapshot()
+    }
+
+    /// Graceful shutdown: stops accepting, dispatches every
+    /// already-received request, flushes responses (bounded by the
+    /// config's `drain_timeout`), drops every connection, and releases
+    /// every shard-slot lease the workers held. Returns the final
+    /// counters.
+    pub fn shutdown(mut self) -> ServerStats {
+        self.halt();
+        self.stats.snapshot()
+    }
+
+    fn halt(&mut self) {
+        self.stop.store(true, Ordering::Release);
+        if let Some(acceptor) = self.acceptor.take() {
+            let _ = acceptor.join();
+        }
+        for worker in self.workers.drain(..) {
+            let _ = worker.join();
+        }
+    }
+}
+
+impl Drop for Server {
+    /// Same drain as [`shutdown`](Server::shutdown), minus the returned
+    /// snapshot.
+    fn drop(&mut self) {
+        self.halt();
+    }
+}

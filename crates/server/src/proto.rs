@@ -1,0 +1,708 @@
+//! The wire protocol: compact length-prefixed binary frames.
+//!
+//! Every frame is `[len: u32 LE][version: u8][kind: u8][payload]`, where
+//! `len` counts the bytes after the length prefix (so `len ≥ 2`) and is
+//! capped at [`MAX_FRAME_LEN`]. Integers are little-endian; values are
+//! `W`-word `u64` slices. The protocol is strictly request/response with
+//! **pipelining**: a client may send any number of request frames before
+//! reading, and the server answers each connection's requests in
+//! submission order, so no request ids are needed.
+//!
+//! Request frames: [`Request::Get`], [`Request::Set`],
+//! [`Request::Update`] (a server-side read-modify-write, see
+//! [`UpdateOp`] — closures cannot travel over a wire, so the op
+//! vocabulary is fixed), and the batched [`Request::MGet`] /
+//! [`Request::MSet`].
+//!
+//! Response frames: [`Response::Ok`], [`Response::Value`],
+//! [`Response::Values`], and the typed [`Response::Error`] mirroring
+//! [`StoreError`] plus the framing-level
+//! [`FrameError`]s.
+//!
+//! Decoding is total: any byte sequence either yields a frame, asks for
+//! more bytes ([`Decoded::NeedMore`]), or returns a typed [`FrameError`]
+//! — never a panic, and never an allocation sized by attacker-controlled
+//! counts (element counts are validated against the actual payload length
+//! before any reservation).
+
+use mwllsc_store::StoreError;
+
+/// Protocol version carried in every frame header.
+pub const PROTO_VERSION: u8 = 1;
+
+/// Maximum frame length (bytes after the `u32` length prefix). Frames
+/// claiming more are rejected with [`FrameError::Oversized`] *before*
+/// buffering, so a hostile length prefix cannot balloon server memory.
+pub const MAX_FRAME_LEN: usize = 1 << 20;
+
+/// Bytes of the length prefix.
+pub const HEADER_LEN: usize = 4;
+
+// Request frame kinds.
+const K_GET: u8 = 0x01;
+const K_SET: u8 = 0x02;
+const K_UPDATE: u8 = 0x03;
+const K_MGET: u8 = 0x04;
+const K_MSET: u8 = 0x05;
+// Response frame kinds.
+const K_OK: u8 = 0x81;
+const K_VALUE: u8 = 0x82;
+const K_VALUES: u8 = 0x83;
+const K_ERROR: u8 = 0x7F;
+
+// Update opcodes.
+const OP_ADD: u8 = 1;
+const OP_MAX: u8 = 2;
+
+// Error codes.
+const E_KEY_OUT_OF_RANGE: u8 = 1;
+const E_WRONG_VALUE_LEN: u8 = 2;
+const E_SHARD_EXHAUSTED: u8 = 3;
+const E_BAD_FRAME: u8 = 4;
+const E_INTERNAL: u8 = 5;
+
+// BadFrame reason codes (the second error payload word).
+const R_BAD_VERSION: u64 = 1;
+const R_BAD_KIND: u64 = 2;
+const R_BAD_OPCODE: u64 = 3;
+const R_BAD_LENGTH: u64 = 4;
+const R_OVERSIZED: u64 = 5;
+
+/// A request frame.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Request {
+    /// Read one key's `W`-word value.
+    Get {
+        /// The logical key.
+        key: u64,
+    },
+    /// Atomically set one key to `value`.
+    Set {
+        /// The logical key.
+        key: u64,
+        /// The new `W`-word value.
+        value: Vec<u64>,
+    },
+    /// Atomically read-modify-write one key with a fixed server-side op;
+    /// the reply is the installed value.
+    Update {
+        /// The logical key.
+        key: u64,
+        /// The read-modify-write to apply.
+        op: UpdateOp,
+    },
+    /// Read many keys in one frame; the reply carries the values in key
+    /// order.
+    MGet {
+        /// The logical keys.
+        keys: Vec<u64>,
+    },
+    /// Set many `(key, value)` pairs in one frame (duplicate keys apply
+    /// in pair order, last wins).
+    MSet {
+        /// The `(key, value)` pairs.
+        pairs: Vec<(u64, Vec<u64>)>,
+    },
+}
+
+/// The server-side read-modify-write vocabulary for [`Request::Update`].
+///
+/// Closures cannot cross the wire, so updates are drawn from this fixed
+/// op set; each is a pure function of the current value, which is exactly
+/// what the store's LL/SC retry loop requires (ops may be re-applied on
+/// SC races).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum UpdateOp {
+    /// Per-word wrapping add of the operand.
+    Add(Vec<u64>),
+    /// Per-word maximum with the operand.
+    Max(Vec<u64>),
+}
+
+impl UpdateOp {
+    /// Applies the op to `buf` (operand and `buf` have the same length by
+    /// the server's width validation).
+    pub fn apply(&self, buf: &mut [u64]) {
+        match self {
+            UpdateOp::Add(delta) => {
+                for (b, d) in buf.iter_mut().zip(delta) {
+                    *b = b.wrapping_add(*d);
+                }
+            }
+            UpdateOp::Max(floor) => {
+                for (b, d) in buf.iter_mut().zip(floor) {
+                    *b = (*b).max(*d);
+                }
+            }
+        }
+    }
+
+    /// The operand slice (used for width validation).
+    #[must_use]
+    pub fn operand(&self) -> &[u64] {
+        match self {
+            UpdateOp::Add(v) | UpdateOp::Max(v) => v,
+        }
+    }
+}
+
+/// A response frame.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Response {
+    /// The request succeeded and has no value to return
+    /// ([`Request::Set`] / [`Request::MSet`]).
+    Ok,
+    /// One `W`-word value ([`Request::Get`], and the installed value for
+    /// [`Request::Update`]).
+    Value(Vec<u64>),
+    /// Many values, in the order of the request's keys
+    /// ([`Request::MGet`]).
+    Values(Vec<Vec<u64>>),
+    /// The request failed with a typed error; the connection stays usable
+    /// unless the error is [`WireError::BadFrame`] (framing desync — the
+    /// server closes after flushing).
+    Error(WireError),
+}
+
+/// Typed request failures, mirroring
+/// [`StoreError`] plus the framing layer.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum WireError {
+    /// The key is outside the store's configured key space.
+    KeyOutOfRange {
+        /// The offending key.
+        key: u64,
+        /// The configured key-space size.
+        capacity: u64,
+    },
+    /// A value or operand length differs from the store's width `W`.
+    WrongValueLen {
+        /// The store's `W`.
+        expected: u64,
+        /// The supplied length.
+        got: u64,
+    },
+    /// All slots of a shard are leased (another store user holds them);
+    /// the batch this request rode in was not applied.
+    ShardExhausted {
+        /// The contested shard.
+        shard: u64,
+        /// Its slot capacity.
+        capacity: u64,
+    },
+    /// The bytes on the wire did not parse as a frame; the server closes
+    /// the connection after this reply (the stream offset is unknowable).
+    BadFrame(FrameError),
+    /// An error the protocol has no code for (future
+    /// [`StoreError`] variants).
+    Internal,
+}
+
+impl WireError {
+    /// Maps a store failure onto the wire vocabulary.
+    #[must_use]
+    pub fn from_store(e: &StoreError) -> Self {
+        match e {
+            StoreError::KeyOutOfRange { key, capacity } => {
+                WireError::KeyOutOfRange { key: *key, capacity: *capacity }
+            }
+            StoreError::WrongValueLen { expected, got } => {
+                WireError::WrongValueLen { expected: *expected as u64, got: *got as u64 }
+            }
+            StoreError::ShardExhausted { shard, capacity } => {
+                WireError::ShardExhausted { shard: *shard as u64, capacity: *capacity as u64 }
+            }
+            _ => WireError::Internal,
+        }
+    }
+}
+
+impl std::fmt::Display for WireError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::KeyOutOfRange { key, capacity } => {
+                write!(f, "key {key} outside the key space 0..{capacity}")
+            }
+            Self::WrongValueLen { expected, got } => {
+                write!(f, "value has {got} words, expected W = {expected}")
+            }
+            Self::ShardExhausted { shard, capacity } => {
+                write!(f, "all {capacity} slots of shard {shard} are leased")
+            }
+            Self::BadFrame(e) => write!(f, "bad frame: {e}"),
+            Self::Internal => write!(f, "internal error"),
+        }
+    }
+}
+
+/// Why a byte sequence failed to parse as a frame.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FrameError {
+    /// The version byte is not [`PROTO_VERSION`].
+    BadVersion(u8),
+    /// The kind byte names no known frame.
+    BadKind(u8),
+    /// An [`UpdateOp`] opcode byte names no known op.
+    BadOpcode(u8),
+    /// The declared frame length disagrees with the payload's own
+    /// structure (truncated fields, trailing garbage, element counts
+    /// that don't fit).
+    BadLength,
+    /// The length prefix exceeds [`MAX_FRAME_LEN`].
+    Oversized(u64),
+}
+
+impl std::fmt::Display for FrameError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::BadVersion(v) => write!(f, "unsupported protocol version {v}"),
+            Self::BadKind(k) => write!(f, "unknown frame kind {k:#04x}"),
+            Self::BadOpcode(o) => write!(f, "unknown update opcode {o}"),
+            Self::BadLength => write!(f, "frame length disagrees with payload structure"),
+            Self::Oversized(len) => {
+                write!(f, "frame of {len} bytes exceeds the {MAX_FRAME_LEN}-byte cap")
+            }
+        }
+    }
+}
+
+/// Outcome of a decode attempt over a byte buffer.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Decoded<T> {
+    /// A complete frame, consuming this many bytes from the buffer.
+    Frame(T, usize),
+    /// The buffer holds only a frame prefix; read more bytes and retry.
+    NeedMore,
+}
+
+// ---------------------------------------------------------------- encode
+
+fn put_u16(out: &mut Vec<u8>, v: u16) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_u32(out: &mut Vec<u8>, v: u32) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_u64(out: &mut Vec<u8>, v: u64) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_words(out: &mut Vec<u8>, words: &[u64]) {
+    put_u16(out, u16::try_from(words.len()).expect("value width fits u16"));
+    for &w in words {
+        put_u64(out, w);
+    }
+}
+
+/// Opens a frame: writes the length placeholder plus the
+/// `[version][kind]` header, returning the patch position for
+/// [`end_frame`].
+fn begin_frame(out: &mut Vec<u8>, kind: u8) -> usize {
+    let at = out.len();
+    put_u32(out, 0);
+    out.push(PROTO_VERSION);
+    out.push(kind);
+    at
+}
+
+/// Closes a frame begun at `at`: patches the length prefix.
+fn end_frame(out: &mut [u8], at: usize) {
+    let len = out.len() - at - HEADER_LEN;
+    assert!(len <= MAX_FRAME_LEN, "encoded frame of {len} bytes exceeds MAX_FRAME_LEN");
+    out[at..at + 4].copy_from_slice(&u32::try_from(len).expect("checked above").to_le_bytes());
+}
+
+/// Appends `req` to `out` as one frame.
+///
+/// # Panics
+///
+/// Panics if the frame would exceed [`MAX_FRAME_LEN`] or a value is wider
+/// than `u16::MAX` words — both are caller programming errors, not wire
+/// conditions (the store's width ceiling is far below either limit).
+pub fn encode_request(req: &Request, out: &mut Vec<u8>) {
+    match req {
+        Request::Get { key } => {
+            let at = begin_frame(out, K_GET);
+            put_u64(out, *key);
+            end_frame(out, at);
+        }
+        Request::Set { key, value } => {
+            let at = begin_frame(out, K_SET);
+            put_u64(out, *key);
+            put_words(out, value);
+            end_frame(out, at);
+        }
+        Request::Update { key, op } => {
+            let at = begin_frame(out, K_UPDATE);
+            put_u64(out, *key);
+            out.push(match op {
+                UpdateOp::Add(_) => OP_ADD,
+                UpdateOp::Max(_) => OP_MAX,
+            });
+            put_words(out, op.operand());
+            end_frame(out, at);
+        }
+        Request::MGet { keys } => {
+            let at = begin_frame(out, K_MGET);
+            put_u32(out, u32::try_from(keys.len()).expect("key count fits u32"));
+            for &k in keys {
+                put_u64(out, k);
+            }
+            end_frame(out, at);
+        }
+        Request::MSet { pairs } => {
+            let at = begin_frame(out, K_MSET);
+            put_u32(out, u32::try_from(pairs.len()).expect("pair count fits u32"));
+            for (k, v) in pairs {
+                put_u64(out, *k);
+                put_words(out, v);
+            }
+            end_frame(out, at);
+        }
+    }
+}
+
+/// Appends `resp` to `out` as one frame (same limits as
+/// [`encode_request`]).
+pub fn encode_response(resp: &Response, out: &mut Vec<u8>) {
+    match resp {
+        Response::Ok => {
+            let at = begin_frame(out, K_OK);
+            end_frame(out, at);
+        }
+        Response::Value(v) => {
+            let at = begin_frame(out, K_VALUE);
+            put_words(out, v);
+            end_frame(out, at);
+        }
+        Response::Values(vs) => {
+            let at = begin_frame(out, K_VALUES);
+            put_u32(out, u32::try_from(vs.len()).expect("value count fits u32"));
+            for v in vs {
+                put_words(out, v);
+            }
+            end_frame(out, at);
+        }
+        Response::Error(e) => {
+            let at = begin_frame(out, K_ERROR);
+            let (code, a, b) = match e {
+                WireError::KeyOutOfRange { key, capacity } => (E_KEY_OUT_OF_RANGE, *key, *capacity),
+                WireError::WrongValueLen { expected, got } => (E_WRONG_VALUE_LEN, *expected, *got),
+                WireError::ShardExhausted { shard, capacity } => {
+                    (E_SHARD_EXHAUSTED, *shard, *capacity)
+                }
+                WireError::BadFrame(fe) => {
+                    let (r, arg) = match fe {
+                        FrameError::BadVersion(v) => (R_BAD_VERSION, u64::from(*v)),
+                        FrameError::BadKind(k) => (R_BAD_KIND, u64::from(*k)),
+                        FrameError::BadOpcode(o) => (R_BAD_OPCODE, u64::from(*o)),
+                        FrameError::BadLength => (R_BAD_LENGTH, 0),
+                        FrameError::Oversized(len) => (R_OVERSIZED, *len),
+                    };
+                    (E_BAD_FRAME, r, arg)
+                }
+                WireError::Internal => (E_INTERNAL, 0, 0),
+            };
+            out.push(code);
+            put_u64(out, a);
+            put_u64(out, b);
+            end_frame(out, at);
+        }
+    }
+}
+
+// ---------------------------------------------------------------- decode
+
+/// Bounds-checked reader over one frame's payload.
+struct Cursor<'a> {
+    buf: &'a [u8],
+    at: usize,
+}
+
+impl<'a> Cursor<'a> {
+    fn new(buf: &'a [u8]) -> Self {
+        Self { buf, at: 0 }
+    }
+
+    fn remaining(&self) -> usize {
+        self.buf.len() - self.at
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8], FrameError> {
+        if self.remaining() < n {
+            return Err(FrameError::BadLength);
+        }
+        let s = &self.buf[self.at..self.at + n];
+        self.at += n;
+        Ok(s)
+    }
+
+    fn u8(&mut self) -> Result<u8, FrameError> {
+        Ok(self.take(1)?[0])
+    }
+
+    fn u16(&mut self) -> Result<u16, FrameError> {
+        Ok(u16::from_le_bytes(self.take(2)?.try_into().expect("2 bytes")))
+    }
+
+    fn u32(&mut self) -> Result<u32, FrameError> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().expect("4 bytes")))
+    }
+
+    fn u64(&mut self) -> Result<u64, FrameError> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().expect("8 bytes")))
+    }
+
+    /// A `[u16 n][n × u64]` value slice; `n` is validated against the
+    /// remaining payload before any allocation.
+    fn words(&mut self) -> Result<Vec<u64>, FrameError> {
+        let n = self.u16()? as usize;
+        if self.remaining() < n * 8 {
+            return Err(FrameError::BadLength);
+        }
+        (0..n).map(|_| self.u64()).collect()
+    }
+
+    /// The frame must be fully consumed — trailing bytes are a framing
+    /// error, not padding.
+    fn finish(self) -> Result<(), FrameError> {
+        if self.remaining() != 0 {
+            return Err(FrameError::BadLength);
+        }
+        Ok(())
+    }
+}
+
+/// A raw frame split off a byte stream: `(kind, payload, consumed)`,
+/// or `None` when the stream holds less than one full frame.
+type RawFrame<'a> = Option<(u8, &'a [u8], usize)>;
+
+/// Splits off one frame's `(kind, payload)` from the front of `buf`.
+fn frame_body(buf: &[u8]) -> Result<RawFrame<'_>, FrameError> {
+    if buf.len() < HEADER_LEN {
+        return Ok(None);
+    }
+    let len = u32::from_le_bytes(buf[..4].try_into().expect("4 bytes")) as usize;
+    if len > MAX_FRAME_LEN {
+        return Err(FrameError::Oversized(len as u64));
+    }
+    if len < 2 {
+        return Err(FrameError::BadLength);
+    }
+    if buf.len() < HEADER_LEN + len {
+        return Ok(None);
+    }
+    let body = &buf[HEADER_LEN..HEADER_LEN + len];
+    if body[0] != PROTO_VERSION {
+        return Err(FrameError::BadVersion(body[0]));
+    }
+    Ok(Some((body[1], &body[2..], HEADER_LEN + len)))
+}
+
+/// Decodes one request frame from the front of `buf`.
+pub fn decode_request(buf: &[u8]) -> Result<Decoded<Request>, FrameError> {
+    let Some((kind, payload, consumed)) = frame_body(buf)? else {
+        return Ok(Decoded::NeedMore);
+    };
+    let mut c = Cursor::new(payload);
+    let req = match kind {
+        K_GET => Request::Get { key: c.u64()? },
+        K_SET => Request::Set { key: c.u64()?, value: c.words()? },
+        K_UPDATE => {
+            let key = c.u64()?;
+            let opcode = c.u8()?;
+            let operand = c.words()?;
+            let op = match opcode {
+                OP_ADD => UpdateOp::Add(operand),
+                OP_MAX => UpdateOp::Max(operand),
+                other => return Err(FrameError::BadOpcode(other)),
+            };
+            Request::Update { key, op }
+        }
+        K_MGET => {
+            let n = c.u32()? as usize;
+            if c.remaining() < n * 8 {
+                return Err(FrameError::BadLength);
+            }
+            Request::MGet { keys: (0..n).map(|_| c.u64()).collect::<Result<_, _>>()? }
+        }
+        K_MSET => {
+            let n = c.u32()? as usize;
+            // Each pair costs at least key + count = 10 bytes; reject
+            // counts the payload cannot possibly hold before looping.
+            if c.remaining() < n * 10 {
+                return Err(FrameError::BadLength);
+            }
+            let mut pairs = Vec::with_capacity(n);
+            for _ in 0..n {
+                let k = c.u64()?;
+                pairs.push((k, c.words()?));
+            }
+            Request::MSet { pairs }
+        }
+        other => return Err(FrameError::BadKind(other)),
+    };
+    c.finish()?;
+    Ok(Decoded::Frame(req, consumed))
+}
+
+/// Decodes one response frame from the front of `buf`.
+pub fn decode_response(buf: &[u8]) -> Result<Decoded<Response>, FrameError> {
+    let Some((kind, payload, consumed)) = frame_body(buf)? else {
+        return Ok(Decoded::NeedMore);
+    };
+    let mut c = Cursor::new(payload);
+    let resp = match kind {
+        K_OK => Response::Ok,
+        K_VALUE => Response::Value(c.words()?),
+        K_VALUES => {
+            let n = c.u32()? as usize;
+            // Each value costs at least its u16 count.
+            if c.remaining() < n * 2 {
+                return Err(FrameError::BadLength);
+            }
+            Response::Values((0..n).map(|_| c.words()).collect::<Result<_, _>>()?)
+        }
+        K_ERROR => {
+            let code = c.u8()?;
+            let a = c.u64()?;
+            let b = c.u64()?;
+            let e = match code {
+                E_KEY_OUT_OF_RANGE => WireError::KeyOutOfRange { key: a, capacity: b },
+                E_WRONG_VALUE_LEN => WireError::WrongValueLen { expected: a, got: b },
+                E_SHARD_EXHAUSTED => WireError::ShardExhausted { shard: a, capacity: b },
+                E_BAD_FRAME => WireError::BadFrame(match a {
+                    R_BAD_VERSION => FrameError::BadVersion(b as u8),
+                    R_BAD_KIND => FrameError::BadKind(b as u8),
+                    R_BAD_OPCODE => FrameError::BadOpcode(b as u8),
+                    R_OVERSIZED => FrameError::Oversized(b),
+                    _ => FrameError::BadLength,
+                }),
+                _ => WireError::Internal,
+            };
+            Response::Error(e)
+        }
+        other => return Err(FrameError::BadKind(other)),
+    };
+    c.finish()?;
+    Ok(Decoded::Frame(resp, consumed))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip_req(req: Request) {
+        let mut buf = Vec::new();
+        encode_request(&req, &mut buf);
+        match decode_request(&buf).expect("decodes") {
+            Decoded::Frame(got, consumed) => {
+                assert_eq!(got, req);
+                assert_eq!(consumed, buf.len());
+            }
+            Decoded::NeedMore => panic!("complete frame decoded as NeedMore"),
+        }
+    }
+
+    #[test]
+    fn requests_round_trip() {
+        roundtrip_req(Request::Get { key: 7 });
+        roundtrip_req(Request::Set { key: u64::MAX, value: vec![1, 2, 3] });
+        roundtrip_req(Request::Update { key: 0, op: UpdateOp::Add(vec![5]) });
+        roundtrip_req(Request::Update { key: 9, op: UpdateOp::Max(vec![0, u64::MAX]) });
+        roundtrip_req(Request::MGet { keys: vec![] });
+        roundtrip_req(Request::MGet { keys: (0..100).collect() });
+        roundtrip_req(Request::MSet { pairs: vec![(1, vec![2]), (3, vec![4])] });
+    }
+
+    #[test]
+    fn responses_round_trip() {
+        for resp in [
+            Response::Ok,
+            Response::Value(vec![42]),
+            Response::Values(vec![vec![1, 2], vec![3, 4]]),
+            Response::Error(WireError::KeyOutOfRange { key: 5, capacity: 4 }),
+            Response::Error(WireError::BadFrame(FrameError::Oversized(1 << 30))),
+        ] {
+            let mut buf = Vec::new();
+            encode_response(&resp, &mut buf);
+            assert_eq!(decode_response(&buf).unwrap(), Decoded::Frame(resp, buf.len()));
+        }
+    }
+
+    #[test]
+    fn truncated_frames_ask_for_more() {
+        let mut buf = Vec::new();
+        encode_request(&Request::Set { key: 1, value: vec![2, 3] }, &mut buf);
+        for cut in 0..buf.len() {
+            assert_eq!(
+                decode_request(&buf[..cut]).unwrap(),
+                Decoded::NeedMore,
+                "prefix of {cut} bytes"
+            );
+        }
+    }
+
+    #[test]
+    fn oversized_length_prefix_is_rejected_before_buffering() {
+        let mut buf = ((MAX_FRAME_LEN + 1) as u32).to_le_bytes().to_vec();
+        buf.extend_from_slice(&[PROTO_VERSION, K_GET]);
+        assert_eq!(
+            decode_request(&buf).unwrap_err(),
+            FrameError::Oversized((MAX_FRAME_LEN + 1) as u64)
+        );
+    }
+
+    #[test]
+    fn hostile_element_counts_do_not_allocate() {
+        // An MGET claiming 2^32-1 keys inside a 12-byte payload.
+        let mut buf = Vec::new();
+        let at = begin_frame(&mut buf, K_MGET);
+        put_u32(&mut buf, u32::MAX);
+        put_u64(&mut buf, 0);
+        end_frame(&mut buf, at);
+        assert_eq!(decode_request(&buf).unwrap_err(), FrameError::BadLength);
+    }
+
+    #[test]
+    fn bad_version_kind_opcode_and_trailing_bytes_are_typed() {
+        let mut buf = Vec::new();
+        encode_request(&Request::Get { key: 1 }, &mut buf);
+        let mut v = buf.clone();
+        v[4] = 9;
+        assert_eq!(decode_request(&v).unwrap_err(), FrameError::BadVersion(9));
+        let mut k = buf.clone();
+        k[5] = 0x60;
+        assert_eq!(decode_request(&k).unwrap_err(), FrameError::BadKind(0x60));
+
+        let mut upd = Vec::new();
+        encode_request(&Request::Update { key: 1, op: UpdateOp::Add(vec![1]) }, &mut upd);
+        upd[HEADER_LEN + 2 + 8] = 99; // the opcode byte
+        assert_eq!(decode_request(&upd).unwrap_err(), FrameError::BadOpcode(99));
+
+        // Declared length one byte past the GET payload: trailing garbage.
+        let mut t = buf;
+        t[0] += 1;
+        t.push(0xAA);
+        assert_eq!(decode_request(&t).unwrap_err(), FrameError::BadLength);
+    }
+
+    #[test]
+    fn store_error_mapping_covers_the_wire_codes() {
+        assert_eq!(
+            WireError::from_store(&StoreError::KeyOutOfRange { key: 9, capacity: 4 }),
+            WireError::KeyOutOfRange { key: 9, capacity: 4 }
+        );
+        assert_eq!(
+            WireError::from_store(&StoreError::WrongValueLen { expected: 2, got: 1 }),
+            WireError::WrongValueLen { expected: 2, got: 1 }
+        );
+        assert_eq!(
+            WireError::from_store(&StoreError::ShardExhausted { shard: 3, capacity: 8 }),
+            WireError::ShardExhausted { shard: 3, capacity: 8 }
+        );
+        assert_eq!(WireError::from_store(&StoreError::ZeroShards), WireError::Internal);
+    }
+}

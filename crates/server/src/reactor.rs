@@ -1,0 +1,43 @@
+//! The accept loop: a non-blocking listener feeding workers round-robin.
+//!
+//! Deliberately the simplest reactor that works everywhere: the listener
+//! and every connection run in non-blocking mode and are polled by
+//! plain loops with short idle sleeps, instead of epoll/kqueue — no
+//! unsafe, no platform syscall layer, and the idle cost (a sleep-length
+//! wakeup per thread) is irrelevant next to the store operations this
+//! server exists to batch. The worker-facing interface (an mpsc of
+//! accepted streams) would be unchanged by a readiness-API reactor.
+
+use std::net::{TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::mpsc::Sender;
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Accepts until `stop` is set, dealing streams to workers round-robin.
+pub(crate) fn run_acceptor(
+    listener: &TcpListener,
+    workers: &[Sender<TcpStream>],
+    stop: &Arc<AtomicBool>,
+) {
+    let mut next = 0usize;
+    while !stop.load(Ordering::Acquire) {
+        match listener.accept() {
+            Ok((stream, _peer)) => {
+                // A send can only fail if the worker already exited,
+                // which only happens on shutdown; dropping the stream
+                // then is the right outcome.
+                let _ = workers[next % workers.len()].send(stream);
+                next = next.wrapping_add(1);
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                std::thread::sleep(Duration::from_micros(200));
+            }
+            Err(_) => {
+                // Transient accept failure (e.g. EMFILE): back off
+                // rather than spin or die.
+                std::thread::sleep(Duration::from_millis(1));
+            }
+        }
+    }
+}

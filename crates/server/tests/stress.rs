@@ -1,0 +1,272 @@
+//! Server stress: exact sums under hostile connection behavior.
+//!
+//! Three antagonists run against well-behaved pipelining clients:
+//! *chaos* clients that disconnect abruptly mid-pipeline (sometimes
+//! mid-frame), *slow readers* that force the backpressure path, and
+//! in-process handle churn that cycles shard-slot leases while the
+//! server's workers hold theirs. The invariant throughout: an
+//! acknowledged increment landed exactly once, an unacknowledged one at
+//! most once, and nothing an antagonist does can corrupt either.
+//!
+//! Honors the suite-wide soak knobs: `MWLLSC_STRESS_ITERS` (integer
+//! work multiplier, default 1) and `MWLLSC_STRESS_SEED` (workload seed,
+//! printed for replay).
+
+use std::collections::HashMap;
+use std::io::Write;
+use std::net::TcpStream;
+
+use mwllsc_server::{Client, Request, Response, Server, ServerConfig, UpdateOp};
+use mwllsc_store::{Store, StoreConfig};
+
+/// Key ranges per actor class, disjoint so each class's invariant is
+/// checkable in isolation.
+const GOOD_KEYS: std::ops::Range<u64> = 0..16;
+const CHAOS_KEYS: std::ops::Range<u64> = 16..32;
+
+fn stress_iters(base: usize) -> usize {
+    let mult = std::env::var("MWLLSC_STRESS_ITERS")
+        .ok()
+        .and_then(|s| s.parse::<usize>().ok())
+        .unwrap_or(1)
+        .max(1);
+    base.saturating_mul(mult)
+}
+
+fn stress_seed() -> u64 {
+    let seed = std::env::var("MWLLSC_STRESS_SEED")
+        .ok()
+        .and_then(|s| s.parse::<u64>().ok())
+        .unwrap_or(0x5EED_0007);
+    eprintln!("MWLLSC_STRESS_SEED={seed}");
+    seed
+}
+
+/// splitmix64 over `seed ^ stream`: one independent stream per thread.
+fn mix(seed: u64, stream: u64) -> u64 {
+    let mut z = seed ^ stream.wrapping_mul(0x9E3779B97F4A7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+    z ^ (z >> 31)
+}
+
+/// One pre-encoded `UPDATE key += 1` frame.
+fn inc_frame(key: u64) -> Vec<u8> {
+    let mut buf = Vec::new();
+    mwllsc_server::proto::encode_request(
+        &Request::Update { key, op: UpdateOp::Add(vec![1]) },
+        &mut buf,
+    );
+    buf
+}
+
+#[test]
+fn exact_sums_survive_disconnects_backpressure_and_lease_churn() {
+    const GOOD_CLIENTS: usize = 3;
+    const CHAOS_CLIENTS: usize = 2;
+    const DEPTH: usize = 8;
+    let seed = stress_seed();
+    let rounds = stress_iters(60);
+
+    let store = Store::new(StoreConfig::new(8, 4, 1, 1 << 12));
+    let server = Server::start(&store, ServerConfig::default()).unwrap();
+    let addr = server.local_addr();
+
+    // Frames each chaos thread managed to put on the wire, per key — an
+    // *upper bound* on the increments the server may apply there.
+    let chaos_sent: Vec<HashMap<u64, u64>> = std::thread::scope(|s| {
+        // Well-behaved clients: pipeline DEPTH increments per round over
+        // the hot GOOD_KEYS range, count every acknowledged one.
+        let good: Vec<_> = (0..GOOD_CLIENTS)
+            .map(|t| {
+                s.spawn(move || {
+                    let mut c = Client::connect(addr).unwrap();
+                    let mut acked: HashMap<u64, u64> = HashMap::new();
+                    for r in 0..rounds {
+                        let keys: Vec<u64> = (0..DEPTH)
+                            .map(|i| {
+                                let n = mix(seed, (t as u64) << 32 | (r * DEPTH + i) as u64);
+                                GOOD_KEYS.start + n % (GOOD_KEYS.end - GOOD_KEYS.start)
+                            })
+                            .collect();
+                        for &k in &keys {
+                            c.send(&Request::Update { key: k, op: UpdateOp::Add(vec![1]) });
+                        }
+                        c.flush().unwrap();
+                        for &k in &keys {
+                            match c.recv().unwrap() {
+                                Response::Value(_) => *acked.entry(k).or_default() += 1,
+                                Response::Error(e) => panic!("good client got error: {e}"),
+                                other => panic!("unexpected reply: {other:?}"),
+                            }
+                        }
+                    }
+                    acked
+                })
+            })
+            .collect();
+
+        // Chaos clients: connect, fire a partial pipeline, vanish —
+        // sometimes cutting the last frame in half so undecodable bytes
+        // die with the connection.
+        let chaos: Vec<_> = (0..CHAOS_CLIENTS)
+            .map(|t| {
+                s.spawn(move || {
+                    let stream_id = (t + GOOD_CLIENTS) as u64;
+                    let mut sent: HashMap<u64, u64> = HashMap::new();
+                    for r in 0..stress_iters(20) {
+                        let Ok(mut sock) = TcpStream::connect(addr) else { continue };
+                        let n_frames = 1 + (mix(seed, stream_id << 32 | r as u64) as usize) % DEPTH;
+                        let mut wire = Vec::new();
+                        for i in 0..n_frames {
+                            let n = mix(seed, stream_id << 40 | (r * DEPTH + i) as u64);
+                            let key = CHAOS_KEYS.start + n % (CHAOS_KEYS.end - CHAOS_KEYS.start);
+                            wire.extend_from_slice(&inc_frame(key));
+                            *sent.entry(key).or_default() += 1;
+                        }
+                        // Half the time, append a truncated frame (its
+                        // increment is NOT counted — it must never land).
+                        let cut = mix(seed, stream_id << 48 | r as u64);
+                        if cut % 2 == 0 {
+                            let extra = inc_frame(CHAOS_KEYS.start);
+                            wire.extend_from_slice(&extra[..extra.len() / 2]);
+                        }
+                        let _ = sock.write_all(&wire);
+                        // Drop without reading a single response: the
+                        // server hits a broken pipe mid-reply.
+                        drop(sock);
+                    }
+                    sent
+                })
+            })
+            .collect();
+
+        // Lease churn: attach/drop store handles in-process while the
+        // server's workers hold their own leases, reading the hot keys
+        // to force slot traffic on the same shards.
+        let churn = s.spawn(|| {
+            for i in 0..stress_iters(150) {
+                let mut h = store.attach();
+                let k = GOOD_KEYS.start + mix(seed, 0xC0FFEE << 16 | i as u64) % 16;
+                let _ = h.read_vec(k).expect("churn reads cannot fail: capacity covers them");
+                drop(h);
+            }
+        });
+
+        let good_acked: Vec<HashMap<u64, u64>> =
+            good.into_iter().map(|j| j.join().unwrap()).collect();
+        let chaos_sent: Vec<HashMap<u64, u64>> =
+            chaos.into_iter().map(|j| j.join().unwrap()).collect();
+        churn.join().unwrap();
+
+        // While the server still runs, verify the good range over the
+        // wire: every acknowledged increment landed exactly once.
+        let mut probe = Client::connect(addr).unwrap();
+        let keys: Vec<u64> = GOOD_KEYS.collect();
+        let values = probe.mget(keys.clone()).unwrap().unwrap();
+        for (i, &k) in keys.iter().enumerate() {
+            let expect: u64 = good_acked.iter().map(|m| m.get(&k).copied().unwrap_or(0)).sum();
+            assert_eq!(values[i][0], expect, "key {k}: acked increments must land exactly once");
+        }
+        chaos_sent
+    });
+
+    let stats = server.shutdown();
+    assert_eq!(store.live_slot_leases(), 0, "shutdown released every worker lease");
+
+    // Chaos range: each key holds at most what was put on the wire
+    // (disconnects may drop tail requests, never double-apply).
+    let mut h = store.attach();
+    for k in CHAOS_KEYS {
+        let bound: u64 = chaos_sent.iter().map(|m| m.get(&k).copied().unwrap_or(0)).sum();
+        let got = h.read_vec(k).unwrap()[0];
+        assert!(got <= bound, "key {k}: {got} increments from only {bound} sent frames");
+    }
+    assert!(stats.conns_closed >= CHAOS_CLIENTS as u64, "chaos disconnects were noticed");
+}
+
+/// A peer that stops reading must not balloon server memory: once its
+/// queued output passes the cap, its socket is left unread until it
+/// drains — and afterwards every response still arrives, in order.
+///
+/// The slow reader needs real volume to defeat kernel socket buffering,
+/// so it pipelines MGETs over a wide store (each ~270-byte request
+/// yields a ~2 KiB response) from a separate writer thread — a
+/// single-threaded client would deadlock against its own unread
+/// responses, which is exactly the scenario backpressure exists for.
+#[test]
+fn slow_readers_hit_backpressure_without_losing_responses() {
+    const KEYS: u64 = 32;
+    const W: usize = 8;
+    let n_mgets = stress_iters(8_000);
+
+    let store = Store::new(StoreConfig::new(4, 2, W, 1 << 12));
+    let config = ServerConfig { max_conn_out_bytes: 4096, ..ServerConfig::default() };
+    let server = Server::start(&store, config).unwrap();
+
+    let mut setter = Client::connect(server.local_addr()).unwrap();
+    setter.mset((0..KEYS).map(|k| (k, vec![k + 100; W])).collect()).unwrap().unwrap();
+
+    let stream = TcpStream::connect(server.local_addr()).unwrap();
+    let mut writer = stream.try_clone().unwrap();
+    let producer = std::thread::spawn(move || {
+        let mut wire = Vec::new();
+        mwllsc_server::proto::encode_request(
+            &Request::MGet { keys: (0..KEYS).collect() },
+            &mut wire,
+        );
+        let frame = wire.clone();
+        for _ in 1..n_mgets {
+            wire.extend_from_slice(&frame);
+        }
+        // This write blocks once the server stops reading us — that is
+        // the backpressure working; it unblocks as the reader drains.
+        writer.write_all(&wire).unwrap();
+    });
+
+    // Read nothing yet: the server must park our connection instead of
+    // buffering tens of megabytes of responses. Poll for the skip
+    // counter instead of a fixed sleep — the first wave has to finish
+    // before responses queue, and debug-build dispatch is slow.
+    let deadline = std::time::Instant::now() + std::time::Duration::from_secs(20);
+    while server.stats().backpressure_skips == 0 {
+        assert!(
+            std::time::Instant::now() < deadline,
+            "an unread 4 KiB output cap must trigger read skips: {:?}",
+            server.stats()
+        );
+        std::thread::sleep(std::time::Duration::from_millis(5));
+    }
+
+    // Now drain slowly-turned-fast: every response arrives, in order.
+    let expect: Vec<Vec<u64>> = (0..KEYS).map(|k| vec![k + 100; W]).collect();
+    let mut inbuf = Vec::new();
+    let mut at = 0;
+    let mut got = 0usize;
+    let mut reader = stream;
+    while got < n_mgets {
+        use mwllsc_server::proto::{decode_response, Decoded};
+        match decode_response(&inbuf[at..]).expect("server never sends malformed frames") {
+            Decoded::Frame(resp, consumed) => {
+                at += consumed;
+                assert_eq!(resp, Response::Values(expect.clone()), "response {got}");
+                got += 1;
+            }
+            Decoded::NeedMore => {
+                if at > 0 {
+                    inbuf.drain(..at);
+                    at = 0;
+                }
+                let mut chunk = [0u8; 64 * 1024];
+                let n = std::io::Read::read(&mut reader, &mut chunk).unwrap();
+                assert!(n > 0, "server closed early after {got}/{n_mgets} responses");
+                inbuf.extend_from_slice(&chunk[..n]);
+            }
+        }
+    }
+    producer.join().unwrap();
+
+    let stats = server.shutdown();
+    assert_eq!(stats.requests, n_mgets as u64 + 1, "all MGETs plus the MSET answered");
+    assert_eq!(stats.error_replies, 0);
+}

@@ -33,6 +33,10 @@ pub trait DynStoreHandle: Send {
     /// ([`StoreHandle::read_many`]).
     fn read_many(&mut self, keys: &[u64]) -> Result<Vec<Vec<u64>>, StoreError>;
 
+    /// Reads many keys into one flat `keys.len() × W` buffer
+    /// ([`StoreHandle::read_many_into`]).
+    fn read_many_into(&mut self, keys: &[u64], out: &mut [u64]) -> Result<(), StoreError>;
+
     /// Atomically read-modify-writes `key` with `f`, using `out` as the
     /// working buffer ([`StoreHandle::update_with`]).
     fn update_with_dyn(
@@ -73,6 +77,10 @@ impl<B: MwFactory> DynStoreHandle for StoreHandle<B> {
 
     fn read_many(&mut self, keys: &[u64]) -> Result<Vec<Vec<u64>>, StoreError> {
         StoreHandle::read_many(self, keys)
+    }
+
+    fn read_many_into(&mut self, keys: &[u64], out: &mut [u64]) -> Result<(), StoreError> {
+        StoreHandle::read_many_into(self, keys, out)
     }
 
     fn update_with_dyn(
@@ -227,6 +235,9 @@ mod tests {
         h.update_many_dyn(&[5, 6], &mut |i, v| v[1] += i as u64 + 1).unwrap();
         assert_eq!(h.read_vec(5).unwrap(), vec![7, 1]);
         assert_eq!(h.read_many(&[6]).unwrap(), vec![vec![8, 11]]);
+        let mut flat = [0u64; 4];
+        h.read_many_into(&[5, 6], &mut flat).unwrap();
+        assert_eq!(flat, [7, 1, 8, 11]);
 
         let space = store.space();
         assert_eq!(space.touched_keys, 2);

@@ -199,6 +199,53 @@ impl<B: MwFactory> StoreHandle<B> {
         Ok(out)
     }
 
+    /// Reads many keys into one flat `keys.len() × W` buffer (value `i`
+    /// lands at `out[i*W..(i+1)*W]`), with the exact batching economics
+    /// and all-or-nothing validation of [`read_many`](Self::read_many) —
+    /// minus its per-key allocations. This is the allocation-free
+    /// batched read: hot callers (the network frontend's coalescer)
+    /// reuse one buffer across ticks.
+    pub fn read_many_into(&mut self, keys: &[u64], out: &mut [u64]) -> Result<(), StoreError> {
+        let w = self.store.width();
+        if out.len() != keys.len() * w {
+            return Err(StoreError::WrongValueLen { expected: keys.len() * w, got: out.len() });
+        }
+        let order = self.batch_prepass(keys)?;
+
+        let store = Arc::clone(&self.store);
+        let runs = resolve_runs(&store, &order);
+        let mut counters = CounterRun::new();
+        for (at, end, obj) in runs {
+            let si = order[at].0;
+            let p = self.slots[si].expect("leased in the pre-pass above") as usize;
+            let mut h = claim_owned::<B>(&obj, p);
+            for &(_, i, _) in &order[at..end] {
+                h.read(&mut out[i * w..(i + 1) * w]);
+            }
+            counters.count(&store, si, (end - at) as u64, 0, bump_reads);
+        }
+        counters.flush(&store, bump_reads);
+        Ok(())
+    }
+
+    /// Atomically read-modify-writes a batch through **one borrowed
+    /// closure**: commits `apply(i, buf)` for each position `i` of
+    /// `keys`, with the batching, ordering, equal-key SC folding, and
+    /// all-or-nothing validation of [`update_many`](Self::update_many).
+    ///
+    /// Where `update_many` wants one owned closure per entry, this
+    /// variant indexes a single closure by entry position — the shape a
+    /// frame decoder produces (a parallel array of decoded operations)
+    /// without boxing an op per request. As always, `apply` may run once
+    /// per LL/SC round and must be a pure function of `(i, buf)`.
+    pub fn update_many_with(
+        &mut self,
+        keys: &[u64],
+        mut apply: impl FnMut(usize, &mut [u64]),
+    ) -> Result<(), StoreError> {
+        self.batch_update(keys, &mut apply)
+    }
+
     /// Atomically read-modify-writes a batch: for each `(key, f)` entry,
     /// runs `f` on the key's current value and installs the result
     /// (per-key atomicity, *not* a cross-key transaction).
@@ -597,6 +644,46 @@ mod tests {
         }
         let stats = store.stats();
         assert_eq!(stats.updates, keys.len() as u64, "every entry counted as one update");
+    }
+
+    #[test]
+    fn read_many_into_matches_read_many_without_allocating_per_key() {
+        let store = Store::new(StoreConfig::new(8, 2, 2, 1 << 16));
+        let mut h = store.attach();
+        let keys: Vec<u64> = (0..100).map(|i| (i * 31) % 60).collect();
+        for &k in &keys {
+            h.update(k, |v| v[0] = k * 2).unwrap();
+        }
+        let mut flat = vec![0u64; keys.len() * 2];
+        h.read_many_into(&keys, &mut flat).unwrap();
+        let nested = h.read_many(&keys).unwrap();
+        for (i, v) in nested.iter().enumerate() {
+            assert_eq!(&flat[i * 2..(i + 1) * 2], v.as_slice(), "key {} at {i}", keys[i]);
+        }
+        // The flat buffer length is validated up front.
+        assert_eq!(
+            h.read_many_into(&keys, &mut flat[1..]).unwrap_err(),
+            StoreError::WrongValueLen { expected: keys.len() * 2, got: keys.len() * 2 - 1 }
+        );
+    }
+
+    #[test]
+    fn update_many_with_folds_equal_keys_like_update_many() {
+        let store = Store::new(StoreConfig::new(4, 1, 1, 100));
+        let mut h = store.attach();
+        // Three non-commutative entries on one key, addressed by index:
+        // ((0 + 5) * 10) + 7 = 57.
+        let keys = [7u64, 7, 7];
+        h.update_many_with(&keys, |i, v| match i {
+            0 => v[0] += 5,
+            1 => v[0] *= 10,
+            _ => v[0] += 7,
+        })
+        .unwrap();
+        assert_eq!(h.read_vec(7).unwrap(), vec![57]);
+        let stats = store.stats();
+        assert_eq!(stats.updates, 3, "three logical updates");
+        assert_eq!(stats.sc_successes, 1, "folded into one SC commit");
     }
 
     type BoxedOp = Box<dyn FnMut(&mut [u64])>;

@@ -11,6 +11,8 @@
 //!   construction, queue, stack;
 //! * [`mwllsc_store`] — the sharded register store: millions of logical
 //!   `W`-word variables behind a deterministic router;
+//! * [`mwllsc_server`] — the network frontend: pipelined binary
+//!   protocol with request coalescing over the store's batched paths;
 //! * [`simsched`] — deterministic simulator, schedule explorer,
 //!   invariant monitors, linearizability checker.
 //!
@@ -24,5 +26,6 @@ pub use llsc_baselines;
 pub use llsc_word;
 pub use mwllsc;
 pub use mwllsc_apps;
+pub use mwllsc_server;
 pub use mwllsc_store;
 pub use simsched;
