@@ -24,7 +24,7 @@
 //! [`Universal::from_handles`] runs it unchanged over any comparator
 //! implementation.
 
-use std::sync::atomic::{AtomicU64, Ordering};
+use mwllsc::sync::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 use mwllsc::{AttachError, MwHandle, MwLlSc};

@@ -48,7 +48,7 @@
 //! which requires `p` to have withdrawn (changing `Help[p]`, failing any
 //! in-flight donation SC) and re-announced.
 
-use std::sync::atomic::{AtomicBool, AtomicU32, Ordering};
+use mwllsc::sync::{AtomicBool, AtomicU32, Ordering};
 use std::sync::{Arc, Mutex, PoisonError};
 
 use mwllsc::{ClaimError, ConfigError, MwFactory};

@@ -3,7 +3,7 @@
 //! multi-word reads are permitted exactly where the algorithms tolerate
 //! them; publication ordering comes from the `SeqCst` control words.
 
-use std::sync::atomic::{AtomicU64, Ordering};
+use mwllsc::sync::{AtomicU64, Ordering};
 
 /// A `W`-word safe buffer.
 pub(crate) struct WordBuffer {

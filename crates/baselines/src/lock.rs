@@ -9,7 +9,7 @@
 //!
 //! Space: `W + O(1)` words — the lower bound any implementation shares.
 
-use std::sync::atomic::{AtomicBool, Ordering};
+use mwllsc::sync::{AtomicBool, Ordering};
 use std::sync::{Arc, Mutex, MutexGuard};
 
 use mwllsc::{ClaimError, ConfigError, MwFactory};

@@ -25,7 +25,7 @@
 //! [`SpaceEstimate::retired_words`], the number the paper's bounded
 //! algorithms keep at zero by construction.
 
-use std::sync::atomic::{AtomicBool, Ordering};
+use mwllsc::sync::{AtomicBool, Ordering};
 use std::sync::Arc;
 
 use llsc_word::DeferredSwapCell;

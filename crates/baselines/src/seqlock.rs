@@ -15,7 +15,7 @@
 //! * a writer that crashes between acquiring (odd) and releasing leaves
 //!   the object permanently unreadable: not fault-tolerant.
 
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use mwllsc::sync::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 
 use mwllsc::{ClaimError, ConfigError, MwFactory};

@@ -43,7 +43,7 @@ impl Buffer {
     pub(crate) fn copy_to(&self, dst: &mut [u64]) {
         debug_assert_eq!(dst.len(), self.words.len());
         for (d, s) in dst.iter_mut().zip(self.words.iter()) {
-            *d = s.load(Ordering::Relaxed);
+            *d = s.load(Ordering::Relaxed); // lint: cell=BUF
         }
     }
 
@@ -54,7 +54,7 @@ impl Buffer {
     pub(crate) fn copy_from(&self, src: &[u64]) {
         debug_assert_eq!(src.len(), self.words.len());
         for (s, d) in src.iter().zip(self.words.iter()) {
-            d.store(*s, Ordering::Relaxed);
+            d.store(*s, Ordering::Relaxed); // lint: cell=BUF
         }
     }
 

@@ -129,7 +129,7 @@ impl SlotRegistry {
     pub fn lease_exact(&self, p: usize) -> Option<u32> {
         // fetch_or is idempotent on an already-leased slot, so losing the
         // race costs nothing and the winner is decided by one RMW.
-        let prev = self.slots[p].fetch_or(LEASED, Ordering::AcqRel);
+        let prev = self.slots[p].fetch_or(LEASED, Ordering::AcqRel); // lint: cell=SLOT
         (prev & LEASED == 0).then_some(prev as u32)
     }
 
@@ -137,10 +137,11 @@ impl SlotRegistry {
     #[must_use]
     pub fn lease_any(&self) -> Option<(usize, u32)> {
         let n = self.slots.len();
-        let start = self.cursor.fetch_add(1, Ordering::Relaxed) % n;
+        let start = self.cursor.fetch_add(1, Ordering::Relaxed) % n; // lint: cell=CURS
         for i in 0..n {
             let p = (start + i) % n;
             // Cheap read first; only RMW slots that look free.
+            // lint: cell=SLOT
             if self.slots[p].load(Ordering::Relaxed) & LEASED == 0 {
                 if let Some(payload) = self.lease_exact(p) {
                     return Some((p, payload));
@@ -157,13 +158,14 @@ impl SlotRegistry {
     /// every write the previous one made (for `MwLlSc`, its final `Help[p]`
     /// state and the contents of the carried buffer).
     pub fn release(&self, p: usize, payload: u32) {
-        debug_assert!(self.slots[p].load(Ordering::Relaxed) & LEASED != 0, "double release of {p}");
-        self.slots[p].store(u64::from(payload), Ordering::Release);
+        debug_assert!(self.slots[p].load(Ordering::Relaxed) & LEASED != 0, "double release of {p}"); // lint: cell=SLOT
+        self.slots[p].store(u64::from(payload), Ordering::Release); // lint: cell=SLOT
     }
 
     /// Number of currently leased slots.
     #[must_use]
     pub fn live(&self) -> usize {
+        // lint: cell=SLOT
         self.slots.iter().filter(|s| s.load(Ordering::Acquire) & LEASED != 0).count()
     }
 }

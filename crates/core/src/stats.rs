@@ -6,6 +6,11 @@
 //! frequency) and are cheap enough (`Relaxed` fetch-adds) to leave on
 //! unconditionally.
 
+// The counters deliberately bypass the facade: under `--cfg mwllsc_model`
+// facade atomics become scheduling points, and instrumentation must not
+// perturb the model twin's step-for-step access stream (nor inflate the
+// DFS state space).
+// lint: facade-exempt(diagnostic counters must stay invisible to the model scheduler)
 use core::sync::atomic::{AtomicU64, Ordering};
 
 /// Live counters attached to a [`MwLlSc`](crate::MwLlSc) instance.

@@ -1,7 +1,7 @@
 //! Experiments E1–E8: each function regenerates one table of
 //! `EXPERIMENTS.md` (see `DESIGN.md` §4 for the experiment index).
 
-use std::sync::atomic::{AtomicBool, Ordering};
+use mwllsc::sync::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::time::Instant;
 
@@ -1308,6 +1308,53 @@ pub fn e13_server(quick: bool) {
     }
 }
 
+/// E14 — the static tier: runs `mwllsc-lint` over the workspace in-process
+/// and reports per-rule counts. A clean tree prints an all-zero table; any
+/// finding is listed and the harness exits nonzero, same as CI's
+/// `lint-static` job.
+pub fn e14_lint(_quick: bool) {
+    println!("## E14 — mwllsc-lint: static policy sweep over the workspace\n");
+    println!("Claim: the invariants the model scheduler checks dynamically (facade");
+    println!("routing, per-cell memory-ordering policy) plus SAFETY coverage and");
+    println!("hot-path allocation/panic discipline hold on every source file, by");
+    println!("lexical analysis alone — no special build, no scheduler run.\n");
+
+    let cwd = std::env::current_dir().expect("cwd");
+    let Some(root) = mwllsc_lint::find_workspace_root(&cwd) else {
+        eprintln!("e14-lint: no workspace root above {}", cwd.display());
+        std::process::exit(2);
+    };
+    let report = match mwllsc_lint::lint_workspace(&root) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("e14-lint: walk failed: {e}");
+            std::process::exit(2);
+        }
+    };
+
+    let rules: [(&str, &str); 5] = [
+        ("L001", "atomics outside the `mwllsc::sync` facade"),
+        ("L002", "memory-ordering policy (`// lint: cell=`)"),
+        ("L003", "`unsafe` without a SAFETY comment"),
+        ("L004", "allocation inside `// lint: no-alloc` regions"),
+        ("L005", "panic paths in mwllsc-server / mwllsc-store"),
+    ];
+    let mut t = Table::new(["rule", "checks", "findings"]);
+    for (id, what) in rules {
+        let n = report.findings.iter().filter(|f| f.rule == id).count();
+        t.row([format!("{id} — {what}"), "workspace".to_string(), n.to_string()]);
+    }
+    t.print();
+    println!("\nfiles scanned: {}, baselined: {}\n", report.files_scanned, report.baselined);
+
+    if report.findings.is_empty() {
+        println!("Result: clean — the tree conforms to LINT_POLICY.md.\n");
+    } else {
+        println!("{}", report.to_human());
+        std::process::exit(1);
+    }
+}
+
 /// Runs every experiment in order.
 pub fn all(quick: bool) {
     e1_space(quick);
@@ -1321,6 +1368,7 @@ pub fn all(quick: bool) {
     e10_store(quick);
     e11_backends(quick);
     e13_server(quick);
+    e14_lint(quick);
     #[cfg(mwllsc_model)]
     e12_model(quick);
 }

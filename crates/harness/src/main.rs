@@ -18,6 +18,8 @@
 //!                        `RUSTFLAGS='--cfg mwllsc_model'`)
 //!   e13-server           network frontend: loopback rps, coalesced vs
 //!                        per-request dispatch (+ BENCH_<rev>.json)
+//!   e14-lint             static policy sweep (mwllsc-lint) over the
+//!                        workspace: facade, orderings, SAFETY, no-alloc
 //!   all                  everything above, in order
 //! ```
 //!
@@ -32,7 +34,7 @@ fn usage() -> ! {
     eprintln!(
         "usage: mwllsc-harness <e1-space|e2-time-w|e3-time-n|e4-vl|e5-waitfree|\
          e6-linearizability|e7-helping|e8-compare|e10-store|e11-backends|\
-         e12-model|e13-server|all> [--quick]"
+         e12-model|e13-server|e14-lint|all> [--quick]"
     );
     std::process::exit(2);
 }
@@ -63,6 +65,7 @@ fn main() {
         "e11-backends" => experiments::e11_backends(quick),
         "e12-model" => experiments::e12_model(quick),
         "e13-server" => experiments::e13_server(quick),
+        "e14-lint" => experiments::e14_lint(quick),
         "all" => experiments::all(quick),
         _ => usage(),
     }

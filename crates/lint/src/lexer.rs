@@ -1,0 +1,331 @@
+//! A hand-rolled lexical pass over one `.rs` file (crates.io is
+//! unreachable, so no `syn`): separates **code** from **comments** and
+//! blanks out string/char literal contents, line by line, then marks the
+//! `#[cfg(test)]` regions by brace matching.
+//!
+//! The rules only ever need token-level facts — "does this line's code
+//! mention `std::sync::atomic`", "which `Ordering::` arguments sit inside
+//! this call's parentheses", "is there a `SAFETY:` comment above this
+//! `unsafe`" — so a full parse is unnecessary. What *is* necessary is
+//! getting the comment/string/lifetime boundaries exactly right (a
+//! `panic!` inside a doc example or a `'a` lifetime must not confuse the
+//! rules), and that is what this module owns.
+
+/// One source line, split into its lexical layers.
+#[derive(Debug, Default, Clone)]
+pub struct Line {
+    /// The raw line, verbatim (for excerpts).
+    pub raw: String,
+    /// Code content: comments removed, string/char literal *contents*
+    /// replaced by spaces (delimiters kept so tokens stay separated).
+    pub code: String,
+    /// Comment text on this line (line comments, the slice of any block
+    /// comment covering it, doc comments).
+    pub comment: String,
+    /// Whether the line sits inside a `#[cfg(test)]` item.
+    pub in_test: bool,
+}
+
+/// A lexed file.
+#[derive(Debug, Default)]
+pub struct Source {
+    /// Lines, 0-indexed (report line numbers are `index + 1`).
+    pub lines: Vec<Line>,
+}
+
+#[derive(PartialEq)]
+enum St {
+    Code,
+    /// Block comment at this nesting depth (Rust block comments nest).
+    Block(u32),
+    Str,
+    /// Raw string terminated by `"` followed by this many `#`s.
+    RawStr(u32),
+    Char,
+}
+
+impl Source {
+    /// Lexes `content` (the full text of one file).
+    pub fn lex(content: &str) -> Source {
+        let mut lines = Vec::new();
+        let mut st = St::Code;
+        for raw in content.split('\n') {
+            let chars: Vec<char> = raw.chars().collect();
+            let mut code = String::new();
+            let mut comment = String::new();
+            let mut i = 0usize;
+            while i < chars.len() {
+                let c = chars[i];
+                let next = chars.get(i + 1).copied();
+                match st {
+                    St::Code => match c {
+                        '/' if next == Some('/') => {
+                            // Line comment (incl. `///` and `//!`): the
+                            // rest of the line is comment text.
+                            comment.push_str(&chars[i..].iter().collect::<String>());
+                            i = chars.len();
+                        }
+                        '/' if next == Some('*') => {
+                            st = St::Block(1);
+                            i += 2;
+                        }
+                        '"' => {
+                            code.push('"');
+                            st = St::Str;
+                            i += 1;
+                        }
+                        'r' | 'b' if is_raw_string_start(&chars, i) => {
+                            let hashes = chars[i..]
+                                .iter()
+                                .skip_while(|&&h| h == 'r' || h == 'b')
+                                .take_while(|&&h| h == '#')
+                                .count() as u32;
+                            // Skip past the prefix and opening quote.
+                            while chars[i] != '"' {
+                                code.push(chars[i]);
+                                i += 1;
+                            }
+                            code.push('"');
+                            i += 1;
+                            st = St::RawStr(hashes);
+                        }
+                        '\'' if is_char_literal_start(&chars, i) => {
+                            code.push('\'');
+                            st = St::Char;
+                            i += 1;
+                        }
+                        _ => {
+                            code.push(c);
+                            i += 1;
+                        }
+                    },
+                    St::Block(depth) => {
+                        if c == '*' && next == Some('/') {
+                            st = if depth == 1 { St::Code } else { St::Block(depth - 1) };
+                            i += 2;
+                        } else if c == '/' && next == Some('*') {
+                            st = St::Block(depth + 1);
+                            i += 2;
+                        } else {
+                            comment.push(c);
+                            i += 1;
+                        }
+                    }
+                    St::Str => match c {
+                        '\\' => i += 2, // skip the escaped char
+                        '"' => {
+                            code.push('"');
+                            st = St::Code;
+                            i += 1;
+                        }
+                        _ => {
+                            code.push(' ');
+                            i += 1;
+                        }
+                    },
+                    St::RawStr(hashes) => {
+                        if c == '"' && closes_raw_string(&chars, i, hashes) {
+                            code.push('"');
+                            i += 1 + hashes as usize;
+                            st = St::Code;
+                        } else {
+                            code.push(' ');
+                            i += 1;
+                        }
+                    }
+                    St::Char => match c {
+                        '\\' => i += 2,
+                        '\'' => {
+                            code.push('\'');
+                            st = St::Code;
+                            i += 1;
+                        }
+                        _ => {
+                            code.push(' ');
+                            i += 1;
+                        }
+                    },
+                }
+            }
+            // A string/char literal cannot span a newline boundary except
+            // for `"`-strings (multi-line) and raw strings; a char literal
+            // that reaches EOL is malformed — recover to Code.
+            if st == St::Char {
+                st = St::Code;
+            }
+            lines.push(Line { raw: raw.to_owned(), code, comment, in_test: false });
+        }
+        let mut src = Source { lines };
+        src.mark_test_regions();
+        src
+    }
+
+    /// Marks every line covered by an item carrying `#[cfg(test)]` (or
+    /// any `cfg(...)` attribute mentioning `test`), by matching the braces
+    /// of the item that follows the attribute.
+    fn mark_test_regions(&mut self) {
+        let starts: Vec<usize> = self
+            .lines
+            .iter()
+            .enumerate()
+            .filter(|(_, l)| l.code.contains("cfg(test)") || l.code.contains("cfg(all(test"))
+            .map(|(i, _)| i)
+            .collect();
+        for start in starts {
+            if let Some(end) = self.item_end_from(start) {
+                for l in &mut self.lines[start..=end] {
+                    l.in_test = true;
+                }
+            }
+        }
+    }
+
+    /// Finds the closing line of the braced item starting at (or after)
+    /// line `from`: scans for the first `{` and matches braces in code
+    /// text. Returns `None` for brace-less items (`mod tests;`).
+    pub fn item_end_from(&self, from: usize) -> Option<usize> {
+        let mut depth = 0i32;
+        let mut seen_open = false;
+        for (li, line) in self.lines.iter().enumerate().skip(from) {
+            for c in line.code.chars() {
+                match c {
+                    '{' => {
+                        depth += 1;
+                        seen_open = true;
+                    }
+                    '}' => depth -= 1,
+                    // `#[cfg(test)]` on a semicolon item: no region.
+                    ';' if !seen_open => return Some(li),
+                    _ => {}
+                }
+            }
+            if seen_open && depth <= 0 {
+                return Some(li);
+            }
+        }
+        None
+    }
+
+    /// Joins all code lines with `\n`, returning the joined text plus the
+    /// byte offset where each line starts (for offset → line mapping).
+    pub fn joined_code(&self) -> (String, Vec<usize>) {
+        let mut joined = String::new();
+        let mut offsets = Vec::with_capacity(self.lines.len());
+        for line in &self.lines {
+            offsets.push(joined.len());
+            joined.push_str(&line.code);
+            joined.push('\n');
+        }
+        (joined, offsets)
+    }
+
+    /// Maps a byte offset in [`joined_code`](Self::joined_code)'s text to
+    /// its 0-indexed line.
+    pub fn line_of_offset(offsets: &[usize], offset: usize) -> usize {
+        match offsets.binary_search(&offset) {
+            Ok(i) => i,
+            Err(i) => i.saturating_sub(1),
+        }
+    }
+}
+
+/// Whether `chars[i]` begins a raw (or raw-byte) string literal: `r"`,
+/// `r#"`, `br"`, … with no identifier character immediately before.
+fn is_raw_string_start(chars: &[char], i: usize) -> bool {
+    if i > 0 && (chars[i - 1].is_alphanumeric() || chars[i - 1] == '_') {
+        return false; // an identifier ending in r/b, not a literal prefix
+    }
+    let mut j = i;
+    if chars[j] == 'b' {
+        j += 1;
+        if chars.get(j) != Some(&'r') {
+            return false; // plain byte string `b"` is handled as St::Str
+        }
+    }
+    if chars.get(j) != Some(&'r') {
+        return false;
+    }
+    j += 1;
+    while chars.get(j) == Some(&'#') {
+        j += 1;
+    }
+    chars.get(j) == Some(&'"')
+}
+
+/// Whether the `"` at `chars[i]` closes a raw string expecting `hashes`
+/// trailing `#`s.
+fn closes_raw_string(chars: &[char], i: usize, hashes: u32) -> bool {
+    if chars.get(i) != Some(&'"') {
+        return false;
+    }
+    (1..=hashes as usize).all(|k| chars.get(i + k) == Some(&'#'))
+}
+
+/// Whether the `'` at `chars[i]` starts a char literal (as opposed to a
+/// lifetime like `'a` or `'static`).
+fn is_char_literal_start(chars: &[char], i: usize) -> bool {
+    match chars.get(i + 1) {
+        // `'\n'`, `'\''`, `'\\'` — escapes are always char literals.
+        Some('\\') => true,
+        Some(&c) if c.is_alphanumeric() || c == '_' => {
+            // `'a'` is a char literal; `'a` followed by anything else is
+            // a lifetime (or a loop label).
+            chars.get(i + 2) == Some(&'\'')
+        }
+        // `'('`, `' '`, etc.: single-symbol char literals.
+        Some(_) => chars.get(i + 2) == Some(&'\''),
+        None => false,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn comments_and_strings_are_separated() {
+        let src = Source::lex("let x = \"panic!\"; // SAFETY: not really code\n");
+        assert!(!src.lines[0].code.contains("panic!"));
+        assert!(src.lines[0].comment.contains("SAFETY"));
+        assert!(src.lines[0].code.contains("let x ="));
+    }
+
+    #[test]
+    fn block_comments_nest_and_span_lines() {
+        let src = Source::lex("a /* one /* two */ still */ b\n/* open\npanic! inside\n*/ c\n");
+        assert!(src.lines[0].code.contains('a') && src.lines[0].code.contains('b'));
+        assert!(!src.lines[2].code.contains("panic"));
+        assert!(src.lines[2].comment.contains("panic! inside"));
+        assert!(src.lines[3].code.contains('c'));
+    }
+
+    #[test]
+    fn lifetimes_are_not_char_literals() {
+        let src = Source::lex("fn f<'a>(x: &'a str) -> char { 'x' }\n");
+        let code = &src.lines[0].code;
+        assert!(code.contains("<'a>"), "lifetime kept as code: {code}");
+        assert!(!code.contains("'x'") || code.contains("' '"), "char content blanked: {code}");
+    }
+
+    #[test]
+    fn raw_strings_are_blanked() {
+        let src = Source::lex("let s = r#\"unsafe { panic!() } \"quoted\" \"#; done();\n");
+        let code = &src.lines[0].code;
+        assert!(!code.contains("unsafe"), "{code}");
+        assert!(code.contains("done()"), "{code}");
+    }
+
+    #[test]
+    fn cfg_test_regions_are_marked() {
+        let text = "fn lib() {}\n#[cfg(test)]\nmod tests {\n    fn t() {}\n}\nfn lib2() {}\n";
+        let src = Source::lex(text);
+        let flags: Vec<bool> = src.lines.iter().map(|l| l.in_test).collect();
+        assert_eq!(flags[..6], [false, true, true, true, true, false]);
+    }
+
+    #[test]
+    fn escaped_quotes_do_not_end_strings() {
+        let src = Source::lex("let s = \"a\\\"b\"; after();\n");
+        assert!(src.lines[0].code.contains("after()"));
+    }
+}

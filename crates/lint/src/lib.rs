@@ -1,0 +1,110 @@
+//! `mwllsc-lint` — a std-only static analyzer for this workspace.
+//!
+//! Five rule families (see `LINT_POLICY.md` at the repository root):
+//!
+//! | id   | rule |
+//! |------|------|
+//! | L001 | facade: no `std::sync::atomic` outside `llsc_word::sync` + `shims/` |
+//! | L002 | per-cell memory-ordering policy via `// lint: cell=` annotations |
+//! | L003 | every `unsafe` carries a `// SAFETY:` comment |
+//! | L004 | `// lint: no-alloc` regions reject allocation constructors |
+//! | L005 | server/store library code is panic-free |
+//!
+//! No `syn`, no serde: crates.io is unreachable from this workspace, so
+//! the lexer is hand-rolled (`lexer`) and JSON is written by hand
+//! (`report`). The pass is purely lexical — cheap, deterministic, and
+//! honest about what it can see (`LINT_POLICY.md` records the caveats).
+
+pub mod lexer;
+pub mod report;
+pub mod rules;
+
+use std::fs;
+use std::path::{Path, PathBuf};
+
+use report::Report;
+use rules::FileClass;
+
+/// Lints one file's content, classified by its workspace-relative path.
+/// Exposed for fixture tests and the seeded-regression drill.
+#[must_use]
+pub fn lint_file_content(rel_path: &str, content: &str) -> Vec<report::Finding> {
+    let src = lexer::Source::lex(content);
+    rules::check_file(&FileClass::of(rel_path), &src)
+}
+
+/// Walks the workspace at `root` and lints every library `.rs` file.
+///
+/// Scope: `src/` trees of `crates/*` and `shims/*` plus the root
+/// package's `src/` — matching the rules' remit (library code).
+/// `tests/`, `benches/`, `examples/`, and fixture files are out of
+/// scope by construction, as are `target/` and VCS directories.
+pub fn lint_workspace(root: &Path) -> std::io::Result<Report> {
+    let mut files: Vec<PathBuf> = Vec::new();
+    let mut src_dirs: Vec<PathBuf> = vec![root.join("src")];
+    for group in ["crates", "shims"] {
+        let dir = root.join(group);
+        if let Ok(entries) = fs::read_dir(&dir) {
+            for entry in entries.flatten() {
+                src_dirs.push(entry.path().join("src"));
+            }
+        }
+    }
+    for dir in src_dirs {
+        collect_rs(&dir, &mut files)?;
+    }
+    files.sort();
+
+    let mut report = Report::default();
+    for path in &files {
+        let rel = rel_slash(root, path);
+        let content = fs::read_to_string(path)?;
+        report.findings.extend(lint_file_content(&rel, &content));
+        report.files_scanned += 1;
+    }
+    report.sort();
+    Ok(report)
+}
+
+/// Recursively collects `.rs` files under `dir` (absent dirs are fine).
+fn collect_rs(dir: &Path, out: &mut Vec<PathBuf>) -> std::io::Result<()> {
+    let Ok(entries) = fs::read_dir(dir) else { return Ok(()) };
+    for entry in entries.flatten() {
+        let path = entry.path();
+        let name = entry.file_name();
+        let name = name.to_string_lossy();
+        if path.is_dir() {
+            if name == "target" || name.starts_with('.') {
+                continue;
+            }
+            collect_rs(&path, out)?;
+        } else if name.ends_with(".rs") {
+            out.push(path);
+        }
+    }
+    Ok(())
+}
+
+/// Workspace-relative path with `/` separators (stable across platforms,
+/// so the JSON report and baseline keys are portable).
+fn rel_slash(root: &Path, path: &Path) -> String {
+    let rel = path.strip_prefix(root).unwrap_or(path);
+    rel.components().map(|c| c.as_os_str().to_string_lossy()).collect::<Vec<_>>().join("/")
+}
+
+/// Locates the workspace root from a start directory: the nearest
+/// ancestor containing `Cargo.toml` with a `[workspace]` table.
+#[must_use]
+pub fn find_workspace_root(start: &Path) -> Option<PathBuf> {
+    let mut dir = Some(start);
+    while let Some(d) = dir {
+        let manifest = d.join("Cargo.toml");
+        if let Ok(text) = fs::read_to_string(&manifest) {
+            if text.contains("[workspace]") {
+                return Some(d.to_path_buf());
+            }
+        }
+        dir = d.parent();
+    }
+    None
+}

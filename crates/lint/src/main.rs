@@ -1,0 +1,99 @@
+//! CLI for the workspace static analyzer.
+//!
+//! ```text
+//! cargo run -p mwllsc-lint -- --workspace --json target/lint.json
+//! ```
+//!
+//! Exit codes: 0 = clean (above baseline), 1 = findings or stale baseline
+//! entries, 2 = usage/IO error.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let mut json_path: Option<PathBuf> = None;
+    let mut root_arg: Option<PathBuf> = None;
+    let mut baseline_arg: Option<PathBuf> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            // The default and only mode; accepted for discoverability.
+            "--workspace" => {}
+            "--json" => json_path = args.next().map(PathBuf::from),
+            "--root" => root_arg = args.next().map(PathBuf::from),
+            "--baseline" => baseline_arg = args.next().map(PathBuf::from),
+            "-h" | "--help" => {
+                print!("{USAGE}");
+                return ExitCode::SUCCESS;
+            }
+            other => {
+                eprintln!("mwllsc-lint: unknown argument `{other}`\n{USAGE}");
+                return ExitCode::from(2);
+            }
+        }
+    }
+
+    let cwd = match std::env::current_dir() {
+        Ok(d) => d,
+        Err(e) => {
+            eprintln!("mwllsc-lint: cannot read current dir: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    let Some(root) = root_arg.or_else(|| mwllsc_lint::find_workspace_root(&cwd)) else {
+        eprintln!("mwllsc-lint: no workspace root found above {}", cwd.display());
+        return ExitCode::from(2);
+    };
+
+    let mut report = match mwllsc_lint::lint_workspace(&root) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("mwllsc-lint: walk failed: {e}");
+            return ExitCode::from(2);
+        }
+    };
+
+    let baseline_path = baseline_arg.unwrap_or_else(|| root.join("LINT_BASELINE.txt"));
+    let mut stale: Vec<String> = Vec::new();
+    match std::fs::read_to_string(&baseline_path) {
+        Ok(ledger) => stale = report.apply_baseline(&ledger),
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => {}
+        Err(e) => {
+            eprintln!("mwllsc-lint: cannot read {}: {e}", baseline_path.display());
+            return ExitCode::from(2);
+        }
+    }
+
+    if let Some(path) = &json_path {
+        if let Some(parent) = path.parent() {
+            let _ = std::fs::create_dir_all(parent);
+        }
+        if let Err(e) = std::fs::write(path, report.to_json()) {
+            eprintln!("mwllsc-lint: cannot write {}: {e}", path.display());
+            return ExitCode::from(2);
+        }
+    }
+
+    print!("{}", report.to_human());
+    for entry in &stale {
+        eprintln!("stale baseline entry (fixed debt — delete the line): {entry}");
+    }
+    if report.findings.is_empty() && stale.is_empty() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}
+
+const USAGE: &str = "\
+mwllsc-lint: static analyzer for the mwllsc workspace (see LINT_POLICY.md)
+
+USAGE:
+    cargo run -p mwllsc-lint -- --workspace [--json PATH] [--root DIR] [--baseline FILE]
+
+OPTIONS:
+    --workspace        lint the whole workspace (default; flag is informational)
+    --json PATH        also write the deterministic JSON report to PATH
+    --root DIR         workspace root (default: nearest ancestor with [workspace])
+    --baseline FILE    baseline ledger (default: <root>/LINT_BASELINE.txt)
+";

@@ -1,0 +1,181 @@
+//! Findings, the machine-readable JSON report, and the baseline ledger.
+//!
+//! JSON is written by hand (std-only workspace) and is **deterministic**:
+//! findings are emitted in sorted order with no timestamps, hostnames, or
+//! absolute paths, so two runs over the same tree produce byte-identical
+//! reports (CI asserts this).
+
+use std::fmt::Write as _;
+
+/// One lint finding.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Finding {
+    /// Stable rule id (`L001`..`L005`).
+    pub rule: String,
+    /// Workspace-relative, `/`-separated path.
+    pub file: String,
+    /// 1-indexed line number.
+    pub line: usize,
+    /// The offending source line, trimmed.
+    pub excerpt: String,
+    /// How to fix (or legitimately silence) it.
+    pub hint: String,
+}
+
+impl Finding {
+    /// The ledger key used by the baseline: stable across moves within a
+    /// file (no line number), specific enough to pin one site.
+    #[must_use]
+    pub fn baseline_key(&self) -> String {
+        format!("{} {} {}", self.rule, self.file, self.excerpt)
+    }
+}
+
+/// A whole workspace run.
+#[derive(Debug, Default)]
+pub struct Report {
+    /// All findings, sorted by (file, line, rule).
+    pub findings: Vec<Finding>,
+    /// Number of files scanned.
+    pub files_scanned: usize,
+    /// Findings matched (and forgiven) by the baseline ledger.
+    pub baselined: usize,
+}
+
+impl Report {
+    /// Sorts findings into the canonical report order.
+    pub fn sort(&mut self) {
+        self.findings.sort_by(|a, b| (&a.file, a.line, &a.rule).cmp(&(&b.file, b.line, &b.rule)));
+    }
+
+    /// Drops findings listed in the baseline ledger and returns the keys
+    /// in the ledger that matched nothing (stale entries — an error, so
+    /// debt is burned down rather than accreting silently).
+    pub fn apply_baseline(&mut self, ledger: &str) -> Vec<String> {
+        let entries: Vec<&str> = ledger
+            .lines()
+            .map(str::trim)
+            .filter(|l| !l.is_empty() && !l.starts_with('#'))
+            .collect();
+        let mut matched = vec![false; entries.len()];
+        let before = self.findings.len();
+        self.findings.retain(|f| {
+            let key = f.baseline_key();
+            match entries.iter().position(|e| **e == key) {
+                Some(i) => {
+                    matched[i] = true;
+                    false
+                }
+                None => true,
+            }
+        });
+        self.baselined = before - self.findings.len();
+        entries.iter().zip(&matched).filter(|&(_, &m)| !m).map(|(e, _)| (*e).to_owned()).collect()
+    }
+
+    /// Renders the deterministic JSON report.
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        let mut out = String::new();
+        out.push_str("{\n");
+        let _ = writeln!(out, "  \"tool\": \"mwllsc-lint\",");
+        let _ = writeln!(out, "  \"files_scanned\": {},", self.files_scanned);
+        let _ = writeln!(out, "  \"baselined\": {},", self.baselined);
+        let _ = writeln!(out, "  \"finding_count\": {},", self.findings.len());
+        out.push_str("  \"findings\": [");
+        for (i, f) in self.findings.iter().enumerate() {
+            out.push_str(if i == 0 { "\n" } else { ",\n" });
+            let _ = write!(
+                out,
+                "    {{\"rule\": {}, \"file\": {}, \"line\": {}, \"excerpt\": {}, \"hint\": {}}}",
+                json_str(&f.rule),
+                json_str(&f.file),
+                f.line,
+                json_str(&f.excerpt),
+                json_str(&f.hint),
+            );
+        }
+        out.push_str(if self.findings.is_empty() { "]\n" } else { "\n  ]\n" });
+        out.push_str("}\n");
+        out
+    }
+
+    /// Renders findings for a terminal, one per line plus hint.
+    #[must_use]
+    pub fn to_human(&self) -> String {
+        let mut out = String::new();
+        for f in &self.findings {
+            let _ = writeln!(out, "{}:{}: [{}] {}", f.file, f.line, f.rule, f.excerpt);
+            let _ = writeln!(out, "    hint: {}", f.hint);
+        }
+        let _ = writeln!(
+            out,
+            "{} finding(s) across {} file(s) scanned ({} baselined)",
+            self.findings.len(),
+            self.files_scanned,
+            self.baselined
+        );
+        out
+    }
+}
+
+/// JSON string escaping (quotes, backslash, control chars).
+fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn f(rule: &str, file: &str, line: usize) -> Finding {
+        Finding {
+            rule: rule.into(),
+            file: file.into(),
+            line,
+            excerpt: "x".into(),
+            hint: "h".into(),
+        }
+    }
+
+    #[test]
+    fn json_escapes_specials() {
+        assert_eq!(json_str("a\"b\\c\nd"), "\"a\\\"b\\\\c\\nd\"");
+    }
+
+    #[test]
+    fn baseline_forgives_and_reports_stale() {
+        let mut r = Report {
+            findings: vec![f("L003", "crates/x/src/a.rs", 3)],
+            files_scanned: 1,
+            baselined: 0,
+        };
+        let stale = r.apply_baseline("# ledger\nL003 crates/x/src/a.rs x\nL005 gone/file.rs y\n");
+        assert!(r.findings.is_empty());
+        assert_eq!(r.baselined, 1);
+        assert_eq!(stale, vec!["L005 gone/file.rs y".to_owned()]);
+    }
+
+    #[test]
+    fn empty_report_is_valid_json_shape() {
+        let r = Report::default();
+        let json = r.to_json();
+        assert!(json.contains("\"findings\": []"));
+    }
+}

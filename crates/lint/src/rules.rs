@@ -1,0 +1,595 @@
+//! The five rule families, run over one lexed file at a time.
+//!
+//! The per-cell memory-ordering table enforced by L002 is recorded in
+//! `LINT_POLICY.md` at the repository root — the single source of truth
+//! this pass shares with the *dynamic* lint in
+//! `simsched::real::bridge::ordering_violation` (which checks the same
+//! table on executed accesses under `--cfg mwllsc_model`). Change one,
+//! change all three.
+
+use crate::lexer::Source;
+use crate::report::Finding;
+
+/// Rule identifiers (stable: fixtures and CI assert on them).
+pub const R_FACADE: &str = "L001";
+pub const R_ORDERING: &str = "L002";
+pub const R_SAFETY: &str = "L003";
+pub const R_ALLOC: &str = "L004";
+pub const R_PANIC: &str = "L005";
+
+/// Files where *every* atomic op site must carry a `// lint: cell=`
+/// annotation (the paper algorithm's cells plus the substrate and EBR
+/// layers the model checker labels dynamically).
+const COVERAGE_FILES: &[&str] = &[
+    "crates/core/src/variable.rs",
+    "crates/core/src/registry.rs",
+    "crates/core/src/buffer.rs",
+    "crates/llsc/src/deferred.rs",
+    "crates/llsc/src/smr.rs",
+    "crates/llsc/src/tagged.rs",
+];
+
+/// The atomics facade itself — the one file allowed to name
+/// `std::sync::atomic` freely.
+const FACADE_FILE: &str = "crates/llsc/src/sync.rs";
+
+/// Atomic methods that take `Ordering` arguments. `(name, kind)`.
+const ATOMIC_METHODS: &[(&str, SiteKind)] = &[
+    ("compare_exchange_weak", SiteKind::Rmw),
+    ("compare_exchange", SiteKind::Rmw),
+    ("fetch_update", SiteKind::Rmw),
+    ("fetch_add", SiteKind::Rmw),
+    ("fetch_sub", SiteKind::Rmw),
+    ("fetch_or", SiteKind::Rmw),
+    ("fetch_and", SiteKind::Rmw),
+    ("fetch_xor", SiteKind::Rmw),
+    ("fetch_max", SiteKind::Rmw),
+    ("fetch_min", SiteKind::Rmw),
+    ("swap", SiteKind::Rmw),
+    ("load", SiteKind::Load),
+    ("store", SiteKind::Store),
+];
+
+/// Cells with a constrained ordering policy (see `LINT_POLICY.md`).
+const CONSTRAINED_CELLS: &[&str] = &["X", "Bank", "Help", "BUF", "SLOT"];
+
+/// Named cells that are deliberately unconstrained: `CURS` (the registry
+/// cursor), the EBR subsystem's cells (whose orderings are justified by
+/// prose at each site and exercised under Miri/TSan rather than the
+/// Figure 2 policy), and `none` for non-shared-phase accesses
+/// (pre-publication init, `Debug` impls).
+const UNCONSTRAINED_CELLS: &[&str] =
+    &["CURS", "EPOCH", "LIMBO", "REG", "PTR", "CTR", "TRACK", "none"];
+
+/// Allocation constructors banned inside `// lint: no-alloc` regions.
+const ALLOC_TOKENS: &[&str] = &["Box::new", "Vec::new", "vec!", "format!", ".to_vec(", ".collect("];
+
+/// Panicking constructs banned in server/store library code.
+const PANIC_TOKENS: &[&str] =
+    &[".unwrap()", ".expect(", "panic!", "unreachable!", "todo!", "unimplemented!"];
+
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum SiteKind {
+    Load,
+    Store,
+    Rmw,
+}
+
+/// One extracted atomic op site: where it starts, what it does, and the
+/// literal `Ordering::` arguments inside its call parentheses (in
+/// argument order — for CAS/`fetch_update` that is `(success, failure)`).
+struct Site {
+    line: usize, // 0-indexed
+    method: &'static str,
+    kind: SiteKind,
+    orderings: Vec<String>,
+}
+
+/// How a file is classified for rule applicability, derived from its
+/// workspace-relative path.
+pub struct FileClass<'a> {
+    pub rel: &'a str,
+    pub is_shim: bool,
+    pub is_lib_src: bool,
+    pub coverage: bool,
+    pub panic_scope: bool,
+}
+
+impl<'a> FileClass<'a> {
+    /// Classifies a workspace-relative, `/`-separated path.
+    #[must_use]
+    pub fn of(rel: &'a str) -> Self {
+        FileClass {
+            rel,
+            is_shim: rel.starts_with("shims/"),
+            is_lib_src: rel.contains("/src/") || rel.starts_with("src/"),
+            coverage: COVERAGE_FILES.contains(&rel),
+            panic_scope: rel.starts_with("crates/server/src/")
+                || rel.starts_with("crates/store/src/"),
+        }
+    }
+}
+
+/// Runs every applicable rule family over one lexed file.
+pub fn check_file(class: &FileClass<'_>, src: &Source) -> Vec<Finding> {
+    let mut out = Vec::new();
+    rule_facade(class, src, &mut out);
+    rule_ordering(class, src, &mut out);
+    rule_safety(class, src, &mut out);
+    rule_alloc(class, src, &mut out);
+    rule_panic(class, src, &mut out);
+    out.sort_by(|a, b| (a.line, &a.rule).cmp(&(b.line, &b.rule)));
+    out
+}
+
+fn finding(class: &FileClass<'_>, rule: &str, line0: usize, src: &Source, hint: &str) -> Finding {
+    Finding {
+        rule: rule.to_owned(),
+        file: class.rel.to_owned(),
+        line: line0 + 1,
+        excerpt: src.lines[line0].raw.trim().chars().take(120).collect(),
+        hint: hint.to_owned(),
+    }
+}
+
+/// Whether `comment` carries an actual `// lint: <what>` marker — as
+/// opposed to prose *mentioning* one (doc comments, backtick-quoted
+/// examples), which must not activate a rule.
+fn lint_marker(comment: &str, what: &str) -> bool {
+    let pat = format!("// lint: {what}");
+    let mut from = 0;
+    while let Some(rel) = comment[from..].find(&pat) {
+        let at = from + rel;
+        from = at + pat.len();
+        // `/// lint:` / `//! lint:` are docs; `` `// lint: …` `` is prose.
+        if matches!(comment[..at].chars().next_back(), Some('/' | '!' | '`')) {
+            continue;
+        }
+        return true;
+    }
+    false
+}
+
+/// Whether line `line0` (or the line above it) carries the `// lint:`
+/// marker `what` — the escape-hatch placement every rule accepts.
+fn marked(src: &Source, line0: usize, what: &str) -> bool {
+    lint_marker(&src.lines[line0].comment, what)
+        || (line0 > 0 && lint_marker(&src.lines[line0 - 1].comment, what))
+}
+
+// ------------------------------------------------------------- L001
+
+/// Facade enforcement: no `std::sync::atomic` / `core::sync::atomic` in
+/// library code outside the facade itself and the `shims/`.
+fn rule_facade(class: &FileClass<'_>, src: &Source, out: &mut Vec<Finding>) {
+    if !class.is_lib_src || class.is_shim || class.rel == FACADE_FILE {
+        return;
+    }
+    for (i, line) in src.lines.iter().enumerate() {
+        if line.in_test {
+            continue;
+        }
+        if !(line.code.contains("std::sync::atomic") || line.code.contains("core::sync::atomic")) {
+            continue;
+        }
+        if marked(src, i, "facade-exempt(") {
+            continue;
+        }
+        out.push(finding(
+            class,
+            R_FACADE,
+            i,
+            src,
+            "route this access through the facade (`llsc_word::sync`, re-exported as \
+             `mwllsc::sync`) so it stays model-checkable; checker-internal machinery may \
+             carry `// lint: facade-exempt(reason)`",
+        ));
+    }
+}
+
+// ------------------------------------------------------------- L002
+
+/// Parses a `// lint: cell=NAME` annotation out of a comment.
+fn cell_annotation(comment: &str) -> Option<String> {
+    let pat = "// lint: cell=";
+    let mut from = 0;
+    let at = loop {
+        let at = from + comment[from..].find(pat)?;
+        from = at + pat.len();
+        // Skip prose mentions (doc comments, backtick-quoted examples).
+        if !matches!(comment[..at].chars().next_back(), Some('/' | '!' | '`')) {
+            break at;
+        }
+    };
+    let rest = &comment[at + pat.len()..];
+    let name: String = rest.chars().take_while(|c| c.is_alphanumeric() || *c == '_').collect();
+    Some(name)
+}
+
+/// Extracts every atomic op site in the file: an `ATOMIC_METHODS` call
+/// whose argument span contains a literal `Ordering::` path.
+fn extract_sites(src: &Source) -> Vec<Site> {
+    let (joined, offsets) = src.joined_code();
+    let bytes = joined.as_bytes();
+    let mut sites = Vec::new();
+    let mut claimed: Vec<(usize, usize)> = Vec::new(); // spans already owned by a site
+    for &(method, kind) in ATOMIC_METHODS {
+        let needle = format!(".{method}(");
+        let mut from = 0;
+        while let Some(rel) = joined[from..].find(&needle) {
+            let at = from + rel;
+            from = at + needle.len();
+            // `compare_exchange` is a prefix of `compare_exchange_weak`;
+            // the needle's `(` disambiguates, but `.load(` can appear
+            // inside a span already claimed by an enclosing
+            // `fetch_update` call — skip those.
+            if claimed.iter().any(|&(s, e)| at > s && at < e) {
+                continue;
+            }
+            let open = at + needle.len() - 1;
+            let Some(close) = match_paren(bytes, open) else { continue };
+            let args = &joined[open + 1..close];
+            let orderings = ordering_args(args);
+            if orderings.is_empty() {
+                continue; // not an atomic op (`Vec::swap`, `HashMap::get`…)
+            }
+            claimed.push((open, close));
+            sites.push(Site {
+                line: Source::line_of_offset(&offsets, at),
+                method,
+                kind,
+                orderings,
+            });
+        }
+    }
+    sites.sort_by_key(|s| s.line);
+    sites
+}
+
+/// Finds the `)` matching the `(` at byte `open` (code text only, so
+/// parens in strings/comments cannot unbalance it).
+fn match_paren(bytes: &[u8], open: usize) -> Option<usize> {
+    let mut depth = 0i32;
+    for (i, &b) in bytes.iter().enumerate().skip(open) {
+        match b {
+            b'(' => depth += 1,
+            b')' => {
+                depth -= 1;
+                if depth == 0 {
+                    return Some(i);
+                }
+            }
+            _ => {}
+        }
+    }
+    None
+}
+
+/// The literal `Ordering::Name` paths in an argument span, in order.
+fn ordering_args(args: &str) -> Vec<String> {
+    let mut out = Vec::new();
+    let mut from = 0;
+    while let Some(rel) = args[from..].find("Ordering::") {
+        let at = from + rel + "Ordering::".len();
+        let name: String =
+            args[at..].chars().take_while(|c| c.is_alphanumeric() || *c == '_').collect();
+        from = at + name.len();
+        out.push(name);
+    }
+    out
+}
+
+/// Static memory-ordering policy: annotated sites are checked against the
+/// per-cell table; in `COVERAGE_FILES` every site must be annotated.
+fn rule_ordering(class: &FileClass<'_>, src: &Source, out: &mut Vec<Finding>) {
+    if !class.is_lib_src || class.is_shim {
+        return;
+    }
+    let sites = extract_sites(src);
+    let mut annotated_lines: Vec<usize> = Vec::new();
+
+    for site in &sites {
+        if src.lines[site.line].in_test {
+            continue;
+        }
+        // Accept the annotation trailing on the site's line or on either
+        // of the two lines above (room for one attribute or wrapped arg).
+        let ann = (site.line.saturating_sub(2)..=site.line)
+            .rev()
+            .find_map(|l| cell_annotation(&src.lines[l].comment).map(|c| (l, c)));
+        let Some((ann_line, cell)) = ann else {
+            if class.coverage {
+                out.push(finding(
+                    class,
+                    R_ORDERING,
+                    site.line,
+                    src,
+                    "unannotated atomic op site in a policy-covered file: add \
+                     `// lint: cell=<X|Bank|Help|BUF|SLOT|CURS|...|none>` (see LINT_POLICY.md)",
+                ));
+            }
+            continue;
+        };
+        annotated_lines.push(ann_line);
+        check_site_policy(class, src, site, &cell, out);
+    }
+
+    // Dangling annotations: a `cell=` comment with no atomic op site on
+    // its own line or the two below it is a typo or dead annotation.
+    for (i, line) in src.lines.iter().enumerate() {
+        if cell_annotation(&line.comment).is_none() || annotated_lines.contains(&i) {
+            continue;
+        }
+        out.push(finding(
+            class,
+            R_ORDERING,
+            i,
+            src,
+            "`lint: cell=` annotation with no atomic op site on this line or the two below it",
+        ));
+    }
+}
+
+fn check_site_policy(
+    class: &FileClass<'_>,
+    src: &Source,
+    site: &Site,
+    cell: &str,
+    out: &mut Vec<Finding>,
+) {
+    if UNCONSTRAINED_CELLS.contains(&cell) {
+        return;
+    }
+    if !CONSTRAINED_CELLS.contains(&cell) {
+        out.push(finding(
+            class,
+            R_ORDERING,
+            site.line,
+            src,
+            "unknown cell name in `lint: cell=` annotation (see LINT_POLICY.md for the \
+             known cells)",
+        ));
+        return;
+    }
+    let bad = |out: &mut Vec<Finding>, need: &str| {
+        out.push(finding(
+            class,
+            R_ORDERING,
+            site.line,
+            src,
+            &format!(
+                "ordering policy: {} on cell {cell} uses [{}] — needs {need} \
+                 (LINT_POLICY.md; dynamic twin: simsched::real::bridge::ordering_violation)",
+                site.method,
+                site.orderings.join(", "),
+            ),
+        ));
+    };
+    match cell {
+        // Figure 2 shared memory: every ordering, including every CAS
+        // failure ordering, must be SeqCst.
+        "X" | "Bank" | "Help" => {
+            if site.orderings.iter().any(|o| o != "SeqCst") {
+                bad(out, "SeqCst everywhere (Figure 2 shared memory)");
+            }
+        }
+        // Safe-register buffer words: publication rides on the SeqCst
+        // X/Help accesses around them, so anything stronger than Relaxed
+        // is a lie about where the synchronization happens.
+        "BUF" => {
+            if site.orderings.iter().any(|o| o != "Relaxed") {
+                bad(out, "Relaxed (safe-register words; ordering rides on X/Help)");
+            }
+        }
+        // Registry slot words: the lease handover edge.
+        "SLOT" => match site.kind {
+            SiteKind::Rmw => {
+                if !matches!(site.orderings[0].as_str(), "AcqRel" | "SeqCst") {
+                    bad(out, "AcqRel or stronger (lease handover)");
+                }
+            }
+            SiteKind::Store => {
+                if !matches!(site.orderings[0].as_str(), "Release" | "SeqCst") {
+                    bad(out, "Release or stronger (publishes the holder's writes)");
+                }
+            }
+            SiteKind::Load => {}
+        },
+        _ => unreachable!("cell {cell} is in CONSTRAINED_CELLS"),
+    }
+}
+
+// ------------------------------------------------------------- L003
+
+/// SAFETY coverage: every `unsafe` block / fn / impl / trait in library
+/// code must carry a `// SAFETY:` comment (or a `# Safety` doc section).
+fn rule_safety(class: &FileClass<'_>, src: &Source, out: &mut Vec<Finding>) {
+    if !class.is_lib_src {
+        return;
+    }
+    let (joined, offsets) = src.joined_code();
+    let mut from = 0;
+    while let Some(rel) = joined[from..].find("unsafe") {
+        let at = from + rel;
+        from = at + "unsafe".len();
+        if !word_boundary(&joined, at, "unsafe".len()) {
+            continue;
+        }
+        let after = joined[at + "unsafe".len()..].trim_start();
+        let form = if after.starts_with('{') {
+            "unsafe block"
+        } else if let Some(rest) = after.strip_prefix("fn") {
+            // `unsafe fn(` with no name is a function-pointer type.
+            if rest.trim_start().starts_with('(') {
+                continue;
+            }
+            "unsafe fn"
+        } else if after.starts_with("impl") {
+            "unsafe impl"
+        } else if after.starts_with("trait") {
+            "unsafe trait"
+        } else if after.starts_with("extern") {
+            "unsafe extern block"
+        } else {
+            continue; // keyword in some other position (macro fragment…)
+        };
+        let line0 = Source::line_of_offset(&offsets, at);
+        if src.lines[line0].in_test || has_safety_comment(src, line0) {
+            continue;
+        }
+        out.push(finding(
+            class,
+            R_SAFETY,
+            line0,
+            src,
+            &format!(
+                "{form} without a SAFETY comment: state the proof obligation with \
+                 `// SAFETY:` above it (unsafe fns may use a `# Safety` doc section)"
+            ),
+        ));
+    }
+}
+
+fn word_boundary(text: &str, at: usize, len: usize) -> bool {
+    let ident = |c: char| c.is_alphanumeric() || c == '_';
+    let before_ok = at == 0 || !text[..at].chars().next_back().is_some_and(ident);
+    let after_ok = !text[at + len..].chars().next().is_some_and(ident);
+    before_ok && after_ok
+}
+
+/// Whether the `unsafe` introduced on `line0` is covered: a `SAFETY`
+/// comment on the line itself, or in the contiguous comment/attribute
+/// block above it (skipping sibling `unsafe impl` lines so one comment
+/// may cover a grouped `unsafe impl Send/Sync` pair), or a `# Safety`
+/// doc section.
+fn has_safety_comment(src: &Source, line0: usize) -> bool {
+    let covered = |c: &str| c.contains("SAFETY") || c.contains("# Safety");
+    if covered(&src.lines[line0].comment) {
+        return true;
+    }
+    let mut i = line0;
+    while i > 0 {
+        i -= 1;
+        let line = &src.lines[i];
+        if covered(&line.comment) {
+            return true;
+        }
+        let code = line.code.trim();
+        let skippable = code.is_empty()
+            || code.starts_with("#[")
+            || code.starts_with("unsafe impl")
+            || code.starts_with("pub unsafe fn")
+            || code.starts_with("pub(crate) unsafe fn")
+            || code.starts_with("unsafe fn");
+        if !skippable {
+            return false;
+        }
+    }
+    false
+}
+
+// ------------------------------------------------------------- L004
+
+/// Hot-path allocation lint: a `// lint: no-alloc` marker covers the
+/// next `fn`'s whole body; banned constructors inside need an
+/// `// lint: alloc-ok(reason)` escape.
+fn rule_alloc(class: &FileClass<'_>, src: &Source, out: &mut Vec<Finding>) {
+    for (i, line) in src.lines.iter().enumerate() {
+        if !lint_marker(&line.comment, "no-alloc") {
+            continue;
+        }
+        // The marker must introduce a fn within the next few lines
+        // (doc comments and attributes may sit between).
+        let Some(fn_line) =
+            (i..src.lines.len().min(i + 8)).find(|&l| src.lines[l].code.contains("fn "))
+        else {
+            out.push(finding(
+                class,
+                R_ALLOC,
+                i,
+                src,
+                "`lint: no-alloc` marker with no fn in the next lines",
+            ));
+            continue;
+        };
+        let Some(end) = src.item_end_from(fn_line) else { continue };
+        for l in fn_line..=end {
+            let code = &src.lines[l].code;
+            let Some(tok) = ALLOC_TOKENS.iter().find(|t| code.contains(*t)) else { continue };
+            if marked(src, l, "alloc-ok(") {
+                continue;
+            }
+            out.push(finding(
+                class,
+                R_ALLOC,
+                l,
+                src,
+                &format!(
+                    "`{tok}` inside a `no-alloc` region: hoist the allocation out of the \
+                     hot path or justify with `// lint: alloc-ok(reason)`",
+                    tok = tok.trim_matches(|c| c == '.' || c == '(')
+                ),
+            ));
+        }
+    }
+}
+
+// ------------------------------------------------------------- L005
+
+/// Panic-freedom for the server and store: no unwrap/expect/panic!-family
+/// macros, and no indexing without an adjacent comment, in non-test
+/// library code (typed `WireError`/`StoreError` paths exist — use them).
+fn rule_panic(class: &FileClass<'_>, src: &Source, out: &mut Vec<Finding>) {
+    if !class.panic_scope {
+        return;
+    }
+    for (i, line) in src.lines.iter().enumerate() {
+        if line.in_test {
+            continue;
+        }
+        if let Some(tok) = PANIC_TOKENS.iter().find(|t| line.code.contains(*t)) {
+            if !marked(src, i, "panic-ok(") {
+                out.push(finding(
+                    class,
+                    R_PANIC,
+                    i,
+                    src,
+                    &format!(
+                        "`{tok}` on a server/store library path: propagate a typed \
+                         WireError/StoreError instead, or justify an invariant with \
+                         `// lint: panic-ok(reason)`",
+                        tok = tok.trim_matches(|c| c == '.' || c == '(')
+                    ),
+                ));
+            }
+        }
+        if has_uncommented_indexing(line) && !has_adjacent_comment(src, i) {
+            out.push(finding(
+                class,
+                R_PANIC,
+                i,
+                src,
+                "indexing without a comment: state why the index is in bounds on this \
+                 line or the one above (or restructure with get()/iterators)",
+            ));
+        }
+    }
+}
+
+/// Whether a line's code indexes (or slices) an expression: `[` directly
+/// after an identifier character, `)`, or `]`. Attributes (`#[`), macro
+/// bangs (`vec![`), types (`&[u64]`), and array literals (`= [`) all
+/// have non-expression characters before the bracket.
+fn has_uncommented_indexing(line: &crate::lexer::Line) -> bool {
+    let chars: Vec<char> = line.code.chars().collect();
+    chars.iter().enumerate().any(|(i, &c)| {
+        c == '['
+            && i > 0
+            && (chars[i - 1].is_alphanumeric() || matches!(chars[i - 1], '_' | ')' | ']'))
+    })
+}
+
+fn has_adjacent_comment(src: &Source, line0: usize) -> bool {
+    !src.lines[line0].comment.trim().is_empty()
+        || (line0 > 0 && !src.lines[line0 - 1].comment.trim().is_empty())
+}

@@ -1,0 +1,162 @@
+//! Fixture tests: each rule family must fire with the exact rule id and
+//! line numbers on its bad fixture and stay silent on its clean one,
+//! the JSON report must be byte-deterministic, and PR 6's acceptance
+//! drill — weakening `SlotRegistry::release` from `Release` to `Relaxed`
+//! — must be caught *statically*, on the real registry source.
+
+use std::path::{Path, PathBuf};
+
+use mwllsc_lint::lint_file_content;
+use mwllsc_lint::report::Finding;
+
+fn fixture(name: &str) -> String {
+    let path = Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures").join(name);
+    std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("read {}: {e}", path.display()))
+}
+
+fn rule_lines(findings: &[Finding], rule: &str) -> Vec<usize> {
+    findings.iter().filter(|f| f.rule == rule).map(|f| f.line).collect()
+}
+
+/// Every finding in `findings` must carry `rule` — a fixture tripping a
+/// rule it was not built for is a fixture bug worth failing loudly on.
+fn assert_only_rule(findings: &[Finding], rule: &str) {
+    for f in findings {
+        assert_eq!(f.rule, rule, "unexpected {}:{} [{}] {}", f.file, f.line, f.rule, f.excerpt);
+    }
+}
+
+fn workspace_root() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("../..").canonicalize().expect("workspace root")
+}
+
+#[test]
+fn l001_facade_bad_lines() {
+    let findings = lint_file_content("crates/fake/src/facade_bad.rs", &fixture("facade_bad.rs"));
+    assert_only_rule(&findings, "L001");
+    assert_eq!(rule_lines(&findings, "L001"), vec![2, 6]);
+}
+
+#[test]
+fn l001_facade_clean() {
+    let findings =
+        lint_file_content("crates/fake/src/facade_clean.rs", &fixture("facade_clean.rs"));
+    assert_eq!(findings, vec![], "clean fixture must produce no findings");
+}
+
+#[test]
+fn l002_ordering_bad_lines() {
+    // A coverage-file path: unannotated sites are findings too.
+    let findings = lint_file_content("crates/core/src/variable.rs", &fixture("ordering_bad.rs"));
+    assert_only_rule(&findings, "L002");
+    assert_eq!(rule_lines(&findings, "L002"), vec![6, 7, 8, 9, 10, 11, 15, 18]);
+}
+
+#[test]
+fn l002_ordering_clean() {
+    let findings = lint_file_content("crates/core/src/variable.rs", &fixture("ordering_clean.rs"));
+    assert_eq!(findings, vec![], "clean fixture must produce no findings");
+}
+
+#[test]
+fn l002_outside_coverage_files_only_annotated_sites_are_checked() {
+    // Same bad fixture under a non-coverage path: the unannotated site
+    // (line 15) is tolerated, the annotated violations still fire.
+    let findings =
+        lint_file_content("crates/fake/src/ordering_bad.rs", &fixture("ordering_bad.rs"));
+    assert_eq!(rule_lines(&findings, "L002"), vec![6, 7, 8, 9, 10, 11, 18]);
+}
+
+#[test]
+fn l003_safety_bad_lines() {
+    let findings = lint_file_content("crates/fake/src/safety_bad.rs", &fixture("safety_bad.rs"));
+    assert_only_rule(&findings, "L003");
+    assert_eq!(rule_lines(&findings, "L003"), vec![4, 7, 15]);
+}
+
+#[test]
+fn l003_safety_clean() {
+    let findings =
+        lint_file_content("crates/fake/src/safety_clean.rs", &fixture("safety_clean.rs"));
+    assert_eq!(findings, vec![], "clean fixture must produce no findings");
+}
+
+#[test]
+fn l004_alloc_bad_lines() {
+    let findings = lint_file_content("crates/fake/src/alloc_bad.rs", &fixture("alloc_bad.rs"));
+    assert_only_rule(&findings, "L004");
+    assert_eq!(rule_lines(&findings, "L004"), vec![5, 7]);
+}
+
+#[test]
+fn l004_alloc_clean() {
+    let findings = lint_file_content("crates/fake/src/alloc_clean.rs", &fixture("alloc_clean.rs"));
+    assert_eq!(findings, vec![], "clean fixture must produce no findings");
+}
+
+#[test]
+fn l005_panic_bad_lines() {
+    // Only server/store library paths are in scope for L005.
+    let findings = lint_file_content("crates/server/src/panic_bad.rs", &fixture("panic_bad.rs"));
+    assert_only_rule(&findings, "L005");
+    assert_eq!(rule_lines(&findings, "L005"), vec![4, 5, 7, 9]);
+}
+
+#[test]
+fn l005_panic_clean() {
+    let findings = lint_file_content("crates/store/src/panic_clean.rs", &fixture("panic_clean.rs"));
+    assert_eq!(findings, vec![], "clean fixture must produce no findings");
+}
+
+#[test]
+fn l005_does_not_apply_outside_server_and_store() {
+    let findings = lint_file_content("crates/fake/src/panic_bad.rs", &fixture("panic_bad.rs"));
+    assert_eq!(findings, vec![], "panic-freedom is scoped to mwllsc-server/mwllsc-store");
+}
+
+/// The current tree must be lint-clean — this is the same gate CI's
+/// `lint-static` job applies, enforced from `cargo test` so local runs
+/// catch drift immediately.
+#[test]
+fn workspace_is_clean() {
+    let report = mwllsc_lint::lint_workspace(&workspace_root()).expect("walk");
+    assert!(report.findings.is_empty(), "lint findings on the tree:\n{}", report.to_human());
+}
+
+/// Two runs over the workspace produce byte-identical JSON.
+#[test]
+fn json_report_is_deterministic() {
+    let root = workspace_root();
+    let a = mwllsc_lint::lint_workspace(&root).expect("walk").to_json();
+    let b = mwllsc_lint::lint_workspace(&root).expect("walk").to_json();
+    assert_eq!(a, b, "JSON report must be byte-identical across runs");
+}
+
+/// PR 6's acceptance drill, statically: demote the `Release` store in
+/// `SlotRegistry::release` to `Relaxed` in the *real* registry source
+/// and the ordering rule must flag exactly that line — no
+/// `--cfg mwllsc_model` build, no scheduler run.
+#[test]
+fn seeded_regression_release_weakened_to_relaxed_is_flagged() {
+    let path = workspace_root().join("crates/core/src/registry.rs");
+    let original = std::fs::read_to_string(&path).expect("read registry.rs");
+    assert_eq!(
+        lint_file_content("crates/core/src/registry.rs", &original),
+        vec![],
+        "the shipped registry must be clean"
+    );
+
+    let needle = "Ordering::Release); // lint: cell=SLOT";
+    assert!(original.contains(needle), "release-store site moved; update this drill");
+    let weakened = original.replacen(needle, "Ordering::Relaxed); // lint: cell=SLOT", 1);
+
+    let findings = lint_file_content("crates/core/src/registry.rs", &weakened);
+    let expected_line = 1 + original.lines().position(|l| l.contains(needle)).expect("needle line");
+    assert_eq!(
+        rule_lines(&findings, "L002"),
+        vec![expected_line],
+        "weakened release store must be the one finding: {findings:?}"
+    );
+    let f = &findings[0];
+    assert!(f.hint.contains("Release or stronger"), "hint names the required ordering: {}", f.hint);
+}

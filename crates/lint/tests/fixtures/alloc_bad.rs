@@ -1,0 +1,14 @@
+//! L004 fixture: allocation inside a no-alloc region.
+
+// lint: no-alloc
+pub fn hot(out: &mut Vec<u8>) -> Vec<u8> {
+    let v = vec![0u8; 4];
+    out.extend_from_slice(&v);
+    let s = format!("{}", out.len());
+    s.into_bytes()
+}
+
+pub fn cold() -> Vec<u8> {
+    // Unmarked fns may allocate freely.
+    vec![1, 2, 3]
+}

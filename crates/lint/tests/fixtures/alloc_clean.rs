@@ -1,0 +1,15 @@
+//! L004 clean fixture: a marked region that only fills caller buffers,
+//! plus one justified escape.
+
+// lint: no-alloc
+pub fn hot(words: &[u64], out: &mut Vec<u8>) {
+    for &w in words {
+        out.extend_from_slice(&w.to_le_bytes());
+    }
+}
+
+// lint: no-alloc
+pub fn hot_with_scratch(out: &mut Vec<u8>) {
+    let scratch = Vec::new(); // lint: alloc-ok(one-time scratch, measured cold)
+    out.extend_from_slice(&scratch);
+}

@@ -1,0 +1,13 @@
+//! L001 fixture: raw atomic paths outside the facade.
+use std::sync::atomic::{AtomicU64, Ordering};
+
+pub fn direct() -> u64 {
+    let x = AtomicU64::new(0);
+    x.load(core::sync::atomic::Ordering::Relaxed)
+}
+
+#[cfg(test)]
+mod tests {
+    // Test code is out of scope: no finding here.
+    use std::sync::atomic::AtomicBool;
+}

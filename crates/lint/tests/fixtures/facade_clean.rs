@@ -1,0 +1,13 @@
+//! L001 clean fixture: facade imports plus one justified exemption.
+use mwllsc::sync::{AtomicU64, Ordering};
+
+// A string is not a path: "std::sync::atomic" stays invisible.
+pub const DOC: &str = "std::sync::atomic";
+
+// lint: facade-exempt(checker-internal plumbing for this fixture)
+pub type RawOrdering = std::sync::atomic::Ordering;
+
+pub fn through_facade() -> u64 {
+    let x = AtomicU64::new(7);
+    x.load(Ordering::SeqCst)
+}

@@ -1,0 +1,19 @@
+//! L002 fixture: policy violations per cell (checked under a
+//! coverage-file path, so unannotated sites are findings too).
+use mwllsc::sync::{AtomicU64, Ordering};
+
+pub fn bad(x: &AtomicU64) {
+    x.load(Ordering::Relaxed); // lint: cell=X
+    x.compare_exchange(0, 1, Ordering::SeqCst, Ordering::Acquire).ok(); // lint: cell=Bank
+    x.store(1, Ordering::Release); // lint: cell=BUF
+    x.store(2, Ordering::Relaxed); // lint: cell=SLOT
+    x.fetch_or(1, Ordering::Release); // lint: cell=SLOT
+    x.load(Ordering::SeqCst); // lint: cell=Figure2
+}
+
+pub fn unannotated(x: &AtomicU64) {
+    x.load(Ordering::SeqCst);
+}
+
+// lint: cell=X
+pub fn dangling() {}

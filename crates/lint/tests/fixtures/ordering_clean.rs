@@ -1,0 +1,13 @@
+//! L002 clean fixture: every site annotated and conformant.
+use mwllsc::sync::{AtomicU64, Ordering};
+
+pub fn good(x: &AtomicU64) {
+    x.load(Ordering::SeqCst); // lint: cell=X
+    x.compare_exchange(0, 1, Ordering::SeqCst, Ordering::SeqCst).ok(); // lint: cell=Help
+    x.store(1, Ordering::Relaxed); // lint: cell=BUF
+    x.store(2, Ordering::Release); // lint: cell=SLOT
+    x.fetch_or(1, Ordering::AcqRel); // lint: cell=SLOT
+    x.load(Ordering::Acquire); // lint: cell=SLOT
+    x.fetch_add(1, Ordering::Relaxed); // lint: cell=CURS
+    x.store(0, Ordering::Relaxed); // lint: cell=none
+}

@@ -1,0 +1,10 @@
+//! L005 fixture: panicking constructs on a server/store path.
+
+pub fn handler(input: Option<u32>, buf: &[u8]) -> u8 {
+    let v = input.unwrap();
+    let w = input.expect("present");
+    if v + w > 9000 {
+        panic!("too big");
+    }
+    buf[0]
+}

@@ -1,0 +1,20 @@
+//! L005 clean fixture: typed propagation, justified invariants,
+//! commented indexing.
+
+pub fn handler(input: Option<u32>, buf: &[u8]) -> Result<u8, String> {
+    let v = input.ok_or("missing input")?;
+    // lint: panic-ok(demonstrating the justified-invariant escape)
+    let w = input.expect("checked above");
+    let _ = v + w;
+    // The caller validated `buf` is non-empty.
+    Ok(buf[0])
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn tests_may_panic() {
+        super::handler(None, &[1]).unwrap_err();
+        assert_eq!(super::handler(Some(1), &[7]).unwrap(), 7);
+    }
+}

@@ -1,0 +1,15 @@
+//! L003 fixture: undocumented unsafe.
+
+pub fn block(p: *mut u8) {
+    unsafe { *p = 1 };
+}
+
+pub unsafe fn exported(p: *mut u8) {
+    // SAFETY: covers the inner block, not the fn's own contract... but a
+    // body comment is not above the `unsafe fn` line, so the fn itself
+    // is still a finding (line 7).
+    unsafe { *p = 2 };
+}
+
+pub struct T;
+unsafe impl Send for T {}

@@ -1,0 +1,26 @@
+//! L003 clean fixture: every introduction form covered.
+
+pub fn block(p: *mut u8) {
+    // SAFETY: the caller handed us a valid, exclusive pointer.
+    unsafe { *p = 1 };
+}
+
+/// Writes through `p`.
+///
+/// # Safety
+///
+/// `p` must be valid for writes.
+pub unsafe fn exported(p: *mut u8) {
+    unsafe { *p = 2 } // SAFETY: the fn contract above guarantees validity.
+}
+
+pub struct T;
+// SAFETY: T is a unit type with no thread-affine state; the comment
+// covers the grouped pair below.
+unsafe impl Send for T {}
+unsafe impl Sync for T {}
+
+/// Fn-pointer types declare no obligation.
+pub struct W {
+    pub drop_fn: unsafe fn(*mut u8),
+}

@@ -36,14 +36,14 @@ struct Node<T> {
 
 impl<T> Node<T> {
     fn boxed(payload: T, seq: u64, tracker: &Arc<AtomicUsize>) -> *mut Node<T> {
-        tracker.fetch_add(1, Ordering::Relaxed);
+        tracker.fetch_add(1, Ordering::Relaxed); // lint: cell=TRACK
         Box::into_raw(Box::new(Node { payload, seq, tracker: Arc::clone(tracker) }))
     }
 }
 
 impl<T> Drop for Node<T> {
     fn drop(&mut self) {
-        self.tracker.fetch_sub(1, Ordering::Relaxed);
+        self.tracker.fetch_sub(1, Ordering::Relaxed); // lint: cell=TRACK
     }
 }
 
@@ -144,7 +144,7 @@ impl<T: Send + Sync + 'static> DeferredSwapCell<T> {
         // *liveness* of the node is the guard's job, not the ordering's:
         // pinning happened above, so whatever this load observes cannot
         // be reclaimed until `guard` drops.
-        let node = self.ptr.load(Ordering::Acquire);
+        let node = self.ptr.load(Ordering::Acquire); // lint: cell=PTR
         Pinned { _guard: guard, node, _cell: PhantomData }
     }
 
@@ -157,9 +157,9 @@ impl<T: Send + Sync + 'static> DeferredSwapCell<T> {
         {
             let _guard = smr::pin();
             // Acquire: see `load` — we dereference `cur`.
-            let cur = self.ptr.load(Ordering::Acquire);
-            // SAFETY: `cur` was the current node while `_guard` was
-            // pinned, so it stays allocated until the pin drops.
+            let cur = self.ptr.load(Ordering::Acquire); // lint: cell=PTR
+                                                        // SAFETY: `cur` was the current node while `_guard` was
+                                                        // pinned, so it stays allocated until the pin drops.
             if unsafe { &*cur }.seq != expect_seq {
                 return false;
             }
@@ -173,9 +173,9 @@ impl<T: Send + Sync + 'static> DeferredSwapCell<T> {
         let won = {
             let guard = smr::pin();
             // Acquire: see `load` — we dereference `cur` below.
-            let cur = self.ptr.load(Ordering::Acquire);
-            // SAFETY: `cur` was the current node while `guard` was
-            // pinned, so it stays allocated at least until `guard` drops.
+            let cur = self.ptr.load(Ordering::Acquire); // lint: cell=PTR
+                                                        // SAFETY: `cur` was the current node while `guard` was
+                                                        // pinned, so it stays allocated at least until `guard` drops.
             if unsafe { &*cur }.seq != expect_seq {
                 false
             } else {
@@ -187,6 +187,7 @@ impl<T: Send + Sync + 'static> DeferredSwapCell<T> {
                 // fences inside `smr`. Failure = Relaxed: the observed
                 // value is discarded (we return `false` without touching
                 // it).
+                // lint: cell=PTR
                 match self.ptr.compare_exchange(cur, next, Ordering::Release, Ordering::Relaxed) {
                     Ok(_) => {
                         // SAFETY: our CAS unlinked `cur` — no shared
@@ -219,7 +220,7 @@ impl<T: Send + Sync + 'static> DeferredSwapCell<T> {
     /// the substrates' `space()` reporting honest.
     #[must_use]
     pub fn tracked_nodes(&self) -> usize {
-        self.nodes.load(Ordering::Relaxed)
+        self.nodes.load(Ordering::Relaxed) // lint: cell=CTR
     }
 
     /// 64-bit words occupied by one heap node (header + inline payload;

@@ -160,13 +160,13 @@ impl LimboBag {
     }
 
     fn push(&self, item: *mut Retired) {
-        let mut head = self.head.load(Ordering::Relaxed);
+        let mut head = self.head.load(Ordering::Relaxed); // lint: cell=LIMBO
         loop {
             // SAFETY: `item` is exclusively ours until the CAS publishes it.
             unsafe { (*item).next = head };
             // Release: publishes the item's fields (ptr, drop_fn, stamp)
             // to whichever drain later Acquire-swaps the head.
-            match self.head.compare_exchange_weak(head, item, Ordering::Release, Ordering::Relaxed)
+            match self.head.compare_exchange_weak(head, item, Ordering::Release, Ordering::Relaxed) // lint: cell=LIMBO
             {
                 Ok(_) => return,
                 Err(actual) => head = actual,
@@ -182,7 +182,7 @@ impl LimboBag {
         // fields are visible; Release keeps a concurrent drain that
         // observes our null from re-ordering ahead of it (cheap, and the
         // symmetry keeps the reasoning local).
-        let mut head = self.head.swap(ptr::null_mut(), Ordering::AcqRel);
+        let mut head = self.head.swap(ptr::null_mut(), Ordering::AcqRel); // lint: cell=LIMBO
         if head.is_null() {
             return 0;
         }
@@ -191,7 +191,7 @@ impl LimboBag {
         // required an advance whose scan proved no participant was still
         // pinned at `<= s`, and pins only ever enter the current epoch,
         // so none can reappear that old. (See the module docs.)
-        let global = GLOBAL_EPOCH.load(Ordering::Acquire);
+        let global = GLOBAL_EPOCH.load(Ordering::Acquire); // lint: cell=EPOCH
         let mut freed = 0;
         while !head.is_null() {
             // SAFETY: items in the bag were published exactly once by
@@ -203,8 +203,8 @@ impl LimboBag {
                 // reclamation condition; `drop_fn` matches `ptr`'s
                 // erased type and runs exactly once.
                 unsafe { (item.drop_fn)(item.ptr) };
-                PENDING.fetch_sub(1, Ordering::Relaxed);
-                FREED.fetch_add(1, Ordering::Relaxed);
+                PENDING.fetch_sub(1, Ordering::Relaxed); // lint: cell=CTR
+                FREED.fetch_add(1, Ordering::Relaxed); // lint: cell=CTR
                 freed += 1;
             } else {
                 self.push(Box::into_raw(item));
@@ -216,28 +216,30 @@ impl LimboBag {
 
 /// Claims a free participant record, or registers a fresh one.
 fn acquire_record() -> *mut Participant {
-    let mut cur = REGISTRY.load(Ordering::Acquire);
+    let mut cur = REGISTRY.load(Ordering::Acquire); // lint: cell=REG
     while !cur.is_null() {
         // SAFETY: registry records are never deallocated.
         let p = unsafe { &*cur };
         // Acquire on success: the previous owner's Release hand-off
         // ordered its final Cell writes before us.
+        // lint: cell=REG
         if p.in_use.compare_exchange(false, true, Ordering::Acquire, Ordering::Relaxed).is_ok() {
             p.guard_depth.set(0);
             p.retires.set(0);
             return cur;
         }
-        cur = p.next.load(Ordering::Relaxed);
+        cur = p.next.load(Ordering::Relaxed); // lint: cell=REG
     }
     // No free record: allocate and publish one. Records live for the
     // whole process; the registry is bounded by peak thread concurrency.
-    REGISTERED.fetch_add(1, Ordering::Relaxed);
+    REGISTERED.fetch_add(1, Ordering::Relaxed); // lint: cell=CTR
     let fresh = Box::into_raw(Box::new(Participant::new_in_use()));
-    let mut head = REGISTRY.load(Ordering::Relaxed);
+    let mut head = REGISTRY.load(Ordering::Relaxed); // lint: cell=REG
     loop {
         // SAFETY: `fresh` is unpublished, we still own it exclusively.
-        unsafe { (*fresh).next.store(head, Ordering::Relaxed) };
-        // Release: publishes the record's initialized fields to scanners.
+        unsafe { (*fresh).next.store(head, Ordering::Relaxed) }; // lint: cell=REG
+                                                                 // Release: publishes the record's initialized fields to scanners.
+                                                                 // lint: cell=REG
         match REGISTRY.compare_exchange_weak(head, fresh, Ordering::Release, Ordering::Relaxed) {
             Ok(_) => return fresh,
             Err(actual) => head = actual,
@@ -250,7 +252,7 @@ fn release_record(p: *mut Participant) {
     let part = unsafe { &*p };
     debug_assert_eq!(part.guard_depth.get(), 0, "record released while pinned");
     // Release: hand our Cell writes to the next `acquire_record` owner.
-    part.in_use.store(false, Ordering::Release);
+    part.in_use.store(false, Ordering::Release); // lint: cell=REG
 }
 
 /// The calling thread's registry record, returned at thread exit.
@@ -297,14 +299,14 @@ pub fn pin() -> Guard {
     if depth == 0 {
         // The epoch load may be stale; that is harmless — pinning an
         // older epoch only blocks advancing earlier (more conservative).
-        let e = GLOBAL_EPOCH.load(Ordering::Relaxed);
-        p.state.store((e << 1) | 1, Ordering::Relaxed);
-        // SeqCst: totally ordered against the fence in `try_advance`.
-        // Either the advancer's scan sees our pin (and refuses to
-        // advance past it), or this fence — and therefore every
-        // protected load after it — comes after the advance, in which
-        // case we can only observe post-advance pointers. This is the
-        // load-bearing fence of the whole scheme.
+        let e = GLOBAL_EPOCH.load(Ordering::Relaxed); // lint: cell=EPOCH
+        p.state.store((e << 1) | 1, Ordering::Relaxed); // lint: cell=REG
+                                                        // SeqCst: totally ordered against the fence in `try_advance`.
+                                                        // Either the advancer's scan sees our pin (and refuses to
+                                                        // advance past it), or this fence — and therefore every
+                                                        // protected load after it — comes after the advance, in which
+                                                        // case we can only observe post-advance pointers. This is the
+                                                        // load-bearing fence of the whole scheme.
         fence(Ordering::SeqCst);
     }
     p.guard_depth.set(depth + 1);
@@ -319,11 +321,11 @@ impl Drop for Guard {
         let depth = p.guard_depth.get() - 1;
         p.guard_depth.set(depth);
         if depth == 0 {
-            let s = p.state.load(Ordering::Relaxed);
-            // Release: every protected read this thread performed under
-            // the pin is ordered before the unpin becomes visible to an
-            // advancer's scan.
-            p.state.store(s & !1, Ordering::Release);
+            let s = p.state.load(Ordering::Relaxed); // lint: cell=REG
+                                                     // Release: every protected read this thread performed under
+                                                     // the pin is ordered before the unpin becomes visible to an
+                                                     // advancer's scan.
+            p.state.store(s & !1, Ordering::Release); // lint: cell=REG
         }
         if self.ephemeral {
             release_record(self.participant);
@@ -352,12 +354,12 @@ pub unsafe fn retire<T: Send + 'static>(_guard: &Guard, object: *mut T) {
         // subsystem calls each `drop_fn` exactly once.
         drop(unsafe { Box::from_raw(p.cast::<T>()) });
     }
-    PENDING.fetch_add(1, Ordering::Relaxed);
-    // Acquire keeps the stamp from being read ahead of the caller's
-    // unlink: the stamp must be no older than the epoch in which the
-    // object was still reachable (invariant 2 of the module docs). A
-    // fresher-than-necessary stamp only delays the free.
-    let stamp = GLOBAL_EPOCH.load(Ordering::Acquire);
+    PENDING.fetch_add(1, Ordering::Relaxed); // lint: cell=CTR
+                                             // Acquire keeps the stamp from being read ahead of the caller's
+                                             // unlink: the stamp must be no older than the epoch in which the
+                                             // object was still reachable (invariant 2 of the module docs). A
+                                             // fresher-than-necessary stamp only delays the free.
+    let stamp = GLOBAL_EPOCH.load(Ordering::Acquire); // lint: cell=EPOCH
     let item = Box::into_raw(Box::new(Retired {
         ptr: object.cast::<u8>(),
         drop_fn: drop_box::<T>,
@@ -385,24 +387,25 @@ pub unsafe fn retire<T: Send + 'static>(_guard: &Guard, object: *mut T) {
 /// including one pinned at the *previous* epoch, which is exactly the
 /// stalled-reader backpressure EBR is built around.
 pub fn try_advance() -> bool {
-    let e = GLOBAL_EPOCH.load(Ordering::Acquire);
-    // SeqCst: pairs with the fence in `pin` (see there). After this
-    // fence, every pin whose fence preceded ours is visible to the scan
-    // below.
+    let e = GLOBAL_EPOCH.load(Ordering::Acquire); // lint: cell=EPOCH
+                                                  // SeqCst: pairs with the fence in `pin` (see there). After this
+                                                  // fence, every pin whose fence preceded ours is visible to the scan
+                                                  // below.
     fence(Ordering::SeqCst);
-    let mut cur = REGISTRY.load(Ordering::Acquire);
+    let mut cur = REGISTRY.load(Ordering::Acquire); // lint: cell=REG
     while !cur.is_null() {
         // SAFETY: registry records are never deallocated.
         let p = unsafe { &*cur };
-        let s = p.state.load(Ordering::Relaxed);
+        let s = p.state.load(Ordering::Relaxed); // lint: cell=REG
         if s & 1 == 1 && s >> 1 != e {
             return false;
         }
-        cur = p.next.load(Ordering::Relaxed);
+        cur = p.next.load(Ordering::Relaxed); // lint: cell=REG
     }
     // AcqRel: the success makes the new epoch — and transitively the
     // scan that justified it — visible to loads of the epoch elsewhere;
     // a lost race just means someone else advanced for us.
+    // lint: cell=EPOCH
     GLOBAL_EPOCH.compare_exchange(e, e + 1, Ordering::AcqRel, Ordering::Relaxed).is_ok()
 }
 
@@ -410,10 +413,10 @@ pub fn try_advance() -> bool {
 /// that (on success) just became two epochs old.
 fn collect() {
     if try_advance() {
-        let g = GLOBAL_EPOCH.load(Ordering::Acquire);
-        // The bag holding stamps `g - 2` (index arithmetic mod 3). Every
-        // item's stamp is re-checked in `drain`, so a racing advance
-        // only makes this drain less productive, never unsound.
+        let g = GLOBAL_EPOCH.load(Ordering::Acquire); // lint: cell=EPOCH
+                                                      // The bag holding stamps `g - 2` (index arithmetic mod 3). Every
+                                                      // item's stamp is re-checked in `drain`, so a racing advance
+                                                      // only makes this drain less productive, never unsound.
         LIMBO[((g.wrapping_add(1)) % BAGS as u64) as usize].drain();
     }
 }
@@ -422,7 +425,7 @@ fn collect() {
 /// backpressure. Scaled by the number of participant records so the cap
 /// is a property of thread concurrency, never of swap count.
 fn soft_cap() -> usize {
-    REGISTERED.load(Ordering::Relaxed).max(1) * ADVANCE_EVERY as usize * 4
+    REGISTERED.load(Ordering::Relaxed).max(1) * ADVANCE_EVERY as usize * 4 // lint: cell=CTR
 }
 
 /// Bounded backpressure against backlog growth; call **unpinned**, after
@@ -443,6 +446,7 @@ fn soft_cap() -> usize {
 /// unaffected.
 pub fn decongest() {
     for _ in 0..4 {
+        // lint: cell=CTR
         if PENDING.load(Ordering::Relaxed) <= soft_cap() {
             return;
         }
@@ -486,7 +490,7 @@ pub fn try_flush() -> usize {
 /// Current global epoch (diagnostics; monotone).
 #[must_use]
 pub fn global_epoch() -> u64 {
-    GLOBAL_EPOCH.load(Ordering::Acquire)
+    GLOBAL_EPOCH.load(Ordering::Acquire) // lint: cell=EPOCH
 }
 
 /// Number of retired items not yet freed, process-wide. The reclamation
@@ -494,13 +498,13 @@ pub fn global_epoch() -> u64 {
 /// sustained retire traffic.
 #[must_use]
 pub fn pending() -> usize {
-    PENDING.load(Ordering::Relaxed)
+    PENDING.load(Ordering::Relaxed) // lint: cell=CTR
 }
 
 /// Total items freed by the subsystem since process start.
 #[must_use]
 pub fn freed() -> u64 {
-    FREED.load(Ordering::Relaxed)
+    FREED.load(Ordering::Relaxed) // lint: cell=CTR
 }
 
 #[cfg(test)]

@@ -41,7 +41,7 @@ impl fmt::Debug for TaggedLlSc {
         #[cfg(mwllsc_model)]
         let raw = self.cell.debug_load();
         #[cfg(not(mwllsc_model))]
-        let raw = self.cell.load(Ordering::Relaxed);
+        let raw = self.cell.load(Ordering::Relaxed); // lint: cell=none
         f.debug_struct("TaggedLlSc")
             .field("value", &(raw & self.value_mask()))
             .field("tag", &(raw >> self.value_bits))
@@ -62,7 +62,7 @@ impl TaggedLlSc {
         assert!((1..64).contains(&value_bits), "value_bits must be in 1..=63, got {value_bits}");
         let this = Self { cell: AtomicU64::new(0), value_bits };
         assert!(init <= this.max_value(), "initial value {init} does not fit in {value_bits} bits");
-        this.cell.store(init, Ordering::Relaxed);
+        this.cell.store(init, Ordering::Relaxed); // lint: cell=none
         this
     }
 
@@ -135,7 +135,7 @@ impl TaggedLlSc {
 
 impl LlScCell for TaggedLlSc {
     fn ll(&self) -> (u64, Link) {
-        let raw = self.cell.load(Ordering::SeqCst);
+        let raw = self.cell.load(Ordering::SeqCst); // lint: cell=X
         (raw & self.value_mask(), self.make_link(raw))
     }
 
@@ -143,16 +143,17 @@ impl LlScCell for TaggedLlSc {
         self.check_link(&link);
         assert!(v <= self.max_value(), "SC value {v} exceeds {} bits", self.value_bits);
         let next = self.pack_next(link.snapshot, v);
+        // lint: cell=X
         self.cell.compare_exchange(link.snapshot, next, Ordering::SeqCst, Ordering::SeqCst).is_ok()
     }
 
     fn vl(&self, link: Link) -> bool {
         self.check_link(&link);
-        self.cell.load(Ordering::SeqCst) == link.snapshot
+        self.cell.load(Ordering::SeqCst) == link.snapshot // lint: cell=X
     }
 
     fn read(&self) -> u64 {
-        self.cell.load(Ordering::SeqCst) & self.value_mask()
+        self.cell.load(Ordering::SeqCst) & self.value_mask() // lint: cell=X
     }
 
     /// Plain write; invalidates all outstanding links by bumping the tag.
@@ -171,6 +172,7 @@ impl LlScCell for TaggedLlSc {
         assert!(v <= self.max_value(), "write value {v} exceeds {} bits", self.value_bits);
         let _ = self
             .cell
+            // lint: cell=X
             .fetch_update(Ordering::SeqCst, Ordering::SeqCst, |cur| Some(self.pack_next(cur, v)));
     }
 

@@ -55,6 +55,7 @@ impl Client {
     /// Reads the next response frame (blocking).
     pub fn recv(&mut self) -> std::io::Result<Response> {
         loop {
+            // in_at <= inbuf.len(): only ever advanced by consumed frame lengths
             match decode_response(&self.inbuf[self.in_at..]) {
                 Ok(Decoded::Frame(resp, consumed)) => {
                     self.in_at += consumed;
@@ -73,7 +74,7 @@ impl Client {
                             "server closed mid-response",
                         ));
                     }
-                    self.inbuf.extend_from_slice(&chunk[..n]);
+                    self.inbuf.extend_from_slice(&chunk[..n]); // read() returned n <= chunk.len()
                 }
                 Err(e) => {
                     return Err(std::io::Error::new(

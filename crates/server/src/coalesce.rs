@@ -23,10 +23,14 @@
 //! malformed request and genuine batch failures (`ShardExhausted` from
 //! external lease pressure) are the only batch-wide errors.
 
+use mwllsc::sync::Ordering;
 use mwllsc_store::DynStoreHandle;
 
 use crate::conn::{Conn, Pending};
-use crate::proto::{encode_response, FrameError, Request, Response, UpdateOp, WireError};
+use crate::proto::{
+    encode_response, encode_value_response, encode_values_response, FrameError, Request, Response,
+    UpdateOp, WireError,
+};
 use crate::stats::AtomicStats;
 
 /// How a wave reaches the store.
@@ -161,24 +165,21 @@ impl Wave {
             let mut run_class = None;
             let mut taken = 0usize;
             while taken < max_run {
-                let Some(front) = conn.pending.front() else { break };
+                let Some(front) = conn.pending.pop_front() else { break };
                 taken += 1;
                 let slot = match front {
-                    Pending::Bad(_) => {
-                        let Some(Pending::Bad(e)) = conn.pending.pop_front() else {
-                            unreachable!("front was Bad")
-                        };
+                    Pending::Bad(e) => {
                         wave.slots.push((ci, Slot::Bad(e)));
                         break; // a poisoned stream has nothing after this
                     }
                     Pending::Req(req) => {
-                        let c = class(req);
+                        let c = class(&req);
                         if *run_class.get_or_insert(c) != c {
-                            break; // next class rides the next wave
+                            // Next class rides the next wave: put the
+                            // request back at the front, still in order.
+                            conn.pending.push_front(Pending::Req(req));
+                            break;
                         }
-                        let Some(Pending::Req(req)) = conn.pending.pop_front() else {
-                            unreachable!("front was Req")
-                        };
                         wave.admit(req, v)
                     }
                 };
@@ -239,21 +240,24 @@ impl Wave {
         mode: Dispatch,
         stats: &AtomicStats,
     ) {
-        stats.waves.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+        stats.waves.fetch_add(1, Ordering::Relaxed);
         match mode {
             Dispatch::Coalesced => self.dispatch_coalesced(handle, stats),
             Dispatch::PerRequest => self.dispatch_per_request(handle, stats),
         }
     }
 
+    // lint: no-alloc
     fn dispatch_coalesced(&mut self, handle: &mut dyn DynStoreHandle, stats: &AtomicStats) {
         let w = handle.width();
         if !self.write_keys.is_empty() {
-            self.write_snaps = vec![0u64; self.write_keys.len() * w];
+            // Sizing the flat result buffers is the wave's only growth;
+            // the store closures below must stay allocation-free.
+            self.write_snaps.resize(self.write_keys.len() * w, 0);
             let (ops, snaps) = (&self.write_ops, &mut self.write_snaps);
             let r = handle.update_many_dyn(&self.write_keys, &mut |i, buf| {
-                apply_op(&ops[i], buf);
-                snaps[i * w..(i + 1) * w].copy_from_slice(buf);
+                apply_op(&ops[i], buf); // `i` enumerates write_keys; ops is parallel to it
+                snaps[i * w..(i + 1) * w].copy_from_slice(buf); // snaps sized keys × w above
             });
             stats.record_write_batch(self.write_keys.len());
             if let Err(e) = r {
@@ -266,7 +270,7 @@ impl Wave {
             }
         }
         if !self.read_keys.is_empty() {
-            self.read_vals = vec![0u64; self.read_keys.len() * w];
+            self.read_vals.resize(self.read_keys.len() * w, 0);
             let r = handle.read_many_into(&self.read_keys, &mut self.read_vals);
             stats.record_read_batch(self.read_keys.len());
             if let Err(e) = r {
@@ -280,18 +284,22 @@ impl Wave {
         }
     }
 
+    // lint: no-alloc
     fn dispatch_per_request(&mut self, handle: &mut dyn DynStoreHandle, stats: &AtomicStats) {
         let w = handle.width();
-        self.write_snaps = vec![0u64; self.write_keys.len() * w];
-        self.read_vals = vec![0u64; self.read_keys.len() * w];
+        self.write_snaps.resize(self.write_keys.len() * w, 0);
+        self.read_vals.resize(self.read_keys.len() * w, 0);
         for (si, (_, slot)) in self.slots.iter().enumerate() {
+            // Every slot's `first`/`count` range was staged by `admit`,
+            // which pushed exactly that many keys — in-bounds throughout.
             let r = match *slot {
                 Slot::Write { first, count, .. } => {
-                    let keys = &self.write_keys[first..first + count];
+                    let keys = &self.write_keys[first..first + count]; // staged by admit
                     let (ops, snaps) = (&self.write_ops, &mut self.write_snaps);
                     let r = handle.update_many_dyn(keys, &mut |i, buf| {
-                        apply_op(&ops[first + i], buf);
+                        apply_op(&ops[first + i], buf); // `i` enumerates keys; ops is parallel
                         snaps[(first + i) * w..(first + i + 1) * w].copy_from_slice(buf);
+                        // sized above
                     });
                     stats.record_write_batch(count);
                     r
@@ -299,63 +307,83 @@ impl Wave {
                 Slot::ReadValue { first } => {
                     stats.record_read_batch(1);
                     handle.read(
-                        self.read_keys[first],
-                        &mut self.read_vals[first * w..(first + 1) * w],
+                        self.read_keys[first],                           // staged by admit
+                        &mut self.read_vals[first * w..(first + 1) * w], // sized keys × w above
                     )
                 }
                 Slot::ReadValues { first, count } => {
-                    let keys = &self.read_keys[first..first + count];
+                    let keys = &self.read_keys[first..first + count]; // staged by admit
                     stats.record_read_batch(count);
+                    // Result buffer was sized `read_keys.len() * w` above.
                     handle.read_many_into(keys, &mut self.read_vals[first * w..(first + count) * w])
                 }
                 Slot::Err(_) | Slot::Bad(_) => continue,
             };
             if let Err(e) = r {
+                // `slot_errs` is sized to `slots` in `build`.
                 self.slot_errs[si] = Some(WireError::from_store(&e));
             }
         }
     }
 
     /// Encodes every slot's response into its connection's output
-    /// buffer, in per-connection request order.
+    /// buffer, in per-connection request order. Value-bearing replies
+    /// encode straight out of the wave's flat result buffers — no
+    /// per-reply `Vec<u64>` materialization.
+    // lint: no-alloc
     pub(crate) fn scatter(self, conns: &mut [Conn], stats: &AtomicStats) {
         let w = if self.slots.is_empty() { 0 } else { self.width_hint() };
-        let mut buf = Vec::new();
+        // One reusable frame buffer per wave, cleared between slots.
+        let mut buf = Vec::new(); // lint: alloc-ok(single per-wave scratch, reused across slots)
         for ((ci, slot), err) in self.slots.iter().zip(&self.slot_errs) {
             buf.clear();
-            let resp = if let Some(e) = err {
-                Response::Error(*e)
+            let err = if let Some(e) = err {
+                Some(*e)
             } else {
                 match *slot {
                     Slot::Write { first, reply_value, .. } => {
                         if reply_value {
-                            Response::Value(self.write_snaps[first * w..(first + 1) * w].to_vec())
+                            encode_value_response(
+                                // snaps were filled `entries × w` at dispatch
+                                &self.write_snaps[first * w..(first + 1) * w],
+                                &mut buf,
+                            );
                         } else {
-                            Response::Ok
+                            encode_response(&Response::Ok, &mut buf);
                         }
+                        None
                     }
                     Slot::ReadValue { first } => {
-                        Response::Value(self.read_vals[first * w..(first + 1) * w].to_vec())
+                        encode_value_response(
+                            // read_vals were filled `keys × w` at dispatch
+                            &self.read_vals[first * w..(first + 1) * w],
+                            &mut buf,
+                        );
+                        None
                     }
-                    Slot::ReadValues { first, count } => Response::Values(
-                        (first..first + count)
-                            .map(|i| self.read_vals[i * w..(i + 1) * w].to_vec())
-                            .collect(),
-                    ),
-                    Slot::Err(e) => Response::Error(e),
+                    Slot::ReadValues { first, count } => {
+                        encode_values_response(
+                            // read_vals were filled `keys × w` at dispatch
+                            &self.read_vals[first * w..(first + count) * w],
+                            w,
+                            &mut buf,
+                        );
+                        None
+                    }
+                    Slot::Err(e) => Some(e),
                     Slot::Bad(e) => {
-                        conns[*ci].poison();
-                        stats.bad_frames.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
-                        Response::Error(WireError::BadFrame(e))
+                        conns[*ci].poison(); // `ci` indexes the conns slice build() walked
+                        stats.bad_frames.fetch_add(1, Ordering::Relaxed);
+                        Some(WireError::BadFrame(e))
                     }
                 }
             };
-            if matches!(resp, Response::Error(_)) {
-                stats.error_replies.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+            if let Some(e) = err {
+                encode_response(&Response::Error(e), &mut buf);
+                stats.error_replies.fetch_add(1, Ordering::Relaxed);
             }
-            stats.requests.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
-            encode_response(&resp, &mut buf);
-            conns[*ci].queue_out(&buf);
+            stats.requests.fetch_add(1, Ordering::Relaxed);
+            conns[*ci].queue_out(&buf); // `ci` indexes the conns slice build() walked
         }
     }
 

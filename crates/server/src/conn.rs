@@ -119,7 +119,7 @@ impl Conn {
                     break;
                 }
                 Ok(n) => {
-                    self.inbuf.extend_from_slice(&chunk[..n]);
+                    self.inbuf.extend_from_slice(&chunk[..n]); // read() returned n <= chunk.len()
                     progressed = true;
                     if n < chunk.len() {
                         break;
@@ -145,6 +145,7 @@ impl Conn {
         let mut at = 0;
         let mut progressed = false;
         while !self.poisoned {
+            // at <= inbuf.len(): advanced by consumed frame lengths
             match decode_request(&self.inbuf[at..]) {
                 Ok(Decoded::Frame(req, consumed)) => {
                     self.pending.push_back(Pending::Req(req));
@@ -181,6 +182,7 @@ impl Conn {
         }
         let mut progressed = false;
         while self.out_at < self.outbuf.len() {
+            // loop guard: out_at < outbuf.len()
             match self.stream.write(&self.outbuf[self.out_at..]) {
                 Ok(0) => {
                     self.dead = true;

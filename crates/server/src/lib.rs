@@ -81,8 +81,8 @@ mod reactor;
 mod stats;
 mod worker;
 
+use mwllsc::sync::{AtomicBool, Ordering};
 use std::net::{SocketAddr, TcpListener};
-use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{mpsc, Arc};
 use std::thread::JoinHandle;
 use std::time::Duration;

@@ -277,19 +277,24 @@ pub enum Decoded<T> {
 
 // ---------------------------------------------------------------- encode
 
+// lint: no-alloc
 fn put_u16(out: &mut Vec<u8>, v: u16) {
     out.extend_from_slice(&v.to_le_bytes());
 }
 
+// lint: no-alloc
 fn put_u32(out: &mut Vec<u8>, v: u32) {
     out.extend_from_slice(&v.to_le_bytes());
 }
 
+// lint: no-alloc
 fn put_u64(out: &mut Vec<u8>, v: u64) {
     out.extend_from_slice(&v.to_le_bytes());
 }
 
+// lint: no-alloc
 fn put_words(out: &mut Vec<u8>, words: &[u64]) {
+    // lint: panic-ok(width cap is encode_request's documented `# Panics` contract)
     put_u16(out, u16::try_from(words.len()).expect("value width fits u16"));
     for &w in words {
         put_u64(out, w);
@@ -299,6 +304,7 @@ fn put_words(out: &mut Vec<u8>, words: &[u64]) {
 /// Opens a frame: writes the length placeholder plus the
 /// `[version][kind]` header, returning the patch position for
 /// [`end_frame`].
+// lint: no-alloc
 fn begin_frame(out: &mut Vec<u8>, kind: u8) -> usize {
     let at = out.len();
     put_u32(out, 0);
@@ -308,9 +314,14 @@ fn begin_frame(out: &mut Vec<u8>, kind: u8) -> usize {
 }
 
 /// Closes a frame begun at `at`: patches the length prefix.
+// lint: no-alloc
 fn end_frame(out: &mut [u8], at: usize) {
     let len = out.len() - at - HEADER_LEN;
+    // lint: panic-ok(frame cap is encode_request's documented `# Panics` contract)
     assert!(len <= MAX_FRAME_LEN, "encoded frame of {len} bytes exceeds MAX_FRAME_LEN");
+    // `begin_frame` wrote 4 placeholder bytes at `at`, so the patch
+    // range exists whenever `at` came from it.
+    // lint: panic-ok(`at` comes from begin_frame; see above)
     out[at..at + 4].copy_from_slice(&u32::try_from(len).expect("checked above").to_le_bytes());
 }
 
@@ -321,6 +332,7 @@ fn end_frame(out: &mut [u8], at: usize) {
 /// Panics if the frame would exceed [`MAX_FRAME_LEN`] or a value is wider
 /// than `u16::MAX` words — both are caller programming errors, not wire
 /// conditions (the store's width ceiling is far below either limit).
+// lint: no-alloc
 pub fn encode_request(req: &Request, out: &mut Vec<u8>) {
     match req {
         Request::Get { key } => {
@@ -346,6 +358,7 @@ pub fn encode_request(req: &Request, out: &mut Vec<u8>) {
         }
         Request::MGet { keys } => {
             let at = begin_frame(out, K_MGET);
+            // lint: panic-ok(count cap is this fn's documented `# Panics` contract)
             put_u32(out, u32::try_from(keys.len()).expect("key count fits u32"));
             for &k in keys {
                 put_u64(out, k);
@@ -354,6 +367,7 @@ pub fn encode_request(req: &Request, out: &mut Vec<u8>) {
         }
         Request::MSet { pairs } => {
             let at = begin_frame(out, K_MSET);
+            // lint: panic-ok(count cap is this fn's documented `# Panics` contract)
             put_u32(out, u32::try_from(pairs.len()).expect("pair count fits u32"));
             for (k, v) in pairs {
                 put_u64(out, *k);
@@ -364,21 +378,54 @@ pub fn encode_request(req: &Request, out: &mut Vec<u8>) {
     }
 }
 
+/// Appends a `Value` response to `out` straight from a borrowed word
+/// slice — the wave scatter path uses this to reply out of its flat
+/// result buffers without materializing a `Response` (same limits as
+/// [`encode_request`]).
+// lint: no-alloc
+pub fn encode_value_response(words: &[u64], out: &mut Vec<u8>) {
+    let at = begin_frame(out, K_VALUE);
+    put_words(out, words);
+    end_frame(out, at);
+}
+
+/// Appends a `Values` response to `out` from a flat `count × width` word
+/// slice (same limits as [`encode_request`]).
+///
+/// # Panics
+///
+/// Panics if `width` is zero or does not divide `flat.len()` — both are
+/// caller programming errors (the store's width is fixed and nonzero).
+// lint: no-alloc
+pub fn encode_values_response(flat: &[u64], width: usize, out: &mut Vec<u8>) {
+    // lint: panic-ok(zero/non-dividing width is this fn's documented `# Panics` contract)
+    assert!(
+        width > 0 && flat.len() % width == 0,
+        "flat length {} not a multiple of width {width}",
+        flat.len()
+    );
+    let at = begin_frame(out, K_VALUES);
+    // lint: panic-ok(count cap is encode_request's documented `# Panics` contract)
+    put_u32(out, u32::try_from(flat.len() / width).expect("value count fits u32"));
+    for v in flat.chunks_exact(width) {
+        put_words(out, v);
+    }
+    end_frame(out, at);
+}
+
 /// Appends `resp` to `out` as one frame (same limits as
 /// [`encode_request`]).
+// lint: no-alloc
 pub fn encode_response(resp: &Response, out: &mut Vec<u8>) {
     match resp {
         Response::Ok => {
             let at = begin_frame(out, K_OK);
             end_frame(out, at);
         }
-        Response::Value(v) => {
-            let at = begin_frame(out, K_VALUE);
-            put_words(out, v);
-            end_frame(out, at);
-        }
+        Response::Value(v) => encode_value_response(v, out),
         Response::Values(vs) => {
             let at = begin_frame(out, K_VALUES);
+            // lint: panic-ok(count cap is encode_request's documented `# Panics` contract)
             put_u32(out, u32::try_from(vs.len()).expect("value count fits u32"));
             for v in vs {
                 put_words(out, v);
@@ -430,29 +477,39 @@ impl<'a> Cursor<'a> {
         self.buf.len() - self.at
     }
 
+    // lint: no-alloc
     fn take(&mut self, n: usize) -> Result<&'a [u8], FrameError> {
-        if self.remaining() < n {
-            return Err(FrameError::BadLength);
-        }
-        let s = &self.buf[self.at..self.at + n];
+        let s = self.buf.get(self.at..self.at + n).ok_or(FrameError::BadLength)?;
         self.at += n;
         Ok(s)
     }
 
+    /// The next `N` bytes as an array (the panic-free `from_le_bytes`
+    /// feed: a short payload is a `BadLength`, never an index panic).
+    // lint: no-alloc
+    fn chunk<const N: usize>(&mut self) -> Result<[u8; N], FrameError> {
+        self.take(N)?.first_chunk::<N>().copied().ok_or(FrameError::BadLength)
+    }
+
+    // lint: no-alloc
     fn u8(&mut self) -> Result<u8, FrameError> {
-        Ok(self.take(1)?[0])
+        let [b] = self.chunk::<1>()?;
+        Ok(b)
     }
 
+    // lint: no-alloc
     fn u16(&mut self) -> Result<u16, FrameError> {
-        Ok(u16::from_le_bytes(self.take(2)?.try_into().expect("2 bytes")))
+        Ok(u16::from_le_bytes(self.chunk()?))
     }
 
+    // lint: no-alloc
     fn u32(&mut self) -> Result<u32, FrameError> {
-        Ok(u32::from_le_bytes(self.take(4)?.try_into().expect("4 bytes")))
+        Ok(u32::from_le_bytes(self.chunk()?))
     }
 
+    // lint: no-alloc
     fn u64(&mut self) -> Result<u64, FrameError> {
-        Ok(u64::from_le_bytes(self.take(8)?.try_into().expect("8 bytes")))
+        Ok(u64::from_le_bytes(self.chunk()?))
     }
 
     /// A `[u16 n][n × u64]` value slice; `n` is validated against the
@@ -480,25 +537,30 @@ impl<'a> Cursor<'a> {
 type RawFrame<'a> = Option<(u8, &'a [u8], usize)>;
 
 /// Splits off one frame's `(kind, payload)` from the front of `buf`.
+// lint: no-alloc
 fn frame_body(buf: &[u8]) -> Result<RawFrame<'_>, FrameError> {
-    if buf.len() < HEADER_LEN {
+    let Some(len_bytes) = buf.first_chunk::<4>() else {
         return Ok(None);
-    }
-    let len = u32::from_le_bytes(buf[..4].try_into().expect("4 bytes")) as usize;
+    };
+    let len = u32::from_le_bytes(*len_bytes) as usize;
     if len > MAX_FRAME_LEN {
         return Err(FrameError::Oversized(len as u64));
     }
     if len < 2 {
         return Err(FrameError::BadLength);
     }
-    if buf.len() < HEADER_LEN + len {
+    let Some(body) = buf.get(HEADER_LEN..HEADER_LEN + len) else {
         return Ok(None);
+    };
+    // `len >= 2` guarantees the pattern matches; the else arm is
+    // unreachable but keeps this path structurally panic-free.
+    let &[ver, kind, ref payload @ ..] = body else {
+        return Err(FrameError::BadLength);
+    };
+    if ver != PROTO_VERSION {
+        return Err(FrameError::BadVersion(ver));
     }
-    let body = &buf[HEADER_LEN..HEADER_LEN + len];
-    if body[0] != PROTO_VERSION {
-        return Err(FrameError::BadVersion(body[0]));
-    }
-    Ok(Some((body[1], &body[2..], HEADER_LEN + len)))
+    Ok(Some((kind, payload, HEADER_LEN + len)))
 }
 
 /// Decodes one request frame from the front of `buf`.

@@ -8,8 +8,8 @@
 //! server exists to batch. The worker-facing interface (an mpsc of
 //! accepted streams) would be unchanged by a readiness-API reactor.
 
+use mwllsc::sync::{AtomicBool, Ordering};
 use std::net::{TcpListener, TcpStream};
-use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::mpsc::Sender;
 use std::sync::Arc;
 use std::time::Duration;

@@ -1,6 +1,6 @@
 //! Server counters: lock-free accumulation, snapshot on demand.
 
-use std::sync::atomic::{AtomicU64, Ordering};
+use mwllsc::sync::{AtomicU64, Ordering};
 
 /// Number of batch-size histogram buckets: sizes `1`, `2–3`, `4–7`, …,
 /// `≥128` (powers of two).
@@ -34,13 +34,13 @@ impl AtomicStats {
     pub(crate) fn record_write_batch(&self, entries: usize) {
         self.write_batches.fetch_add(1, Ordering::Relaxed);
         self.write_entries.fetch_add(entries as u64, Ordering::Relaxed);
-        self.batch_hist[bucket(entries)].fetch_add(1, Ordering::Relaxed);
+        self.batch_hist[bucket(entries)].fetch_add(1, Ordering::Relaxed); // bucket() clamps to HIST_BUCKETS - 1
     }
 
     pub(crate) fn record_read_batch(&self, keys: usize) {
         self.read_batches.fetch_add(1, Ordering::Relaxed);
         self.read_keys.fetch_add(keys as u64, Ordering::Relaxed);
-        self.batch_hist[bucket(keys)].fetch_add(1, Ordering::Relaxed);
+        self.batch_hist[bucket(keys)].fetch_add(1, Ordering::Relaxed); // bucket() clamps to HIST_BUCKETS - 1
     }
 
     pub(crate) fn snapshot(&self) -> ServerStats {
@@ -55,7 +55,7 @@ impl AtomicStats {
             write_entries: self.write_entries.load(Ordering::Relaxed),
             read_batches: self.read_batches.load(Ordering::Relaxed),
             read_keys: self.read_keys.load(Ordering::Relaxed),
-            batch_hist: std::array::from_fn(|i| self.batch_hist[i].load(Ordering::Relaxed)),
+            batch_hist: std::array::from_fn(|i| self.batch_hist[i].load(Ordering::Relaxed)), // i < HIST_BUCKETS by from_fn
             backpressure_skips: self.backpressure_skips.load(Ordering::Relaxed),
         }
     }

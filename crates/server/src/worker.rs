@@ -8,7 +8,7 @@
 //! handles) can serve a store, and the lease is what makes every per-key
 //! claim inside a batch an uncontended RMW (see the store docs).
 
-use std::sync::atomic::{AtomicBool, Ordering};
+use mwllsc::sync::{AtomicBool, Ordering};
 use std::sync::mpsc::Receiver;
 use std::sync::Arc;
 use std::time::{Duration, Instant};

@@ -46,8 +46,10 @@ pub struct ActorSig {
     /// The location's algorithmic label, if the scenario attached one.
     pub label: Option<Label>,
     /// Requested (success) memory ordering.
+    // lint: facade-exempt(the controller receives orderings from the facade's hook, so it names std's type, not the facade's re-export)
     pub order: std::sync::atomic::Ordering,
     /// Failure ordering for compare-exchange accesses.
+    // lint: facade-exempt(same as `order` above)
     pub failure: Option<std::sync::atomic::Ordering>,
 }
 

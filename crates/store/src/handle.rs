@@ -13,7 +13,7 @@
 //! [`MwHandle`] capability trait, so the same code path serves the paper
 //! algorithm, the substrate ablations, and the baselines.
 
-use std::sync::atomic::Ordering;
+use mwllsc::sync::Ordering;
 use std::sync::Arc;
 
 use mwllsc::{MwFactory, MwHandle, PaperBackend};
@@ -78,12 +78,13 @@ impl<B: MwFactory> StoreHandle<B> {
     /// This handle's process id within shard `si`, leasing one on first
     /// touch.
     fn slot_for(&mut self, si: usize) -> Result<usize, StoreError> {
+        // si < shard count: validated by the caller's key check
         if let Some(p) = self.slots[si] {
             return Ok(p as usize);
         }
         match self.store.shard(si).registry.lease_any() {
             Some((p, _payload)) => {
-                self.slots[si] = Some(p as u32);
+                self.slots[si] = Some(p as u32); // bounds as above
                 Ok(p)
             }
             None => {
@@ -132,6 +133,7 @@ impl<B: MwFactory> StoreHandle<B> {
     /// function of its input slice. For the paper backends every LL and
     /// SC inside the loop is wait-free `O(W)`; the loop itself is
     /// lock-free under per-key contention, like any LL/SC retry loop.
+    // lint: no-alloc
     pub fn update_with(
         &mut self,
         key: u64,
@@ -187,11 +189,12 @@ impl<B: MwFactory> StoreHandle<B> {
         let mut out = vec![vec![0u64; w]; keys.len()];
         let mut counters = CounterRun::new();
         for (at, end, obj) in runs {
-            let si = order[at].0;
-            let p = self.slots[si].expect("leased in the pre-pass above") as usize;
+            let si = order[at].0; // runs partition 0..order.len()
+            let p = self.slots[si].expect("leased in the pre-pass above") as usize; // lint: panic-ok(pre-pass leased every shard in `order`; bounds per `runs`)
             let mut h = claim_owned::<B>(&obj, p);
+            // run bounds from resolve_runs
             for &(_, i, _) in &order[at..end] {
-                h.read(&mut out[i]);
+                h.read(&mut out[i]); // i < keys.len(): out sized to match
             }
             counters.count(&store, si, (end - at) as u64, 0, bump_reads);
         }
@@ -205,6 +208,7 @@ impl<B: MwFactory> StoreHandle<B> {
     /// minus its per-key allocations. This is the allocation-free
     /// batched read: hot callers (the network frontend's coalescer)
     /// reuse one buffer across ticks.
+    // lint: no-alloc
     pub fn read_many_into(&mut self, keys: &[u64], out: &mut [u64]) -> Result<(), StoreError> {
         let w = self.store.width();
         if out.len() != keys.len() * w {
@@ -216,11 +220,12 @@ impl<B: MwFactory> StoreHandle<B> {
         let runs = resolve_runs(&store, &order);
         let mut counters = CounterRun::new();
         for (at, end, obj) in runs {
-            let si = order[at].0;
-            let p = self.slots[si].expect("leased in the pre-pass above") as usize;
+            let si = order[at].0; // runs partition 0..order.len()
+            let p = self.slots[si].expect("leased in the pre-pass above") as usize; // lint: panic-ok(pre-pass leased every shard in `order`; bounds per `runs`)
             let mut h = claim_owned::<B>(&obj, p);
+            // run bounds from resolve_runs
             for &(_, i, _) in &order[at..end] {
-                h.read(&mut out[i * w..(i + 1) * w]);
+                h.read(&mut out[i * w..(i + 1) * w]); // i < keys.len(): out is keys × w
             }
             counters.count(&store, si, (end - at) as u64, 0, bump_reads);
         }
@@ -238,6 +243,7 @@ impl<B: MwFactory> StoreHandle<B> {
     /// frame decoder produces (a parallel array of decoded operations)
     /// without boxing an op per request. As always, `apply` may run once
     /// per LL/SC round and must be a pure function of `(i, buf)`.
+    // lint: no-alloc
     pub fn update_many_with(
         &mut self,
         keys: &[u64],
@@ -287,7 +293,7 @@ impl<B: MwFactory> StoreHandle<B> {
         batch: &mut [(u64, F)],
     ) -> Result<(), StoreError> {
         let keys: Vec<u64> = batch.iter().map(|(k, _)| *k).collect();
-        self.batch_update(&keys, &mut |i, buf| (batch[i].1)(buf))
+        self.batch_update(&keys, &mut |i, buf| (batch[i].1)(buf)) // i < keys.len() == batch.len()
     }
 
     /// Blind-writes a batch of `(key, value)` pairs: each key is
@@ -306,7 +312,7 @@ impl<B: MwFactory> StoreHandle<B> {
             }
         }
         let keys: Vec<u64> = batch.iter().map(|(k, _)| *k).collect();
-        self.batch_update(&keys, &mut |i, buf| buf.copy_from_slice(batch[i].1))
+        self.batch_update(&keys, &mut |i, buf| buf.copy_from_slice(batch[i].1)) // i < keys.len() == batch.len()
     }
 
     /// Shared batch machinery: validates and sorts `keys` by
@@ -326,14 +332,15 @@ impl<B: MwFactory> StoreHandle<B> {
         let mut buf = vec![0u64; store.width()];
         let mut counters = CounterRun::new();
         for (at, end, obj) in runs {
-            let si = order[at].0;
-            let p = self.slots[si].expect("leased in the pre-pass above") as usize;
+            let si = order[at].0; // runs partition 0..order.len()
+            let p = self.slots[si].expect("leased in the pre-pass above") as usize; // lint: panic-ok(pre-pass leased every shard in `order`; bounds per `runs`)
             let mut h = claim_owned::<B>(&obj, p);
             let mut retries = 0;
             // The whole run of entries for this key is applied inside ONE
             // LL/SC commit — several logical updates per SC.
             loop {
                 h.ll(&mut buf);
+                // run bounds from resolve_runs
                 for &(_, i, _) in &order[at..end] {
                     apply(i, &mut buf);
                 }
@@ -404,8 +411,8 @@ fn resolve_runs<B: MwFactory>(
     let mut table: ShardTable<'_, B> = None;
     let mut at = 0;
     while at < order.len() {
-        let (si, _, key) = order[at];
-        // The run of entries for this key (adjacent after the sort).
+        let (si, _, key) = order[at]; // loop guard: at < order.len()
+                                      // The run of entries for this key (adjacent after the sort).
         let end = at + order[at..].iter().take_while(|&&(s, _, k)| s == si && k == key).count();
         if !matches!(&table, Some((tsi, _)) if *tsi == si) {
             // Release the previous shard's guard *before* locking the
@@ -486,6 +493,7 @@ impl CounterRun {
 /// — is fine.)
 fn claim_owned<B: MwFactory>(obj: &Arc<B::Object>, p: usize) -> B::Handle {
     B::try_claim(obj, p).unwrap_or_else(|e| {
+        // lint: panic-ok(infallible by the slot-exclusivity argument above; a conflict is a registry bug, not an input error)
         panic!(
             "shard slot {p} is exclusively leased by this StoreHandle, claim cannot conflict: {e}"
         )

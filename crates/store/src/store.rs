@@ -1,8 +1,8 @@
 //! The sharded store: configuration, shards, lazy per-key objects, and
 //! the rolled-up space/stats reports.
 
+use mwllsc::sync::{AtomicU64, AtomicUsize, Ordering};
 use std::collections::HashMap;
-use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, PoisonError, RwLock};
 
 use mwllsc::{CachePadded, MwFactory, PaperBackend, SlotRegistry};
@@ -274,6 +274,7 @@ impl<B: MwFactory> Store<B> {
     /// Panics on the conditions `try_new_in` reports as errors.
     #[must_use]
     pub fn new_in(config: StoreConfig) -> Arc<Self> {
+        // lint: panic-ok(documented `# Panics` convenience wrapper; try_new_in is the typed path)
         Self::try_new_in(config).unwrap_or_else(|e| panic!("Store::new: {e}"))
     }
 
@@ -345,7 +346,7 @@ impl<B: MwFactory> Store<B> {
     }
 
     pub(crate) fn shard(&self, si: usize) -> &Shard<B> {
-        &self.shards[si]
+        &self.shards[si] // si comes from router.shard_of, bounded by shard count
     }
 
     /// Read-locks shard `si`'s key table. The batched paths hold this
@@ -355,13 +356,13 @@ impl<B: MwFactory> Store<B> {
         &self,
         si: usize,
     ) -> std::sync::RwLockReadGuard<'_, HashMap<u64, Arc<B::Object>>> {
-        self.shards[si].objects.read().unwrap_or_else(PoisonError::into_inner)
+        self.shards[si].objects.read().unwrap_or_else(PoisonError::into_inner) // si bounded by shard count (router)
     }
 
     /// Returns the object for `key` (which must route to shard `si`),
     /// materializing it on first touch.
     pub(crate) fn object_for(&self, si: usize, key: u64) -> Arc<B::Object> {
-        let shard = &self.shards[si];
+        let shard = &self.shards[si]; // si bounded by shard count (router)
         if let Some(obj) = shard.objects.read().unwrap_or_else(PoisonError::into_inner).get(&key) {
             return Arc::clone(obj);
         }
@@ -369,7 +370,7 @@ impl<B: MwFactory> Store<B> {
         let obj = map.entry(key).or_insert_with(|| {
             shard.touched.fetch_add(1, Ordering::Relaxed);
             B::try_build(self.shard_capacity, self.w, &self.initial)
-                .expect("per-key config was validated at store construction")
+                .expect("per-key config was validated at store construction") // lint: panic-ok(try_build was proven Ok for this exact config at construction)
         });
         Arc::clone(obj)
     }

@@ -73,6 +73,7 @@ impl<B: MwFactory> Store<B> {
             })
             .map(|any| {
                 *any.downcast::<StoreHandle<B>>()
+                    // lint: panic-ok(cache key is the store's address, so the Any is always a StoreHandle<B>; see module docs)
                     .expect("the store's address pins the cached handle's backend type")
             });
         let mut handle = cached.unwrap_or_else(|| self.attach());
