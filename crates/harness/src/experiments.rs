@@ -1355,6 +1355,282 @@ pub fn e14_lint(_quick: bool) {
     }
 }
 
+/// E15 — the shared-nothing mesh: symmetric `StoreHandle` threads vs
+/// mesh `MeshHandle` callers on identical seeded skewed increment
+/// workloads, with an exactness gate (both modes must produce the same
+/// per-key sums), the ring-occupancy histogram, and a
+/// `BENCH_<rev>.json` drop.
+pub fn e15_mesh(quick: bool) {
+    use mwllsc_mesh::{InlineVal, Mesh, MeshConfig, MeshStats, UpdateKind, OCC_BUCKETS};
+
+    println!("## E15 — mwllsc-mesh: symmetric handles vs shared-nothing shard ownership\n");
+    println!("Claim: symmetric StoreHandles make every caller RMW every shard it");
+    println!("touches — cross-core coherence traffic on the X/Bank/Help lines grows");
+    println!("with callers. The mesh pins each shard to one worker thread and ships");
+    println!("operations over bounded SPSC rings instead, so a shard's cache lines");
+    println!("stay resident at their owner and cross-caller batching falls out of");
+    println!("the worker's drain-dispatch waves. Both modes run the *same* seeded");
+    println!("workload; the gate requires their per-key sums to be identical.\n");
+
+    const HOT: u64 = 4;
+    const KEYSPACE: u64 = 256;
+    const MESH_WORKERS: usize = 2;
+    let per_cell: u64 = if quick { 6_000 } else { 48_000 };
+    let seed: u64 = 0xE15_5EED;
+
+    // Same 80/20 skew as E13: the mix that makes cross-caller batching
+    // (and symmetric-mode contention) actually happen.
+    fn skewed_key(n: u64) -> u64 {
+        if n % 10 < 8 {
+            n % HOT
+        } else {
+            HOT + (n >> 8) % (KEYSPACE - HOT)
+        }
+    }
+
+    fn mix(seed: u64, stream: u64) -> u64 {
+        let mut z = seed ^ stream.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// The caller's deterministic batch for round `r` — both modes call
+    /// this with the same seed, so their workloads are word-identical.
+    fn round_keys(seed: u64, caller: usize, r: usize, depth: usize) -> Vec<u64> {
+        (0..depth)
+            .map(|i| skewed_key(mix(seed, (caller as u64) << 40 | (r * depth + i) as u64)))
+            .collect()
+    }
+
+    fn check_exact(label: &str, got: &[u64], acked: &[Vec<u64>]) {
+        for k in 0..KEYSPACE as usize {
+            let expect: u64 = acked.iter().map(|a| a[k]).sum();
+            if got[k] != expect {
+                eprintln!(
+                    "mwllsc-harness: E15 exactness FAILED ({label}, key {k}): {} != {expect}",
+                    got[k]
+                );
+                std::process::exit(2);
+            }
+        }
+    }
+
+    /// Symmetric cell: `callers` threads, each owning a plain
+    /// `StoreHandle`, committing `depth`-key batches directly. Returns
+    /// ops/sec and the per-key totals (for the cross-mode gate).
+    fn run_symmetric(callers: usize, depth: usize, per_cell: u64, seed: u64) -> (f64, Vec<u64>) {
+        let rounds = (per_cell / (callers as u64 * depth as u64)).max(1) as usize;
+        let store = Store::new(StoreConfig::new(8, 32, 1, KEYSPACE));
+        let barrier = std::sync::Barrier::new(callers + 1);
+        let (wall, acked) = std::thread::scope(|s| {
+            let handles: Vec<_> = (0..callers)
+                .map(|t| {
+                    let (store, barrier) = (Arc::clone(&store), &barrier);
+                    s.spawn(move || {
+                        let mut h = store.attach();
+                        let mut acked = vec![0u64; KEYSPACE as usize];
+                        barrier.wait();
+                        for r in 0..rounds {
+                            let keys = round_keys(seed, t, r, depth);
+                            h.update_many_with(&keys, |_, v| v[0] += 1).unwrap_or_else(|e| {
+                                eprintln!("mwllsc-harness: E15 symmetric update: {e}");
+                                std::process::exit(2);
+                            });
+                            for &k in &keys {
+                                acked[k as usize] += 1;
+                            }
+                        }
+                        acked
+                    })
+                })
+                .collect();
+            barrier.wait();
+            let start = Instant::now();
+            let per_thread: Vec<Vec<u64>> =
+                handles.into_iter().map(|h| h.join().unwrap()).collect();
+            (start.elapsed(), per_thread)
+        });
+
+        let mut probe = store.attach();
+        let got: Vec<u64> =
+            (0..KEYSPACE).map(|k| probe.read_vec(k).expect("E15 probe read")[0]).collect();
+        check_exact("symmetric", &got, &acked);
+        let totals: Vec<u64> =
+            (0..KEYSPACE as usize).map(|k| acked.iter().map(|a| a[k]).sum()).collect();
+        ((callers * depth * rounds) as f64 / wall.as_secs_f64(), totals)
+    }
+
+    /// Mesh cell: the same workload, but `callers` hold `MeshHandle`s
+    /// and every operation crosses a ring to its shard's owning worker.
+    fn run_mesh(
+        callers: usize,
+        depth: usize,
+        per_cell: u64,
+        seed: u64,
+    ) -> (f64, Vec<u64>, MeshStats) {
+        let rounds = (per_cell / (callers as u64 * depth as u64)).max(1) as usize;
+        let store = Store::new(StoreConfig::new(8, 32, 1, KEYSPACE));
+        let mesh =
+            Mesh::try_new(Arc::clone(&store), MeshConfig::default().with_workers(MESH_WORKERS))
+                .unwrap_or_else(|e| {
+                    eprintln!("mwllsc-harness: E15 cannot start mesh: {e}");
+                    std::process::exit(2);
+                });
+        let barrier = std::sync::Barrier::new(callers + 1);
+        let (wall, acked) = std::thread::scope(|s| {
+            let handles: Vec<_> = (0..callers)
+                .map(|t| {
+                    let (mesh, barrier) = (Arc::clone(&mesh), &barrier);
+                    s.spawn(move || {
+                        let mut h = mesh.attach();
+                        let mut acked = vec![0u64; KEYSPACE as usize];
+                        let one = InlineVal::from_slice(&[1]).unwrap();
+                        barrier.wait();
+                        for r in 0..rounds {
+                            let keys = round_keys(seed, t, r, depth);
+                            h.update_batch(&keys, &mut |_| (UpdateKind::Add, one), None)
+                                .unwrap_or_else(|e| {
+                                    eprintln!("mwllsc-harness: E15 mesh update: {e}");
+                                    std::process::exit(2);
+                                });
+                            for &k in &keys {
+                                acked[k as usize] += 1;
+                            }
+                        }
+                        acked
+                    })
+                })
+                .collect();
+            barrier.wait();
+            let start = Instant::now();
+            let per_thread: Vec<Vec<u64>> =
+                handles.into_iter().map(|h| h.join().unwrap()).collect();
+            (start.elapsed(), per_thread)
+        });
+
+        let mut probe = mesh.attach();
+        let got: Vec<u64> =
+            (0..KEYSPACE).map(|k| probe.read_vec(k).expect("E15 mesh probe read")[0]).collect();
+        check_exact("mesh", &got, &acked);
+        let totals: Vec<u64> =
+            (0..KEYSPACE as usize).map(|k| acked.iter().map(|a| a[k]).sum()).collect();
+        let stats = mesh.stats();
+        drop(probe);
+        mesh.shutdown();
+        if store.live_slot_leases() != 0 {
+            eprintln!("mwllsc-harness: E15 mesh shutdown leaked a shard-slot lease");
+            std::process::exit(2);
+        }
+        ((callers * depth * rounds) as f64 / wall.as_secs_f64(), totals, stats)
+    }
+
+    let grid: &[(usize, usize)] =
+        if quick { &[(2, 8), (4, 32)] } else { &[(1, 1), (2, 8), (4, 8), (4, 32), (8, 32)] };
+
+    println!("### Increments/sec, {MESH_WORKERS} mesh workers, W = 1, skewed 80/20 key mix,");
+    println!("~{per_cell} ops per cell (symmetric = callers committing directly; mesh =");
+    println!("the same callers forwarding over rings to shard owners)\n");
+
+    let mut t =
+        Table::new(["callers", "depth", "symmetric", "mesh", "ratio", "entries/msg", "waves"]);
+    let mut json_rows = String::new();
+    let mut flagship: Option<MeshStats> = None;
+    for &(callers, depth) in grid {
+        let (rps_sym, sums_sym) = run_symmetric(callers, depth, per_cell, seed);
+        let (rps_mesh, sums_mesh, stats) = run_mesh(callers, depth, per_cell, seed);
+        // The cross-mode gate: same seed, same workload, same sums.
+        if sums_sym != sums_mesh {
+            eprintln!("mwllsc-harness: E15 modes diverged on identical workloads");
+            std::process::exit(2);
+        }
+        let packing = stats.entries as f64 / (stats.msgs.max(1)) as f64;
+        let occ = stats.occ_hist.iter().map(ToString::to_string).collect::<Vec<_>>().join(",");
+        for (mode, rps) in [("symmetric", rps_sym), ("mesh", rps_mesh)] {
+            let (entries, msgs, waves, hist) = if mode == "mesh" {
+                (stats.entries, stats.msgs, stats.waves, occ.as_str())
+            } else {
+                (0, 0, 0, "")
+            };
+            json_rows.push_str(&format!(
+                "    {{\"callers\": {callers}, \"depth\": {depth}, \"mode\": \"{mode}\", \
+                 \"rps\": {rps:.0}, \"entries\": {entries}, \"msgs\": {msgs}, \
+                 \"waves\": {waves}, \"occ_hist\": [{hist}]}},\n"
+            ));
+        }
+        if callers >= 4 && depth >= 32 {
+            flagship = Some(stats.clone());
+        }
+        t.row([
+            callers.to_string(),
+            depth.to_string(),
+            fmt_ops(rps_sym),
+            fmt_ops(rps_mesh),
+            format!("{:.2}x", rps_mesh / rps_sym),
+            format!("{packing:.2}"),
+            stats.waves.to_string(),
+        ]);
+    }
+    t.print();
+    println!();
+    if let Some(stats) = flagship {
+        let hist = (1..OCC_BUCKETS)
+            .filter(|&b| stats.occ_hist[b] > 0)
+            .map(|b| {
+                let lo = 1u64 << (b - 1);
+                let hi = (1u64 << b) - 1;
+                if lo == hi {
+                    format!("{lo}: {}", stats.occ_hist[b])
+                } else {
+                    format!("{lo}-{hi}: {}", stats.occ_hist[b])
+                }
+            })
+            .collect::<Vec<_>>()
+            .join(" · ");
+        println!("Ring-occupancy histogram at the deep-pipeline cell (drain-time samples");
+        println!("of nonempty request rings): {hist}\n");
+    }
+    println!("Shape check: entries/msg > 1 means the caller's batch packer folded");
+    println!("consecutive same-owner keys into shared ring slots, and entries/wave");
+    println!("(entries ÷ waves) is the cross-caller batch the owning worker handed");
+    println!("the store in one dispatch. On a single core the mesh pays its ring");
+    println!("round-trips with no parallelism to amortize them — the ratio column");
+    println!("is expected to favor symmetric there; the coherence-traffic claim");
+    println!("needs a pinned multi-core re-measurement.\n");
+
+    // Machine-readable drop, same shape conventions as E13's.
+    let rev = std::env::var("MWLLSC_BENCH_REV")
+        .ok()
+        .or_else(|| {
+            std::process::Command::new("git")
+                .args(["rev-parse", "--short", "HEAD"])
+                .output()
+                .ok()
+                .filter(|o| o.status.success())
+                .map(|o| String::from_utf8_lossy(&o.stdout).trim().to_string())
+        })
+        .filter(|s| !s.is_empty())
+        .unwrap_or_else(|| "local".to_string());
+    let backend = Store::new(StoreConfig::new(1, 1, 1, 1)).backend();
+    let json = format!(
+        "{{\n  \"experiment\": \"e15-mesh\",\n  \"rev\": \"{rev}\",\n  \"quick\": {quick},\n  \
+         \"backend\": \"{backend}\",\n  \"mesh_workers\": {MESH_WORKERS},\n  \
+         \"host\": {{\"os\": \"{}\", \"arch\": \"{}\", \"cores\": {}, \"mode\": \"{}\"}},\n  \
+         \"occ_hist_buckets\": \"log2, bucket b covers 2^(b-1)..2^b-1, empty rings unsampled\",\n  \
+         \"rows\": [\n{}  ]\n}}\n",
+        std::env::consts::OS,
+        std::env::consts::ARCH,
+        std::thread::available_parallelism().map_or(0, std::num::NonZeroUsize::get),
+        if cfg!(debug_assertions) { "debug" } else { "release" },
+        json_rows.trim_end_matches(",\n").to_string() + "\n",
+    );
+    let path = format!("BENCH_{rev}_mesh.json");
+    match std::fs::write(&path, &json) {
+        Ok(()) => println!("Wrote {path} (both modes' rps, packing, occupancy histogram).\n"),
+        Err(e) => println!("NOTE: could not write {path}: {e}\n"),
+    }
+}
+
 /// Runs every experiment in order.
 pub fn all(quick: bool) {
     e1_space(quick);
@@ -1369,6 +1645,7 @@ pub fn all(quick: bool) {
     e11_backends(quick);
     e13_server(quick);
     e14_lint(quick);
+    e15_mesh(quick);
     #[cfg(mwllsc_model)]
     e12_model(quick);
 }

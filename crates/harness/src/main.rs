@@ -20,6 +20,8 @@
 //!                        per-request dispatch (+ BENCH_<rev>.json)
 //!   e14-lint             static policy sweep (mwllsc-lint) over the
 //!                        workspace: facade, orderings, SAFETY, no-alloc
+//!   e15-mesh             shared-nothing mesh vs symmetric handles on one
+//!                        workload (+ ring occupancy, BENCH_<rev>.json)
 //!   all                  everything above, in order
 //! ```
 //!
@@ -34,7 +36,7 @@ fn usage() -> ! {
     eprintln!(
         "usage: mwllsc-harness <e1-space|e2-time-w|e3-time-n|e4-vl|e5-waitfree|\
          e6-linearizability|e7-helping|e8-compare|e10-store|e11-backends|\
-         e12-model|e13-server|e14-lint|all> [--quick]"
+         e12-model|e13-server|e14-lint|e15-mesh|all> [--quick]"
     );
     std::process::exit(2);
 }
@@ -66,6 +68,7 @@ fn main() {
         "e12-model" => experiments::e12_model(quick),
         "e13-server" => experiments::e13_server(quick),
         "e14-lint" => experiments::e14_lint(quick),
+        "e15-mesh" => experiments::e15_mesh(quick),
         "all" => experiments::all(quick),
         _ => usage(),
     }

@@ -27,6 +27,7 @@ const COVERAGE_FILES: &[&str] = &[
     "crates/llsc/src/deferred.rs",
     "crates/llsc/src/smr.rs",
     "crates/llsc/src/tagged.rs",
+    "crates/mesh/src/ring.rs",
 ];
 
 /// The atomics facade itself — the one file allowed to name
@@ -51,7 +52,7 @@ const ATOMIC_METHODS: &[(&str, SiteKind)] = &[
 ];
 
 /// Cells with a constrained ordering policy (see `LINT_POLICY.md`).
-const CONSTRAINED_CELLS: &[&str] = &["X", "Bank", "Help", "BUF", "SLOT"];
+const CONSTRAINED_CELLS: &[&str] = &["X", "Bank", "Help", "BUF", "SLOT", "RINGH", "RINGT"];
 
 /// Named cells that are deliberately unconstrained: `CURS` (the registry
 /// cursor), the EBR subsystem's cells (whose orderings are justified by
@@ -105,7 +106,8 @@ impl<'a> FileClass<'a> {
             is_lib_src: rel.contains("/src/") || rel.starts_with("src/"),
             coverage: COVERAGE_FILES.contains(&rel),
             panic_scope: rel.starts_with("crates/server/src/")
-                || rel.starts_with("crates/store/src/"),
+                || rel.starts_with("crates/store/src/")
+                || rel.starts_with("crates/mesh/src/"),
         }
     }
 }
@@ -394,6 +396,33 @@ fn check_site_policy(
                 }
             }
             SiteKind::Load => {}
+        },
+        // SPSC ring indices (mesh): each cell has one writing side, and
+        // every atomic access is a cross-thread edge — the owner's store
+        // publishes slot writes (tail) or slot reuse (head), the other
+        // side's load pairs with it. The owner never re-loads its own
+        // index (it keeps a plain local copy), so loads weaker than
+        // Acquire have no correct reading.
+        "RINGH" | "RINGT" => match site.kind {
+            SiteKind::Load => {
+                if !matches!(site.orderings[0].as_str(), "Acquire" | "SeqCst") {
+                    bad(out, "Acquire or stronger (cross-side index observation)");
+                }
+            }
+            SiteKind::Store => {
+                if !matches!(site.orderings[0].as_str(), "Release" | "SeqCst") {
+                    bad(out, "Release or stronger (publishes the owning side's slot accesses)");
+                }
+            }
+            SiteKind::Rmw => {
+                if !matches!(site.orderings[0].as_str(), "AcqRel" | "SeqCst") {
+                    bad(
+                        out,
+                        "AcqRel or stronger (ring indices are single-writer; RMWs are \
+                              unexpected but must pair both edges)",
+                    );
+                }
+            }
         },
         _ => unreachable!("cell {cell} is in CONSTRAINED_CELLS"),
     }

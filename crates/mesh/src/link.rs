@@ -1,0 +1,121 @@
+//! Caller↔worker links: a pair of SPSC rings plus the shared flags that
+//! carry lifecycle and wakeups.
+//!
+//! Each [`MeshHandle`](crate::MeshHandle) owns one link per worker: a
+//! request ring (caller → worker) and a reply ring (worker → caller) of
+//! equal capacity `C`. The caller keeps *issued − completed ≤ C* entries
+//! in flight per link (the sliding window), which makes both rings
+//! overflow-free by construction: request occupancy never exceeds the
+//! window, and the worker only pushes one reply per in-flight entry.
+//!
+//! Lifecycle is a three-flag handshake (all through the facade's
+//! `AtomicBool`, Release-store / Acquire-load):
+//!
+//! - `dropped` (caller → worker): the handle is gone; the worker discards
+//!   the link once its request ring is empty.
+//! - `closed` (worker → caller): shutdown reached the worker; pushes are
+//!   refused from here on (`MeshError::Disconnected`).
+//! - `drained` (worker → caller): the worker's *final* drain is complete
+//!   and every reply it will ever push is in the reply ring. A caller
+//!   that observes `drained` pops once more and treats anything still
+//!   missing as `Disconnected` — the flag's Release pairs with the
+//!   caller's Acquire, so those last replies are visible.
+
+use std::sync::{Arc, Mutex, PoisonError};
+use std::thread::Thread;
+use std::time::Duration;
+
+use mwllsc::sync::{AtomicBool, Ordering};
+
+use crate::msg::{Op, Reply};
+use crate::ring::{Consumer, Producer};
+
+/// A park/unpark rendezvous: one waiting thread, many wakers. Used for
+/// both directions (callers waiting on replies, workers idling on empty
+/// rings). Waits are always bounded (`park_timeout`), so a lost wakeup
+/// costs one timeout, never a hang.
+pub(crate) struct Waiter {
+    /// Whether the owner is (about to be) parked.
+    parked: AtomicBool,
+    /// The owner's thread handle, registered before first wait.
+    thread: Mutex<Option<Thread>>,
+}
+
+impl Waiter {
+    pub(crate) fn new() -> Self {
+        Self { parked: AtomicBool::new(false), thread: Mutex::new(None) }
+    }
+
+    /// Announces intent to park. After this, the owner must re-check its
+    /// wait condition before calling [`Waiter::wait`] — a waker that saw
+    /// `parked == true` is guaranteed to unpark us.
+    pub(crate) fn prepare(&self) {
+        *self.thread.lock().unwrap_or_else(PoisonError::into_inner) = Some(std::thread::current());
+        self.parked.store(true, Ordering::Release);
+    }
+
+    /// Parks for at most `timeout` (or not at all if a waker already
+    /// cleared the flag), then clears the flag.
+    pub(crate) fn wait(&self, timeout: Duration) {
+        if self.parked.load(Ordering::Acquire) {
+            std::thread::park_timeout(timeout);
+        }
+        self.parked.store(false, Ordering::Release);
+    }
+
+    /// Withdraws a [`Waiter::prepare`] without parking (the re-checked
+    /// wait condition turned out to already hold).
+    pub(crate) fn cancel(&self) {
+        self.parked.store(false, Ordering::Release);
+    }
+
+    /// Wakes the owner if it is parked (or preparing to park).
+    pub(crate) fn wake(&self) {
+        if self.parked.swap(false, Ordering::AcqRel) {
+            let t = self.thread.lock().unwrap_or_else(PoisonError::into_inner).clone();
+            if let Some(t) = t {
+                t.unpark();
+            }
+        }
+    }
+}
+
+/// Flags shared by both ends of a link (see the module docs for the
+/// handshake).
+pub(crate) struct LinkShared {
+    /// Worker → caller: no more ops will be accepted.
+    pub closed: AtomicBool,
+    /// Worker → caller: the final drain is done; all replies are pushed.
+    pub drained: AtomicBool,
+    /// Caller → worker: the handle was dropped.
+    pub dropped: AtomicBool,
+    /// The caller's waiter, woken by the worker after reply pushes.
+    pub waiter: Arc<Waiter>,
+}
+
+impl LinkShared {
+    pub(crate) fn new(waiter: Arc<Waiter>) -> Self {
+        Self {
+            closed: AtomicBool::new(false),
+            drained: AtomicBool::new(false),
+            dropped: AtomicBool::new(false),
+            waiter,
+        }
+    }
+}
+
+/// The caller's end of a link.
+pub(crate) struct CallerLink {
+    pub op_tx: Producer<Op>,
+    pub rep_rx: Consumer<Reply>,
+    pub shared: Arc<LinkShared>,
+    /// Entries issued but not yet completed (the sliding window).
+    pub inflight: u32,
+}
+
+/// The worker's end of a link.
+pub(crate) struct WorkerLink {
+    pub op_rx: Consumer<Op>,
+    pub rep_tx: Producer<Reply>,
+    pub shared: Arc<LinkShared>,
+}

@@ -1,0 +1,210 @@
+//! The fixed-size message vocabulary that crosses the rings.
+//!
+//! Closures cannot travel between threads by value without allocation,
+//! so remote updates are *declarative*: an [`UpdateKind`] plus an inline
+//! operand. Every request and reply is `Copy` and has a statically known
+//! size — pushing one is a `memcpy` into a ring slot, never a heap
+//! allocation (L004 holds on the whole message path).
+
+use mwllsc_store::StoreError;
+
+/// Widest store (`W`, words per value) the mesh can carry inline.
+///
+/// Values and operands ride inside ring slots as [`InlineVal`]; a store
+/// wider than this cannot be meshed (a typed
+/// [`MeshError::WidthTooWide`] at construction, not a runtime surprise).
+pub const MAX_INLINE_WIDTH: usize = 4;
+
+/// Entries a single batch message can carry ([`Op::ReadBatch`] /
+/// [`Op::UpdateBatch`]): consecutive same-owner entries share one ring
+/// slot, quartering slot traffic on batch-heavy workloads.
+pub(crate) const BATCH_SPAN: usize = 4;
+
+/// A value or operand of up to [`MAX_INLINE_WIDTH`] words, stored inline.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub struct InlineVal {
+    len: u8,
+    words: [u64; MAX_INLINE_WIDTH],
+}
+
+impl InlineVal {
+    /// Wraps `v` inline; `None` if it exceeds [`MAX_INLINE_WIDTH`].
+    pub fn from_slice(v: &[u64]) -> Option<Self> {
+        if v.len() > MAX_INLINE_WIDTH {
+            return None;
+        }
+        let mut words = [0u64; MAX_INLINE_WIDTH];
+        // In bounds: v.len() <= MAX_INLINE_WIDTH was checked above.
+        words[..v.len()].copy_from_slice(v);
+        Some(Self { len: v.len() as u8, words })
+    }
+
+    /// The wrapped words.
+    pub fn as_slice(&self) -> &[u64] {
+        // In bounds: len <= MAX_INLINE_WIDTH by construction.
+        &self.words[..self.len as usize]
+    }
+
+    /// Number of words.
+    pub fn len(&self) -> usize {
+        self.len as usize
+    }
+
+    /// Whether the value holds zero words.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+}
+
+/// A declarative update, applied by the owning worker inside one LL/SC
+/// commit (via `StoreHandle::update_many_with`).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum UpdateKind {
+    /// Overwrite the value with the operand.
+    Set,
+    /// Word-wise wrapping addition of the operand.
+    Add,
+    /// Word-wise maximum with the operand.
+    Max,
+}
+
+impl UpdateKind {
+    /// Applies this update to `buf` in place. Operand length must equal
+    /// `buf` length (the handle validates before the op crosses a ring).
+    pub(crate) fn apply(self, operand: &InlineVal, buf: &mut [u64]) {
+        match self {
+            UpdateKind::Set => buf.copy_from_slice(operand.as_slice()),
+            UpdateKind::Add => {
+                for (d, s) in buf.iter_mut().zip(operand.as_slice()) {
+                    *d = d.wrapping_add(*s);
+                }
+            }
+            UpdateKind::Max => {
+                for (d, s) in buf.iter_mut().zip(operand.as_slice()) {
+                    *d = (*d).max(*s);
+                }
+            }
+        }
+    }
+}
+
+/// A request crossing a caller→worker ring. `token` is the entry's index
+/// within the caller's current batch; batch variants cover entries
+/// `token .. token + n`.
+#[derive(Clone, Copy, Debug)]
+pub(crate) enum Op {
+    /// Read one value.
+    Get { key: u64, token: u32 },
+    /// Overwrite one value (an [`UpdateKind::Set`] with its own variant
+    /// so the wire vocabulary mirrors the `StoreHandle` surface).
+    Set { key: u64, val: InlineVal, token: u32 },
+    /// Read-modify-write one value; the reply carries the installed
+    /// value.
+    Update { key: u64, kind: UpdateKind, operand: InlineVal, token: u32 },
+    /// Read `n <= BATCH_SPAN` values in one slot.
+    ReadBatch { n: u8, keys: [u64; BATCH_SPAN], token: u32 },
+    /// Update `n <= BATCH_SPAN` values in one slot.
+    UpdateBatch {
+        n: u8,
+        keys: [u64; BATCH_SPAN],
+        kinds: [UpdateKind; BATCH_SPAN],
+        operands: [InlineVal; BATCH_SPAN],
+        token: u32,
+    },
+}
+
+/// A completion crossing a worker→caller reply ring: one per *entry*
+/// (batch ops fan out into `n` replies, identified by token).
+#[derive(Clone, Copy, Debug)]
+pub(crate) struct Reply {
+    /// Entry index within the caller's batch.
+    pub token: u32,
+    /// The value read / installed, or a typed error.
+    pub result: Result<InlineVal, MeshError>,
+}
+
+/// Errors surfaced by the mesh — the same typed-error discipline as
+/// [`StoreError`], plus mesh-specific conditions.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum MeshError {
+    /// The key is outside the store's configured key space.
+    KeyOutOfRange {
+        /// The offending key.
+        key: u64,
+        /// The configured key-space size.
+        capacity: u64,
+    },
+    /// A value or operand length differs from the store's width `W`.
+    WrongValueLen {
+        /// The store's `W`.
+        expected: usize,
+        /// The supplied length.
+        got: usize,
+    },
+    /// The store's width exceeds what ring messages carry inline.
+    WidthTooWide {
+        /// The store's `W`.
+        width: usize,
+        /// The inline maximum ([`MAX_INLINE_WIDTH`]).
+        max: usize,
+    },
+    /// The owning worker could not lease a slot on the shard (an
+    /// external symmetric handle holds them all); the drained wave this
+    /// entry rode in was not applied.
+    ShardExhausted {
+        /// The contested shard.
+        shard: usize,
+        /// Its slot capacity.
+        capacity: usize,
+    },
+    /// A mesh cannot be built with zero workers.
+    ZeroWorkers,
+    /// The mesh is shutting down (or already shut down): the op was not
+    /// applied, or its completion could no longer be observed.
+    Disconnected,
+    /// A store error with no mesh mapping (future `StoreError` variants).
+    Internal,
+}
+
+impl MeshError {
+    /// Maps a worker-side [`StoreError`] onto the wire vocabulary.
+    pub(crate) fn from_store(e: &StoreError) -> Self {
+        match e {
+            StoreError::KeyOutOfRange { key, capacity } => {
+                MeshError::KeyOutOfRange { key: *key, capacity: *capacity }
+            }
+            StoreError::WrongValueLen { expected, got } => {
+                MeshError::WrongValueLen { expected: *expected, got: *got }
+            }
+            StoreError::ShardExhausted { shard, capacity } => {
+                MeshError::ShardExhausted { shard: *shard, capacity: *capacity }
+            }
+            _ => MeshError::Internal,
+        }
+    }
+}
+
+impl core::fmt::Display for MeshError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            MeshError::KeyOutOfRange { key, capacity } => {
+                write!(f, "key {key} out of range (key capacity {capacity})")
+            }
+            MeshError::WrongValueLen { expected, got } => {
+                write!(f, "value length {got} does not match store width {expected}")
+            }
+            MeshError::WidthTooWide { width, max } => {
+                write!(f, "store width {width} exceeds the inline message maximum {max}")
+            }
+            MeshError::ShardExhausted { shard, capacity } => {
+                write!(f, "shard {shard} has all {capacity} slots leased")
+            }
+            MeshError::ZeroWorkers => write!(f, "mesh needs at least one worker"),
+            MeshError::Disconnected => write!(f, "mesh is shut down; op not applied"),
+            MeshError::Internal => write!(f, "unmapped store error"),
+        }
+    }
+}
+
+impl std::error::Error for MeshError {}

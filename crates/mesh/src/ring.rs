@@ -1,0 +1,206 @@
+//! Bounded single-producer/single-consumer ring: the mesh's only
+//! cross-thread data path.
+//!
+//! The shared-nothing design replaces contended RMWs on store cells with
+//! message passing, so the ring itself must not reintroduce contention:
+//!
+//! - **Two indices, one writer each.** `tail` (next free position) is
+//!   written only by the producer; `head` (next unread position) only by
+//!   the consumer. Neither side ever RMWs — every atomic op is a plain
+//!   load or store, and each side keeps a private copy of its own index
+//!   so the only atomic *loads* are of the opposite side's cell.
+//! - **Cached opposing index.** Following the `rtrb` idiom, the producer
+//!   caches the last `head` it observed and only re-loads when the ring
+//!   *appears* full (symmetrically for the consumer and `tail`). In
+//!   steady state a push/pop touches one shared line, not two.
+//! - **Cache-padded indices.** `head` and `tail` live in separate padded
+//!   lines ([`CachePadded`]) so the producer's publishes never invalidate
+//!   the consumer's index line and vice versa.
+//! - **Monotonic positions.** Positions are monotonically increasing
+//!   `u64`s; the slot index is `pos & (capacity - 1)` with capacity a
+//!   power of two. Occupancy is a subtraction, with no empty/full
+//!   ambiguity and no reserved slot.
+//!
+//! Ordering discipline (cells `RINGH`/`RINGT`, see `LINT_POLICY.md`): the
+//! owning side's index *store* is `Release` — it publishes the slot write
+//! (producer) or the slot's reusability (consumer) — and the opposite
+//! side's *load* is `Acquire` to pair with it. The owner's own index is
+//! never re-loaded, so every atomic access here is a cross-thread edge.
+//!
+//! All atomics go through the [`mwllsc::sync`] facade, so a
+//! `--cfg mwllsc_model` build traps each access for exhaustive
+//! interleaving + ordering-policy checks (`tests/model_ring.rs`).
+
+use core::cell::UnsafeCell;
+use core::mem::MaybeUninit;
+use std::sync::Arc;
+
+use mwllsc::sync::{AtomicU64, Labeled, Ordering};
+use mwllsc::CachePadded;
+
+/// The shared ring buffer: slot storage plus the two padded indices.
+///
+/// Invariants (with `cap = slots.len()`, a power of two):
+/// - `head <= tail` and `tail - head <= cap` at every point where both
+///   are observed coherently;
+/// - slots at positions `[head, tail)` hold initialized values; all
+///   other slots are uninitialized;
+/// - position `p` maps to slot `p & (cap - 1)`.
+struct RawRing<T> {
+    /// Slot storage; length is a power of two.
+    slots: Box<[UnsafeCell<MaybeUninit<T>>]>,
+    /// `slots.len() - 1`, for position-to-slot masking.
+    mask: u64,
+    /// Next unread position. Written only by the consumer.
+    head: CachePadded<AtomicU64>,
+    /// Next free position. Written only by the producer.
+    tail: CachePadded<AtomicU64>,
+}
+
+// SAFETY: the ring hands each slot to exactly one side at a time — the
+// producer owns positions in [tail, head + cap) (free), the consumer owns
+// [head, tail) (full) — and ownership transfer is published by the
+// Release/Acquire index handshake. `T: Send` suffices because a value is
+// only ever accessed by one thread at a time.
+unsafe impl<T: Send> Sync for RawRing<T> {}
+// SAFETY: same single-owner argument; the struct itself holds no
+// thread-affine state.
+unsafe impl<T: Send> Send for RawRing<T> {}
+
+impl<T> RawRing<T> {
+    /// Raw pointer to the slot for position `pos`.
+    #[inline]
+    fn slot(&self, pos: u64) -> *mut MaybeUninit<T> {
+        // In bounds: `pos & mask < slots.len()` because `mask == slots.len() - 1`.
+        self.slots[(pos & self.mask) as usize].get()
+    }
+}
+
+impl<T> Drop for RawRing<T> {
+    fn drop(&mut self) {
+        // Both halves are gone (`&mut self`), so the indices are final.
+        let head = self.head.load(Ordering::Acquire); // lint: cell=RINGH
+        let tail = self.tail.load(Ordering::Acquire); // lint: cell=RINGT
+        for pos in head..tail {
+            // SAFETY: positions in [head, tail) hold initialized values
+            // that were pushed but never popped; we have exclusive access.
+            unsafe { (*self.slot(pos)).assume_init_drop() };
+        }
+    }
+}
+
+/// The push side of a ring created by [`spsc`]. Not clonable: exactly one
+/// producer exists per ring.
+pub struct Producer<T> {
+    ring: Arc<RawRing<T>>,
+    /// Private copy of `ring.tail` (this side is its only writer).
+    tail: u64,
+    /// Last observed `ring.head`; refreshed only when apparently full.
+    cached_head: u64,
+}
+
+/// The pop side of a ring created by [`spsc`]. Not clonable: exactly one
+/// consumer exists per ring.
+pub struct Consumer<T> {
+    ring: Arc<RawRing<T>>,
+    /// Private copy of `ring.head` (this side is its only writer).
+    head: u64,
+    /// Last observed `ring.tail`; refreshed only when apparently empty.
+    cached_tail: u64,
+}
+
+/// Creates a bounded SPSC ring holding at least `capacity` values
+/// (rounded up to the next power of two, minimum 2) and returns its two
+/// halves.
+///
+/// `label` distinguishes rings in model-checked builds (it becomes the
+/// `a` component of the `RINGH`/`RINGT` cell labels); non-model builds
+/// ignore it.
+pub fn spsc<T>(capacity: usize, label: u32) -> (Producer<T>, Consumer<T>) {
+    let cap = capacity.max(2).next_power_of_two();
+    let slots: Box<[UnsafeCell<MaybeUninit<T>>]> =
+        (0..cap).map(|_| UnsafeCell::new(MaybeUninit::uninit())).collect();
+    let ring = Arc::new(RawRing {
+        slots,
+        mask: (cap - 1) as u64,
+        head: CachePadded::new(AtomicU64::new(0)),
+        tail: CachePadded::new(AtomicU64::new(0)),
+    });
+    Labeled::set_label(&*ring.head, "RINGH", label, 0);
+    Labeled::set_label(&*ring.tail, "RINGT", label, 0);
+    (
+        Producer { ring: Arc::clone(&ring), tail: 0, cached_head: 0 },
+        Consumer { ring, head: 0, cached_tail: 0 },
+    )
+}
+
+impl<T> Producer<T> {
+    /// Number of slots in the ring (a power of two).
+    pub fn capacity(&self) -> usize {
+        self.ring.slots.len()
+    }
+
+    /// Attempts to push `value`; returns it back if the ring is full.
+    ///
+    /// One shared load (and only when the cached head shows the ring
+    /// full), one slot write, one shared store. Never blocks, never
+    /// allocates.
+    // lint: no-alloc
+    #[inline]
+    pub fn try_push(&mut self, value: T) -> Result<(), T> {
+        let cap = self.ring.slots.len() as u64;
+        if self.tail.wrapping_sub(self.cached_head) == cap {
+            self.cached_head = self.ring.head.load(Ordering::Acquire); // lint: cell=RINGH
+            if self.tail.wrapping_sub(self.cached_head) == cap {
+                return Err(value);
+            }
+        }
+        // SAFETY: occupancy < capacity, so slot `tail` is outside the
+        // consumer's [head, tail) window: this side has exclusive access
+        // until the Release store below publishes it.
+        unsafe { (*self.ring.slot(self.tail)).write(value) };
+        self.tail = self.tail.wrapping_add(1);
+        self.ring.tail.store(self.tail, Ordering::Release); // lint: cell=RINGT
+        Ok(())
+    }
+}
+
+impl<T> Consumer<T> {
+    /// Number of slots in the ring (a power of two).
+    pub fn capacity(&self) -> usize {
+        self.ring.slots.len()
+    }
+
+    /// Attempts to pop the oldest value; `None` if the ring is empty.
+    ///
+    /// Mirror image of [`Producer::try_push`]: one shared load only when
+    /// the cached tail shows the ring empty, one slot read, one shared
+    /// store. Never blocks, never allocates.
+    // lint: no-alloc
+    #[inline]
+    pub fn try_pop(&mut self) -> Option<T> {
+        if self.cached_tail == self.head {
+            self.cached_tail = self.ring.tail.load(Ordering::Acquire); // lint: cell=RINGT
+            if self.cached_tail == self.head {
+                return None;
+            }
+        }
+        // SAFETY: head < cached_tail <= ring.tail, so slot `head` holds a
+        // value published by the producer's Release store of `tail`
+        // (paired with the Acquire load above); this side is the only
+        // consumer until the Release store below recycles the slot.
+        let value = unsafe { (*self.ring.slot(self.head)).assume_init_read() };
+        self.head = self.head.wrapping_add(1);
+        self.ring.head.store(self.head, Ordering::Release); // lint: cell=RINGH
+        Some(value)
+    }
+
+    /// Current occupancy as seen from the consumer side (exact for items
+    /// already published; concurrent pushes may not be counted yet).
+    // lint: no-alloc
+    #[inline]
+    pub fn occupancy(&self) -> usize {
+        let tail = self.ring.tail.load(Ordering::Acquire); // lint: cell=RINGT
+        tail.wrapping_sub(self.head) as usize
+    }
+}

@@ -1,0 +1,145 @@
+//! Model checking the shipping SPSC ring (requires `--cfg mwllsc_model`).
+//!
+//! Exhaustive sleep-set DFS over every interleaving of one producer
+//! (three `try_push`es against a capacity-2 ring) and one concurrent
+//! consumer (three `try_pop`s), driving the *compiled* [`ring`] code
+//! through the facade's model hook. Every path checks:
+//!
+//! - **FIFO / no loss / no duplication**: the consumer's in-schedule
+//!   hits are exactly `1..=m` in order, and a post-path drain continues
+//!   `m+1..=pushed` — every accepted push is popped exactly once, in
+//!   push order.
+//! - **Capacity**: a refused push on the capacity-2 ring really had two
+//!   values outstanding at that moment.
+//! - **Ordering policy**: every logged `RINGH`/`RINGT` access satisfies
+//!   the lint table (Acquire+ loads, Release+ stores) — a weakened
+//!   ordering fails the run even though serialized execution alone
+//!   could never observe the reorder.
+//!
+//! ```text
+//! RUSTFLAGS='--cfg mwllsc_model' cargo test -p mwllsc-mesh --test model_ring
+//! ```
+//!
+//! [`ring`]: mwllsc_mesh::ring
+#![cfg(mwllsc_model)]
+
+use std::sync::{Arc, Mutex};
+
+use mwllsc::sync::hook::{with_hook, StepHook};
+use mwllsc_mesh::ring;
+use simsched::real::bridge::ordering_violation;
+use simsched::real::ctrl::{ActorBody, ActorHook, ActorSig, Controller};
+use simsched::real::dfs::{explore, DfsConfig, ReplaySystem};
+
+/// Pushes per path; one more than the ring holds, so full-ring refusal,
+/// cached-index refresh, and wraparound all appear on some path.
+const PUSHES: u64 = 3;
+const CAPACITY: usize = 2;
+
+struct RingSystem {
+    ctrl: Controller,
+}
+
+impl ReplaySystem for RingSystem {
+    fn run_path(&mut self, pick: &mut dyn FnMut(&[ActorSig]) -> Option<usize>) -> Option<String> {
+        let (mut tx, rx) = ring::spsc::<u64>(CAPACITY, 0);
+        // Std mutexes, not facade accesses: invisible to the schedule.
+        // Only one actor ever touches each, so no lock is contended
+        // across a park; the main thread locks only after the path.
+        let rx = Arc::new(Mutex::new(rx));
+        let pushed = Arc::new(Mutex::new((0u64, false)));
+        let hits = Arc::new(Mutex::new(Vec::new()));
+
+        let producer: ActorBody = {
+            let pushed = Arc::clone(&pushed);
+            Box::new(move |hook: Arc<ActorHook>| {
+                let steps: Arc<dyn StepHook> = Arc::clone(&hook) as Arc<dyn StepHook>;
+                with_hook(steps, || {
+                    let mut ok = 0u64;
+                    let mut refused = false;
+                    for v in 1..=PUSHES {
+                        if tx.try_push(v).is_ok() {
+                            ok += 1;
+                        } else {
+                            // A refused push means later values were
+                            // never sent — stop, the count is a prefix.
+                            refused = true;
+                            break;
+                        }
+                    }
+                    *pushed.lock().unwrap() = (ok, refused);
+                });
+            })
+        };
+        let consumer: ActorBody = {
+            let rx = Arc::clone(&rx);
+            let hits = Arc::clone(&hits);
+            Box::new(move |hook: Arc<ActorHook>| {
+                let steps: Arc<dyn StepHook> = Arc::clone(&hook) as Arc<dyn StepHook>;
+                let mut rx = rx.lock().unwrap();
+                with_hook(steps, || {
+                    let mut got = Vec::new();
+                    for _ in 0..PUSHES {
+                        if let Some(v) = rx.try_pop() {
+                            got.push(v);
+                        }
+                    }
+                    *hits.lock().unwrap() = got;
+                });
+            })
+        };
+
+        let trace = self.ctrl.run_path(vec![producer, consumer], pick);
+        if let Some(e) = trace.log.iter().find_map(|e| ordering_violation(&e.sig)) {
+            return Some(e);
+        }
+        if let Some(e) = trace.error {
+            return Some(e);
+        }
+        if trace.aborted {
+            return None;
+        }
+
+        let (pushed, refused) = *pushed.lock().unwrap();
+        if refused && pushed < CAPACITY as u64 {
+            // Capacity-2 ring refusing with < 2 outstanding: the cached
+            // head made the producer see phantom occupancy.
+            return Some(format!("push refused after only {pushed} accepted"));
+        }
+        // In-schedule hits are a FIFO prefix of what was accepted…
+        let hits = hits.lock().unwrap();
+        let m = hits.len() as u64;
+        let expect: Vec<u64> = (1..=m.min(pushed)).collect();
+        if *hits != expect {
+            return Some(format!("popped {hits:?}, expected {expect:?} (pushed {pushed})"));
+        }
+        // …and a post-path drain yields exactly the rest, in order: no
+        // accepted value is ever lost or duplicated.
+        let mut rx = rx.lock().unwrap();
+        let mut rest = Vec::new();
+        while let Some(v) = rx.try_pop() {
+            rest.push(v);
+        }
+        let expect_rest: Vec<u64> = (m + 1..=pushed).collect();
+        if rest != expect_rest {
+            return Some(format!("drained {rest:?}, expected {expect_rest:?} (pushed {pushed})"));
+        }
+        None
+    }
+}
+
+#[test]
+fn exhaustive_1p1c_ring_fifo_no_loss_no_dup() {
+    let mut sys = RingSystem { ctrl: Controller::new(2) };
+    let report = explore(&mut sys, &DfsConfig::default());
+    if let Some(f) = &report.failure {
+        panic!("schedule {:?}: {}", f.schedule, f.error);
+    }
+    assert!(report.paths > 10, "suspiciously few paths: {report:?}");
+    assert_eq!(report.truncated, 0);
+    assert!(!report.capped);
+    eprintln!(
+        "exhaustive 1P/1C ring: {} paths, {} pruned, {} transitions, max depth {}",
+        report.paths, report.pruned, report.transitions, report.max_depth_seen
+    );
+}

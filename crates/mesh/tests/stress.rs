@@ -1,0 +1,189 @@
+//! Mesh stress: exact accounting under storms and teardown races.
+//!
+//! Three antagonists against the shared-nothing plumbing: a raw-ring
+//! producer/consumer storm (every pushed value arrives exactly once, in
+//! order), caller-handle churn against a live mesh (attach/drop cycles
+//! while others batch — per-key sums stay exact), and a graceful
+//! shutdown race (callers hammer increments while the mesh tears down —
+//! afterwards every key holds *exactly* its acknowledged count: `Ok` ⇒
+//! applied once, `Disconnected` ⇒ never applied).
+//!
+//! Honors the suite-wide soak knobs: `MWLLSC_STRESS_ITERS` (integer
+//! work multiplier, default 1) and `MWLLSC_STRESS_SEED` (workload seed,
+//! printed for replay).
+
+use std::sync::Arc;
+use std::thread;
+use std::time::Duration;
+
+use mwllsc_mesh::{ring, InlineVal, Mesh, MeshConfig, MeshError, UpdateKind};
+use mwllsc_store::{Store, StoreConfig};
+
+fn stress_iters(base: usize) -> usize {
+    let mult = std::env::var("MWLLSC_STRESS_ITERS")
+        .ok()
+        .and_then(|s| s.parse::<usize>().ok())
+        .unwrap_or(1)
+        .max(1);
+    base.saturating_mul(mult)
+}
+
+fn stress_seed() -> u64 {
+    let seed = std::env::var("MWLLSC_STRESS_SEED")
+        .ok()
+        .and_then(|s| s.parse::<u64>().ok())
+        .unwrap_or(0x5EED_0009);
+    eprintln!("MWLLSC_STRESS_SEED={seed}");
+    seed
+}
+
+/// splitmix64 over `seed ^ stream`: one independent stream per thread.
+fn mix(seed: u64, stream: u64) -> u64 {
+    let mut z = seed ^ stream.wrapping_mul(0x9E3779B97F4A7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+    z ^ (z >> 31)
+}
+
+/// A tiny ring under a real two-thread storm: every value crosses
+/// exactly once, in order, through billions of wraparounds relative to
+/// the capacity — the cached-index fast path cannot skip or duplicate.
+#[test]
+fn ring_storm_transfers_exact_sequence() {
+    let n = stress_iters(200_000) as u64;
+    let (mut tx, mut rx) = ring::spsc::<u64>(8, 0);
+    let producer = thread::spawn(move || {
+        for v in 0..n {
+            let mut v = v;
+            while let Err(back) = tx.try_push(v) {
+                v = back;
+                // Yield, don't spin: on a small box the other side needs
+                // the core to make the ring move at all.
+                thread::yield_now();
+            }
+        }
+    });
+    let mut expect = 0u64;
+    while expect < n {
+        if let Some(v) = rx.try_pop() {
+            assert_eq!(v, expect, "ring reordered, lost, or duplicated a value");
+            expect += 1;
+        } else {
+            thread::yield_now();
+        }
+    }
+    assert!(rx.try_pop().is_none(), "ring produced a phantom value");
+    producer.join().unwrap();
+}
+
+/// Live mesh under caller churn: threads attach, batch random
+/// increments, drop their handles, and re-attach — while a steady
+/// thread single-op increments. Every `Ok` must land exactly once, and
+/// the churned links must never corrupt another caller's replies.
+#[test]
+fn mesh_exact_sum_under_handle_churn() {
+    const KEYS: u64 = 32;
+    const THREADS: u64 = 4;
+    let seed = stress_seed();
+    let rounds = stress_iters(60);
+    let store = Store::new(StoreConfig::new(4, 8, 2, KEYS));
+    let mesh = Mesh::try_new(Arc::clone(&store), MeshConfig::default().with_workers(3)).unwrap();
+
+    let counted: Vec<u64> = (0..THREADS)
+        .map(|t| {
+            let mesh = Arc::clone(&mesh);
+            thread::spawn(move || {
+                let mut rng = mix(seed, t);
+                let mut acked = 0u64;
+                for _ in 0..rounds {
+                    // Churn: a fresh handle (fresh rings) every round.
+                    let mut h = mesh.attach();
+                    let mut keys = [0u64; 9];
+                    for k in &mut keys {
+                        rng = mix(rng, 0xDA7A);
+                        *k = rng % KEYS;
+                    }
+                    let ops =
+                        &mut |_: usize| (UpdateKind::Add, InlineVal::from_slice(&[1, 2]).unwrap());
+                    h.update_batch(&keys, ops, None).unwrap();
+                    acked += keys.len() as u64;
+                    // Reads ride the same churned links.
+                    let v = h.read_vec(keys[0]).unwrap();
+                    assert_eq!(v[0] * 2, v[1], "words updated non-atomically");
+                }
+                acked
+            })
+        })
+        .collect::<Vec<_>>()
+        .into_iter()
+        .map(|j| j.join().unwrap())
+        .collect();
+
+    let mut probe = mesh.attach();
+    let mut total = 0u64;
+    for k in 0..KEYS {
+        let v = probe.read_vec(k).unwrap();
+        assert_eq!(v[0] * 2, v[1]);
+        total += v[0];
+    }
+    assert_eq!(total, counted.iter().sum::<u64>(), "an acked increment was lost or doubled");
+    drop(probe);
+    mesh.shutdown();
+    assert_eq!(store.live_slot_leases(), 0);
+}
+
+/// Shutdown mid-storm: callers hammer increments while the main thread
+/// tears the mesh down. The contract is exact, not approximate — an
+/// increment that returned `Ok` is in the store, an increment that
+/// returned `Disconnected` is not, and there is no third outcome.
+#[test]
+fn graceful_shutdown_accounts_exactly() {
+    const KEYS: u64 = 8;
+    const THREADS: u64 = 4;
+    let seed = stress_seed();
+    let budget = stress_iters(40_000);
+    let store = Store::new(StoreConfig::new(4, 8, 1, KEYS));
+    let mesh = Mesh::try_new(Arc::clone(&store), MeshConfig::default().with_workers(2)).unwrap();
+
+    let workers: Vec<_> = (0..THREADS)
+        .map(|t| {
+            let mesh = Arc::clone(&mesh);
+            thread::spawn(move || {
+                let mut rng = mix(seed, 0x600D ^ t);
+                let mut h = mesh.attach();
+                let mut acked = vec![0u64; KEYS as usize];
+                for _ in 0..budget {
+                    rng = mix(rng, 1);
+                    let key = rng % KEYS;
+                    match h.update(key, UpdateKind::Add, &[1]) {
+                        Ok(_) => acked[key as usize] += 1,
+                        Err(MeshError::Disconnected) => break,
+                        Err(e) => panic!("unexpected error: {e}"),
+                    }
+                }
+                acked
+            })
+        })
+        .collect();
+
+    // Let the storm develop, then pull the plug under it.
+    thread::sleep(Duration::from_millis(20));
+    mesh.shutdown();
+
+    let mut acked = vec![0u64; KEYS as usize];
+    for w in workers {
+        for (a, b) in acked.iter_mut().zip(w.join().unwrap()) {
+            *a += b;
+        }
+    }
+    let mut probe = store.attach();
+    for k in 0..KEYS {
+        assert_eq!(
+            probe.read_vec(k).unwrap()[0],
+            acked[k as usize],
+            "key {k}: store disagrees with acknowledged count"
+        );
+    }
+    drop(probe);
+    assert_eq!(store.live_slot_leases(), 0, "mesh shutdown leaked a lease");
+}

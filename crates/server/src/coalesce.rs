@@ -24,6 +24,7 @@
 //! external lease pressure) are the only batch-wide errors.
 
 use mwllsc::sync::Ordering;
+use mwllsc_mesh::{InlineVal, UpdateKind};
 use mwllsc_store::DynStoreHandle;
 
 use crate::conn::{Conn, Pending};
@@ -31,6 +32,7 @@ use crate::proto::{
     encode_response, encode_value_response, encode_values_response, FrameError, Request, Response,
     UpdateOp, WireError,
 };
+use crate::route::{wire_of_mesh, MeshRoute, Route};
 use crate::stats::AtomicStats;
 
 /// How a wave reaches the store.
@@ -247,6 +249,112 @@ impl Wave {
         }
     }
 
+    /// [`dispatch`](Self::dispatch) over either route: the store side
+    /// commits through the handle's closure-based batch primitives, the
+    /// mesh side through the ring-crossing declarative ones.
+    ///
+    /// Mesh batch errors fan to every slot of the failing class, like
+    /// store batch errors do. The validator already screened keys and
+    /// widths, so what remains is mesh shutdown — where over-reporting
+    /// `Internal` on a dying connection set is the honest answer.
+    pub(crate) fn dispatch_route(
+        &mut self,
+        route: &mut Route,
+        mode: Dispatch,
+        stats: &AtomicStats,
+    ) {
+        match route {
+            Route::Store(h) => self.dispatch(&mut **h, mode, stats),
+            Route::Mesh(m) => {
+                stats.waves.fetch_add(1, Ordering::Relaxed);
+                match mode {
+                    Dispatch::Coalesced => self.dispatch_mesh_coalesced(&mut **m, stats),
+                    Dispatch::PerRequest => self.dispatch_mesh_per_request(&mut **m, stats),
+                }
+            }
+        }
+    }
+
+    // lint: no-alloc
+    fn dispatch_mesh_coalesced(&mut self, m: &mut dyn MeshRoute, stats: &AtomicStats) {
+        let w = m.width();
+        if !self.write_keys.is_empty() {
+            // Sizing the flat result buffers is the wave's only growth
+            // (the mesh writes post-update snapshots straight into it).
+            self.write_snaps.resize(self.write_keys.len() * w, 0);
+            let ops = &self.write_ops;
+            let r = m.update_batch(
+                &self.write_keys,
+                &mut |i| mesh_op(&ops[i]), // `i` enumerates write_keys; ops is parallel to it
+                Some(&mut self.write_snaps),
+            );
+            stats.record_write_batch(self.write_keys.len());
+            if let Err(e) = r {
+                let err = wire_of_mesh(&e);
+                for (errs, (_, slot)) in self.slot_errs.iter_mut().zip(&self.slots) {
+                    if matches!(slot, Slot::Write { .. }) {
+                        *errs = Some(err);
+                    }
+                }
+            }
+        }
+        if !self.read_keys.is_empty() {
+            self.read_vals.resize(self.read_keys.len() * w, 0);
+            let r = m.read_many_into(&self.read_keys, &mut self.read_vals);
+            stats.record_read_batch(self.read_keys.len());
+            if let Err(e) = r {
+                let err = wire_of_mesh(&e);
+                for (errs, (_, slot)) in self.slot_errs.iter_mut().zip(&self.slots) {
+                    if matches!(slot, Slot::ReadValue { .. } | Slot::ReadValues { .. }) {
+                        *errs = Some(err);
+                    }
+                }
+            }
+        }
+    }
+
+    // lint: no-alloc
+    fn dispatch_mesh_per_request(&mut self, m: &mut dyn MeshRoute, stats: &AtomicStats) {
+        let w = m.width();
+        self.write_snaps.resize(self.write_keys.len() * w, 0);
+        self.read_vals.resize(self.read_keys.len() * w, 0);
+        for (si, (_, slot)) in self.slots.iter().enumerate() {
+            // Every slot's `first`/`count` range was staged by `admit`,
+            // which pushed exactly that many keys — in-bounds throughout.
+            let r = match *slot {
+                Slot::Write { first, count, .. } => {
+                    let keys = &self.write_keys[first..first + count]; // staged by admit
+                    let ops = &self.write_ops;
+                    let r = m.update_batch(
+                        keys,
+                        &mut |i| mesh_op(&ops[first + i]), // `i` enumerates keys; ops is parallel
+                        Some(&mut self.write_snaps[first * w..(first + count) * w]), // sized above
+                    );
+                    stats.record_write_batch(count);
+                    r
+                }
+                Slot::ReadValue { first } => {
+                    stats.record_read_batch(1);
+                    m.read_many_into(
+                        &self.read_keys[first..first + 1],               // staged by admit
+                        &mut self.read_vals[first * w..(first + 1) * w], // sized keys × w above
+                    )
+                }
+                Slot::ReadValues { first, count } => {
+                    let keys = &self.read_keys[first..first + count]; // staged by admit
+                    stats.record_read_batch(count);
+                    // Result buffer was sized `read_keys.len() * w` above.
+                    m.read_many_into(keys, &mut self.read_vals[first * w..(first + count) * w])
+                }
+                Slot::Err(_) | Slot::Bad(_) => continue,
+            };
+            if let Err(e) = r {
+                // `slot_errs` is sized to `slots` in `build`.
+                self.slot_errs[si] = Some(wire_of_mesh(&e));
+            }
+        }
+    }
+
     // lint: no-alloc
     fn dispatch_coalesced(&mut self, handle: &mut dyn DynStoreHandle, stats: &AtomicStats) {
         let w = handle.width();
@@ -404,5 +512,22 @@ fn apply_op(op: &WriteOp, buf: &mut [u64]) {
     match op {
         WriteOp::Set(v) => buf.copy_from_slice(v),
         WriteOp::Update(u) => u.apply(buf),
+    }
+}
+
+/// Translates a wire write op into the mesh's declarative form. Width
+/// was validated against the mesh (≤ `MAX_INLINE_WIDTH` by
+/// construction) before admission, so `from_slice` cannot fail here;
+/// the empty fallback would surface as a typed `WrongValueLen` reply.
+// lint: no-alloc
+fn mesh_op(op: &WriteOp) -> (UpdateKind, InlineVal) {
+    match op {
+        WriteOp::Set(v) => (UpdateKind::Set, InlineVal::from_slice(v).unwrap_or_default()),
+        WriteOp::Update(UpdateOp::Add(v)) => {
+            (UpdateKind::Add, InlineVal::from_slice(v).unwrap_or_default())
+        }
+        WriteOp::Update(UpdateOp::Max(v)) => {
+            (UpdateKind::Max, InlineVal::from_slice(v).unwrap_or_default())
+        }
     }
 }

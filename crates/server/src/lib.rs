@@ -44,8 +44,11 @@
 //! with the backend's per-object progress guarantee.
 //!
 //! The server is generic over the store backend: start it from a typed
-//! [`Store<B>`](mwllsc_store::Store) with [`Server::start`], or from a
-//! runtime-selected backend with [`Server::start_dyn`].
+//! [`Store<B>`](mwllsc_store::Store) with [`Server::start`], from a
+//! runtime-selected backend with [`Server::start_dyn`], or over a
+//! shared-nothing [`Mesh`] with [`Server::start_mesh`]
+//! (workers forward decoded frames to owning shards over SPSC rings
+//! instead of committing on their own threads).
 //!
 //! # Example
 //!
@@ -78,6 +81,7 @@ mod coalesce;
 mod conn;
 pub mod proto;
 mod reactor;
+mod route;
 mod stats;
 mod worker;
 
@@ -88,6 +92,7 @@ use std::thread::JoinHandle;
 use std::time::Duration;
 
 use mwllsc::MwFactory;
+use mwllsc_mesh::Mesh;
 use mwllsc_store::{DynStore, Store};
 
 pub use client::Client;
@@ -184,13 +189,44 @@ impl Server {
     /// [`DynStore`]; `llsc_baselines::try_build_store` maps algorithm
     /// names to boxed stores).
     pub fn start_dyn(store: Arc<dyn DynStore>, config: ServerConfig) -> std::io::Result<Self> {
+        let n_workers = config.workers.clamp(1, store.shard_capacity());
+        let validator = Validator { key_capacity: store.key_capacity(), width: store.width() };
+        let routes = (0..n_workers).map(|_| route::Route::Store(store.attach_dyn())).collect();
+        Self::start_routes(routes, validator, config)
+    }
+
+    /// Starts a server over a shared-nothing [`Mesh`]: each server
+    /// worker forwards its decoded waves over SPSC rings to the mesh
+    /// workers that own the touched shards, instead of leasing shard
+    /// slots and committing on its own thread.
+    ///
+    /// Unlike [`start_dyn`](Self::start_dyn), `config.workers` is *not*
+    /// clamped by the store's `shard_capacity` — mesh caller links
+    /// consume no shard-slot leases (those live in the mesh's worker
+    /// threads), so any number of frontend workers can serve one mesh.
+    pub fn start_mesh<B: MwFactory>(
+        mesh: &Arc<Mesh<B>>,
+        config: ServerConfig,
+    ) -> std::io::Result<Self> {
+        let n_workers = config.workers.max(1);
+        let validator = Validator { key_capacity: mesh.key_capacity(), width: mesh.width() };
+        let routes = (0..n_workers).map(|_| route::Route::Mesh(Box::new(mesh.attach()))).collect();
+        Self::start_routes(routes, validator, config)
+    }
+
+    /// Shared starter: binds, then spawns one worker thread per route
+    /// plus the acceptor.
+    fn start_routes(
+        routes: Vec<route::Route>,
+        validator: Validator,
+        config: ServerConfig,
+    ) -> std::io::Result<Self> {
         let listener = TcpListener::bind(&config.addr)?;
         listener.set_nonblocking(true)?;
         let local_addr = listener.local_addr()?;
 
         let stop = Arc::new(AtomicBool::new(false));
         let stats = Arc::new(AtomicStats::default());
-        let validator = Validator { key_capacity: store.key_capacity(), width: store.width() };
         let worker_cfg = WorkerCfg {
             dispatch: config.dispatch,
             max_conn_out_bytes: config.max_conn_out_bytes,
@@ -199,18 +235,16 @@ impl Server {
             drain_timeout: config.drain_timeout,
         };
 
-        let n_workers = config.workers.clamp(1, store.shard_capacity());
-        let mut senders = Vec::with_capacity(n_workers);
-        let mut workers = Vec::with_capacity(n_workers);
-        for i in 0..n_workers {
+        let mut senders = Vec::with_capacity(routes.len());
+        let mut workers = Vec::with_capacity(routes.len());
+        for (i, route) in routes.into_iter().enumerate() {
             let (tx, rx) = mpsc::channel();
             senders.push(tx);
-            let handle = store.attach_dyn();
             let (stats, stop) = (Arc::clone(&stats), Arc::clone(&stop));
             workers.push(
-                std::thread::Builder::new().name(format!("mwllsc-worker-{i}")).spawn(
-                    move || worker::run(&rx, handle, validator, worker_cfg, &stats, &stop),
-                )?,
+                std::thread::Builder::new()
+                    .name(format!("mwllsc-worker-{i}"))
+                    .spawn(move || worker::run(&rx, route, validator, worker_cfg, &stats, &stop))?,
             );
         }
         let acceptor = {

@@ -1,0 +1,83 @@
+//! Dispatch routes: where a worker's waves commit.
+//!
+//! A server worker either owns a symmetric
+//! [`DynStoreHandle`](mwllsc_store::DynStoreHandle) (the classic mode —
+//! the handle leases a slot on every shard it touches and RMWs shared
+//! cache lines directly) or a mesh route (`dispatch = mesh` — decoded
+//! frames are forwarded as fixed-size messages over SPSC rings to the
+//! mesh worker that owns each shard, and only the owning thread ever
+//! touches a shard's lines). [`Route`] erases the difference so the
+//! worker loop and the wave dispatcher stay mode-agnostic.
+
+use mwllsc::MwFactory;
+use mwllsc_mesh::{InlineVal, MeshError, MeshHandle, UpdateKind};
+use mwllsc_store::DynStoreHandle;
+
+use crate::proto::WireError;
+
+/// The type-erased mesh-handle surface the dispatch path needs — the
+/// batch subset of [`MeshHandle`], object-safe so one enum covers every
+/// backend factory.
+pub(crate) trait MeshRoute: Send {
+    /// Words per value.
+    fn width(&self) -> usize;
+
+    /// Applies `op(i)` to each `keys[i]` at its owning worker; `snaps`
+    /// (when given, sized `keys.len() * width`) receives each
+    /// post-update value.
+    fn update_batch(
+        &mut self,
+        keys: &[u64],
+        op: &mut dyn FnMut(usize) -> (UpdateKind, InlineVal),
+        snaps: Option<&mut [u64]>,
+    ) -> Result<(), MeshError>;
+
+    /// Reads each key's value into `out` (sized `keys.len() * width`).
+    fn read_many_into(&mut self, keys: &[u64], out: &mut [u64]) -> Result<(), MeshError>;
+}
+
+impl<B: MwFactory> MeshRoute for MeshHandle<B> {
+    fn width(&self) -> usize {
+        MeshHandle::width(self)
+    }
+
+    fn update_batch(
+        &mut self,
+        keys: &[u64],
+        op: &mut dyn FnMut(usize) -> (UpdateKind, InlineVal),
+        snaps: Option<&mut [u64]>,
+    ) -> Result<(), MeshError> {
+        MeshHandle::update_batch(self, keys, op, snaps)
+    }
+
+    fn read_many_into(&mut self, keys: &[u64], out: &mut [u64]) -> Result<(), MeshError> {
+        MeshHandle::read_many_into(self, keys, out)
+    }
+}
+
+/// One worker's committing backend. Dropping it releases whatever the
+/// mode holds: the store route's shard-slot leases, or the mesh route's
+/// caller links (waking the mesh workers so they retire the rings).
+pub(crate) enum Route {
+    /// Symmetric: commit through a store handle on this thread.
+    Store(Box<dyn DynStoreHandle>),
+    /// Shared-nothing: forward to owning mesh workers over rings.
+    Mesh(Box<dyn MeshRoute>),
+}
+
+/// Maps a mesh error onto the wire vocabulary. The validator screens
+/// keys and widths before dispatch, so the variants that survive to
+/// clients in practice are shutdown races (`Disconnected`) — reported
+/// as `Internal`, matching how a mid-request store teardown reads.
+pub(crate) fn wire_of_mesh(e: &MeshError) -> WireError {
+    match *e {
+        MeshError::KeyOutOfRange { key, capacity } => WireError::KeyOutOfRange { key, capacity },
+        MeshError::WrongValueLen { expected, got } => {
+            WireError::WrongValueLen { expected: expected as u64, got: got as u64 }
+        }
+        MeshError::ShardExhausted { shard, capacity } => {
+            WireError::ShardExhausted { shard: shard as u64, capacity: capacity as u64 }
+        }
+        _ => WireError::Internal,
+    }
+}

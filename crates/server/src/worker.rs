@@ -1,22 +1,23 @@
 //! The worker loop: one thread owning a set of connections and one
-//! store handle, ticking read → coalesce → dispatch → flush.
+//! [`Route`], ticking read → coalesce → dispatch → flush.
 //!
-//! Each worker holds exactly one
+//! A store route holds exactly one
 //! [`DynStoreHandle`](mwllsc_store::DynStoreHandle), so a server with
 //! `N` workers consumes at most one slot lease per shard per worker —
 //! the store's `shard_capacity` bounds how many workers (plus external
 //! handles) can serve a store, and the lease is what makes every per-key
-//! claim inside a batch an uncontended RMW (see the store docs).
+//! claim inside a batch an uncontended RMW (see the store docs). A mesh
+//! route leases nothing: the shard leases live in the mesh's own worker
+//! threads, and this loop only forwards over rings.
 
 use mwllsc::sync::{AtomicBool, Ordering};
 use std::sync::mpsc::Receiver;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
-use mwllsc_store::DynStoreHandle;
-
 use crate::coalesce::{Dispatch, Validator, Wave};
 use crate::conn::Conn;
+use crate::route::Route;
 use crate::stats::AtomicStats;
 
 /// Per-worker knobs, copied out of the server config.
@@ -40,11 +41,11 @@ pub(crate) struct WorkerCfg {
 }
 
 /// Runs one worker until `stop` is set and its pipeline is drained.
-/// Consumes the handle; dropping it on exit releases every shard slot
-/// lease the worker accumulated.
+/// Consumes the route; dropping it on exit releases everything it held
+/// (store mode: the shard slot leases; mesh mode: the caller links).
 pub(crate) fn run(
     rx: &Receiver<std::net::TcpStream>,
-    mut handle: Box<dyn DynStoreHandle>,
+    mut route: Route,
     validator: Validator,
     cfg: WorkerCfg,
     stats: &Arc<AtomicStats>,
@@ -89,7 +90,7 @@ pub(crate) fn run(
         // has actually left undrained.
         let out_cap = if stopping { usize::MAX } else { cfg.max_conn_out_bytes };
         while let Some(mut wave) = Wave::build(&mut conns, &validator, cfg.max_wave_run, out_cap) {
-            wave.dispatch(&mut *handle, cfg.dispatch, stats);
+            wave.dispatch_route(&mut route, cfg.dispatch, stats);
             wave.scatter(&mut conns, stats);
             for conn in &mut conns {
                 conn.flush();
@@ -113,9 +114,10 @@ pub(crate) fn run(
             std::thread::sleep(cfg.idle_sleep);
         }
     }
-    // `handle` drops here: every leased shard slot returns to the
-    // registry, so a stopped server leaks nothing from the store.
-    drop(handle);
+    // `route` drops here: a store route returns every leased shard slot
+    // to the registry, a mesh route retires its rings — a stopped server
+    // leaks nothing from the store either way.
+    drop(route);
 }
 
 /// Final flush on shutdown: keep writing until every response drains or

@@ -239,3 +239,45 @@ fn shutdown_drains_releases_leases_and_store_remains_usable() {
         "only the in-process handle's leases remain"
     );
 }
+
+/// The mesh dispatch mode: a server whose workers forward decoded
+/// frames over SPSC rings to shard-owning mesh workers answers the same
+/// pipelined FIFO workload exactly (both dispatch modes), surfaces
+/// typed errors through the ring path, and tears down to zero leases.
+#[test]
+fn mesh_backed_server_serves_exactly_and_releases_leases() {
+    use mwllsc_mesh::{Mesh, MeshConfig};
+    for dispatch in [Dispatch::Coalesced, Dispatch::PerRequest] {
+        let store = small_store();
+        let mesh =
+            Mesh::try_new(Arc::clone(&store), MeshConfig::default().with_workers(2)).unwrap();
+        let server =
+            Server::start_mesh(&mesh, ServerConfig::with_workers(2).dispatch(dispatch)).unwrap();
+        let mut c = Client::connect(server.local_addr()).unwrap();
+
+        const N: u64 = 48;
+        for k in 0..N {
+            // Stride the keys so both mesh workers own some of them.
+            c.send(&Request::Set { key: k * 131, value: vec![k, 1] });
+            c.send(&Request::Update { key: k * 131, op: UpdateOp::Add(vec![1, 1]) });
+            c.send(&Request::Get { key: k * 131 });
+        }
+        c.flush().unwrap();
+        for k in 0..N {
+            assert_eq!(c.recv().unwrap(), Response::Ok, "{dispatch:?} SET {k}");
+            let expect = Response::Value(vec![k + 1, 2]);
+            assert_eq!(c.recv().unwrap(), expect, "{dispatch:?} UPDATE {k}");
+            assert_eq!(c.recv().unwrap(), expect, "{dispatch:?} GET {k}");
+        }
+        // Typed errors still come back per-request on the mesh route.
+        c.send(&Request::Get { key: u64::MAX });
+        c.flush().unwrap();
+        assert!(matches!(c.recv().unwrap(), Response::Error(WireError::KeyOutOfRange { .. })));
+
+        let stats = server.shutdown();
+        assert_eq!(stats.requests, 3 * N + 1, "{dispatch:?}");
+        assert_eq!(stats.error_replies, 1, "{dispatch:?}");
+        mesh.shutdown();
+        assert_eq!(store.live_slot_leases(), 0, "{dispatch:?}: mesh workers released leases");
+    }
+}

@@ -64,6 +64,10 @@ use super::dfs::{explore, explore_parallel, DfsConfig, DfsReport, ReplaySystem};
 /// - `SLOT`: registry slot words — RMWs must be `AcqRel`+, a release
 ///   store must be `Release`+ (it publishes the leaseholder's writes to
 ///   the next leaseholder), loads are unconstrained.
+/// - `RINGH` / `RINGT`: the mesh's SPSC ring indices — single-writer
+///   cells where every atomic access is a cross-thread edge: stores must
+///   be `Release`+ (they publish slot writes / slot reuse), loads must
+///   be `Acquire`+ (the owner never re-loads its own index).
 /// - `CURS` and unlabeled locations: unconstrained.
 ///
 /// Returns a description of the violation, or `None` if the access
@@ -104,6 +108,18 @@ pub fn ordering_violation(sig: &ActorSig) -> Option<String> {
             }
             AccessKind::Store if !at_least(sig.order, &[O::Release, O::SeqCst]) => {
                 fail("Release or stronger (publishes the holder's writes)")
+            }
+            _ => None,
+        },
+        "RINGH" | "RINGT" => match sig.kind {
+            AccessKind::Load if !at_least(sig.order, &[O::Acquire, O::SeqCst]) => {
+                fail("Acquire or stronger (cross-side index observation)")
+            }
+            AccessKind::Store if !at_least(sig.order, &[O::Release, O::SeqCst]) => {
+                fail("Release or stronger (publishes the owning side's slot accesses)")
+            }
+            AccessKind::Rmw if !at_least(sig.order, &[O::AcqRel, O::SeqCst]) => {
+                fail("AcqRel or stronger (single-writer ring index; RMWs must pair both edges)")
             }
             _ => None,
         },

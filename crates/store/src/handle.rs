@@ -75,6 +75,20 @@ impl<B: MwFactory> StoreHandle<B> {
         self.slots.iter().filter(|s| s.is_some()).count()
     }
 
+    /// Leases this handle's slot in shard `si` eagerly (leases are
+    /// normally taken lazily on first touch). Ownership layers that pin
+    /// shards to workers (e.g. `mwllsc-mesh`) call this at startup so a
+    /// [`StoreError::ShardExhausted`] surfaces as a typed construction
+    /// error instead of a mid-traffic op failure. Idempotent.
+    /// A nonexistent shard index reports as exhausted with `capacity: 0`
+    /// (a shard that does not exist has no slots to lease).
+    pub fn lease_shard(&mut self, si: usize) -> Result<(), StoreError> {
+        if si >= self.store.shards() {
+            return Err(StoreError::ShardExhausted { shard: si, capacity: 0 });
+        }
+        self.slot_for(si).map(|_| ())
+    }
+
     /// This handle's process id within shard `si`, leasing one on first
     /// touch.
     fn slot_for(&mut self, si: usize) -> Result<usize, StoreError> {

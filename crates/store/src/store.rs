@@ -337,6 +337,14 @@ impl<B: MwFactory> Store<B> {
         self.router
     }
 
+    /// Validates `key` and returns its shard index — the public face of
+    /// the routing step, for ownership layers (e.g. `mwllsc-mesh`) that
+    /// partition shards across workers and must agree with the store on
+    /// which shard a key lives in.
+    pub fn try_route(&self, key: u64) -> Result<usize, StoreError> {
+        self.route(key)
+    }
+
     /// Validates `key` and returns its shard index.
     pub(crate) fn route(&self, key: u64) -> Result<usize, StoreError> {
         if key >= self.keys {
