@@ -1,0 +1,372 @@
+//! Cell-by-cell comparison of two [`BenchFile`]s — the engine behind the
+//! `bench-diff` CLI subcommand and the CI `bench-trajectory` gate.
+//!
+//! Noise methodology: each file's per-cell `rps` is already a min-of-k
+//! estimate (the best of `repeats` runs — the repeat least disturbed by
+//! scheduling noise), so the diff applies a single multiplicative
+//! threshold on top: a cell **regresses** when
+//! `new_rps < old_rps × (1 − noise)`, and **improves** when
+//! `new_rps > old_rps × (1 + noise)`; in between it is within noise.
+//! When the two host fingerprints differ (cores, arch, or build mode),
+//! absolute throughput is not comparable at the tight threshold, so the
+//! wider `cross_host_noise` is applied instead and the report says so —
+//! a cross-host diff only catches order-of-magnitude cliffs, which is
+//! the honest claim for unpinned CI runners.
+//!
+//! Cells present in only one file are reported, not failed, unless
+//! `require_all` is set: the `--quick` grid is a strict subset of the
+//! full grid, and a quick head run diffed against a committed full-run
+//! baseline must not fail on the full grid's extra cells. Zero
+//! overlapping cells is an error (wrong file pairing), as is any
+//! schema-version mismatch.
+
+use std::fmt::Write as _;
+
+use crate::bench_schema::{BenchFile, SchemaError};
+
+/// Thresholds and strictness for one diff.
+#[derive(Clone, Copy, Debug)]
+pub struct DiffConfig {
+    /// Fractional rps drop tolerated when host fingerprints match.
+    pub noise: f64,
+    /// Fractional rps drop tolerated when they do not.
+    pub cross_host_noise: f64,
+    /// Fail when a baseline cell is missing from the new file.
+    pub require_all: bool,
+}
+
+impl Default for DiffConfig {
+    fn default() -> Self {
+        // 0.35 holds comfortably under single-core min-of-k repeat
+        // spread (~10-20% observed) while still tripping on a 2x
+        // slowdown (ratio 0.5 < 0.65).
+        Self { noise: 0.35, cross_host_noise: 0.6, require_all: false }
+    }
+}
+
+/// Verdict for one cell id.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Verdict {
+    /// `new < old × (1 − noise)`.
+    Regressed,
+    /// `new > old × (1 + noise)`.
+    Improved,
+    /// Inside the noise band.
+    WithinNoise,
+    /// In the baseline but not in the new file.
+    MissingInNew,
+    /// In the new file but not in the baseline.
+    NewCell,
+}
+
+impl Verdict {
+    /// Short label for tables.
+    #[must_use]
+    pub fn label(self) -> &'static str {
+        match self {
+            Verdict::Regressed => "REGRESSED",
+            Verdict::Improved => "improved",
+            Verdict::WithinNoise => "within noise",
+            Verdict::MissingInNew => "missing in new",
+            Verdict::NewCell => "new cell",
+        }
+    }
+}
+
+/// One compared cell.
+#[derive(Clone, Debug)]
+pub struct CellDiff {
+    /// The cell id.
+    pub id: String,
+    /// Baseline rps (0 when the cell is new).
+    pub old_rps: f64,
+    /// New rps (0 when the cell is missing).
+    pub new_rps: f64,
+    /// `new / old` (1.0 when either side is absent).
+    pub ratio: f64,
+    /// The verdict under the applied threshold.
+    pub verdict: Verdict,
+}
+
+/// The full comparison result.
+#[derive(Clone, Debug)]
+pub struct DiffReport {
+    /// Per-cell rows, baseline id order then new-only cells.
+    pub cells: Vec<CellDiff>,
+    /// Whether the wider cross-host threshold was applied.
+    pub cross_host: bool,
+    /// The noise fraction actually applied.
+    pub noise_used: f64,
+    /// Ids of new-file cells whose exactness gate (`ok`) failed.
+    pub gate_failures: Vec<String>,
+    /// Count of [`Verdict::Regressed`] rows.
+    pub regressed: usize,
+    /// Count of [`Verdict::Improved`] rows.
+    pub improved: usize,
+    /// Count of [`Verdict::WithinNoise`] rows.
+    pub within: usize,
+    /// Count of [`Verdict::MissingInNew`] rows.
+    pub missing: usize,
+    /// Count of [`Verdict::NewCell`] rows.
+    pub added: usize,
+}
+
+/// Errors that make a comparison meaningless (CLI exit code 2).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum DiffError {
+    /// One side is on a different schema version.
+    Schema(SchemaError),
+    /// Not a single cell id appears in both files.
+    NoOverlap,
+}
+
+impl std::fmt::Display for DiffError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DiffError::Schema(e) => write!(f, "{e}"),
+            DiffError::NoOverlap => write!(
+                f,
+                "the two files share no cell ids — different experiments or grids \
+                 (is the baseline the right BENCH_*.json?)"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for DiffError {}
+
+/// Compares `new` against the `old` baseline.
+pub fn diff(old: &BenchFile, new: &BenchFile, cfg: &DiffConfig) -> Result<DiffReport, DiffError> {
+    // from_json already gates on SCHEMA_VERSION; this re-check guards
+    // callers that construct files programmatically.
+    for f in [old, new] {
+        if f.schema_version != crate::bench_schema::SCHEMA_VERSION {
+            return Err(DiffError::Schema(SchemaError::Version { found: f.schema_version }));
+        }
+    }
+    let cross_host = !old.host.comparable(&new.host);
+    let noise_used = if cross_host { cfg.cross_host_noise } else { cfg.noise };
+
+    let mut report = DiffReport {
+        cells: Vec::new(),
+        cross_host,
+        noise_used,
+        gate_failures: new.cells.iter().filter(|c| !c.ok).map(|c| c.id.clone()).collect(),
+        regressed: 0,
+        improved: 0,
+        within: 0,
+        missing: 0,
+        added: 0,
+    };
+
+    let mut old_sorted: Vec<_> = old.cells.iter().collect();
+    old_sorted.sort_by(|a, b| a.id.cmp(&b.id));
+    let mut overlap = 0usize;
+    for oc in old_sorted {
+        match new.cell(&oc.id) {
+            Some(nc) => {
+                overlap += 1;
+                let ratio = if oc.rps > 0.0 { nc.rps / oc.rps } else { 1.0 };
+                let verdict = if ratio < 1.0 - noise_used {
+                    report.regressed += 1;
+                    Verdict::Regressed
+                } else if ratio > 1.0 + noise_used {
+                    report.improved += 1;
+                    Verdict::Improved
+                } else {
+                    report.within += 1;
+                    Verdict::WithinNoise
+                };
+                report.cells.push(CellDiff {
+                    id: oc.id.clone(),
+                    old_rps: oc.rps,
+                    new_rps: nc.rps,
+                    ratio,
+                    verdict,
+                });
+            }
+            None => {
+                report.missing += 1;
+                report.cells.push(CellDiff {
+                    id: oc.id.clone(),
+                    old_rps: oc.rps,
+                    new_rps: 0.0,
+                    ratio: 1.0,
+                    verdict: Verdict::MissingInNew,
+                });
+            }
+        }
+    }
+    let mut new_only: Vec<_> = new.cells.iter().filter(|c| old.cell(&c.id).is_none()).collect();
+    new_only.sort_by(|a, b| a.id.cmp(&b.id));
+    for nc in new_only {
+        report.added += 1;
+        report.cells.push(CellDiff {
+            id: nc.id.clone(),
+            old_rps: 0.0,
+            new_rps: nc.rps,
+            ratio: 1.0,
+            verdict: Verdict::NewCell,
+        });
+    }
+    if overlap == 0 {
+        return Err(DiffError::NoOverlap);
+    }
+    Ok(report)
+}
+
+impl DiffReport {
+    /// Whether this comparison should fail the gate under `cfg`.
+    #[must_use]
+    pub fn failed(&self, cfg: &DiffConfig) -> bool {
+        self.regressed > 0
+            || !self.gate_failures.is_empty()
+            || (cfg.require_all && self.missing > 0)
+    }
+
+    /// Human-readable rendering (the CLI's output).
+    #[must_use]
+    pub fn to_human(&self, old_label: &str, new_label: &str) -> String {
+        let mut s = String::new();
+        let _ = writeln!(s, "bench-diff: {new_label} vs baseline {old_label}");
+        if self.cross_host {
+            let _ = writeln!(
+                s,
+                "NOTE: host fingerprints differ — applying the cross-host noise \
+                 threshold ({:.0}%); only large cliffs are gated.",
+                self.noise_used * 100.0
+            );
+        } else {
+            let _ = writeln!(s, "noise threshold: {:.0}%", self.noise_used * 100.0);
+        }
+        let _ = writeln!(s);
+        for c in &self.cells {
+            match c.verdict {
+                Verdict::MissingInNew => {
+                    let _ = writeln!(
+                        s,
+                        "  {:<44} {:>12} -> (absent)  {}",
+                        c.id,
+                        fmt_rps(c.old_rps),
+                        c.verdict.label()
+                    );
+                }
+                Verdict::NewCell => {
+                    let _ = writeln!(
+                        s,
+                        "  {:<44} (absent) -> {:>12}  {}",
+                        c.id,
+                        fmt_rps(c.new_rps),
+                        c.verdict.label()
+                    );
+                }
+                _ => {
+                    let _ = writeln!(
+                        s,
+                        "  {:<44} {:>12} -> {:>12}  {:>6.2}x  {}",
+                        c.id,
+                        fmt_rps(c.old_rps),
+                        fmt_rps(c.new_rps),
+                        c.ratio,
+                        c.verdict.label()
+                    );
+                }
+            }
+        }
+        let _ = writeln!(s);
+        for id in &self.gate_failures {
+            let _ = writeln!(s, "  EXACTNESS GATE FAILED in new file: {id}");
+        }
+        let _ = writeln!(
+            s,
+            "summary: {} regressed, {} improved, {} within noise, {} missing, {} new",
+            self.regressed, self.improved, self.within, self.missing, self.added
+        );
+        s
+    }
+}
+
+fn fmt_rps(x: f64) -> String {
+    if x >= 1e6 {
+        format!("{:.2}M/s", x / 1e6)
+    } else if x >= 1e3 {
+        format!("{:.1}k/s", x / 1e3)
+    } else {
+        format!("{x:.0}/s")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bench_schema::Cell;
+
+    fn file(cells: &[(&str, f64)]) -> BenchFile {
+        let mut f = BenchFile::new("e16-ycsb", "t", true, 2, "");
+        for &(id, rps) in cells {
+            f.push(Cell::new(id, true, rps));
+        }
+        f
+    }
+
+    #[test]
+    fn within_noise_passes_and_regression_fails() {
+        let old = file(&[("a", 1000.0), ("b", 2000.0)]);
+        let cfg = DiffConfig::default();
+        let new_ok = file(&[("a", 900.0), ("b", 2100.0)]);
+        let r = diff(&old, &new_ok, &cfg).expect("diff");
+        assert_eq!(r.regressed, 0);
+        assert!(!r.failed(&cfg));
+
+        // The acceptance drill: an injected 2x slowdown must trip.
+        let new_slow = file(&[("a", 500.0), ("b", 2000.0)]);
+        let r = diff(&old, &new_slow, &cfg).expect("diff");
+        assert_eq!(r.regressed, 1);
+        assert!(r.failed(&cfg));
+    }
+
+    #[test]
+    fn missing_cells_warn_by_default_and_fail_when_required() {
+        let old = file(&[("a", 1000.0), ("b", 2000.0)]);
+        let new = file(&[("a", 1000.0)]);
+        let cfg = DiffConfig::default();
+        let r = diff(&old, &new, &cfg).expect("diff");
+        assert_eq!(r.missing, 1);
+        assert!(!r.failed(&cfg));
+        let strict = DiffConfig { require_all: true, ..cfg };
+        assert!(diff(&old, &new, &strict).expect("diff").failed(&strict));
+    }
+
+    #[test]
+    fn disjoint_grids_error_out() {
+        let old = file(&[("a", 1.0)]);
+        let new = file(&[("b", 1.0)]);
+        assert_eq!(diff(&old, &new, &DiffConfig::default()).unwrap_err(), DiffError::NoOverlap);
+    }
+
+    #[test]
+    fn cross_host_widens_the_threshold() {
+        let old = file(&[("a", 1000.0)]);
+        let mut new = file(&[("a", 550.0)]);
+        // Same host: 0.55 < 0.65 regresses.
+        assert!(diff(&old, &new, &DiffConfig::default())
+            .expect("d")
+            .failed(&DiffConfig::default()));
+        // Different core count: the 0.6 cross-host band absorbs it.
+        new.host.cores += 4;
+        let r = diff(&old, &new, &DiffConfig::default()).expect("d");
+        assert!(r.cross_host);
+        assert!(!r.failed(&DiffConfig::default()));
+    }
+
+    #[test]
+    fn exactness_gate_failure_fails_the_diff() {
+        let old = file(&[("a", 1000.0)]);
+        let mut new = file(&[("a", 1000.0)]);
+        new.cells[0].ok = false;
+        let cfg = DiffConfig::default();
+        let r = diff(&old, &new, &cfg).expect("diff");
+        assert_eq!(r.gate_failures, vec!["a".to_string()]);
+        assert!(r.failed(&cfg));
+    }
+}

@@ -1077,6 +1077,7 @@ pub fn e12_model(_quick: bool) {
 /// machine-readable `BENCH_<rev>.json` drop (the perf-trajectory entry
 /// the ROADMAP asks for).
 pub fn e13_server(quick: bool) {
+    use mwllsc_harness::bench_schema::{bench_rev, BenchFile, Cell};
     use mwllsc_server::{
         Client, Dispatch, Request, Response, Server, ServerConfig, ServerStats, UpdateOp,
     };
@@ -1211,7 +1212,7 @@ pub fn e13_server(quick: bool) {
         "mean write batch",
         "waves",
     ]);
-    let mut json_rows = String::new();
+    let mut bench_cells: Vec<Cell> = Vec::new();
     let mut flagship: Option<ServerStats> = None;
     let mut flagship_speedup = 0.0f64;
     for &(conns, depth) in grid {
@@ -1223,18 +1224,17 @@ pub fn e13_server(quick: bool) {
             flagship_speedup = speedup;
         }
         for (mode, rps) in [("per-request", rps_per), ("coalesced", rps_co)] {
-            let (mwb, waves, hist) = if mode == "coalesced" {
-                let h =
-                    stats.batch_hist.iter().map(ToString::to_string).collect::<Vec<_>>().join(",");
-                (stats.mean_write_batch(), stats.waves, h)
+            let mut cell = Cell::new(format!("e13/conns={conns}/depth={depth}/{mode}"), true, rps);
+            if mode == "coalesced" {
+                cell = cell
+                    .counter("mean_write_batch", stats.mean_write_batch())
+                    .counter("waves", stats.waves as f64)
+                    .with_hist(stats.batch_hist.to_vec());
             } else {
-                (1.0, 0, String::new())
-            };
-            json_rows.push_str(&format!(
-                "    {{\"conns\": {conns}, \"depth\": {depth}, \"dispatch\": \"{mode}\", \
-                 \"rps\": {rps:.0}, \"mean_write_batch\": {mwb:.2}, \"waves\": {waves}, \
-                 \"batch_hist\": [{hist}]}},\n"
-            ));
+                // Per-request dispatch coalesces nothing, by definition.
+                cell = cell.counter("mean_write_batch", 1.0).counter("waves", 0.0);
+            }
+            bench_cells.push(cell);
         }
         t.row([
             conns.to_string(),
@@ -1271,38 +1271,27 @@ pub fn e13_server(quick: bool) {
         }
     }
 
-    // Machine-readable drop: the first entry in the perf trajectory.
-    let rev = std::env::var("MWLLSC_BENCH_REV")
-        .ok()
-        .or_else(|| {
-            std::process::Command::new("git")
-                .args(["rev-parse", "--short", "HEAD"])
-                .output()
-                .ok()
-                .filter(|o| o.status.success())
-                .map(|o| String::from_utf8_lossy(&o.stdout).trim().to_string())
-        })
-        .filter(|s| !s.is_empty())
-        .unwrap_or_else(|| "local".to_string());
+    // Machine-readable drop on the shared bench schema (`bench-diff`
+    // consumes it). The E16 flagship grid owns `BENCH_<rev>.json`, so
+    // the server grid drops alongside it with a `_server` suffix.
+    let rev = bench_rev();
     let backend = Store::new(StoreConfig::new(1, 1, 1, 1)).backend();
-    let labels = ServerStats::hist_labels()
-        .iter()
-        .map(|l| format!("\"{l}\""))
-        .collect::<Vec<_>>()
-        .join(", ");
-    let json = format!(
-        "{{\n  \"experiment\": \"e13-server\",\n  \"rev\": \"{rev}\",\n  \"quick\": {quick},\n  \
-         \"backend\": \"{backend}\",\n  \"host\": {{\"os\": \"{}\", \"arch\": \"{}\", \
-         \"cores\": {}, \"mode\": \"{}\"}},\n  \"batch_hist_labels\": [{labels}],\n  \
-         \"rows\": [\n{}  ]\n}}\n",
-        std::env::consts::OS,
-        std::env::consts::ARCH,
-        std::thread::available_parallelism().map_or(0, std::num::NonZeroUsize::get),
-        if cfg!(debug_assertions) { "debug" } else { "release" },
-        json_rows.trim_end_matches(",\n").to_string() + "\n",
+    let labels = ServerStats::hist_labels().join(", ");
+    let mut bench = BenchFile::new(
+        "e13-server",
+        &rev,
+        quick,
+        1,
+        &format!(
+            "backend={backend}; hist buckets are write-batch sizes: {labels}; \
+             per-request rows coalesce nothing (mean_write_batch=1, waves=0, no hist)"
+        ),
     );
-    let path = format!("BENCH_{rev}.json");
-    match std::fs::write(&path, &json) {
+    for c in bench_cells {
+        bench.push(c);
+    }
+    let path = format!("BENCH_{rev}_server.json");
+    match std::fs::write(&path, bench.to_json()) {
         Ok(()) => println!("Wrote {path} (throughput, batch histogram, backend).\n"),
         Err(e) => println!("NOTE: could not write {path}: {e}\n"),
     }
@@ -1361,6 +1350,7 @@ pub fn e14_lint(_quick: bool) {
 /// per-key sums), the ring-occupancy histogram, and a
 /// `BENCH_<rev>.json` drop.
 pub fn e15_mesh(quick: bool) {
+    use mwllsc_harness::bench_schema::{bench_rev, BenchFile, Cell};
     use mwllsc_mesh::{InlineVal, Mesh, MeshConfig, MeshStats, UpdateKind, OCC_BUCKETS};
 
     println!("## E15 — mwllsc-mesh: symmetric handles vs shared-nothing shard ownership\n");
@@ -1534,7 +1524,7 @@ pub fn e15_mesh(quick: bool) {
 
     let mut t =
         Table::new(["callers", "depth", "symmetric", "mesh", "ratio", "entries/msg", "waves"]);
-    let mut json_rows = String::new();
+    let mut bench_cells: Vec<Cell> = Vec::new();
     let mut flagship: Option<MeshStats> = None;
     for &(callers, depth) in grid {
         let (rps_sym, sums_sym) = run_symmetric(callers, depth, per_cell, seed);
@@ -1545,18 +1535,17 @@ pub fn e15_mesh(quick: bool) {
             std::process::exit(2);
         }
         let packing = stats.entries as f64 / (stats.msgs.max(1)) as f64;
-        let occ = stats.occ_hist.iter().map(ToString::to_string).collect::<Vec<_>>().join(",");
         for (mode, rps) in [("symmetric", rps_sym), ("mesh", rps_mesh)] {
-            let (entries, msgs, waves, hist) = if mode == "mesh" {
-                (stats.entries, stats.msgs, stats.waves, occ.as_str())
-            } else {
-                (0, 0, 0, "")
-            };
-            json_rows.push_str(&format!(
-                "    {{\"callers\": {callers}, \"depth\": {depth}, \"mode\": \"{mode}\", \
-                 \"rps\": {rps:.0}, \"entries\": {entries}, \"msgs\": {msgs}, \
-                 \"waves\": {waves}, \"occ_hist\": [{hist}]}},\n"
-            ));
+            let mut cell =
+                Cell::new(format!("e15/callers={callers}/depth={depth}/{mode}"), true, rps);
+            if mode == "mesh" {
+                cell = cell
+                    .counter("entries", stats.entries as f64)
+                    .counter("msgs", stats.msgs as f64)
+                    .counter("waves", stats.waves as f64)
+                    .with_hist(stats.occ_hist.to_vec());
+            }
+            bench_cells.push(cell);
         }
         if callers >= 4 && depth >= 32 {
             flagship = Some(stats.clone());
@@ -1598,36 +1587,614 @@ pub fn e15_mesh(quick: bool) {
     println!("is expected to favor symmetric there; the coherence-traffic claim");
     println!("needs a pinned multi-core re-measurement.\n");
 
-    // Machine-readable drop, same shape conventions as E13's.
-    let rev = std::env::var("MWLLSC_BENCH_REV")
-        .ok()
-        .or_else(|| {
-            std::process::Command::new("git")
-                .args(["rev-parse", "--short", "HEAD"])
-                .output()
-                .ok()
-                .filter(|o| o.status.success())
-                .map(|o| String::from_utf8_lossy(&o.stdout).trim().to_string())
-        })
-        .filter(|s| !s.is_empty())
-        .unwrap_or_else(|| "local".to_string());
+    // Machine-readable drop on the shared bench schema, alongside E13's
+    // `_server` and E16's flagship files.
+    let rev = bench_rev();
     let backend = Store::new(StoreConfig::new(1, 1, 1, 1)).backend();
-    let json = format!(
-        "{{\n  \"experiment\": \"e15-mesh\",\n  \"rev\": \"{rev}\",\n  \"quick\": {quick},\n  \
-         \"backend\": \"{backend}\",\n  \"mesh_workers\": {MESH_WORKERS},\n  \
-         \"host\": {{\"os\": \"{}\", \"arch\": \"{}\", \"cores\": {}, \"mode\": \"{}\"}},\n  \
-         \"occ_hist_buckets\": \"log2, bucket b covers 2^(b-1)..2^b-1, empty rings unsampled\",\n  \
-         \"rows\": [\n{}  ]\n}}\n",
-        std::env::consts::OS,
-        std::env::consts::ARCH,
-        std::thread::available_parallelism().map_or(0, std::num::NonZeroUsize::get),
-        if cfg!(debug_assertions) { "debug" } else { "release" },
-        json_rows.trim_end_matches(",\n").to_string() + "\n",
+    let mut bench = BenchFile::new(
+        "e15-mesh",
+        &rev,
+        quick,
+        1,
+        &format!(
+            "backend={backend}; mesh_workers={MESH_WORKERS}; hist buckets are log2 ring \
+             occupancy, bucket b covers 2^(b-1)..2^b-1, empty rings unsampled; symmetric \
+             rows have no ring counters"
+        ),
     );
+    for c in bench_cells {
+        bench.push(c);
+    }
     let path = format!("BENCH_{rev}_mesh.json");
-    match std::fs::write(&path, &json) {
+    match std::fs::write(&path, bench.to_json()) {
         Ok(()) => println!("Wrote {path} (both modes' rps, packing, occupancy histogram).\n"),
         Err(e) => println!("NOTE: could not write {path}: {e}\n"),
+    }
+}
+
+/// E16 — the YCSB-style perf-trajectory grid: seeded key distributions
+/// (zipfian / uniform / 80-20 hot set) and read-update mixes A–C over
+/// three store backends, the server loopback path (both dispatch
+/// modes), the mesh, a handle-churn storm and an update-batch-size
+/// sweep. Every cell doubles as a correctness run — keys are preloaded
+/// to `k + 1` and per-key acked sums are checked exactly after the
+/// clock stops — and the grid lands in the versioned `BENCH_<rev>.json`
+/// that the `bench-diff` regression gate consumes.
+pub fn e16_ycsb(quick: bool) {
+    use mwllsc_harness::bench_schema::{bench_repeats, bench_rev, BenchFile, Cell};
+    use mwllsc_harness::workload::{
+        KeyDist, KeyGen, MixSpec, SplitMix64, MIX_A, MIX_B, MIX_C, MIX_U,
+    };
+    use mwllsc_mesh::{InlineVal, Mesh, MeshConfig, MeshStats, UpdateKind};
+    use mwllsc_server::{
+        Client, Dispatch, Request, Response, Server, ServerConfig, ServerStats, UpdateOp,
+    };
+    use mwllsc_store::DynStoreHandle;
+
+    println!("## E16 — YCSB-style workload grid (the perf-trajectory suite)\n");
+    println!("Claim: one seeded driver exercises the store's batched paths, three");
+    println!("backends, both server dispatch modes and the mesh under the standard");
+    println!("YCSB taxonomy (zipfian theta=0.99 / uniform / 80-20 hot set; mixes");
+    println!("A=50/50 read-update, B=95/5, C=read-only), so perf claims become");
+    println!("diffable BENCH_<rev>.json cells. The workloads are deterministic,");
+    println!("so every cell is also an exactness gate: per-key acked sums must");
+    println!("match the store exactly when the clock stops.\n");
+
+    const KEYS: u64 = 8_192;
+    const ZIPF: KeyDist = KeyDist::Zipfian { theta: 0.99 };
+    const CALLERS: usize = 2;
+    const DEPTH: usize = 32;
+    const CONNS: usize = 4;
+    const SERVER_DEPTH: usize = 16;
+    // Quick cells are sized so release-mode walls stay well above timer
+    // granularity, and quick repeats are high enough that min-of-k
+    // reliably samples the fast scheduling mode (two callers timeslicing
+    // one core are bimodal — a reader can spin out a whole quantum while
+    // the writer is parked). The committed CI baseline is cut with the
+    // same quick protocol so head and baseline share an estimator.
+    let ops: u64 = if quick { 16_000 } else { 60_000 };
+    let repeats = bench_repeats(if quick { 7 } else { 5 });
+    let seed: u64 = 0xE16_5EED;
+
+    fn fail(what: &str, e: impl std::fmt::Display) -> ! {
+        eprintln!("mwllsc-harness: E16 {what}: {e}");
+        std::process::exit(2);
+    }
+
+    /// Materializes every key at `base(k) = k + 1`, so reads have a
+    /// verifiable floor from the first round and read-only cells an
+    /// exact expectation.
+    fn preload(h: &mut dyn DynStoreHandle, keys: u64) {
+        const CHUNK: u64 = 1_024;
+        let mut start = 0u64;
+        while start < keys {
+            let end = (start + CHUNK).min(keys);
+            let vals: Vec<u64> = (start..end).map(|k| k + 1).collect();
+            let batch: Vec<(u64, &[u64])> = (start..end)
+                .map(|k| (k, std::slice::from_ref(&vals[(k - start) as usize])))
+                .collect();
+            if let Err(e) = h.write_many(&batch) {
+                fail("preload", e);
+            }
+            start = end;
+        }
+    }
+
+    /// One measured run of one cell.
+    struct Measured {
+        rps: f64,
+        p50: f64,
+        p99: f64,
+        ok: bool,
+    }
+
+    /// What each worker thread hands back: its own start/end instants
+    /// (the cell wall is `max(end) - min(start)` across workers — on a
+    /// single shared core the *spawning* thread can be descheduled past
+    /// whole worker lifetimes, so timing from the spawner inflates
+    /// throughput by orders of magnitude), per-key acked counts,
+    /// per-round latencies, and its read-check verdict.
+    type WorkerResult = (Instant, Instant, Vec<u64>, Vec<f64>, bool);
+
+    /// Collapses worker results into (wall seconds, acked, lat, ok).
+    fn merge(results: Vec<WorkerResult>) -> (f64, Vec<Vec<u64>>, Vec<f64>, bool) {
+        let t0 = results.iter().map(|r| r.0).min().expect("at least one worker");
+        let t1 = results.iter().map(|r| r.1).max().expect("at least one worker");
+        let mut acked = Vec::with_capacity(results.len());
+        let mut lat = Vec::new();
+        let mut ok = true;
+        for (_, _, a, l, o) in results {
+            acked.push(a);
+            lat.extend(l);
+            ok &= o;
+        }
+        (t1.duration_since(t0).as_secs_f64().max(1e-9), acked, lat, ok)
+    }
+
+    /// Keeps the higher-throughput repeat; the exactness gate must hold
+    /// on every repeat.
+    fn better(a: Measured, b: Measured) -> Measured {
+        let ok = a.ok && b.ok;
+        let mut m = if b.rps > a.rps { b } else { a };
+        m.ok = ok;
+        m
+    }
+
+    /// The min-of-k estimator: best throughput over `repeats` runs.
+    fn best_of(repeats: u64, mut run: impl FnMut() -> Measured) -> Measured {
+        let mut best: Option<Measured> = None;
+        for _ in 0..repeats {
+            let m = run();
+            best = Some(match best {
+                None => m,
+                Some(b) => better(b, m),
+            });
+        }
+        best.expect("repeats >= 1")
+    }
+
+    fn percentiles(lat: &mut [f64]) -> (f64, f64) {
+        lat.sort_by(|a, b| a.total_cmp(b));
+        let at = |q: f64| lat[((lat.len() - 1) as f64 * q) as usize];
+        (at(0.50), at(0.99))
+    }
+
+    /// Checks `k + 1 + Σ acked[k]` for every key through chunked probe
+    /// reads; prints the first mismatch and returns false on divergence.
+    fn check_sums(
+        label: &str,
+        read_chunk: &mut dyn FnMut(&[u64], &mut [u64]),
+        acked: &[Vec<u64>],
+        keys: u64,
+    ) -> bool {
+        const CHUNK: u64 = 2_048;
+        let mut got = vec![0u64; CHUNK as usize];
+        let mut ok = true;
+        let mut start = 0u64;
+        while start < keys {
+            let end = (start + CHUNK).min(keys);
+            let ks: Vec<u64> = (start..end).collect();
+            read_chunk(&ks, &mut got[..ks.len()]);
+            for (i, &k) in ks.iter().enumerate() {
+                let expect = k + 1 + acked.iter().map(|a| a[k as usize]).sum::<u64>();
+                if got[i] != expect && ok {
+                    eprintln!(
+                        "mwllsc-harness: E16 exactness FAILED ({label}, key {k}): \
+                         {} != {expect}",
+                        got[i]
+                    );
+                    ok = false;
+                }
+            }
+            start = end;
+        }
+        ok
+    }
+
+    /// Store-mode cell: `callers` threads drive one `DynStoreHandle`
+    /// each with `depth`-deep rounds split per `mix`; `churn`
+    /// re-attaches the handle every round (the lease-storm option).
+    #[allow(clippy::too_many_arguments)]
+    fn run_store_cell(
+        store: &dyn DynStore,
+        mix: MixSpec,
+        dist: KeyDist,
+        callers: usize,
+        depth: usize,
+        ops: u64,
+        churn: bool,
+        seed: u64,
+    ) -> Measured {
+        let rounds = (ops / (callers as u64 * depth as u64)).max(1) as usize;
+        let keys = store.key_capacity();
+        {
+            let mut h = store.attach_dyn();
+            preload(&mut *h, keys);
+        }
+        let pure_read = mix.read_pct == 100;
+        let barrier = std::sync::Barrier::new(callers + 1);
+        let results = std::thread::scope(|s| {
+            let handles: Vec<_> = (0..callers)
+                .map(|t| {
+                    let barrier = &barrier;
+                    s.spawn(move || {
+                        let mut h = store.attach_dyn();
+                        let mut gen = KeyGen::new(dist, keys);
+                        let mut rng = SplitMix64::new(seed ^ ((t as u64 + 1) << 40));
+                        let mut acked = vec![0u64; keys as usize];
+                        let (mut reads, mut writes) =
+                            (Vec::with_capacity(depth), Vec::with_capacity(depth));
+                        let mut rbuf = vec![0u64; depth];
+                        let mut lat = Vec::with_capacity(rounds);
+                        let mut ok = true;
+                        barrier.wait();
+                        let t_start = Instant::now();
+                        for _ in 0..rounds {
+                            if churn {
+                                h = store.attach_dyn();
+                            }
+                            mix.fill_round(&mut gen, &mut rng, depth, &mut reads, &mut writes);
+                            let t0 = Instant::now();
+                            if !writes.is_empty() {
+                                if let Err(e) = h.update_many_dyn(&writes, &mut |_, v| {
+                                    v[0] = v[0].wrapping_add(1);
+                                }) {
+                                    fail("store update", e);
+                                }
+                            }
+                            if !reads.is_empty() {
+                                if let Err(e) = h.read_many_into(&reads, &mut rbuf[..reads.len()]) {
+                                    fail("store read", e);
+                                }
+                            }
+                            lat.push(t0.elapsed().as_nanos() as f64 / depth as f64);
+                            for &k in &writes {
+                                acked[k as usize] += 1;
+                            }
+                            for (i, &k) in reads.iter().enumerate() {
+                                let floor = k + 1;
+                                if rbuf[i] < floor || (pure_read && rbuf[i] != floor) {
+                                    ok = false;
+                                }
+                            }
+                        }
+                        (t_start, Instant::now(), acked, lat, ok)
+                    })
+                })
+                .collect();
+            barrier.wait();
+            handles.into_iter().map(|h| h.join().unwrap()).collect::<Vec<_>>()
+        });
+
+        let (wall, acked, mut lat, mut ok) = merge(results);
+        let mut probe = store.attach_dyn();
+        ok &= check_sums(
+            "store",
+            &mut |ks, out| {
+                if let Err(e) = probe.read_many_into(ks, out) {
+                    fail("store probe", e);
+                }
+            },
+            &acked,
+            keys,
+        );
+        let (p50, p99) = percentiles(&mut lat);
+        Measured { rps: (callers * depth * rounds) as f64 / wall, p50, p99, ok }
+    }
+
+    /// Server-mode cell: `conns` pipelined loopback clients, updates as
+    /// ADD frames and reads as GET frames, measured at the client.
+    fn run_server_cell(
+        mix: MixSpec,
+        dist: KeyDist,
+        dispatch: Dispatch,
+        conns: usize,
+        depth: usize,
+        ops: u64,
+        seed: u64,
+    ) -> (Measured, ServerStats) {
+        let rounds = (ops / (conns as u64 * depth as u64)).max(1) as usize;
+        let store = Store::new(StoreConfig::new(8, 4, 1, KEYS));
+        {
+            let mut h = store.attach();
+            preload(&mut h, KEYS);
+        }
+        let server = Server::start(&store, ServerConfig::with_workers(1).dispatch(dispatch))
+            .unwrap_or_else(|e| fail("cannot start server", e));
+        let addr = server.local_addr();
+        let pure_read = mix.read_pct == 100;
+        let barrier = std::sync::Barrier::new(conns + 1);
+        let results = std::thread::scope(|s| {
+            let handles: Vec<_> = (0..conns)
+                .map(|t| {
+                    let barrier = &barrier;
+                    s.spawn(move || {
+                        let mut c = Client::connect(addr).unwrap_or_else(|e| fail("connect", e));
+                        let mut gen = KeyGen::new(dist, KEYS);
+                        let mut rng = SplitMix64::new(seed ^ ((t as u64 + 1) << 40));
+                        let mut acked = vec![0u64; KEYS as usize];
+                        let (mut reads, mut writes) =
+                            (Vec::with_capacity(depth), Vec::with_capacity(depth));
+                        let mut lat = Vec::with_capacity(rounds);
+                        let mut ok = true;
+                        barrier.wait();
+                        let t_start = Instant::now();
+                        for _ in 0..rounds {
+                            mix.fill_round(&mut gen, &mut rng, depth, &mut reads, &mut writes);
+                            let t0 = Instant::now();
+                            for &k in &writes {
+                                c.send(&Request::Update { key: k, op: UpdateOp::Add(vec![1]) });
+                            }
+                            for &k in &reads {
+                                c.send(&Request::Get { key: k });
+                            }
+                            if let Err(e) = c.flush() {
+                                fail("flush", e);
+                            }
+                            for &k in &writes {
+                                match c.recv() {
+                                    Ok(Response::Value(_)) => acked[k as usize] += 1,
+                                    other => fail("update reply", format!("{other:?}")),
+                                }
+                            }
+                            for &k in &reads {
+                                match c.recv() {
+                                    Ok(Response::Value(v)) => {
+                                        let floor = k + 1;
+                                        if v[0] < floor || (pure_read && v[0] != floor) {
+                                            ok = false;
+                                        }
+                                    }
+                                    other => fail("get reply", format!("{other:?}")),
+                                }
+                            }
+                            lat.push(t0.elapsed().as_nanos() as f64 / depth as f64);
+                        }
+                        (t_start, Instant::now(), acked, lat, ok)
+                    })
+                })
+                .collect();
+            barrier.wait();
+            handles.into_iter().map(|h| h.join().unwrap()).collect::<Vec<_>>()
+        });
+
+        let (wall, acked, mut lat, mut ok) = merge(results);
+        let mut probe = Client::connect(addr).unwrap_or_else(|e| fail("probe connect", e));
+        ok &= check_sums(
+            "server",
+            &mut |ks, out| match probe.mget(ks.to_vec()) {
+                Ok(Ok(vs)) => {
+                    for (o, v) in out.iter_mut().zip(&vs) {
+                        *o = v[0];
+                    }
+                }
+                other => fail("probe mget", format!("{other:?}")),
+            },
+            &acked,
+            KEYS,
+        );
+        drop(probe);
+        let stats = server.shutdown();
+        let (p50, p99) = percentiles(&mut lat);
+        (Measured { rps: (conns * depth * rounds) as f64 / wall, p50, p99, ok }, stats)
+    }
+
+    /// Mesh-mode cell: callers forward their batches over SPSC rings to
+    /// the shard-owning workers; same mix/dist split as store mode.
+    fn run_mesh_cell(
+        mix: MixSpec,
+        dist: KeyDist,
+        callers: usize,
+        depth: usize,
+        ops: u64,
+        seed: u64,
+    ) -> (Measured, MeshStats) {
+        let rounds = (ops / (callers as u64 * depth as u64)).max(1) as usize;
+        let store = Store::new(StoreConfig::new(8, 32, 1, KEYS));
+        {
+            let mut h = store.attach();
+            preload(&mut h, KEYS);
+        }
+        let mesh = Mesh::try_new(Arc::clone(&store), MeshConfig::default().with_workers(2))
+            .unwrap_or_else(|e| fail("cannot start mesh", e));
+        let pure_read = mix.read_pct == 100;
+        let barrier = std::sync::Barrier::new(callers + 1);
+        let results = std::thread::scope(|s| {
+            let handles: Vec<_> = (0..callers)
+                .map(|t| {
+                    let (mesh, barrier) = (Arc::clone(&mesh), &barrier);
+                    s.spawn(move || {
+                        let mut h = mesh.attach();
+                        let one = InlineVal::from_slice(&[1]).unwrap();
+                        let mut gen = KeyGen::new(dist, KEYS);
+                        let mut rng = SplitMix64::new(seed ^ ((t as u64 + 1) << 40));
+                        let mut acked = vec![0u64; KEYS as usize];
+                        let (mut reads, mut writes) =
+                            (Vec::with_capacity(depth), Vec::with_capacity(depth));
+                        let mut rbuf = vec![0u64; depth];
+                        let mut lat = Vec::with_capacity(rounds);
+                        let mut ok = true;
+                        barrier.wait();
+                        let t_start = Instant::now();
+                        for _ in 0..rounds {
+                            mix.fill_round(&mut gen, &mut rng, depth, &mut reads, &mut writes);
+                            let t0 = Instant::now();
+                            if !writes.is_empty() {
+                                if let Err(e) =
+                                    h.update_batch(&writes, &mut |_| (UpdateKind::Add, one), None)
+                                {
+                                    fail("mesh update", e);
+                                }
+                            }
+                            if !reads.is_empty() {
+                                if let Err(e) = h.read_many_into(&reads, &mut rbuf[..reads.len()]) {
+                                    fail("mesh read", e);
+                                }
+                            }
+                            lat.push(t0.elapsed().as_nanos() as f64 / depth as f64);
+                            for &k in &writes {
+                                acked[k as usize] += 1;
+                            }
+                            for (i, &k) in reads.iter().enumerate() {
+                                let floor = k + 1;
+                                if rbuf[i] < floor || (pure_read && rbuf[i] != floor) {
+                                    ok = false;
+                                }
+                            }
+                        }
+                        (t_start, Instant::now(), acked, lat, ok)
+                    })
+                })
+                .collect();
+            barrier.wait();
+            handles.into_iter().map(|h| h.join().unwrap()).collect::<Vec<_>>()
+        });
+
+        let (wall, acked, mut lat, mut ok) = merge(results);
+        let mut probe = mesh.attach();
+        ok &= check_sums(
+            "mesh",
+            &mut |ks, out| {
+                if let Err(e) = probe.read_many_into(ks, out) {
+                    fail("mesh probe", e);
+                }
+            },
+            &acked,
+            KEYS,
+        );
+        let stats = mesh.stats();
+        drop(probe);
+        mesh.shutdown();
+        if store.live_slot_leases() != 0 {
+            fail("mesh shutdown", "leaked a shard-slot lease");
+        }
+        let (p50, p99) = percentiles(&mut lat);
+        (Measured { rps: (callers * depth * rounds) as f64 / wall, p50, p99, ok }, stats)
+    }
+
+    fn cell_of(id: String, m: &Measured) -> Cell {
+        Cell::new(id, m.ok, m.rps).latency(m.p50, m.p99)
+    }
+
+    let rev = bench_rev();
+    let mut bench = BenchFile::new(
+        "e16-ycsb",
+        &rev,
+        quick,
+        repeats,
+        "grid: backends jp-waitfree/seqlock/lock x mixes A(50/50 read-update)/B(95/5)/\
+         C(read-only) on zipfian(0.99), plus uniform / 80-20 hot-set / handle-churn \
+         variants, an update-only batch sweep (U, batch=4|32|256), the server loopback \
+         path (coalesced + per-request) and the 2-worker mesh; KEYS=8192, W=1; rps is \
+         best-of-repeats (min-of-k); p50/p99 are per-op amortized from pipelined rounds; \
+         hist on server cells is write-batch sizes (1, 2-3, ..., 128+), on mesh cells \
+         log2 ring occupancy; every key preloaded to k+1 and per-key acked sums checked \
+         exactly after each cell",
+    );
+    let mut t = Table::new(["cell", "rps", "p50/op", "p99/op", "gate"]);
+    let mut all_ok = true;
+    let mut push_cell = |cell: Cell, m: &Measured| {
+        t.row([
+            cell.id.clone(),
+            fmt_ops(m.rps),
+            fmt_ns(m.p50),
+            fmt_ns(m.p99),
+            if m.ok { "ok".to_string() } else { "FAIL".to_string() },
+        ]);
+        all_ok &= m.ok;
+        bench.push(cell);
+    };
+
+    // Backend x mix over the YCSB-default zipfian skew.
+    for algo in [Algo::Jp, Algo::SeqLock, Algo::Lock] {
+        for mix in [MIX_A, MIX_B, MIX_C] {
+            let id = format!("e16/store/{}/{}/zipf", algo.name(), mix.name);
+            let m = best_of(repeats, || {
+                let store = try_build_store(algo, StoreConfig::new(8, 8, 1, KEYS))
+                    .unwrap_or_else(|e| fail("build store", e));
+                run_store_cell(&*store, mix, ZIPF, CALLERS, DEPTH, ops, false, seed)
+            });
+            push_cell(cell_of(id, &m), &m);
+        }
+    }
+
+    // Distribution and churn variants on the paper backend, workload A.
+    let variants: &[(&str, KeyDist, bool)] = &[
+        ("uniform", KeyDist::Uniform, false),
+        ("hot", KeyDist::HotSet { hot: 64, hot_pct: 80 }, false),
+        ("zipf+churn", ZIPF, true),
+    ];
+    for &(tag, dist, churn) in variants {
+        let id = format!("e16/store/jp-waitfree/A/{tag}");
+        let m = best_of(repeats, || {
+            let store = try_build_store(Algo::Jp, StoreConfig::new(8, 8, 1, KEYS))
+                .unwrap_or_else(|e| fail("build store", e));
+            run_store_cell(&*store, MIX_A, dist, CALLERS, DEPTH, ops, churn, seed)
+        });
+        push_cell(cell_of(id, &m), &m);
+    }
+
+    // Update-only batch-size sweep: the store's update_many economics.
+    for batch in [4usize, 32, 256] {
+        let id = format!("e16/store/jp-waitfree/U/zipf/batch={batch}");
+        let m = best_of(repeats, || {
+            let store = try_build_store(Algo::Jp, StoreConfig::new(8, 8, 1, KEYS))
+                .unwrap_or_else(|e| fail("build store", e));
+            run_store_cell(&*store, MIX_U, ZIPF, CALLERS, batch, ops, false, seed)
+        });
+        push_cell(cell_of(id, &m).counter("batch", batch as f64), &m);
+    }
+
+    // The server loopback path, both dispatch modes.
+    let server_cells: &[(MixSpec, Dispatch, &str)] = &[
+        (MIX_A, Dispatch::Coalesced, "coalesced"),
+        (MIX_A, Dispatch::PerRequest, "per-request"),
+        (MIX_B, Dispatch::Coalesced, "coalesced"),
+    ];
+    for &(mix, dispatch, tag) in server_cells {
+        let id = format!("e16/server/{}/zipf/{tag}", mix.name);
+        let mut last_stats: Option<ServerStats> = None;
+        let m = best_of(repeats, || {
+            let (m, stats) = run_server_cell(mix, ZIPF, dispatch, CONNS, SERVER_DEPTH, ops, seed);
+            last_stats = Some(stats);
+            m
+        });
+        let mut cell = cell_of(id, &m);
+        if let (Some(stats), Dispatch::Coalesced) = (last_stats, dispatch) {
+            cell = cell
+                .counter("mean_write_batch", stats.mean_write_batch())
+                .counter("waves", stats.waves as f64)
+                .with_hist(stats.batch_hist.to_vec());
+        }
+        push_cell(cell, &m);
+    }
+
+    // The mesh path: shard ownership over rings, 2 workers.
+    for mix in [MIX_A, MIX_B] {
+        let id = format!("e16/mesh/{}/zipf", mix.name);
+        let mut last_stats: Option<MeshStats> = None;
+        let m = best_of(repeats, || {
+            let (m, stats) = run_mesh_cell(mix, ZIPF, CALLERS, DEPTH, ops, seed);
+            last_stats = Some(stats);
+            m
+        });
+        let mut cell = cell_of(id, &m);
+        if let Some(s) = last_stats {
+            cell = cell
+                .counter("entries", s.entries as f64)
+                .counter("msgs", s.msgs as f64)
+                .counter("waves", s.waves as f64)
+                .with_hist(s.occ_hist.to_vec());
+        }
+        push_cell(cell, &m);
+    }
+
+    println!(
+        "### {} cells, ~{ops} ops/cell, best of {repeats} repeats (min-of-k), \
+         {CALLERS} callers / {CONNS} conns, KEYS = {KEYS}\n",
+        bench.cells.len()
+    );
+    t.print();
+    println!();
+    println!("Shape check: C > B > A per backend (reads are wait-free snapshots, updates");
+    println!("pay LL/SC commits); jp-waitfree tracks seqlock within a small factor and");
+    println!("both beat the global lock under the update mixes; batch=256 amortizes");
+    println!("per-batch overheads over batch=4; the churn column prices a fresh");
+    println!("shard-slot lease per round. Single core — mesh and server cells pay their");
+    println!("ring/socket round-trips with no parallelism to amortize them.\n");
+
+    let path = format!("BENCH_{rev}.json");
+    match std::fs::write(&path, bench.to_json()) {
+        Ok(()) => println!(
+            "Wrote {path} ({} cells, schema v{}).\n",
+            bench.cells.len(),
+            mwllsc_harness::bench_schema::SCHEMA_VERSION
+        ),
+        Err(e) => println!("NOTE: could not write {path}: {e}\n"),
+    }
+    if !all_ok {
+        eprintln!("mwllsc-harness: E16 exactness gate failed (see FAIL rows above)");
+        std::process::exit(2);
     }
 }
 
@@ -1646,6 +2213,7 @@ pub fn all(quick: bool) {
     e13_server(quick);
     e14_lint(quick);
     e15_mesh(quick);
+    e16_ycsb(quick);
     #[cfg(mwllsc_model)]
     e12_model(quick);
 }

@@ -1,0 +1,325 @@
+//! YCSB-style seeded workload generation for the E16 driver.
+//!
+//! Everything here is deterministic given a seed: the same
+//! `(seed, caller, round)` triple produces the same key sequence on every
+//! host, which is what lets the E16 grid double as a correctness run —
+//! per-key acked counts are reproducible and can be checked exactly
+//! against the store after the clock stops.
+//!
+//! The pieces mirror the standard YCSB taxonomy:
+//!
+//! - [`KeyDist`] — uniform, zipfian (the YCSB default, `theta = 0.99`),
+//!   and an 80/20 hot-set skew, all over a dense `0..keys` id space
+//!   (the store's FNV router scatters dense ids across shards, so rank 0
+//!   being the hottest key is fine);
+//! - [`MixSpec`] — the read/update ratios of workloads A (50/50),
+//!   B (95/5) and C (read-only);
+//! - [`SplitMix64`] — the tiny seedable generator feeding both.
+
+/// SplitMix64: 64 bits of well-mixed state per call, seedable, `Copy`.
+///
+/// The same generator family the stress suites derive their per-thread
+/// streams from; reproduced here so the workload driver has no
+/// dependency on test-only code.
+#[derive(Clone, Copy, Debug)]
+pub struct SplitMix64(u64);
+
+impl SplitMix64 {
+    /// A generator whose stream is fully determined by `seed`.
+    #[must_use]
+    pub fn new(seed: u64) -> Self {
+        Self(seed)
+    }
+
+    /// The next 64-bit value.
+    // lint: no-alloc
+    pub fn next_u64(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// The next value in `[0, 1)`, using the top 53 bits.
+    // lint: no-alloc
+    pub fn next_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+/// Key-popularity distribution over a dense `0..keys` space.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum KeyDist {
+    /// Every key equally likely.
+    Uniform,
+    /// Zipf-distributed rank popularity with parameter `theta`
+    /// (YCSB's default skew is `theta = 0.99`).
+    Zipfian {
+        /// The skew exponent in `(0, 1)`; higher is more skewed.
+        theta: f64,
+    },
+    /// `hot_pct`% of draws land uniformly in the first `hot` keys, the
+    /// rest uniformly over the whole space (the classic 80/20 shape).
+    HotSet {
+        /// Size of the hot set (must be `< keys`).
+        hot: u64,
+        /// Percentage of draws routed to the hot set.
+        hot_pct: u8,
+    },
+}
+
+impl KeyDist {
+    /// Short stable name used in bench-cell ids.
+    #[must_use]
+    pub fn name(&self) -> &'static str {
+        match self {
+            KeyDist::Uniform => "uniform",
+            KeyDist::Zipfian { .. } => "zipf",
+            KeyDist::HotSet { .. } => "hot",
+        }
+    }
+}
+
+/// A seeded generator drawing keys from one [`KeyDist`] over `0..keys`.
+///
+/// Zipfian uses the Gray et al. rejection-free method YCSB ships: the
+/// harmonic sums are precomputed once in `new` (O(keys)), each draw is
+/// then O(1).
+#[derive(Clone, Debug)]
+pub struct KeyGen {
+    keys: u64,
+    dist: KeyDist,
+    // Zipfian precomputation (unused for the other distributions).
+    alpha: f64,
+    zetan: f64,
+    eta: f64,
+    half_pow_theta: f64,
+}
+
+impl KeyGen {
+    /// Precomputes the distribution tables for draws over `0..keys`.
+    ///
+    /// # Panics
+    ///
+    /// If `keys == 0`, if a zipfian `theta` is outside `(0, 1)`, or if a
+    /// hot set is not smaller than the key space.
+    #[must_use]
+    pub fn new(dist: KeyDist, keys: u64) -> Self {
+        assert!(keys > 0, "empty key space");
+        let (mut alpha, mut zetan, mut eta, mut half_pow_theta) = (0.0, 0.0, 0.0, 0.0);
+        match dist {
+            KeyDist::Uniform => {}
+            KeyDist::Zipfian { theta } => {
+                assert!(theta > 0.0 && theta < 1.0, "zipfian theta must be in (0, 1)");
+                zetan = zeta(keys, theta);
+                let zeta2 = zeta(2, theta);
+                alpha = 1.0 / (1.0 - theta);
+                eta = (1.0 - (2.0 / keys as f64).powf(1.0 - theta)) / (1.0 - zeta2 / zetan);
+                half_pow_theta = 0.5f64.powf(theta);
+            }
+            KeyDist::HotSet { hot, hot_pct } => {
+                assert!(hot > 0 && hot < keys, "hot set must be nonempty and smaller than keys");
+                assert!(hot_pct <= 100, "hot_pct is a percentage");
+            }
+        }
+        Self { keys, dist, alpha, zetan, eta, half_pow_theta }
+    }
+
+    /// The size of the key space this generator draws from.
+    #[must_use]
+    pub fn keys(&self) -> u64 {
+        self.keys
+    }
+
+    /// Draws the next key in `0..keys`.
+    // lint: no-alloc
+    pub fn next(&mut self, rng: &mut SplitMix64) -> u64 {
+        match self.dist {
+            KeyDist::Uniform => rng.next_u64() % self.keys,
+            KeyDist::Zipfian { .. } => {
+                let u = rng.next_f64();
+                let uz = u * self.zetan;
+                if uz < 1.0 {
+                    return 0;
+                }
+                if uz < 1.0 + self.half_pow_theta {
+                    return 1;
+                }
+                let k =
+                    (self.keys as f64 * (self.eta * u - self.eta + 1.0).powf(self.alpha)) as u64;
+                k.min(self.keys - 1)
+            }
+            KeyDist::HotSet { hot, hot_pct } => {
+                if rng.next_u64() % 100 < u64::from(hot_pct) {
+                    rng.next_u64() % hot
+                } else {
+                    rng.next_u64() % self.keys
+                }
+            }
+        }
+    }
+}
+
+/// `zeta(n, theta)` — the truncated harmonic sum `Σ_{i=1..n} 1/i^theta`.
+fn zeta(n: u64, theta: f64) -> f64 {
+    (1..=n).map(|i| 1.0 / (i as f64).powf(theta)).sum()
+}
+
+/// A read/update ratio — the YCSB workload-letter dimension.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct MixSpec {
+    /// Stable short name used in bench-cell ids ("A", "B", ...).
+    pub name: &'static str,
+    /// Percentage of operations that are reads; the rest are updates.
+    pub read_pct: u8,
+}
+
+/// Workload A: update-heavy, 50% reads / 50% updates.
+pub const MIX_A: MixSpec = MixSpec { name: "A", read_pct: 50 };
+/// Workload B: read-mostly, 95% reads / 5% updates.
+pub const MIX_B: MixSpec = MixSpec { name: "B", read_pct: 95 };
+/// Workload C: read-only.
+pub const MIX_C: MixSpec = MixSpec { name: "C", read_pct: 100 };
+/// Update-only (the batch-size sweep's mix; not a YCSB letter).
+pub const MIX_U: MixSpec = MixSpec { name: "U", read_pct: 0 };
+
+impl MixSpec {
+    /// Splits one round of `depth` operations into read keys and update
+    /// keys, appending into the caller's reusable buffers (cleared
+    /// first). Deterministic given the generator and rng states.
+    // lint: no-alloc
+    pub fn fill_round(
+        &self,
+        gen: &mut KeyGen,
+        rng: &mut SplitMix64,
+        depth: usize,
+        reads: &mut Vec<u64>,
+        writes: &mut Vec<u64>,
+    ) {
+        reads.clear();
+        writes.clear();
+        for _ in 0..depth {
+            let key = gen.next(rng);
+            if rng.next_u64() % 100 < u64::from(self.read_pct) {
+                reads.push(key);
+            } else {
+                writes.push(key);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn histogram(dist: KeyDist, keys: u64, samples: u64, seed: u64) -> Vec<u64> {
+        let mut gen = KeyGen::new(dist, keys);
+        let mut rng = SplitMix64::new(seed);
+        let mut hist = vec![0u64; keys as usize];
+        for _ in 0..samples {
+            hist[gen.next(&mut rng) as usize] += 1;
+        }
+        hist
+    }
+
+    #[test]
+    fn draws_stay_in_range() {
+        for dist in [
+            KeyDist::Uniform,
+            KeyDist::Zipfian { theta: 0.99 },
+            KeyDist::HotSet { hot: 8, hot_pct: 80 },
+        ] {
+            let mut gen = KeyGen::new(dist, 1000);
+            let mut rng = SplitMix64::new(7);
+            for _ in 0..100_000 {
+                assert!(gen.next(&mut rng) < 1000);
+            }
+        }
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let mut a = KeyGen::new(KeyDist::Zipfian { theta: 0.99 }, 4096);
+        let mut b = a.clone();
+        let (mut ra, mut rb) = (SplitMix64::new(42), SplitMix64::new(42));
+        for _ in 0..10_000 {
+            assert_eq!(a.next(&mut ra), b.next(&mut rb));
+        }
+    }
+
+    #[test]
+    fn uniform_is_roughly_flat() {
+        let keys = 16u64;
+        let samples = 160_000u64;
+        let hist = histogram(KeyDist::Uniform, keys, samples, 1);
+        let mean = samples / keys;
+        for (k, &n) in hist.iter().enumerate() {
+            assert!(
+                (n as f64) > mean as f64 * 0.85 && (n as f64) < mean as f64 * 1.15,
+                "uniform bucket {k} = {n}, mean {mean}"
+            );
+        }
+    }
+
+    #[test]
+    fn zipfian_matches_theory() {
+        // theta = 0.99 over 1024 keys: P(rank 0) = 1/zeta(1024, 0.99).
+        let keys = 1024u64;
+        let theta = 0.99;
+        let samples = 400_000u64;
+        let hist = histogram(KeyDist::Zipfian { theta }, keys, samples, 3);
+        let zetan = zeta(keys, theta);
+        let p0 = 1.0 / zetan;
+        let f0 = hist[0] as f64 / samples as f64;
+        assert!(
+            (f0 - p0).abs() < 0.02,
+            "rank-0 frequency {f0:.4} vs theoretical {p0:.4} (zetan {zetan:.3})"
+        );
+        // Per-rank popularity decreases across coarse bands (coarse so
+        // sampling noise can't flip it; at theta≈1 the bands' *total*
+        // masses are near-equal by the harmonic integral, so the
+        // comparison must be per rank).
+        let band =
+            |lo: usize, hi: usize| hist[lo..hi].iter().sum::<u64>() as f64 / (hi - lo) as f64;
+        assert!(band(0, 8) > band(8, 64));
+        assert!(band(8, 64) > band(64, 512));
+        // The head dominates: top 10 ranks take well over a quarter.
+        let top10 = hist[..10].iter().sum::<u64>() as f64 / samples as f64;
+        assert!(top10 > 0.25, "top-10 share {top10:.3}");
+        // ... but the tail is not starved (every key reachable).
+        assert!(band(512, 1024) > 0.0);
+    }
+
+    #[test]
+    fn hot_set_gets_its_share() {
+        let keys = 1000u64;
+        let samples = 200_000u64;
+        let hist = histogram(KeyDist::HotSet { hot: 10, hot_pct: 80 }, keys, samples, 9);
+        let hot: u64 = hist[..10].iter().sum();
+        let share = hot as f64 / samples as f64;
+        // 80% routed + ~1% of the uniform 20% also landing in the hot set.
+        assert!((share - 0.802).abs() < 0.02, "hot share {share:.3}");
+    }
+
+    #[test]
+    fn mix_ratio_is_respected() {
+        let mut gen = KeyGen::new(KeyDist::Uniform, 64);
+        let mut rng = SplitMix64::new(5);
+        let (mut reads, mut writes) = (Vec::new(), Vec::new());
+        let (mut r_total, mut w_total) = (0usize, 0usize);
+        for _ in 0..1000 {
+            MIX_B.fill_round(&mut gen, &mut rng, 100, &mut reads, &mut writes);
+            assert_eq!(reads.len() + writes.len(), 100);
+            r_total += reads.len();
+            w_total += writes.len();
+        }
+        let read_frac = r_total as f64 / (r_total + w_total) as f64;
+        assert!((read_frac - 0.95).abs() < 0.01, "workload B read fraction {read_frac:.3}");
+        MIX_C.fill_round(&mut gen, &mut rng, 50, &mut reads, &mut writes);
+        assert!(writes.is_empty(), "workload C must not write");
+        MIX_U.fill_round(&mut gen, &mut rng, 50, &mut reads, &mut writes);
+        assert!(reads.is_empty(), "update-only mix must not read");
+    }
+}
